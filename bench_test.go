@@ -1,0 +1,285 @@
+// Package-level benchmarks: one benchmark per paper artifact (figure /
+// theorem / comparison), so `go test -bench=.` regenerates the performance
+// shape of every experiment, plus component micro-benchmarks.
+//
+// Absolute numbers are host-specific; the claims being checked are the
+// *shapes*: HBO survives crash counts Ben-Or cannot, the steady-state cost
+// of leader election is O(1) register ops per interval with zero messages,
+// and the m&m lock removes the spin.
+package mnm_test
+
+import (
+	"testing"
+
+	"github.com/mnm-model/mnm"
+)
+
+func consensusInputs(n int) []mnm.ConsensusValue {
+	inputs := make([]mnm.ConsensusValue, n)
+	for i := range inputs {
+		inputs[i] = mnm.ConsensusValue(i % 2)
+	}
+	return inputs
+}
+
+// BenchmarkF2_HBODecide benchmarks HBO decision latency (steps are
+// simulated; the measured quantity is wall time per full decided run).
+func BenchmarkF2_HBODecide(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		g    *mnm.Graph
+	}{
+		{"Complete5", mnm.CompleteGraph(5)},
+		{"Cycle6", mnm.CycleGraph(6)},
+		{"Petersen", mnm.PetersenGraph()},
+		{"Hypercube4_n16", mnm.HypercubeGraph(4)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			inputs := consensusInputs(tc.g.N())
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := mnm.SolveConsensus(tc.g, inputs, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkT43_HBOAtWorstCrash benchmarks HBO at its exact graph
+// tolerance under the worst-case crash set (Theorem 4.3's regime).
+func BenchmarkT43_HBOAtWorstCrash(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		g    *mnm.Graph
+	}{
+		{"Petersen", mnm.PetersenGraph()},
+		{"Complete7", mnm.CompleteGraph(7)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			tol, err := tc.g.ExactHBOTolerance()
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := testRand(1)
+			crashSet, _ := tc.g.GreedyWorstCrashSet(tol, rng, 30)
+			var crashes []mnm.Crash
+			for _, v := range crashSet.Members() {
+				crashes = append(crashes, mnm.Crash{Proc: mnm.ProcID(v)})
+			}
+			inputs := consensusInputs(tc.g.N())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mnm.SolveConsensus(tc.g, inputs, int64(i), crashes...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBO_BenOrDecide benchmarks the pure message-passing baseline.
+func BenchmarkBO_BenOrDecide(b *testing.B) {
+	const n = 7
+	inputs := consensusInputs(n)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := mnm.NewSim(mnm.SimConfig{
+			GSM:      mnm.EdgelessGraph(n),
+			Seed:     int64(i),
+			MaxSteps: 5_000_000,
+			StopWhen: mnm.AllDecided(mnm.BenOrDecisionKey),
+		}, mnm.NewBenOr(mnm.BenOrConfig{F: 3, Inputs: inputs}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil || !res.Stopped {
+			b.Fatalf("err=%v stopped=%v", err, res.Stopped)
+		}
+	}
+}
+
+// BenchmarkLE1_Stabilize benchmarks leader election to stability with
+// reliable links (Figures 3+4).
+func BenchmarkLE1_Stabilize(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := mnm.ElectLeader(5, mnm.MessageNotifier, 1, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLE2_StabilizeFairLossy benchmarks leader election to stability
+// over fair-lossy links with 30% drops (Figures 3+5).
+func BenchmarkLE2_StabilizeFairLossy(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := mnm.NewSim(mnm.SimConfig{
+			GSM:       mnm.CompleteGraph(5),
+			Seed:      int64(i),
+			Links:     mnm.FairLossy,
+			Drop:      mnm.NewRandomDrop(0.3, int64(i)+1),
+			Scheduler: mnm.TimelyScheduler(1, 4, int64(i)+2),
+			MaxSteps:  20_000_000,
+			StopWhen:  mnm.StableLeaderCondition(3_000),
+		}, mnm.NewLeaderElection(mnm.LeaderConfig{Notifier: mnm.SharedMemoryNotifier}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil || !res.Stopped {
+			b.Fatalf("err=%v stopped=%v", err, res.Stopped)
+		}
+	}
+}
+
+// BenchmarkMUTEX_Locks benchmarks a contended acquire/release cycle for
+// the two locks of the §1 example.
+func BenchmarkMUTEX_Locks(b *testing.B) {
+	b.Run("MnM", func(b *testing.B) {
+		lock := mnm.NewMnMLock(0, "bench")
+		benchLockWorkload(b, func(env mnm.Env, in *mnm.Inbox) error {
+			tk, err := lock.Acquire(env, in)
+			if err != nil {
+				return err
+			}
+			return lock.Release(env, tk)
+		})
+	})
+	b.Run("Spin", func(b *testing.B) {
+		lock := mnm.NewSpinLock(0, "bench")
+		benchLockWorkload(b, func(env mnm.Env, _ *mnm.Inbox) error {
+			tk, err := lock.Acquire(env)
+			if err != nil {
+				return err
+			}
+			return lock.Release(env, tk)
+		})
+	})
+}
+
+func benchLockWorkload(b *testing.B, cycle func(mnm.Env, *mnm.Inbox) error) {
+	b.Helper()
+	alg := mnm.AlgorithmFunc(func(id mnm.ProcID) mnm.Process {
+		return func(env mnm.Env) error {
+			var in mnm.Inbox
+			if env.ID() != 0 {
+				// One contending process keeps the lock busy for a
+				// bounded number of cycles.
+				for i := 0; i < 100; i++ {
+					if err := cycle(env, &in); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			for i := 0; i < b.N; i++ {
+				if err := cycle(env, &in); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	})
+	r, err := mnm.NewSim(mnm.SimConfig{
+		GSM:      mnm.CompleteGraph(2),
+		Seed:     1,
+		MaxSteps: ^uint64(0),
+	}, alg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := r.Run()
+	if err != nil || len(res.Errors) > 0 {
+		b.Fatalf("err=%v procErrs=%v", err, res.Errors)
+	}
+}
+
+// BenchmarkRSM_Replicate benchmarks end-to-end replication of 8 commands
+// across 4 replicas.
+func BenchmarkRSM_Replicate(b *testing.B) {
+	const n, commands = 4, 2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := mnm.NewSim(mnm.SimConfig{
+			GSM:      mnm.CompleteGraph(n),
+			Seed:     int64(i),
+			MaxSteps: 20_000_000,
+			StopWhen: func(r *mnm.SimRunner) bool {
+				for p := 0; p < n; p++ {
+					if r.Exposed(mnm.ProcID(p), mnm.RSMDoneKey) != true {
+						return false
+					}
+				}
+				return true
+			},
+		}, mnm.NewReplicatedLog(mnm.RSMConfig{CommandsPerProcess: commands}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil || !res.Stopped {
+			b.Fatalf("err=%v stopped=%v", err, res.Stopped)
+		}
+	}
+}
+
+// BenchmarkGraph_Expansion benchmarks the exact expansion enumerator that
+// the Theorem 4.3 tables depend on.
+func BenchmarkGraph_Expansion(b *testing.B) {
+	g := mnm.HypercubeGraph(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := g.ExactExpansion(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConsensusObjects benchmarks the two consensus-object
+// implementations HBO can run on (register racing vs. RDMA-style CAS).
+func BenchmarkConsensusObjects(b *testing.B) {
+	run := func(b *testing.B, mk func(i int) mnm.ConsensusObject) {
+		b.Helper()
+		alg := mnm.AlgorithmFunc(func(id mnm.ProcID) mnm.Process {
+			return func(env mnm.Env) error {
+				for i := 0; i < b.N; i++ {
+					if _, err := mk(i).Propose(env, mnm.V1); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+		})
+		r, err := mnm.NewSim(mnm.SimConfig{GSM: mnm.CompleteGraph(1), MaxSteps: ^uint64(0)}, alg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		res, err := r.Run()
+		if err != nil || len(res.Errors) > 0 {
+			b.Fatalf("err=%v procErrs=%v", err, res.Errors)
+		}
+	}
+	domain := []mnm.Value{mnm.V0, mnm.V1, mnm.Unknown}
+	b.Run("RegisterRacing", func(b *testing.B) {
+		run(b, func(i int) mnm.ConsensusObject {
+			obj, err := mnm.NewRacingConsensus(mnm.Ref{Owner: 0, Name: "o", I: i}, domain)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return obj
+		})
+	})
+	b.Run("CAS", func(b *testing.B) {
+		run(b, func(i int) mnm.ConsensusObject {
+			return mnm.NewCASConsensus(mnm.Ref{Owner: 0, Name: "o", I: i})
+		})
+	})
+}

@@ -1,0 +1,77 @@
+// Command mnmbench regenerates the paper-reproduction experiments: every
+// figure- and theorem-level claim of "Passing Messages while Sharing
+// Memory" (PODC 2018) that this repository validates empirically.
+//
+// Usage:
+//
+//	mnmbench                         # run every experiment (full sizes)
+//	mnmbench -quick                  # smaller sizes, faster
+//	mnmbench -experiment T43,LE1     # run a subset
+//	mnmbench -list                   # list experiments
+//	mnmbench -seed 7                 # perturb all randomness
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/mnm-model/mnm/internal/expt"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		list  = flag.Bool("list", false, "list experiments and exit")
+		ids   = flag.String("experiment", "all", "comma-separated experiment ids, or \"all\"")
+		quick = flag.Bool("quick", false, "smaller sizes and fewer seeds")
+		seed  = flag.Int64("seed", 1, "seed perturbing all randomness")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range expt.All() {
+			fmt.Printf("%-6s %-62s [%s]\n", e.ID, e.Title, e.Paper)
+		}
+		return 0
+	}
+
+	var selected []expt.Experiment
+	if *ids == "all" {
+		selected = expt.All()
+	} else {
+		for _, id := range strings.Split(*ids, ",") {
+			e, ok := expt.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "mnmbench: unknown experiment %q (known: %s)\n",
+					id, strings.Join(expt.IDs(), ", "))
+				return 2
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	params := expt.Params{Quick: *quick, Seed: *seed}
+	failed := 0
+	for i, e := range selected {
+		if i > 0 {
+			fmt.Println()
+		}
+		start := time.Now()
+		if err := e.Run(os.Stdout, params); err != nil {
+			fmt.Fprintf(os.Stderr, "mnmbench: experiment %s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Printf("[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}

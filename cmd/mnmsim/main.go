@@ -1,0 +1,229 @@
+// Command mnmsim runs one m&m scenario in the deterministic simulator and
+// reports the outcome: consensus (hbo or the ben-or baseline), leader
+// election (either notifier), or the replicated log.
+//
+// Usage:
+//
+//	mnmsim -alg hbo -graph complete -n 7 -crash 0,1,2,3,4
+//	mnmsim -alg benor -n 7 -crash 0,1,2
+//	mnmsim -alg leader -n 5 -notifier shm -lossy -droprate 0.3
+//	mnmsim -alg rsm -n 4 -commands 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/mnm-model/mnm/internal/benor"
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/graph"
+	"github.com/mnm-model/mnm/internal/hbo"
+	"github.com/mnm-model/mnm/internal/leader"
+	"github.com/mnm-model/mnm/internal/metrics"
+	"github.com/mnm-model/mnm/internal/msgnet"
+	"github.com/mnm-model/mnm/internal/rsm"
+	"github.com/mnm-model/mnm/internal/sched"
+	"github.com/mnm-model/mnm/internal/sim"
+	"github.com/mnm-model/mnm/internal/trace"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		alg      = flag.String("alg", "hbo", "algorithm: hbo | benor | leader | rsm")
+		gname    = flag.String("graph", "complete", "shared-memory graph: complete | edgeless | cycle | hypercube | petersen | randreg")
+		n        = flag.Int("n", 7, "process count (ignored for petersen/hypercube)")
+		d        = flag.Int("d", 3, "degree for randreg")
+		dim      = flag.Int("dim", 3, "dimension for hypercube")
+		crash    = flag.String("crash", "", "comma-separated process ids to crash at step 0")
+		crashAt  = flag.Uint64("crashat", 0, "step at which the crash list applies")
+		seed     = flag.Int64("seed", 1, "run seed")
+		maxSteps = flag.Uint64("maxsteps", 5_000_000, "step budget")
+		fq       = flag.Int("f", -1, "ben-or quorum parameter F (default ⌈n/2⌉−1)")
+		notifier = flag.String("notifier", "msg", "leader notifier: msg | shm")
+		lossy    = flag.Bool("lossy", false, "fair-lossy links")
+		dropRate = flag.Float64("droprate", 0.2, "drop probability for -lossy")
+		commands = flag.Int("commands", 3, "commands per process for rsm")
+		timely   = flag.Int("timely", 1, "guaranteed-timely process for leader election")
+		traceN   = flag.Int("trace", 0, "print the last N structured events of the run")
+	)
+	flag.Parse()
+
+	g, err := buildGraph(*gname, *n, *d, *dim, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mnmsim: %v\n", err)
+		return 2
+	}
+	nn := g.N()
+
+	crashes, err := parseCrashes(*crash, *crashAt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mnmsim: %v\n", err)
+		return 2
+	}
+
+	cfg := sim.Config{
+		GSM:      g,
+		Seed:     *seed,
+		MaxSteps: *maxSteps,
+		Crashes:  crashes,
+	}
+	var rec *trace.Recorder
+	if *traceN > 0 {
+		rec = trace.NewRecorder(*traceN)
+		cfg.Trace = rec
+	}
+	if *lossy {
+		cfg.Links = msgnet.FairLossy
+		cfg.Drop = msgnet.NewRandomDrop(*dropRate, *seed+1)
+	}
+
+	inputs := make([]benor.Val, nn)
+	for i := range inputs {
+		inputs[i] = benor.Val(i % 2)
+	}
+
+	var algo core.Algorithm
+	var report func(r *sim.Runner, res *sim.Result)
+	switch *alg {
+	case "hbo":
+		algo = hbo.New(hbo.Config{Inputs: inputs})
+		cfg.StopWhen = func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, hbo.DecisionKey) }
+		report = func(r *sim.Runner, res *sim.Result) { reportConsensus(r, res, nn, hbo.DecisionKey) }
+	case "benor":
+		f := *fq
+		if f < 0 {
+			f = (nn - 1) / 2
+		}
+		algo = benor.New(benor.Config{F: f, Inputs: inputs})
+		cfg.StopWhen = func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, benor.DecisionKey) }
+		report = func(r *sim.Runner, res *sim.Result) { reportConsensus(r, res, nn, benor.DecisionKey) }
+	case "leader":
+		kind := leader.MessageNotifier
+		if *notifier == "shm" {
+			kind = leader.SharedMemoryNotifier
+		}
+		algo = leader.New(leader.Config{Notifier: kind})
+		cfg.Scheduler = &sched.TimelyProcess{
+			Timely: core.ProcID(*timely),
+			Bound:  4,
+			Inner:  sched.NewRandom(*seed + 2),
+		}
+		cfg.StopWhen = leader.StableLeaderCondition(3_000)
+		report = func(r *sim.Runner, res *sim.Result) {
+			l, ok := leader.CommonLeader(r)
+			fmt.Printf("stable leader: %v (common=%v)\n", l, ok)
+		}
+	case "rsm":
+		algo = rsm.New(rsm.Config{CommandsPerProcess: *commands})
+		total := nn * *commands
+		cfg.StopWhen = func(r *sim.Runner) bool {
+			for p := 0; p < nn; p++ {
+				id := core.ProcID(p)
+				if r.Crashed(id) {
+					continue
+				}
+				applied, _ := r.Exposed(id, rsm.AppliedKey).(int)
+				if r.Exposed(id, rsm.DoneKey) != true || applied < total {
+					return false
+				}
+			}
+			return true
+		}
+		report = func(r *sim.Runner, res *sim.Result) {
+			for p := 0; p < nn; p++ {
+				id := core.ProcID(p)
+				fmt.Printf("replica %v: applied=%v hash=%x\n",
+					id, r.Exposed(id, rsm.AppliedKey), r.Exposed(id, rsm.HashKey))
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "mnmsim: unknown algorithm %q\n", *alg)
+		return 2
+	}
+
+	runner, err := sim.New(cfg, algo)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mnmsim: %v\n", err)
+		return 1
+	}
+	res, err := runner.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mnmsim: %v\n", err)
+		return 1
+	}
+
+	fmt.Printf("graph: %v  seed: %d  crashes: %v\n", g, *seed, res.Crashed)
+	fmt.Printf("steps: %d  stopped: %v  timed out: %v\n", res.Steps, res.Stopped, res.TimedOut)
+	fmt.Printf("messages sent: %d  dropped: %d  register ops: %d\n",
+		res.Counters.Total(metrics.MsgSent),
+		res.Counters.Total(metrics.MsgDropped),
+		res.Counters.Total(metrics.RegReadLocal)+res.Counters.Total(metrics.RegReadRemote)+
+			res.Counters.Total(metrics.RegWriteLocal)+res.Counters.Total(metrics.RegWriteRemote))
+	for p, e := range res.Errors {
+		fmt.Printf("process %v error: %v\n", p, e)
+	}
+	report(runner, res)
+	if rec != nil {
+		fmt.Printf("\nlast %d events:\n", rec.Len())
+		if _, err := rec.WriteTo(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "mnmsim: %v\n", err)
+		}
+	}
+	if !res.Stopped {
+		return 1
+	}
+	return 0
+}
+
+func buildGraph(name string, n, d, dim int, seed int64) (*graph.Graph, error) {
+	switch name {
+	case "complete":
+		return graph.Complete(n), nil
+	case "edgeless":
+		return graph.Edgeless(n), nil
+	case "cycle":
+		return graph.Cycle(n), nil
+	case "petersen":
+		return graph.Petersen(), nil
+	case "hypercube":
+		return graph.Hypercube(dim), nil
+	case "randreg":
+		return graph.RandomConnectedRegular(n, d, rand.New(rand.NewSource(seed)))
+	default:
+		return nil, fmt.Errorf("unknown graph %q", name)
+	}
+}
+
+func parseCrashes(spec string, at uint64) ([]sim.Crash, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []sim.Crash
+	for _, tok := range strings.Split(spec, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			return nil, fmt.Errorf("bad crash id %q: %w", tok, err)
+		}
+		out = append(out, sim.Crash{Proc: core.ProcID(id), AtStep: at})
+	}
+	return out, nil
+}
+
+func reportConsensus(r *sim.Runner, res *sim.Result, n int, key string) {
+	for p := 0; p < n; p++ {
+		id := core.ProcID(p)
+		if r.Crashed(id) {
+			fmt.Printf("process %v: crashed\n", id)
+			continue
+		}
+		fmt.Printf("process %v: decided %v\n", id, r.Exposed(id, key))
+	}
+}

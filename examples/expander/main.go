@@ -1,0 +1,71 @@
+// Expander example: how the shared-memory graph's vertex expansion sets
+// HBO's fault tolerance (Theorem 4.3), end to end — compute h(G) exactly,
+// evaluate the analytic bound, find a worst-case crash set, and run HBO at
+// that crash count.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"github.com/mnm-model/mnm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "expander: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(11))
+	randReg, err := mnm.RandomConnectedRegularGraph(12, 4, rng)
+	if err != nil {
+		return err
+	}
+	systems := []struct {
+		name string
+		g    *mnm.Graph
+	}{
+		{"Edgeless(9)  (pure message passing)", mnm.EdgelessGraph(9)},
+		{"Cycle(10)    (degree 2, poor expansion)", mnm.CycleGraph(10)},
+		{"Petersen     (degree 3 expander)", mnm.PetersenGraph()},
+		{"RandReg(12,4)(degree 4 random expander)", randReg},
+		{"Complete(10) (pure shared memory)", mnm.CompleteGraph(10)},
+	}
+
+	fmt.Println("graph                                    h(G)   T4.3 bound  exact tol  HBO@tol")
+	for _, s := range systems {
+		n := s.g.N()
+		h, _, err := s.g.ExactExpansion()
+		if err != nil {
+			return err
+		}
+		bound := mnm.FaultToleranceBound(n, h)
+		tol, err := s.g.ExactHBOTolerance()
+		if err != nil {
+			return err
+		}
+
+		// Run HBO against the worst-case crash set of size tol.
+		crashSet, _ := s.g.GreedyWorstCrashSet(tol, rng, 30)
+		var crashes []mnm.Crash
+		for _, v := range crashSet.Members() {
+			crashes = append(crashes, mnm.Crash{Proc: mnm.ProcID(v)})
+		}
+		inputs := make([]mnm.ConsensusValue, n)
+		for i := range inputs {
+			inputs[i] = mnm.ConsensusValue(i % 2)
+		}
+		outcome := "decided"
+		if _, err := mnm.SolveConsensus(s.g, inputs, 3, crashes...); err != nil {
+			outcome = "stalled"
+		}
+		fmt.Printf("%-40s %-6v %-11d %-10d %s\n", s.name, h, bound, tol, outcome)
+	}
+	fmt.Println("\nhigher expansion → more tolerated crashes, at bounded degree;")
+	fmt.Println("the exact tolerance always dominates the analytic Theorem 4.3 bound.")
+	return nil
+}

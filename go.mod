@@ -1,0 +1,3 @@
+module github.com/mnm-model/mnm
+
+go 1.22

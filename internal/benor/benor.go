@@ -1,0 +1,286 @@
+// Package benor implements Ben-Or's randomized binary consensus for the
+// pure message-passing model (Ben-Or, PODC 1983) — the baseline algorithm
+// that HBO (§4.1 of the paper) simulates and improves upon.
+//
+// The algorithm proceeds in rounds of two phases. In phase R each process
+// broadcasts its current estimate, waits for at least n−f reports, and
+// checks whether a strict majority of the system (> n/2) reported one
+// value; if so it broadcasts that value in phase P, otherwise it broadcasts
+// '?'. After collecting n−f phase-P reports it decides a value seen at
+// least f+1 times, adopts any non-'?' value seen, or flips a local coin.
+//
+// Safety (uniform agreement, validity) holds in every run; termination
+// holds with probability 1 provided f < n/2 and at most f processes crash.
+// When more than f processes crash, the quorum wait blocks forever — the
+// fault-tolerance ceiling Theorem 4.3 lifts.
+package benor
+
+import (
+	"fmt"
+
+	"github.com/mnm-model/mnm/internal/core"
+)
+
+// Val is a consensus value: the two binary inputs plus the '?' marker used
+// in phase P.
+type Val int
+
+// Consensus values. V0 and V1 are the proposable inputs; Unknown is the
+// paper's '?' and is never a decision.
+const (
+	V0      Val = 0
+	V1      Val = 1
+	Unknown Val = 2
+)
+
+// String implements fmt.Stringer.
+func (v Val) String() string {
+	switch v {
+	case V0:
+		return "0"
+	case V1:
+		return "1"
+	case Unknown:
+		return "?"
+	default:
+		return fmt.Sprintf("val(%d)", int(v))
+	}
+}
+
+// Domain returns the value domain {0, 1, ?} as core.Values, in the form
+// the regcons objects expect.
+func Domain() []core.Value { return []core.Value{V0, V1, Unknown} }
+
+// Phase distinguishes the two phases of a round.
+type Phase int
+
+// Phases of a Ben-Or round.
+const (
+	PhaseR Phase = iota + 1 // report/estimate phase
+	PhaseP                  // proposal/decision phase
+)
+
+// String implements fmt.Stringer.
+func (ph Phase) String() string {
+	switch ph {
+	case PhaseR:
+		return "R"
+	case PhaseP:
+		return "P"
+	default:
+		return fmt.Sprintf("phase(%d)", int(ph))
+	}
+}
+
+// Msg is a Ben-Or message.
+type Msg struct {
+	Phase Phase
+	Round int
+	Val   Val
+}
+
+// DecisionKey is the Expose key under which processes publish their
+// decision.
+const DecisionKey = "decision"
+
+// RoundKey is the Expose key under which processes publish their current
+// round, for experiment instrumentation.
+const RoundKey = "round"
+
+// Config parameterizes the algorithm.
+type Config struct {
+	// F is the number of crash failures tolerated; quorums are n−F.
+	// Safety additionally requires F < n/2.
+	F int
+	// Inputs holds each process's proposal (V0 or V1), indexed by id.
+	Inputs []Val
+	// HaltAfterDecide makes a process broadcast a final decision message
+	// and halt after deciding; receivers of that message decide and halt
+	// too. When false (the paper's presentation), processes keep
+	// executing rounds forever and the run is stopped externally.
+	HaltAfterDecide bool
+}
+
+// Decided is the terminal broadcast used when HaltAfterDecide is set.
+type Decided struct {
+	Val Val
+}
+
+// Validate checks the configuration for n processes.
+func (c Config) Validate(n int) error {
+	if len(c.Inputs) != n {
+		return fmt.Errorf("benor: %d inputs for %d processes", len(c.Inputs), n)
+	}
+	for p, v := range c.Inputs {
+		if v != V0 && v != V1 {
+			return fmt.Errorf("benor: input of p%d is %v, want 0 or 1", p, v)
+		}
+	}
+	if c.F < 0 || 2*c.F >= n {
+		return fmt.Errorf("benor: F=%d violates F < n/2 (n=%d)", c.F, n)
+	}
+	return nil
+}
+
+// New returns the Ben-Or algorithm for the given configuration.
+func New(cfg Config) core.Algorithm {
+	return core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			return run(env, cfg)
+		}
+	})
+}
+
+// tally counts, for one (phase, round), the value reported by each
+// distinct sender.
+type tally struct {
+	bySender map[core.ProcID]Val
+}
+
+func (t *tally) add(from core.ProcID, v Val) {
+	if t.bySender == nil {
+		t.bySender = make(map[core.ProcID]Val)
+	}
+	if _, dup := t.bySender[from]; !dup {
+		t.bySender[from] = v
+	}
+}
+
+func (t *tally) senders() int { return len(t.bySender) }
+
+// counts returns how many distinct senders reported each value.
+func (t *tally) counts() map[Val]int {
+	out := make(map[Val]int, 3)
+	for _, v := range t.bySender {
+		out[v]++
+	}
+	return out
+}
+
+func run(env core.Env, cfg Config) error {
+	if err := cfg.Validate(env.N()); err != nil {
+		return err
+	}
+	n := env.N()
+	quorum := n - cfg.F
+
+	var (
+		inbox    core.Inbox
+		tallies  = make(map[Phase]map[int]*tally)
+		est      = cfg.Inputs[env.ID()]
+		decided  = false
+		decision Val
+	)
+	tallies[PhaseR] = make(map[int]*tally)
+	tallies[PhaseP] = make(map[int]*tally)
+
+	tallyOf := func(ph Phase, k int) *tally {
+		tl := tallies[ph][k]
+		if tl == nil {
+			tl = &tally{}
+			tallies[ph][k] = tl
+		}
+		return tl
+	}
+
+	// drain files every delivered message into its (phase, round) tally.
+	// It reports a Decided short-circuit if one arrives.
+	drain := func() (Val, bool) {
+		inbox.DrainFrom(env)
+		for _, m := range inbox.Take(func(core.Message) bool { return true }) {
+			switch pay := m.Payload.(type) {
+			case Msg:
+				tallyOf(pay.Phase, pay.Round).add(m.From, pay.Val)
+			case Decided:
+				return pay.Val, true
+			}
+		}
+		return 0, false
+	}
+
+	decide := func(v Val) error {
+		if !decided {
+			decided = true
+			decision = v
+			env.Expose(DecisionKey, v)
+			env.Logf("decided %v", v)
+		}
+		if cfg.HaltAfterDecide {
+			return env.Broadcast(Decided{Val: v})
+		}
+		return nil
+	}
+
+	// collect waits (polling, one step per poll) until the (phase, round)
+	// tally has at least quorum distinct senders, or a Decided message
+	// short-circuits the whole run.
+	collect := func(ph Phase, k int) (*tally, *Val, error) {
+		for {
+			if dv, ok := drain(); ok {
+				return nil, &dv, nil
+			}
+			tl := tallyOf(ph, k)
+			if tl.senders() >= quorum {
+				return tl, nil, nil
+			}
+			env.Yield()
+		}
+	}
+
+	for k := 1; ; k++ {
+		env.Expose(RoundKey, k)
+		// Phase R: report the estimate.
+		if err := env.Broadcast(Msg{Phase: PhaseR, Round: k, Val: est}); err != nil {
+			return err
+		}
+		rt, dv, err := collect(PhaseR, k)
+		if err != nil {
+			return err
+		}
+		if dv != nil {
+			return decide(*dv)
+		}
+		proposal := Unknown
+		for v, c := range rt.counts() {
+			if v != Unknown && 2*c > n {
+				proposal = v
+			}
+		}
+
+		// Phase P: propose the majority value or '?'.
+		if err := env.Broadcast(Msg{Phase: PhaseP, Round: k, Val: proposal}); err != nil {
+			return err
+		}
+		pt, dv, err := collect(PhaseP, k)
+		if err != nil {
+			return err
+		}
+		if dv != nil {
+			return decide(*dv)
+		}
+		counts := pt.counts()
+		adopted := false
+		for v, c := range counts {
+			if v == Unknown {
+				continue
+			}
+			if c >= cfg.F+1 {
+				if err := decide(v); err != nil {
+					return err
+				}
+				if cfg.HaltAfterDecide {
+					return nil
+				}
+			}
+			if c >= 1 {
+				est = v
+				adopted = true
+			}
+		}
+		if decided {
+			est = decision
+		} else if !adopted {
+			est = Val(env.Rand().Intn(2))
+		}
+	}
+}

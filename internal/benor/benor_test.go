@@ -1,0 +1,246 @@
+package benor
+
+import (
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/graph"
+	"github.com/mnm-model/mnm/internal/msgnet"
+	"github.com/mnm-model/mnm/internal/sched"
+	"github.com/mnm-model/mnm/internal/sim"
+)
+
+// runBenOr executes one Ben-Or run and returns the runner plus result.
+func runBenOr(t *testing.T, cfg Config, n int, seed int64, s sched.Scheduler, crashes []sim.Crash, delivery msgnet.DeliveryPolicy) (*sim.Runner, *sim.Result) {
+	t.Helper()
+	r, err := sim.New(sim.Config{
+		GSM:       graph.Edgeless(n), // pure message passing
+		Seed:      seed,
+		Scheduler: s,
+		Delivery:  delivery,
+		MaxSteps:  3_000_000,
+		Crashes:   crashes,
+		StopWhen:  func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, DecisionKey) },
+	}, New(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, res
+}
+
+func decisions(r *sim.Runner, n int) map[core.ProcID]Val {
+	out := make(map[core.ProcID]Val)
+	for p := 0; p < n; p++ {
+		if v := r.Exposed(core.ProcID(p), DecisionKey); v != nil {
+			out[core.ProcID(p)] = v.(Val)
+		}
+	}
+	return out
+}
+
+func checkAgreement(t *testing.T, decs map[core.ProcID]Val, inputs []Val) {
+	t.Helper()
+	var first *Val
+	for p, v := range decs {
+		if v != V0 && v != V1 {
+			t.Fatalf("process %v decided non-binary %v", p, v)
+		}
+		proposed := false
+		for _, in := range inputs {
+			if in == v {
+				proposed = true
+			}
+		}
+		if !proposed {
+			t.Fatalf("process %v decided unproposed %v (validity)", p, v)
+		}
+		if first == nil {
+			vv := v
+			first = &vv
+		} else if *first != v {
+			t.Fatalf("disagreement: %v vs %v", *first, v)
+		}
+	}
+}
+
+func TestUnanimousDecidesFast(t *testing.T) {
+	inputs := []Val{V1, V1, V1, V1, V1}
+	cfg := Config{F: 2, Inputs: inputs}
+	r, res := runBenOr(t, cfg, 5, 1, nil, nil, nil)
+	if !res.Stopped {
+		t.Fatalf("run did not stop: %+v", res)
+	}
+	decs := decisions(r, 5)
+	if len(decs) != 5 {
+		t.Fatalf("%d of 5 decided", len(decs))
+	}
+	checkAgreement(t, decs, inputs)
+	for p, v := range decs {
+		if v != V1 {
+			t.Errorf("process %v decided %v, want 1 (validity under unanimity)", p, v)
+		}
+	}
+}
+
+func TestMixedInputsAcrossSeeds(t *testing.T) {
+	inputs := []Val{V0, V1, V0, V1, V0}
+	for seed := int64(0); seed < 25; seed++ {
+		cfg := Config{F: 2, Inputs: inputs}
+		r, res := runBenOr(t, cfg, 5, seed, sched.NewRandom(seed*3+1), nil, nil)
+		if !res.Stopped {
+			t.Fatalf("seed %d: no termination", seed)
+		}
+		checkAgreement(t, decisions(r, 5), inputs)
+	}
+}
+
+func TestToleratesUpToFCrashes(t *testing.T) {
+	inputs := []Val{V0, V1, V1, V0, V1, V0, V1}
+	cfg := Config{F: 3, Inputs: inputs}
+	crashes := []sim.Crash{
+		{Proc: 0, AtStep: 10},
+		{Proc: 2, AtStep: 40},
+		{Proc: 5, AtStep: 90},
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		r, res := runBenOr(t, cfg, 7, seed, sched.NewRandom(seed+17), crashes, nil)
+		if !res.Stopped {
+			t.Fatalf("seed %d: no termination with f=F=3 crashes", seed)
+		}
+		decs := decisions(r, 7)
+		checkAgreement(t, decs, inputs)
+		for _, p := range []core.ProcID{1, 3, 4, 6} {
+			if _, ok := decs[p]; !ok {
+				t.Errorf("seed %d: correct process %v undecided", seed, p)
+			}
+		}
+	}
+}
+
+func TestStallsBeyondMajorityCrashes(t *testing.T) {
+	// 4 of 7 crash: quorums of n-F = 4 cannot form among 3 survivors for
+	// any safe F (< n/2), so the run must time out — the ceiling HBO
+	// lifts.
+	inputs := []Val{V0, V1, V1, V0, V1, V0, V1}
+	cfg := Config{F: 3, Inputs: inputs}
+	crashes := []sim.Crash{
+		{Proc: 0, AtStep: 5},
+		{Proc: 1, AtStep: 5},
+		{Proc: 2, AtStep: 5},
+		{Proc: 3, AtStep: 5},
+	}
+	r, err := sim.New(sim.Config{
+		GSM:      graph.Edgeless(7),
+		Seed:     1,
+		MaxSteps: 60_000,
+		Crashes:  crashes,
+		StopWhen: func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, DecisionKey) },
+	}, New(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped {
+		t.Fatal("Ben-Or decided despite losing a majority")
+	}
+	if !res.TimedOut {
+		t.Fatalf("expected timeout, got %+v", res)
+	}
+}
+
+func TestSafetyUnderMessageDelays(t *testing.T) {
+	// Random delays reorder phases across processes; agreement must hold
+	// in every run that terminates.
+	inputs := []Val{V0, V1, V1, V0, V0}
+	for seed := int64(0); seed < 15; seed++ {
+		cfg := Config{F: 2, Inputs: inputs}
+		r, res := runBenOr(t, cfg, 5, seed, sched.NewRandom(seed),
+			nil, msgnet.RandomDelay{Max: 40, Seed: uint64(seed * 7)})
+		if !res.Stopped {
+			t.Fatalf("seed %d: no termination under delay", seed)
+		}
+		checkAgreement(t, decisions(r, 5), inputs)
+	}
+}
+
+func TestHaltAfterDecide(t *testing.T) {
+	inputs := []Val{V1, V0, V1}
+	cfg := Config{F: 1, Inputs: inputs, HaltAfterDecide: true}
+	r, err := sim.New(sim.Config{
+		GSM:      graph.Edgeless(3),
+		Seed:     5,
+		MaxSteps: 500_000,
+	}, New(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All processes must halt on their own (no external stop).
+	if len(res.Halted) != 3 {
+		t.Fatalf("halted = %v, want all 3", res.Halted)
+	}
+	for p, e := range res.Errors {
+		t.Errorf("process %v: %v", p, e)
+	}
+	checkAgreement(t, decisions(r, 3), inputs)
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := (Config{F: 2, Inputs: []Val{V0, V1}}).Validate(3); err == nil {
+		t.Error("wrong input count accepted")
+	}
+	if err := (Config{F: 2, Inputs: []Val{V0, V1, Unknown}}).Validate(3); err == nil {
+		t.Error("Unknown input accepted")
+	}
+	if err := (Config{F: 2, Inputs: []Val{V0, V1, V0}}).Validate(3); err == nil {
+		t.Error("F >= n/2 accepted")
+	}
+	if err := (Config{F: 1, Inputs: []Val{V0, V1, V0}}).Validate(3); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestValAndPhaseStrings(t *testing.T) {
+	if V0.String() != "0" || V1.String() != "1" || Unknown.String() != "?" {
+		t.Error("Val strings wrong")
+	}
+	if PhaseR.String() != "R" || PhaseP.String() != "P" {
+		t.Error("Phase strings wrong")
+	}
+	if Val(9).String() == "" || Phase(9).String() == "" {
+		t.Error("out-of-range strings empty")
+	}
+}
+
+func BenchmarkBenOrDecide(b *testing.B) {
+	inputs := []Val{V0, V1, V0, V1, V0, V1, V0}
+	for i := 0; i < b.N; i++ {
+		cfg := Config{F: 3, Inputs: inputs}
+		r, err := sim.New(sim.Config{
+			GSM:      graph.Edgeless(7),
+			Seed:     int64(i),
+			MaxSteps: 3_000_000,
+			StopWhen: func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, DecisionKey) },
+		}, New(cfg))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Stopped {
+			b.Fatal("no decision")
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package bitset provides a compact fixed-capacity bit set used by the
+// graph algorithms (vertex boundaries, expansion enumeration, SM-cut
+// search), where sets of vertices must be created, unioned and counted
+// millions of times.
+package bitset
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a bit set over the universe {0, ..., n-1} fixed at creation.
+// The zero value is an empty set over an empty universe; use New to create
+// a set with capacity.
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// New returns an empty set over the universe {0, ..., n-1}.
+func New(n int) Set {
+	if n < 0 {
+		n = 0
+	}
+	return Set{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromSlice returns a set over {0..n-1} containing the given members.
+// Members outside the universe are ignored.
+func FromSlice(n int, members []int) Set {
+	s := New(n)
+	for _, m := range members {
+		s.Add(m)
+	}
+	return s
+}
+
+// Full returns the set {0, ..., n-1}.
+func Full(n int) Set {
+	s := New(n)
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+	return s
+}
+
+// trim clears bits beyond the universe in the last word.
+func (s *Set) trim() {
+	if s.n%wordBits != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (uint64(1) << (s.n % wordBits)) - 1
+	}
+}
+
+// Universe returns the size n of the universe.
+func (s Set) Universe() int { return s.n }
+
+// Add inserts i into the set. Out-of-universe indices are ignored.
+func (s *Set) Add(i int) {
+	if i < 0 || i >= s.n {
+		return
+	}
+	s.words[i/wordBits] |= 1 << (i % wordBits)
+}
+
+// Remove deletes i from the set.
+func (s *Set) Remove(i int) {
+	if i < 0 || i >= s.n {
+		return
+	}
+	s.words[i/wordBits] &^= 1 << (i % wordBits)
+}
+
+// Contains reports whether i is a member.
+func (s Set) Contains(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i/wordBits]&(1<<(i%wordBits)) != 0
+}
+
+// Count returns the number of members.
+func (s Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether the set has no members.
+func (s Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of s.
+func (s Set) Clone() Set {
+	out := Set{n: s.n, words: make([]uint64, len(s.words))}
+	copy(out.words, s.words)
+	return out
+}
+
+// UnionWith adds every member of other to s in place. The universes must
+// have equal size.
+func (s *Set) UnionWith(other Set) {
+	for i := range s.words {
+		s.words[i] |= other.words[i]
+	}
+}
+
+// IntersectWith removes from s every member not in other.
+func (s *Set) IntersectWith(other Set) {
+	for i := range s.words {
+		s.words[i] &= other.words[i]
+	}
+}
+
+// SubtractWith removes every member of other from s.
+func (s *Set) SubtractWith(other Set) {
+	for i := range s.words {
+		s.words[i] &^= other.words[i]
+	}
+}
+
+// Complement returns the complement of s within its universe.
+func (s Set) Complement() Set {
+	out := Set{n: s.n, words: make([]uint64, len(s.words))}
+	for i := range s.words {
+		out.words[i] = ^s.words[i]
+	}
+	out.trim()
+	return out
+}
+
+// Intersects reports whether s and other share a member.
+func (s Set) Intersects(other Set) bool {
+	for i := range s.words {
+		if s.words[i]&other.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SubsetOf reports whether every member of s is in other.
+func (s Set) SubsetOf(other Set) bool {
+	for i := range s.words {
+		if s.words[i]&^other.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and other have the same members and universe.
+func (s Set) Equal(other Set) bool {
+	if s.n != other.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Members returns the members in increasing order.
+func (s Set) Members() []int {
+	out := make([]int, 0, s.Count())
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*wordBits+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// ForEach calls fn for each member in increasing order. It stops early if
+// fn returns false.
+func (s Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// String renders the set as "{a, b, c}".
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		b.WriteString(strconv.Itoa(i))
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,198 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicMembership(t *testing.T) {
+	s := New(130)
+	if !s.Empty() {
+		t.Fatal("new set not empty")
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Errorf("Contains(%d) = false after Add", i)
+		}
+	}
+	if got, want := s.Count(), 8; got != want {
+		t.Errorf("Count = %d, want %d", got, want)
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Error("Contains(64) after Remove")
+	}
+	if got, want := s.Count(), 7; got != want {
+		t.Errorf("Count = %d, want %d", got, want)
+	}
+}
+
+func TestOutOfUniverseIgnored(t *testing.T) {
+	s := New(10)
+	s.Add(-1)
+	s.Add(10)
+	s.Add(1000)
+	if !s.Empty() {
+		t.Error("out-of-universe Add modified the set")
+	}
+	if s.Contains(-1) || s.Contains(10) {
+		t.Error("Contains true for out-of-universe index")
+	}
+}
+
+func TestFullAndComplement(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 64, 65, 128, 200} {
+		f := Full(n)
+		if got := f.Count(); got != n {
+			t.Errorf("Full(%d).Count = %d", n, got)
+		}
+		c := f.Complement()
+		if !c.Empty() {
+			t.Errorf("Full(%d).Complement not empty: %v", n, c)
+		}
+		e := New(n)
+		if got := e.Complement().Count(); got != n {
+			t.Errorf("empty(%d).Complement.Count = %d", n, got)
+		}
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromSlice(20, []int{1, 3, 5, 7})
+	b := FromSlice(20, []int{3, 4, 5, 6})
+
+	u := a.Clone()
+	u.UnionWith(b)
+	if got, want := u.String(), "{1, 3, 4, 5, 6, 7}"; got != want {
+		t.Errorf("union = %s, want %s", got, want)
+	}
+
+	i := a.Clone()
+	i.IntersectWith(b)
+	if got, want := i.String(), "{3, 5}"; got != want {
+		t.Errorf("intersection = %s, want %s", got, want)
+	}
+
+	d := a.Clone()
+	d.SubtractWith(b)
+	if got, want := d.String(), "{1, 7}"; got != want {
+		t.Errorf("difference = %s, want %s", got, want)
+	}
+
+	if !i.SubsetOf(a) || !i.SubsetOf(b) {
+		t.Error("intersection not subset of operands")
+	}
+	if !a.Intersects(b) {
+		t.Error("Intersects false for overlapping sets")
+	}
+	if a.Intersects(FromSlice(20, []int{0, 2})) {
+		t.Error("Intersects true for disjoint sets")
+	}
+}
+
+func TestMembersRoundTrip(t *testing.T) {
+	members := []int{0, 2, 19, 63, 64, 99}
+	s := FromSlice(100, members)
+	got := s.Members()
+	if len(got) != len(members) {
+		t.Fatalf("Members len = %d, want %d", len(got), len(members))
+	}
+	for k, m := range members {
+		if got[k] != m {
+			t.Errorf("Members[%d] = %d, want %d", k, got[k], m)
+		}
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := FromSlice(10, []int{1, 2, 3, 4})
+	seen := 0
+	s.ForEach(func(int) bool {
+		seen++
+		return seen < 2
+	})
+	if seen != 2 {
+		t.Errorf("ForEach visited %d members, want 2", seen)
+	}
+}
+
+func TestEqualDifferentUniverse(t *testing.T) {
+	a := New(10)
+	b := New(11)
+	if a.Equal(b) {
+		t.Error("sets with different universes reported equal")
+	}
+}
+
+// TestQuickAlgebraLaws property-checks De Morgan and inclusion laws against
+// a naive map-based model.
+func TestQuickAlgebraLaws(t *testing.T) {
+	const n = 96
+	mk := func(r *rand.Rand) (Set, map[int]bool) {
+		s := New(n)
+		m := make(map[int]bool)
+		for i := 0; i < n; i++ {
+			if r.Intn(2) == 0 {
+				s.Add(i)
+				m[i] = true
+			}
+		}
+		return s, m
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, ma := mk(r)
+		b, mb := mk(r)
+
+		u := a.Clone()
+		u.UnionWith(b)
+		i := a.Clone()
+		i.IntersectWith(b)
+		d := a.Clone()
+		d.SubtractWith(b)
+
+		for v := 0; v < n; v++ {
+			if u.Contains(v) != (ma[v] || mb[v]) {
+				return false
+			}
+			if i.Contains(v) != (ma[v] && mb[v]) {
+				return false
+			}
+			if d.Contains(v) != (ma[v] && !mb[v]) {
+				return false
+			}
+			// De Morgan: ¬(a ∪ b) = ¬a ∩ ¬b.
+			na := a.Complement()
+			na.IntersectWith(b.Complement())
+			if u.Complement().Contains(v) != na.Contains(v) {
+				return false
+			}
+		}
+		return i.SubsetOf(a) && i.SubsetOf(b) && a.SubsetOf(u) && b.SubsetOf(u)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUnionWith(b *testing.B) {
+	x := Full(1024)
+	y := New(1024)
+	for i := 0; i < 1024; i += 3 {
+		y.Add(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.UnionWith(y)
+	}
+}
+
+func BenchmarkCount(b *testing.B) {
+	x := Full(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Count()
+	}
+}

@@ -1,0 +1,72 @@
+// Package core defines the message-and-memory (m&m) distributed computing
+// model of Aguilera et al., "Passing Messages while Sharing Memory"
+// (PODC 2018).
+//
+// In the m&m model a system consists of n processes Π = {0, ..., n-1} that
+// can communicate both by passing messages over directed links and by
+// reading and writing shared atomic registers. Which processes may share a
+// given register is constrained by a shared-memory domain, which in the
+// uniform model is induced by an undirected shared-memory graph G_SM: a
+// register placed at process p may be accessed by p and p's neighbors in
+// G_SM.
+//
+// This package holds the model-level vocabulary — process identifiers,
+// register references, messages — and the Env interface through which an
+// algorithm takes steps. Concrete hosts for Env live in internal/sim (a
+// deterministic, adversary-scheduled step simulator) and internal/rt (a
+// goroutine-per-process real-time runtime).
+package core
+
+import "fmt"
+
+// ProcID identifies a process. Processes are numbered 0..n-1 as in the
+// paper's Π = {0, ..., n-1}.
+type ProcID int
+
+// NoProc is a sentinel meaning "no process". It is used, for example, as the
+// initial leader output before a process has any contender information.
+const NoProc ProcID = -1
+
+// String implements fmt.Stringer.
+func (p ProcID) String() string {
+	if p == NoProc {
+		return "⊥"
+	}
+	return fmt.Sprintf("p%d", int(p))
+}
+
+// Value is the contents of a shared register or a message payload. Values
+// must be treated as immutable once written or sent: hosts hand the same
+// Value to several processes without copying. Use small value types
+// (ints, bools, short structs, arrays) rather than pointers to mutable data.
+type Value = any
+
+// Message is a message delivered to a process. From records the sender, as
+// required by the Integrity link axiom ("if q receives m from p ...").
+type Message struct {
+	// From is the sender of the message.
+	From ProcID
+	// Payload is the message body. Like register Values, payloads are
+	// immutable once sent.
+	Payload Value
+}
+
+// Process is an algorithm run by one process: straight-line code that
+// communicates only through the supplied Env. Returning nil means the
+// process halted voluntarily (for example, after deciding); returning an
+// error records a process-level fault in the run result. A process that
+// never returns is stopped by its host when the run ends.
+type Process func(env Env) error
+
+// Algorithm instantiates a Process for each process identifier. It is the
+// unit the hosts (sim, rt) deploy across a system.
+type Algorithm interface {
+	// ProcessFor returns the code for process id.
+	ProcessFor(id ProcID) Process
+}
+
+// AlgorithmFunc adapts a plain function to the Algorithm interface.
+type AlgorithmFunc func(id ProcID) Process
+
+// ProcessFor implements Algorithm.
+func (f AlgorithmFunc) ProcessFor(id ProcID) Process { return f(id) }

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestProcIDString(t *testing.T) {
+	if got := ProcID(3).String(); got != "p3" {
+		t.Errorf("String = %q", got)
+	}
+	if got := NoProc.String(); got != "⊥" {
+		t.Errorf("NoProc String = %q", got)
+	}
+}
+
+func TestRefConstructorsAndString(t *testing.T) {
+	r := RegIJ(2, "RVals", 3, 4)
+	if r.Owner != 2 || r.Name != "RVals" || r.I != 3 || r.J != 4 {
+		t.Errorf("RegIJ = %+v", r)
+	}
+	if Reg(1, "X") != (Ref{Owner: 1, Name: "X"}) {
+		t.Error("Reg wrong")
+	}
+	if RegI(1, "X", 9) != (Ref{Owner: 1, Name: "X", I: 9}) {
+		t.Error("RegI wrong")
+	}
+	if got := Reg(1, "X").String(); got != "X[p1][0][0]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// TestQuickSubInjective property-checks that Sub is injective over the
+// index ranges the library uses (rounds and participant indices far below
+// the mixing stride).
+func TestQuickSubInjective(t *testing.T) {
+	f := func(a1, b1, a2, b2 uint16, c1, c2 uint8) bool {
+		base1 := RegIJ(0, "o", int(a1), int(b1))
+		base2 := RegIJ(0, "o", int(a2), int(b2))
+		s1 := base1.Sub("x", int(c1), 0)
+		s2 := base2.Sub("x", int(c2), 0)
+		same := a1 == a2 && b1 == b2 && c1 == c2
+		return (s1 == s2) == same
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlgorithmFunc(t *testing.T) {
+	called := map[ProcID]bool{}
+	alg := AlgorithmFunc(func(id ProcID) Process {
+		called[id] = true
+		return func(Env) error { return nil }
+	})
+	for p := ProcID(0); p < 3; p++ {
+		if alg.ProcessFor(p) == nil {
+			t.Fatalf("nil process for %v", p)
+		}
+	}
+	if len(called) != 3 {
+		t.Errorf("ProcessFor called for %d ids", len(called))
+	}
+}
+
+// fakeRecvEnv provides just enough Env for Inbox tests.
+type fakeRecvEnv struct {
+	Env
+	queue []Message
+}
+
+func (f *fakeRecvEnv) TryRecv() (Message, bool) {
+	if len(f.queue) == 0 {
+		return Message{}, false
+	}
+	m := f.queue[0]
+	f.queue = f.queue[1:]
+	return m, true
+}
+
+func TestInboxDrainMatchTakeDrop(t *testing.T) {
+	env := &fakeRecvEnv{queue: []Message{
+		{From: 0, Payload: "a"},
+		{From: 1, Payload: "b"},
+		{From: 2, Payload: "a"},
+	}}
+	var in Inbox
+	in.DrainFrom(env)
+	if in.Len() != 3 {
+		t.Fatalf("Len = %d", in.Len())
+	}
+
+	matched := in.Match(func(m Message) bool { return m.Payload == "a" })
+	if len(matched) != 2 || in.Len() != 3 {
+		t.Errorf("Match disturbed the inbox: %d matched, %d left", len(matched), in.Len())
+	}
+
+	taken := in.Take(func(m Message) bool { return m.From == 1 })
+	if len(taken) != 1 || taken[0].Payload != "b" {
+		t.Errorf("Take = %v", taken)
+	}
+	if in.Len() != 2 {
+		t.Errorf("Len after Take = %d", in.Len())
+	}
+
+	dropped := in.Drop(func(m Message) bool { return m.Payload == "a" })
+	if dropped != 2 || in.Len() != 0 {
+		t.Errorf("Drop = %d, Len = %d", dropped, in.Len())
+	}
+}
+
+func TestInboxPreservesOrder(t *testing.T) {
+	env := &fakeRecvEnv{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		env.queue = append(env.queue, Message{From: ProcID(rng.Intn(4)), Payload: i})
+	}
+	var in Inbox
+	in.DrainFrom(env)
+	all := in.Take(func(Message) bool { return true })
+	for i, m := range all {
+		if m.Payload != i {
+			t.Fatalf("order broken at %d: %v", i, m.Payload)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package core
+
+import "errors"
+
+var (
+	// ErrAccessDenied reports a shared-memory access by a process outside
+	// the register's shared-memory domain. In the uniform model, a
+	// register owned by p is accessible only by {p} ∪ neighbors(p) in
+	// G_SM; the substrate enforces this, matching the hardware limits on
+	// memory sharing the paper models (§3).
+	ErrAccessDenied = errors.New("mnm: shared-memory access outside register domain")
+
+	// ErrUnknownProc reports a message addressed to a process id outside
+	// Π = {0, ..., n-1}.
+	ErrUnknownProc = errors.New("mnm: unknown process id")
+
+	// ErrCrashed reports an operation attempted by (or an interaction
+	// with) a crashed process.
+	ErrCrashed = errors.New("mnm: process has crashed")
+
+	// ErrMemoryFailed reports an access to a register hosted at a failed
+	// memory (the non-RDMA ablation: memory that dies with its process).
+	// The paper assumes shared memory does NOT fail; this error exists to
+	// demonstrate that the assumption is load-bearing (see §6, "failures
+	// of the shared memory").
+	ErrMemoryFailed = errors.New("mnm: register's host memory has failed")
+
+	// ErrStopped reports that the run was stopped (budget exhausted or
+	// stop condition met) while the operation was in flight.
+	ErrStopped = errors.New("mnm: run stopped")
+)

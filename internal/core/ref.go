@@ -1,0 +1,67 @@
+package core
+
+import "fmt"
+
+// Ref names one shared atomic register.
+//
+// Every register is physically placed at its Owner's host, mirroring the
+// locality model of §5.3 of the paper: the owner accesses the register
+// locally, other processes access it remotely over their shared-memory
+// connection to the owner. In the uniform m&m model a register owned by p
+// may be accessed exactly by {p} ∪ neighbors(p) in the shared-memory graph.
+//
+// Name distinguishes register families (for example "STATE", "RVals"), and
+// I, J index within a family (round numbers, matrix coordinates). The zero
+// values of I and J are valid indices.
+type Ref struct {
+	// Owner is the process at whose host the register physically resides.
+	Owner ProcID
+	// Name is the register family, e.g. "STATE" or "RVals".
+	Name string
+	// I is the first index within the family (e.g. a round number).
+	I int
+	// J is the second index within the family (e.g. a matrix column).
+	J int
+}
+
+// Reg is shorthand for a register with zero indices.
+func Reg(owner ProcID, name string) Ref {
+	return Ref{Owner: owner, Name: name}
+}
+
+// RegI is shorthand for a register with one index.
+func RegI(owner ProcID, name string, i int) Ref {
+	return Ref{Owner: owner, Name: name, I: i}
+}
+
+// RegIJ is shorthand for a register with two indices.
+func RegIJ(owner ProcID, name string, i, j int) Ref {
+	return Ref{Owner: owner, Name: name, I: i, J: j}
+}
+
+// Sub derives a register reference for a sub-register of r: same owner,
+// suffixed family name, and the given indices. Composite shared objects
+// (such as the wait-free consensus objects of internal/regcons) use Sub to
+// carve their internal registers out of the object's own reference without
+// colliding with other families.
+func (r Ref) Sub(suffix string, i, j int) Ref {
+	return Ref{
+		Owner: r.Owner,
+		Name:  r.Name + "/" + suffix,
+		I:     mixIndex(r.I, i),
+		J:     mixIndex(r.J, j),
+	}
+}
+
+// mixIndex folds a sub-index into a parent index, keeping distinct
+// (parent, child) pairs distinct for the small non-negative indices used
+// throughout the library.
+func mixIndex(parent, child int) int {
+	const stride = 1 << 20
+	return parent*stride + child
+}
+
+// String implements fmt.Stringer.
+func (r Ref) String() string {
+	return fmt.Sprintf("%s[%s][%d][%d]", r.Name, r.Owner, r.I, r.J)
+}

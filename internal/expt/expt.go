@@ -1,0 +1,120 @@
+// Package expt is the experiment harness: each experiment regenerates one
+// figure- or theorem-level claim of "Passing Messages while Sharing
+// Memory" (PODC 2018) as a printed table or series, using only this
+// repository's substrates and algorithms. The cmd/mnmbench binary runs
+// them; EXPERIMENTS.md records paper-claim vs. measured outcome.
+package expt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/sim"
+)
+
+// Params tune an experiment run.
+type Params struct {
+	// Quick shrinks sizes and seed counts for smoke runs.
+	Quick bool
+	// Seed perturbs all randomness in the experiment.
+	Seed int64
+}
+
+// Experiment is one reproducible artifact.
+type Experiment struct {
+	// ID is the short handle used by mnmbench -experiment.
+	ID string
+	// Title is a human-readable one-liner.
+	Title string
+	// Paper names the figure/theorem/section reproduced.
+	Paper string
+	// Run executes the experiment, writing its table to w.
+	Run func(w io.Writer, p Params) error
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		figure1Experiment(),
+		hboMatrixExperiment(),
+		toleranceExperiment(),
+		smcutExperiment(),
+		benorVsHBOExperiment(),
+		leaderSeriesExperiment(),
+		fairLossyExperiment(),
+		msgOmegaExperiment(),
+		localityExperiment(),
+		tightnessExperiment(),
+		scalabilityExperiment(),
+		mutexExperiment(),
+		memFailExperiment(),
+		expanderFamilyExperiment(),
+		paxosExperiment(),
+	}
+}
+
+// ByID finds an experiment by its handle.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs lists all experiment handles.
+func IDs() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.ID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// table is a small tabwriter wrapper.
+type table struct {
+	tw *tabwriter.Writer
+}
+
+func newTable(w io.Writer) *table {
+	return &table{tw: tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)}
+}
+
+func (t *table) row(cells ...any) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(t.tw, "\t")
+		}
+		fmt.Fprint(t.tw, c)
+	}
+	fmt.Fprintln(t.tw)
+}
+
+func (t *table) flush() { t.tw.Flush() }
+
+func header(w io.Writer, e Experiment) {
+	fmt.Fprintf(w, "== %s — %s ==\n", e.ID, e.Title)
+	fmt.Fprintf(w, "reproduces: %s\n\n", e.Paper)
+}
+
+// mark renders a boolean as a check/cross.
+func mark(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// crashesFromSet converts a vertex set into a step-0 crash plan.
+func crashesFromSet(members []int) []sim.Crash {
+	out := make([]sim.Crash, 0, len(members))
+	for _, v := range members {
+		out = append(out, sim.Crash{Proc: core.ProcID(v), AtStep: 0})
+	}
+	return out
+}

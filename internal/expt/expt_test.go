@@ -1,0 +1,87 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunQuick smoke-runs every experiment in quick mode and
+// checks it produces a table with its expectations note.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			if err := e.Run(&buf, Params{Quick: true, Seed: 1}); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, e.ID) {
+				t.Errorf("%s: output missing header", e.ID)
+			}
+			if !strings.Contains(out, "expected") {
+				t.Errorf("%s: output missing expectations note", e.ID)
+			}
+			if len(out) < 200 {
+				t.Errorf("%s: suspiciously short output (%d bytes)", e.ID, len(out))
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("T43"); !ok {
+		t.Error("T43 not found")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("bogus id found")
+	}
+	ids := IDs()
+	if len(ids) != len(All()) {
+		t.Errorf("IDs() returned %d of %d", len(ids), len(All()))
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Errorf("duplicate experiment id %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestExperimentExpectationsHold runs the most assertion-like experiments
+// in quick mode and greps their outputs for violations of the paper's
+// claims. The experiments print "yes"/"no" cells; the specific cells
+// asserted here are the core claims.
+func TestExperimentExpectationsHold(t *testing.T) {
+	t.Parallel()
+	// T53 row 2 must fail (self-leaders = 4) and rows 1, 3 must stabilize.
+	e, _ := ByID("T53")
+	var buf bytes.Buffer
+	if err := e.Run(&buf, Params{Quick: true, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fails (needs reliable links)") {
+		t.Fatal("T53 table malformed")
+	}
+	lines := strings.Split(out, "\n")
+	for _, l := range lines {
+		switch {
+		case strings.Contains(l, "reliable links") && !strings.Contains(l, "adversary"):
+			if !strings.Contains(l, "yes") {
+				t.Errorf("T53: reliable-links row did not stabilize: %q", l)
+			}
+		case strings.Contains(l, "Fig 3+4, fair-lossy"):
+			if !strings.Contains(l, "no") {
+				t.Errorf("T53: lossy message-notifier row unexpectedly stabilized: %q", l)
+			}
+		case strings.Contains(l, "Fig 3+5, fair-lossy"):
+			if !strings.Contains(l, "yes") {
+				t.Errorf("T53: SHM-notifier row did not stabilize: %q", l)
+			}
+		}
+	}
+}

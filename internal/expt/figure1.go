@@ -1,0 +1,63 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/graph"
+	"github.com/mnm-model/mnm/internal/shm"
+)
+
+// figure1Experiment reproduces Figure 1: the example shared-memory graph,
+// its induced uniform domain S, and the resulting access-control matrix.
+func figure1Experiment() Experiment {
+	e := Experiment{
+		ID:    "F1",
+		Title: "shared-memory graph, domain and access control of Figure 1",
+		Paper: "Figure 1, §3 (uniform shared-memory domains)",
+	}
+	e.Run = func(w io.Writer, p Params) error {
+		header(w, e)
+		g := graph.Figure1()
+		names := []string{"p", "q", "r", "s", "t"}
+		dom := shm.NewUniformDomain(g)
+
+		fmt.Fprintln(w, "induced domain S = {S_x : x ∈ Π}:")
+		t := newTable(w)
+		for v, set := range dom.Sets() {
+			cells := make([]string, 0, len(set))
+			for _, q := range set {
+				cells = append(cells, names[q])
+			}
+			t.row(fmt.Sprintf("S_%s", names[v]), fmt.Sprintf("%v", cells))
+		}
+		t.flush()
+
+		fmt.Fprintln(w, "\naccess matrix (rows: accessing process; cols: register owner):")
+		t = newTable(w)
+		head := []any{""}
+		for _, n := range names {
+			head = append(head, n)
+		}
+		t.row(head...)
+		for p := 0; p < g.N(); p++ {
+			row := []any{names[p]}
+			for owner := 0; owner < g.N(); owner++ {
+				if dom.MayAccess(core.ProcID(p), core.Reg(core.ProcID(owner), "X")) {
+					row = append(row, "rw")
+				} else {
+					row = append(row, "–")
+				}
+			}
+			t.row(row...)
+		}
+		t.flush()
+
+		fmt.Fprintln(w, "\nexpected: S matches the paper exactly —")
+		fmt.Fprintln(w, "S_p={p,q} S_q={p,q,r} S_r={q,r,s,t} S_s=S_t={r,s,t};")
+		fmt.Fprintln(w, "in particular p cannot access a register kept at r.")
+		return nil
+	}
+	return e
+}

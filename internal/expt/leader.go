@@ -1,0 +1,298 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/graph"
+	"github.com/mnm-model/mnm/internal/leader"
+	"github.com/mnm-model/mnm/internal/metrics"
+	"github.com/mnm-model/mnm/internal/msgnet"
+	"github.com/mnm-model/mnm/internal/sched"
+	"github.com/mnm-model/mnm/internal/sim"
+)
+
+func timelySched(timely core.ProcID, seed int64) sched.Scheduler {
+	return &sched.TimelyProcess{Timely: timely, Bound: 4, Inner: sched.NewRandom(seed)}
+}
+
+// leaderSeriesExperiment is the Figure 3+4 behaviour over time: a message
+// burst at startup, silence in steady state, a burst at leader crash, then
+// silence again — the series form of Theorem 5.1.
+func leaderSeriesExperiment() Experiment {
+	e := Experiment{
+		ID:    "LE1",
+		Title: "leader election with reliable links: communication over time",
+		Paper: "Figures 3+4; Theorem 5.1",
+	}
+	e.Run = func(w io.Writer, p Params) error {
+		header(w, e)
+		const n = 5
+		window := uint64(40_000)
+		if p.Quick {
+			window = 15_000
+		}
+		crashAt := 5*window + 1
+		maxSteps := 10 * window
+		r, err := sim.New(sim.Config{
+			GSM:           graph.Complete(n),
+			Seed:          p.Seed + 1,
+			Scheduler:     timelySched(1, p.Seed+2),
+			MaxSteps:      maxSteps,
+			Crashes:       []sim.Crash{{Proc: 0, AtStep: crashAt}},
+			SnapshotEvery: window,
+		}, leader.New(leader.Config{Notifier: leader.MessageNotifier}))
+		if err != nil {
+			return err
+		}
+		res, err := r.Run()
+		if err != nil {
+			return err
+		}
+		for pid, perr := range res.Errors {
+			return fmt.Errorf("process %v: %w", pid, perr)
+		}
+		t := newTable(w)
+		t.row("step window", "msgs sent", "reg writes", "reg reads", "phase")
+		for i := 1; i < len(res.Series); i++ {
+			d := res.Series[i].Sub(res.Series[i-1])
+			phase := "steady state"
+			switch {
+			case i == 1:
+				phase = "startup contention"
+			case res.Series[i-1].Step <= crashAt && crashAt < res.Series[i].Step:
+				phase = "leader crash + re-election"
+			case res.Series[i].Step == res.Series[i-1].Step:
+				continue
+			}
+			t.row(fmt.Sprintf("%d–%d", res.Series[i-1].Step, res.Series[i].Step),
+				d.Total(metrics.MsgSent),
+				d.Total(metrics.RegWriteLocal)+d.Total(metrics.RegWriteRemote),
+				d.Total(metrics.RegReadLocal)+d.Total(metrics.RegReadRemote),
+				phase)
+		}
+		t.flush()
+		l, ok := leader.CommonLeader(r)
+		fmt.Fprintf(w, "\nfinal common leader: %v (common=%v, crashed p0 at step %d)\n", l, ok, crashAt)
+		fmt.Fprintln(w, "expected: messages only in the startup and crash windows (0 in steady")
+		fmt.Fprintln(w, "state); register writes and reads continue forever (Theorem 5.3 says the")
+		fmt.Fprintln(w, "leader must keep writing).")
+		return nil
+	}
+	return e
+}
+
+// steadyState runs a leader election to stability, then measures an
+// observation window.
+func steadyState(cfg leader.Config, links msgnet.LinkKind, drop msgnet.DropPolicy, seed int64, observe uint64) (metrics.Snapshot, core.ProcID, uint64, error) {
+	stable := leader.StableLeaderCondition(3_000)
+	var (
+		baseline   *metrics.Snapshot
+		stableAt   uint64
+		target     uint64
+		ldr        core.ProcID
+		finalDelta metrics.Snapshot
+	)
+	r, err := sim.New(sim.Config{
+		GSM:       graph.Complete(5),
+		Seed:      seed,
+		Links:     links,
+		Drop:      drop,
+		Scheduler: timelySched(1, seed+7),
+		MaxSteps:  12_000_000,
+		StopWhen: func(r *sim.Runner) bool {
+			if baseline == nil {
+				if stable(r) {
+					s := r.Counters().Snapshot(r.GlobalStep())
+					baseline = &s
+					stableAt = r.GlobalStep()
+					target = stableAt + observe
+					ldr, _ = leader.CommonLeader(r)
+				}
+				return false
+			}
+			if r.GlobalStep() >= target {
+				finalDelta = r.Counters().Snapshot(r.GlobalStep()).Sub(*baseline)
+				return true
+			}
+			return false
+		},
+	}, leader.New(cfg))
+	if err != nil {
+		return metrics.Snapshot{}, core.NoProc, 0, err
+	}
+	res, err := r.Run()
+	if err != nil {
+		return metrics.Snapshot{}, core.NoProc, 0, err
+	}
+	if !res.Stopped {
+		return metrics.Snapshot{}, core.NoProc, 0, fmt.Errorf("no stable leader within %d steps", res.Steps)
+	}
+	return finalDelta, ldr, stableAt, nil
+}
+
+// fairLossyExperiment is the Figure 3+5 algorithm under message loss, with
+// the Theorem 5.2 steady-state accounting and a drop-rate sweep.
+func fairLossyExperiment() Experiment {
+	e := Experiment{
+		ID:    "LE2",
+		Title: "leader election with fair-lossy links: loss sweep + steady state",
+		Paper: "Figures 3+5; Theorem 5.2",
+	}
+	e.Run = func(w io.Writer, p Params) error {
+		header(w, e)
+		observe := uint64(100_000)
+		if p.Quick {
+			observe = 30_000
+		}
+		rates := []float64{0.0, 0.2, 0.5}
+		t := newTable(w)
+		t.row("drop rate", "stabilized at step", "steady msgs", "leader writes", "leader reads", "others' writes")
+		for _, rate := range rates {
+			var drop msgnet.DropPolicy
+			if rate > 0 {
+				drop = msgnet.NewRandomDrop(rate, p.Seed+int64(rate*100))
+			}
+			delta, ldr, stableAt, err := steadyState(
+				leader.Config{Notifier: leader.SharedMemoryNotifier},
+				msgnet.FairLossy, drop, p.Seed+int64(rate*10)+3, observe)
+			if err != nil {
+				return fmt.Errorf("drop rate %.1f: %w", rate, err)
+			}
+			var othersWrites int64
+			for q := core.ProcID(0); q < 5; q++ {
+				if q == ldr {
+					continue
+				}
+				othersWrites += delta.Of(q, metrics.RegWriteLocal) + delta.Of(q, metrics.RegWriteRemote)
+			}
+			t.row(fmt.Sprintf("%.1f", rate), stableAt,
+				delta.Total(metrics.MsgSent),
+				delta.Of(ldr, metrics.RegWriteLocal)+delta.Of(ldr, metrics.RegWriteRemote),
+				delta.Of(ldr, metrics.RegReadLocal)+delta.Of(ldr, metrics.RegReadRemote),
+				othersWrites)
+		}
+		t.flush()
+		fmt.Fprintln(w, "\nexpected: stabilization at every drop rate; zero steady-state messages;")
+		fmt.Fprintln(w, "the leader both writes (heartbeat) and reads (NOTIFICATIONS) — the extra")
+		fmt.Fprintln(w, "read that Theorem 5.4 proves necessary under fair loss; others never write.")
+		return nil
+	}
+	return e
+}
+
+// localityExperiment is §5.3: in the steady state the leader touches only
+// registers on its own host.
+func localityExperiment() Experiment {
+	e := Experiment{
+		ID:    "LOC",
+		Title: "locality: the stable leader's accesses are all local",
+		Paper: "§5.3",
+	}
+	e.Run = func(w io.Writer, p Params) error {
+		header(w, e)
+		observe := uint64(80_000)
+		if p.Quick {
+			observe = 25_000
+		}
+		t := newTable(w)
+		t.row("notifier", "leader local ops", "leader remote ops", "others' local ops", "others' remote ops")
+		for _, k := range []leader.NotifierKind{leader.MessageNotifier, leader.SharedMemoryNotifier} {
+			links := msgnet.Reliable
+			if k == leader.SharedMemoryNotifier {
+				links = msgnet.FairLossy
+			}
+			delta, ldr, _, err := steadyState(leader.Config{Notifier: k}, links, nil, p.Seed+int64(k), observe)
+			if err != nil {
+				return err
+			}
+			var ll, lr, ol, or int64
+			for q := core.ProcID(0); q < 5; q++ {
+				loc := delta.Of(q, metrics.RegReadLocal) + delta.Of(q, metrics.RegWriteLocal)
+				rem := delta.Of(q, metrics.RegReadRemote) + delta.Of(q, metrics.RegWriteRemote)
+				if q == ldr {
+					ll, lr = loc, rem
+				} else {
+					ol += loc
+					or += rem
+				}
+			}
+			t.row(k, ll, lr, ol, or)
+		}
+		t.flush()
+		fmt.Fprintln(w, "\nexpected: leader remote ops = 0 for both notifiers (its heartbeat and")
+		fmt.Fprintln(w, "notification registers live on its own host); followers read remotely.")
+		return nil
+	}
+	return e
+}
+
+// tightnessExperiment is the Theorem 5.3/5.4 ablation triple.
+func tightnessExperiment() Experiment {
+	e := Experiment{
+		ID:    "T53",
+		Title: "tightness ablations: why the leader writes, and why Figure 5 reads",
+		Paper: "Theorems 5.3, 5.4; §5.2",
+	}
+	e.Run = func(w io.Writer, p Params) error {
+		header(w, e)
+		budget := uint64(2_500_000)
+		if p.Quick {
+			budget = 700_000
+		}
+		type row struct {
+			name  string
+			cfg   leader.Config
+			links msgnet.LinkKind
+			drop  msgnet.DropPolicy
+			want  string
+		}
+		rows := []row{
+			{"Fig 3+4, reliable links", leader.Config{Notifier: leader.MessageNotifier}, msgnet.Reliable, nil, "stabilizes"},
+			{"Fig 3+4, fair-lossy + notification-dropping adversary", leader.Config{Notifier: leader.MessageNotifier}, msgnet.FairLossy, leader.DropNotifications{}, "fails (needs reliable links)"},
+			{"Fig 3+5, fair-lossy + same adversary", leader.Config{Notifier: leader.SharedMemoryNotifier}, msgnet.FairLossy, leader.DropNotifications{}, "stabilizes (registers cannot drop)"},
+		}
+		t := newTable(w)
+		t.row("configuration", "stabilized", "self-leaders at end", "expected")
+		for _, rw := range rows {
+			r, err := sim.New(sim.Config{
+				GSM:       graph.Complete(4),
+				Seed:      p.Seed + 11,
+				Links:     rw.links,
+				Drop:      rw.drop,
+				Scheduler: timelySched(0, p.Seed+4),
+				MaxSteps:  budget,
+				StopWhen:  leader.StableLeaderCondition(3_000),
+			}, leader.New(rw.cfg))
+			if err != nil {
+				return err
+			}
+			res, err := r.Run()
+			if err != nil {
+				return err
+			}
+			selfLeaders := 0
+			for q := core.ProcID(0); q < 4; q++ {
+				if r.Exposed(q, leader.LeaderKey) == q {
+					selfLeaders++
+				}
+			}
+			t.row(rw.name, mark(res.Stopped), selfLeaders, rw.want)
+		}
+		t.flush()
+
+		// Theorem 5.3's flip side: the stable leader keeps writing.
+		delta, ldr, _, err := steadyState(leader.Config{Notifier: leader.MessageNotifier}, msgnet.Reliable, nil, p.Seed+21, 50_000)
+		if err != nil {
+			return err
+		}
+		writes := delta.Of(ldr, metrics.RegWriteLocal) + delta.Of(ldr, metrics.RegWriteRemote)
+		fmt.Fprintf(w, "\nleader register writes during a 50k-step steady window: %d (Theorem 5.3: must stay > 0 forever)\n", writes)
+		fmt.Fprintln(w, "\nexpected: row 2 fails with every process stuck electing itself — the")
+		fmt.Fprintln(w, "adversary is fair-lossy-legal because notifications are sent finitely")
+		fmt.Fprintln(w, "often; rows 1 and 3 stabilize.")
+		return nil
+	}
+	return e
+}

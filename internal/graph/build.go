@@ -1,0 +1,202 @@
+package graph
+
+// Deterministic graph families. These are the topologies the experiments
+// sweep: the complete graph (pure shared memory), sparse low-expansion
+// graphs (cycle, path, two cliques joined by a bridge), and bounded-degree
+// expanders (hypercube, circulant, Margulis) that give HBO its fault
+// tolerance at scale.
+
+// Complete returns the complete graph K_n: every pair of processes shares
+// memory, so the m&m model degenerates to pure shared memory and any
+// wait-free algorithm tolerates n-1 crashes.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Edgeless returns the graph with no edges: no process shares memory with
+// any other, so the m&m model degenerates to pure message passing.
+func Edgeless(n int) *Graph { return New(n) }
+
+// Cycle returns the n-cycle (n ≥ 3). Degree 2, expansion Θ(1/n).
+func Cycle(n int) *Graph {
+	g := New(n)
+	for v := 0; v < n; v++ {
+		g.AddEdge(v, (v+1)%n)
+	}
+	return g
+}
+
+// Path returns the path 0-1-...-n-1. The lowest-expansion connected graph;
+// a single interior vertex is an SM-cut boundary.
+func Path(n int) *Graph {
+	g := New(n)
+	for v := 0; v+1 < n; v++ {
+		g.AddEdge(v, v+1)
+	}
+	return g
+}
+
+// Star returns the star with center 0 and leaves 1..n-1.
+func Star(n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(0, v)
+	}
+	return g
+}
+
+// Grid returns the r×c grid graph. Vertex (i, j) is i*c+j.
+func Grid(r, c int) *Graph {
+	g := New(r * c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			v := i*c + j
+			if j+1 < c {
+				g.AddEdge(v, v+1)
+			}
+			if i+1 < r {
+				g.AddEdge(v, v+c)
+			}
+		}
+	}
+	return g
+}
+
+// Torus returns the r×c torus (grid with wraparound); 4-regular when
+// r, c ≥ 3.
+func Torus(r, c int) *Graph {
+	g := New(r * c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			v := i*c + j
+			g.AddEdge(v, i*c+(j+1)%c)
+			g.AddEdge(v, ((i+1)%r)*c+j)
+		}
+	}
+	return g
+}
+
+// Hypercube returns the dim-dimensional hypercube on 2^dim vertices:
+// a classical log(n)-degree graph with constant edge expansion.
+func Hypercube(dim int) *Graph {
+	n := 1 << dim
+	g := New(n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < dim; b++ {
+			g.AddEdge(v, v^(1<<b))
+		}
+	}
+	return g
+}
+
+// Circulant returns the circulant graph C_n(offsets): vertex v is adjacent
+// to v±o (mod n) for each offset o. With well-chosen offsets, circulants are
+// good bounded-degree expanders and are trivial to construct at any size.
+func Circulant(n int, offsets []int) *Graph {
+	g := New(n)
+	for v := 0; v < n; v++ {
+		for _, o := range offsets {
+			o %= n
+			if o < 0 {
+				o += n
+			}
+			g.AddEdge(v, (v+o)%n)
+		}
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b} with parts {0..a-1} and {a..a+b-1}.
+func CompleteBipartite(a, b int) *Graph {
+	g := New(a + b)
+	for u := 0; u < a; u++ {
+		for v := a; v < a+b; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// TwoCliquesBridge returns two k-cliques joined by a single edge between
+// vertex k-1 and vertex k. Taking one clique as the witness set shows
+// h(G) ≤ 1/k, making this the canonical SM-cut-prone topology for the
+// Theorem 4.4 experiments.
+func TwoCliquesBridge(k int) *Graph {
+	g := New(2 * k)
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			g.AddEdge(u, v)
+			g.AddEdge(k+u, k+v)
+		}
+	}
+	g.AddEdge(k-1, k)
+	return g
+}
+
+// Petersen returns the Petersen graph: 3-regular, 10 vertices, vertex
+// expansion 1 on its worst 5-set — a handy small fixed expander for tests.
+func Petersen() *Graph {
+	g := New(10)
+	// Outer 5-cycle.
+	for v := 0; v < 5; v++ {
+		g.AddEdge(v, (v+1)%5)
+	}
+	// Inner pentagram.
+	for v := 0; v < 5; v++ {
+		g.AddEdge(5+v, 5+(v+2)%5)
+	}
+	// Spokes.
+	for v := 0; v < 5; v++ {
+		g.AddEdge(v, 5+v)
+	}
+	return g
+}
+
+// Figure1 returns the example shared-memory graph of Figure 1 in the
+// paper, with processes p, q, r, s, t mapped to vertices 0..4. Its induced
+// uniform domain is S = {{p,q}, {p,q,r}, {q,r,s,t}, {r,s,t}}.
+func Figure1() *Graph {
+	g := New(5)
+	const p, q, r, s, t = 0, 1, 2, 3, 4
+	g.AddEdge(p, q)
+	g.AddEdge(q, r)
+	g.AddEdge(r, s)
+	g.AddEdge(r, t)
+	g.AddEdge(s, t)
+	return g
+}
+
+// Margulis returns the Margulis expander on m² vertices: vertex (x, y) of
+// Z_m × Z_m is adjacent to (x±2y, y), (x±(2y+1), y), (x, y±2x) and
+// (x, y±(2x+1)), all mod m. This family is a classical explicit expander
+// with degree ≤ 8 (Gabber–Galil analysis); it realizes the paper's "family
+// of expander graphs" with constant degree at arbitrary scale.
+func Margulis(m int) *Graph {
+	n := m * m
+	g := New(n)
+	id := func(x, y int) int {
+		x = ((x % m) + m) % m
+		y = ((y % m) + m) % m
+		return x*m + y
+	}
+	for x := 0; x < m; x++ {
+		for y := 0; y < m; y++ {
+			v := id(x, y)
+			g.AddEdge(v, id(x+2*y, y))
+			g.AddEdge(v, id(x-2*y, y))
+			g.AddEdge(v, id(x+2*y+1, y))
+			g.AddEdge(v, id(x-2*y-1, y))
+			g.AddEdge(v, id(x, y+2*x))
+			g.AddEdge(v, id(x, y-2*x))
+			g.AddEdge(v, id(x, y+2*x+1))
+			g.AddEdge(v, id(x, y-2*x-1))
+		}
+	}
+	return g
+}

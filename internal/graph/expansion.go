@@ -1,0 +1,434 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+
+	"github.com/mnm-model/mnm/internal/bitset"
+)
+
+// MaxEnumN is the largest vertex count for which the exact (exponential)
+// enumeration algorithms — ExactExpansion, MinClosureByCrashCount,
+// FindSMCut — are permitted. Beyond it, use the greedy and spectral
+// estimators.
+const MaxEnumN = 26
+
+// Ratio is an exact non-negative rational, used for vertex expansion values
+// h(G) = |δS|/|S| so that the Theorem 4.3 fault-tolerance bound can be
+// evaluated in integer arithmetic with no floating-point edge cases.
+type Ratio struct {
+	Num int64
+	Den int64
+}
+
+// Float returns the ratio as a float64. The zero-denominator ratio (used as
+// "+∞" for graphs with no candidate set, e.g. n ≤ 1) returns +Inf.
+func (r Ratio) Float() float64 {
+	if r.Den == 0 {
+		return math.Inf(1)
+	}
+	return float64(r.Num) / float64(r.Den)
+}
+
+// Less reports whether r < s as exact rationals. Zero denominators compare
+// as +∞.
+func (r Ratio) Less(s Ratio) bool {
+	if r.Den == 0 {
+		return false
+	}
+	if s.Den == 0 {
+		return true
+	}
+	return r.Num*s.Den < s.Num*r.Den
+}
+
+// String implements fmt.Stringer.
+func (r Ratio) String() string {
+	if r.Den == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%d/%d", r.Num, r.Den)
+}
+
+// enumErr guards the exponential enumerators.
+func (g *Graph) enumErr(op string) error {
+	if g.n > MaxEnumN {
+		return fmt.Errorf("graph: %s enumerates 2^n subsets and is limited to n ≤ %d (got n = %d); use the greedy/spectral estimators instead", op, MaxEnumN, g.n)
+	}
+	return nil
+}
+
+// rowMasks returns adjacency rows as uint64 masks. Valid only for n ≤ 64.
+func (g *Graph) rowMasks() []uint64 {
+	rows := make([]uint64, g.n)
+	for v := 0; v < g.n; v++ {
+		for _, w := range g.adj[v] {
+			rows[v] |= 1 << uint(w)
+		}
+	}
+	return rows
+}
+
+func maskToSet(n int, mask uint64) bitset.Set {
+	s := bitset.New(n)
+	for mask != 0 {
+		b := bits.TrailingZeros64(mask)
+		s.Add(b)
+		mask &= mask - 1
+	}
+	return s
+}
+
+// closureMask returns mask ∪ N(mask) given adjacency rows.
+func closureMask(rows []uint64, mask uint64) uint64 {
+	out := mask
+	m := mask
+	for m != 0 {
+		b := bits.TrailingZeros64(m)
+		out |= rows[b]
+		m &= m - 1
+	}
+	return out
+}
+
+// ExactExpansion computes the vertex expansion ratio
+//
+//	h(G) = min over S ⊆ V, 1 ≤ |S| ≤ n/2 of |δS| / |S|
+//
+// (Definition 1.2 in the paper) by exact enumeration of all candidate sets,
+// returning the exact rational value and a witness set attaining it.
+// Exponential in n; see MaxEnumN.
+func (g *Graph) ExactExpansion() (Ratio, bitset.Set, error) {
+	if err := g.enumErr("ExactExpansion"); err != nil {
+		return Ratio{}, bitset.Set{}, err
+	}
+	if g.n <= 1 {
+		// No set S with 1 ≤ |S| ≤ n/2 exists; h is vacuously infinite.
+		return Ratio{Num: 0, Den: 0}, bitset.New(g.n), nil
+	}
+	rows := g.rowMasks()
+	half := g.n / 2
+	best := Ratio{Num: 0, Den: 0} // +∞
+	var bestMask uint64
+	for mask := uint64(1); mask < uint64(1)<<uint(g.n); mask++ {
+		size := bits.OnesCount64(mask)
+		if size > half {
+			continue
+		}
+		boundary := closureMask(rows, mask) &^ mask
+		cand := Ratio{Num: int64(bits.OnesCount64(boundary)), Den: int64(size)}
+		if cand.Less(best) {
+			best = cand
+			bestMask = mask
+		}
+	}
+	return best, maskToSet(g.n, bestMask), nil
+}
+
+// GreedyExpansionUpperBound estimates h(G) from above by randomized local
+// search: starting from random seed sets, it greedily applies single-vertex
+// moves (add or remove) that decrease |δS|/|S|, over the given number of
+// restarts. The returned ratio is always ≥ h(G) and the witness attains it.
+func (g *Graph) GreedyExpansionUpperBound(rng *rand.Rand, restarts int) (Ratio, bitset.Set) {
+	if g.n <= 1 {
+		return Ratio{Num: 0, Den: 0}, bitset.New(g.n)
+	}
+	if restarts < 1 {
+		restarts = 1
+	}
+	half := g.n / 2
+	best := Ratio{Num: 0, Den: 0}
+	bestSet := bitset.New(g.n)
+
+	ratioOf := func(s bitset.Set) Ratio {
+		size := s.Count()
+		if size == 0 || size > half {
+			return Ratio{Num: 0, Den: 0}
+		}
+		return Ratio{Num: int64(g.Boundary(s).Count()), Den: int64(size)}
+	}
+
+	for r := 0; r < restarts; r++ {
+		// Random seed: a BFS ball around a random vertex of random target
+		// size. Balls are the natural low-boundary candidates.
+		target := 1 + rng.Intn(half)
+		cur := g.bfsBall(rng.Intn(g.n), target)
+		curRatio := ratioOf(cur)
+		improved := true
+		for improved {
+			improved = false
+			for v := 0; v < g.n; v++ {
+				next := cur.Clone()
+				if cur.Contains(v) {
+					next.Remove(v)
+				} else {
+					next.Add(v)
+				}
+				if nr := ratioOf(next); nr.Less(curRatio) {
+					cur, curRatio = next, nr
+					improved = true
+				}
+			}
+		}
+		if curRatio.Less(best) {
+			best = curRatio
+			bestSet = cur
+		}
+	}
+	return best, bestSet
+}
+
+// bfsBall returns a set of about `size` vertices grown breadth-first from
+// start.
+func (g *Graph) bfsBall(start, size int) bitset.Set {
+	s := bitset.New(g.n)
+	if g.n == 0 {
+		return s
+	}
+	queue := []int{start}
+	s.Add(start)
+	count := 1
+	for len(queue) > 0 && count < size {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if count >= size {
+				break
+			}
+			if !s.Contains(w) {
+				s.Add(w)
+				count++
+				queue = append(queue, w)
+			}
+		}
+	}
+	return s
+}
+
+// SpectralExpansionLowerBound returns a certified lower bound on the vertex
+// expansion of a connected d-regular graph via the Cheeger inequality:
+// the edge expansion satisfies h_edge(G) ≥ (d − λ₂)/2, and each boundary
+// vertex absorbs at most d cut edges, so h(G) ≥ (d − λ₂)/(2d), where λ₂ is
+// the second-largest eigenvalue of the adjacency matrix (estimated by power
+// iteration on the complement of the all-ones eigenvector).
+//
+// Unlike the exact enumerator this scales to large graphs, at the price of
+// looseness.
+func (g *Graph) SpectralExpansionLowerBound() (float64, error) {
+	regular, d := g.IsRegular()
+	if !regular {
+		return 0, fmt.Errorf("graph: spectral bound requires a regular graph")
+	}
+	if !g.IsConnected() {
+		return 0, fmt.Errorf("graph: spectral bound requires a connected graph")
+	}
+	if g.n <= 1 || d == 0 {
+		return 0, nil
+	}
+	lambda2 := g.secondEigenvalue(200)
+	if lambda2 > float64(d) {
+		lambda2 = float64(d)
+	}
+	return (float64(d) - lambda2) / (2 * float64(d)), nil
+}
+
+// secondEigenvalue estimates |λ₂| of the adjacency matrix by power
+// iteration on the orthogonal complement of the all-ones vector, using a
+// deterministic pseudo-random start so results are reproducible. For
+// bipartite-ish graphs |λ_n| can exceed λ₂; the returned value is the
+// dominant non-principal eigenvalue magnitude, which only makes the Cheeger
+// bound more conservative.
+func (g *Graph) secondEigenvalue(iters int) float64 {
+	n := g.n
+	x := make([]float64, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := range x {
+		x[i] = rng.Float64() - 0.5
+	}
+	y := make([]float64, n)
+	var norm float64
+	for it := 0; it < iters; it++ {
+		// Project out the all-ones eigenvector.
+		var mean float64
+		for _, v := range x {
+			mean += v
+		}
+		mean /= float64(n)
+		for i := range x {
+			x[i] -= mean
+		}
+		// y = A·x.
+		for i := range y {
+			y[i] = 0
+		}
+		for v := 0; v < n; v++ {
+			for _, w := range g.adj[v] {
+				y[v] += x[w]
+			}
+		}
+		norm = 0
+		for _, v := range y {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			return 0
+		}
+		for i := range x {
+			x[i] = y[i] / norm
+		}
+	}
+	return norm
+}
+
+// FaultToleranceBound returns the largest number of crash failures f for
+// which Theorem 4.3 guarantees HBO termination, i.e. the largest integer f
+// with
+//
+//	f < (1 − 1/(2(1+h))) · n   where h = a/b,
+//
+// computed exactly: f < n(2a+b) / (2(a+b)), so f_max = ⌈n(2a+b)/(2(a+b))⌉−1.
+// For the infinite ratio (Den == 0, fully-expanding degenerate cases) the
+// bound approaches f < n and f_max = n−1.
+func FaultToleranceBound(n int, h Ratio) int {
+	if n <= 0 {
+		return 0
+	}
+	if h.Den == 0 {
+		return n - 1
+	}
+	a, b := h.Num, h.Den
+	num := int64(n) * (2*a + b)
+	den := 2 * (a + b)
+	// Largest f with f·den < num.
+	f := (num - 1) / den
+	if f < 0 {
+		f = 0
+	}
+	if f > int64(n-1) {
+		f = int64(n - 1)
+	}
+	return int(f)
+}
+
+// FaultToleranceBoundFloat is the floating-point form of Theorem 4.3's
+// bound, (1 − 1/(2(1+h)))·n, for use with estimated (non-exact) expansions.
+func FaultToleranceBoundFloat(n int, h float64) float64 {
+	if h < 0 {
+		h = 0
+	}
+	return (1 - 1/(2*(1+h))) * float64(n)
+}
+
+// MinClosureByCrashCount computes, for every crash count f in 0..n, the
+// minimum over all correct sets C with |C| = n−f of |C ∪ N(C)| — the number
+// of processes *represented* in HBO when the adversary crashes the worst
+// possible f processes. HBO terminates iff the represented set is a strict
+// majority, so
+//
+//	exact graph-theoretic tolerance = max{ f : minClosure[f] > n/2 }.
+//
+// Exponential in n; see MaxEnumN.
+func (g *Graph) MinClosureByCrashCount() ([]int, error) {
+	if err := g.enumErr("MinClosureByCrashCount"); err != nil {
+		return nil, err
+	}
+	rows := g.rowMasks()
+	mins := make([]int, g.n+1)
+	for f := range mins {
+		mins[f] = g.n + 1
+	}
+	mins[g.n] = 0 // All crashed: nothing represented.
+	for mask := uint64(1); mask < uint64(1)<<uint(g.n); mask++ {
+		f := g.n - bits.OnesCount64(mask)
+		rep := bits.OnesCount64(closureMask(rows, mask))
+		if rep < mins[f] {
+			mins[f] = rep
+		}
+	}
+	return mins, nil
+}
+
+// ExactHBOTolerance returns the exact graph-theoretic fault tolerance of
+// the HBO simulation on g: the largest f such that every correct set of
+// size n−f represents a strict majority of processes. It upper-bounds (and
+// for low-expansion graphs matches) the Theorem 4.3 analytic bound.
+func (g *Graph) ExactHBOTolerance() (int, error) {
+	mins, err := g.MinClosureByCrashCount()
+	if err != nil {
+		return 0, err
+	}
+	best := -1
+	for f := 0; f <= g.n; f++ {
+		if 2*mins[f] > g.n {
+			best = f
+		} else {
+			break
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("graph: no crash count gives a represented majority (n = %d)", g.n)
+	}
+	return best, nil
+}
+
+// GreedyWorstCrashSet heuristically searches for a crash set of size f that
+// minimizes the number of represented processes |C ∪ N(C)| for the
+// surviving set C. It greedily crashes, one at a time, the process whose
+// removal shrinks the represented set the most (ties broken by lowest id),
+// then improves by single-swap local search with the given rng and restart
+// budget. Returns the crash set and the resulting represented count.
+func (g *Graph) GreedyWorstCrashSet(f int, rng *rand.Rand, restarts int) (bitset.Set, int) {
+	if f < 0 {
+		f = 0
+	}
+	if f > g.n {
+		f = g.n
+	}
+	bestCrash := bitset.New(g.n)
+	bestRep := g.n + 1
+
+	repOf := func(crash bitset.Set) int {
+		c := crash.Complement()
+		return g.Closure(c).Count()
+	}
+
+	attempt := func(randomized bool) {
+		crash := bitset.New(g.n)
+		for k := 0; k < f; k++ {
+			bestV, bestVal := -1, g.n+2
+			order := rng.Perm(g.n)
+			if !randomized {
+				for i := range order {
+					order[i] = i
+				}
+			}
+			for _, v := range order {
+				if crash.Contains(v) {
+					continue
+				}
+				crash.Add(v)
+				val := repOf(crash)
+				crash.Remove(v)
+				if val < bestVal {
+					bestVal, bestV = val, v
+				}
+			}
+			if bestV >= 0 {
+				crash.Add(bestV)
+			}
+		}
+		if rep := repOf(crash); rep < bestRep {
+			bestRep = rep
+			bestCrash = crash.Clone()
+		}
+	}
+
+	attempt(false)
+	for r := 1; r < restarts; r++ {
+		attempt(true)
+	}
+	return bestCrash, bestRep
+}

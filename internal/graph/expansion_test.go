@@ -1,0 +1,357 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactExpansionKnownValues(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want Ratio
+	}{
+		// K_n: δS is everything else, minimized at |S| = ⌊n/2⌋.
+		{"Complete(6)", Complete(6), Ratio{Num: 3, Den: 3}},
+		{"Complete(7)", Complete(7), Ratio{Num: 4, Den: 3}},
+		// Cycle: a contiguous arc of length n/2 has boundary 2.
+		{"Cycle(8)", Cycle(8), Ratio{Num: 2, Den: 4}},
+		{"Cycle(12)", Cycle(12), Ratio{Num: 2, Den: 6}},
+		// Path: taking one end half gives boundary 1.
+		{"Path(8)", Path(8), Ratio{Num: 1, Den: 4}},
+		// Star: the worst set is ⌊n/2⌋ leaves, boundary = the center.
+		{"Star(9)", Star(9), Ratio{Num: 1, Den: 4}},
+		// Two 4-cliques and a bridge: one clique has boundary 1.
+		{"TwoCliquesBridge(4)", TwoCliquesBridge(4), Ratio{Num: 1, Den: 4}},
+		// Edgeless: any singleton has empty boundary.
+		{"Edgeless(4)", Edgeless(4), Ratio{Num: 0, Den: 1}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			h, wit, err := tc.g.ExactExpansion()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.Num*tc.want.Den != tc.want.Num*h.Den {
+				t.Errorf("h = %v, want %v (witness %v)", h, tc.want, wit)
+			}
+			// The witness must attain the reported ratio.
+			b := tc.g.Boundary(wit)
+			if int64(b.Count())*h.Den != h.Num*int64(wit.Count()) {
+				t.Errorf("witness %v has |δS|/|S| = %d/%d, reported %v",
+					wit, b.Count(), wit.Count(), h)
+			}
+		})
+	}
+}
+
+func TestExactExpansionPetersen(t *testing.T) {
+	// The Petersen graph is a small expander: its worst half-size sets
+	// have vertex expansion close to 1. Sanity-check the enumerated
+	// value lands in [0.75, 1].
+	h, wit, err := Petersen().ExactExpansion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Float() < 0.75 || h.Float() > 1.01 {
+		t.Errorf("Petersen h = %v (%f), witness %v; expected in [0.8, 1]", h, h.Float(), wit)
+	}
+}
+
+func TestExpansionTooLarge(t *testing.T) {
+	g := Complete(MaxEnumN + 1)
+	if _, _, err := g.ExactExpansion(); err == nil {
+		t.Error("ExactExpansion accepted oversized graph")
+	}
+	if _, err := g.MinClosureByCrashCount(); err == nil {
+		t.Error("MinClosureByCrashCount accepted oversized graph")
+	}
+	if _, _, err := g.FindSMCut(1); err == nil {
+		t.Error("FindSMCut accepted oversized graph")
+	}
+}
+
+func TestGreedyUpperBoundsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	graphs := []*Graph{Cycle(10), Path(9), Petersen(), TwoCliquesBridge(5), Hypercube(3)}
+	for _, g := range graphs {
+		exact, _, err := g.ExactExpansion()
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy, wit := g.GreedyExpansionUpperBound(rng, 30)
+		if greedy.Less(exact) {
+			t.Errorf("%v: greedy %v below exact %v (witness %v)", g, greedy, exact, wit)
+		}
+		// For these small, highly symmetric graphs, local search should
+		// actually find the optimum.
+		if exact.Less(greedy) {
+			t.Logf("%v: greedy %v did not reach exact %v (acceptable)", g, greedy, exact)
+		}
+	}
+}
+
+// TestQuickGreedyNeverBelowExact property-checks greedy ≥ exact on random
+// graphs.
+func TestQuickGreedyNeverBelowExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(7) // 6..12
+		g := RandomGNP(n, 0.4, rng)
+		exact, _, err := g.ExactExpansion()
+		if err != nil {
+			return false
+		}
+		greedy, _ := g.GreedyExpansionUpperBound(rng, 10)
+		return !greedy.Less(exact)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpectralLowerBound(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *Graph
+	}{
+		{"Hypercube(4)", Hypercube(4)},
+		{"Petersen", Petersen()},
+		{"Cycle(16)", Cycle(16)},
+		{"Torus(4,4)", Torus(4, 4)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			lb, err := tc.g.SpectralExpansionLowerBound()
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact, _, err := tc.g.ExactExpansion()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lb > exact.Float()+1e-9 {
+				t.Errorf("spectral lower bound %f exceeds exact h %f", lb, exact.Float())
+			}
+			if lb < 0 {
+				t.Errorf("negative lower bound %f", lb)
+			}
+		})
+	}
+}
+
+func TestSpectralRequiresRegularConnected(t *testing.T) {
+	if _, err := Path(5).SpectralExpansionLowerBound(); err == nil {
+		t.Error("spectral bound accepted irregular graph")
+	}
+	g := New(6) // 0-regular but disconnected... 0-regular is regular; edgeless disconnected
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	g.AddEdge(4, 5)
+	if _, err := g.SpectralExpansionLowerBound(); err == nil {
+		t.Error("spectral bound accepted disconnected graph")
+	}
+}
+
+func TestFaultToleranceBound(t *testing.T) {
+	tests := []struct {
+		n    int
+		h    Ratio
+		want int
+	}{
+		// h = 0: f < n/2. n=10 → f ≤ 4. n=9 → f < 4.5 → 4.
+		{10, Ratio{Num: 0, Den: 1}, 4},
+		{9, Ratio{Num: 0, Den: 1}, 4},
+		// h = 1: f < 3n/4. n=8 → f < 6 → 5.
+		{8, Ratio{Num: 1, Den: 1}, 5},
+		// h = 1/2: f < (1 - 1/3)n = 2n/3. n=9 → f < 6 → 5.
+		{9, Ratio{Num: 1, Den: 2}, 5},
+		// h = ∞: f ≤ n-1.
+		{7, Ratio{Num: 1, Den: 0}, 6},
+		// Degenerate n.
+		{0, Ratio{Num: 1, Den: 1}, 0},
+	}
+	for _, tc := range tests {
+		if got := FaultToleranceBound(tc.n, tc.h); got != tc.want {
+			t.Errorf("FaultToleranceBound(%d, %v) = %d, want %d", tc.n, tc.h, got, tc.want)
+		}
+	}
+}
+
+func TestFaultToleranceBoundMatchesFloat(t *testing.T) {
+	f := func(nRaw, aRaw, bRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		a := int64(aRaw % 6)
+		b := int64(bRaw%5) + 1
+		got := FaultToleranceBound(n, Ratio{Num: a, Den: b})
+		bound := FaultToleranceBoundFloat(n, float64(a)/float64(b))
+		// got is the largest integer strictly below bound.
+		return float64(got) < bound+1e-9 && float64(got+1) >= bound-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinClosureByCrashCount(t *testing.T) {
+	// Complete graph: any single survivor represents everyone.
+	g := Complete(6)
+	mins, err := g.MinClosureByCrashCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 6; f++ {
+		if mins[f] != 6 {
+			t.Errorf("K6 minClosure[%d] = %d, want 6", f, mins[f])
+		}
+	}
+	if mins[6] != 0 {
+		t.Errorf("K6 minClosure[6] = %d, want 0", mins[6])
+	}
+
+	// Edgeless graph: closure = survivors.
+	g = Edgeless(5)
+	mins, err = g.MinClosureByCrashCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f <= 5; f++ {
+		if mins[f] != 5-f {
+			t.Errorf("edgeless minClosure[%d] = %d, want %d", f, mins[f], 5-f)
+		}
+	}
+}
+
+func TestMinClosureMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(8)
+		g := RandomGNP(n, 0.35, rng)
+		mins, err := g.MinClosureByCrashCount()
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(mins); i++ {
+			if mins[i] > mins[i-1] {
+				return false
+			}
+		}
+		return mins[0] == n && mins[n] == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactHBOTolerance(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		// Pure message passing: tolerance ⌈n/2⌉-1 ... majority of
+		// survivors needed: f max with n-f > n/2.
+		{"Edgeless(9)", Edgeless(9), 4},
+		{"Edgeless(10)", Edgeless(10), 4},
+		// Pure shared memory: n-1.
+		{"Complete(9)", Complete(9), 8},
+		// Star: the center is a neighbor of every leaf, so it is always
+		// represented; worst crash sets kill the center plus leaves,
+		// leaving |closure| = (n-f)+1 = 10-f > 4.5 → f ≤ 5.
+		{"Star(9)", Star(9), 5},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.g.ExactHBOTolerance()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Errorf("ExactHBOTolerance = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestTheorem43BoundNeverExceedsExactTolerance(t *testing.T) {
+	// The analytic bound of Theorem 4.3 must never promise more than the
+	// exact graph-theoretic tolerance: (n-f)(1+h) is a lower bound on the
+	// represented count.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(8)
+		g := RandomGNP(n, 0.3+rng.Float64()*0.4, rng)
+		h, _, err := g.ExactExpansion()
+		if err != nil {
+			return false
+		}
+		analytic := FaultToleranceBound(n, h)
+		exact, err := g.ExactHBOTolerance()
+		if err != nil {
+			return false
+		}
+		return analytic <= exact
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyWorstCrashSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, g := range []*Graph{Star(9), Cycle(10), TwoCliquesBridge(5), Petersen()} {
+		mins, err := g.MinClosureByCrashCount()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range []int{1, 2, 3} {
+			crash, rep := g.GreedyWorstCrashSet(f, rng, 10)
+			if crash.Count() != f {
+				t.Errorf("%v f=%d: crash set size %d", g, f, crash.Count())
+			}
+			if rep < mins[f] {
+				t.Errorf("%v f=%d: greedy rep %d below exact min %d", g, f, rep, mins[f])
+			}
+			// Verify reported rep matches the returned set.
+			c := crash.Complement()
+			if got := g.Closure(c).Count(); got != rep {
+				t.Errorf("%v f=%d: reported rep %d but set gives %d", g, f, rep, got)
+			}
+		}
+	}
+}
+
+func TestGreedyWorstCrashSetClamps(t *testing.T) {
+	g := Cycle(5)
+	rng := rand.New(rand.NewSource(1))
+	crash, rep := g.GreedyWorstCrashSet(-3, rng, 1)
+	if crash.Count() != 0 || rep != 5 {
+		t.Errorf("f=-3: got size %d rep %d", crash.Count(), rep)
+	}
+	crash, rep = g.GreedyWorstCrashSet(99, rng, 1)
+	if crash.Count() != 5 || rep != 0 {
+		t.Errorf("f=99: got size %d rep %d", crash.Count(), rep)
+	}
+}
+
+func TestRatioOrdering(t *testing.T) {
+	inf := Ratio{Num: 3, Den: 0}
+	half := Ratio{Num: 1, Den: 2}
+	twoQuarters := Ratio{Num: 2, Den: 4}
+	one := Ratio{Num: 5, Den: 5}
+	if !half.Less(one) || one.Less(half) {
+		t.Error("1/2 < 1 ordering broken")
+	}
+	if half.Less(twoQuarters) || twoQuarters.Less(half) {
+		t.Error("1/2 vs 2/4 should be equal")
+	}
+	if inf.Less(one) {
+		t.Error("inf < 1")
+	}
+	if !one.Less(inf) {
+		t.Error("1 not < inf")
+	}
+	if got := inf.String(); got != "inf" {
+		t.Errorf("inf String = %q", got)
+	}
+}

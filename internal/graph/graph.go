@@ -1,0 +1,254 @@
+// Package graph implements the undirected shared-memory graphs G_SM of the
+// m&m model, together with the graph theory the paper's consensus results
+// rest on: vertex boundaries and represented sets (§4.1), exact and
+// approximate vertex expansion h(G) (§4.2, Definition 1), the fault
+// tolerance bound of Theorem 4.3, worst-case crash sets, and the SM-cut
+// structure of the impossibility result (§4.3, Theorem 4.4).
+//
+// Vertices are ints 0..n-1 and correspond one-to-one to process ids.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/mnm-model/mnm/internal/bitset"
+)
+
+// Graph is a simple undirected graph on vertices {0, ..., n-1}. It stores
+// adjacency both as bit rows (for the set-heavy expansion and cut
+// algorithms) and as sorted slices (for cheap iteration).
+type Graph struct {
+	n    int
+	rows []bitset.Set // rows[v] = neighbor set of v
+	adj  [][]int      // adj[v] = sorted neighbor list of v
+	m    int          // number of edges
+}
+
+// New returns an empty graph on n vertices. n must be non-negative.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	g := &Graph{
+		n:    n,
+		rows: make([]bitset.Set, n),
+		adj:  make([][]int, n),
+	}
+	for v := 0; v < n; v++ {
+		g.rows[v] = bitset.New(n)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops, duplicate edges
+// and out-of-range endpoints are ignored (the shared-memory graph is a
+// simple graph; a process always shares memory with itself).
+func (g *Graph) AddEdge(u, v int) {
+	if u == v || u < 0 || v < 0 || u >= g.n || v >= g.n {
+		return
+	}
+	if g.rows[u].Contains(v) {
+		return
+	}
+	g.rows[u].Add(v)
+	g.rows[v].Add(u)
+	g.adj[u] = insertSorted(g.adj[u], v)
+	g.adj[v] = insertSorted(g.adj[v], u)
+	g.m++
+}
+
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// RemoveEdge deletes the undirected edge {u, v} if present.
+func (g *Graph) RemoveEdge(u, v int) {
+	if !g.HasEdge(u, v) {
+		return
+	}
+	g.rows[u].Remove(v)
+	g.rows[v].Remove(u)
+	g.adj[u] = removeSorted(g.adj[u], v)
+	g.adj[v] = removeSorted(g.adj[v], u)
+	g.m--
+}
+
+func removeSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	if i < len(s) && s[i] == v {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= g.n || v >= g.n {
+		return false
+	}
+	return g.rows[u].Contains(v)
+}
+
+// Neighbors returns the sorted neighbors of v. Callers must not modify the
+// returned slice.
+func (g *Graph) Neighbors(v int) []int {
+	if v < 0 || v >= g.n {
+		return nil
+	}
+	return g.adj[v]
+}
+
+// NeighborSet returns the neighbor set of v as a bitset. Callers must not
+// modify the returned set.
+func (g *Graph) NeighborSet(v int) bitset.Set {
+	if v < 0 || v >= g.n {
+		return bitset.New(g.n)
+	}
+	return g.rows[v]
+}
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int {
+	if v < 0 || v >= g.n {
+		return 0
+	}
+	return len(g.adj[v])
+}
+
+// MaxDegree returns the maximum degree d of the graph — the paper's
+// hardware-limited number of shared-memory connections per process.
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for v := 0; v < g.n; v++ {
+		if len(g.adj[v]) > d {
+			d = len(g.adj[v])
+		}
+	}
+	return d
+}
+
+// MinDegree returns the minimum degree of the graph.
+func (g *Graph) MinDegree() int {
+	if g.n == 0 {
+		return 0
+	}
+	d := g.n
+	for v := 0; v < g.n; v++ {
+		if len(g.adj[v]) < d {
+			d = len(g.adj[v])
+		}
+	}
+	return d
+}
+
+// IsRegular reports whether every vertex has the same degree, and that
+// degree.
+func (g *Graph) IsRegular() (bool, int) {
+	if g.n == 0 {
+		return true, 0
+	}
+	d := len(g.adj[0])
+	for v := 1; v < g.n; v++ {
+		if len(g.adj[v]) != d {
+			return false, 0
+		}
+	}
+	return true, d
+}
+
+// IsConnected reports whether the graph is connected. The empty graph and
+// the one-vertex graph are connected.
+func (g *Graph) IsConnected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	seen := bitset.New(g.n)
+	stack := []int{0}
+	seen.Add(0)
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.adj[v] {
+			if !seen.Contains(w) {
+				seen.Add(w)
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// Clone returns an independent copy of g.
+func (g *Graph) Clone() *Graph {
+	out := New(g.n)
+	for v := 0; v < g.n; v++ {
+		for _, w := range g.adj[v] {
+			if v < w {
+				out.AddEdge(v, w)
+			}
+		}
+	}
+	return out
+}
+
+// Closure returns S ∪ neighbors(S): the set of processes *represented* by
+// the correct set S in the HBO simulation (§4.1) — each correct process
+// relays agreed messages for itself and all of its neighbors.
+func (g *Graph) Closure(s bitset.Set) bitset.Set {
+	out := s.Clone()
+	s.ForEach(func(v int) bool {
+		out.UnionWith(g.rows[v])
+		return true
+	})
+	return out
+}
+
+// Boundary returns the vertex boundary δS = N(S) \ S (Definition 1.1).
+func (g *Graph) Boundary(s bitset.Set) bitset.Set {
+	out := g.Closure(s)
+	out.SubtractWith(s)
+	return out
+}
+
+// String renders a short description of the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(n=%d, m=%d, maxdeg=%d)", g.n, g.m, g.MaxDegree())
+}
+
+// Validate checks internal consistency (symmetric adjacency, no loops) and
+// returns an error describing the first violation. It is primarily a test
+// aid for the random constructions.
+func (g *Graph) Validate() error {
+	edges := 0
+	for v := 0; v < g.n; v++ {
+		if g.rows[v].Contains(v) {
+			return fmt.Errorf("graph: self-loop at %d", v)
+		}
+		if g.rows[v].Count() != len(g.adj[v]) {
+			return fmt.Errorf("graph: row/adj mismatch at %d", v)
+		}
+		for _, w := range g.adj[v] {
+			if !g.rows[w].Contains(v) {
+				return fmt.Errorf("graph: asymmetric edge {%d,%d}", v, w)
+			}
+			edges++
+		}
+	}
+	if edges != 2*g.m {
+		return fmt.Errorf("graph: edge count mismatch: counted %d half-edges, recorded m=%d", edges, g.m)
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/bitset"
+)
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0) // duplicate
+	g.AddEdge(2, 2) // self-loop ignored
+	g.AddEdge(3, 9) // out of range ignored
+	g.AddEdge(1, 2)
+
+	if got, want := g.M(), 2; got != want {
+		t.Errorf("M = %d, want %d", got, want)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge {0,1} missing or asymmetric")
+	}
+	if g.HasEdge(2, 2) || g.HasEdge(3, 9) || g.HasEdge(0, 2) {
+		t.Error("phantom edge present")
+	}
+	if got, want := g.Degree(1), 2; got != want {
+		t.Errorf("Degree(1) = %d, want %d", got, want)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New(6)
+	g.AddEdge(3, 5)
+	g.AddEdge(3, 0)
+	g.AddEdge(3, 4)
+	g.AddEdge(3, 1)
+	want := []int{0, 1, 4, 5}
+	got := g.Neighbors(3)
+	if len(got) != len(want) {
+		t.Fatalf("Neighbors(3) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Neighbors(3) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFamilies(t *testing.T) {
+	tests := []struct {
+		name      string
+		g         *Graph
+		n, m      int
+		regular   bool
+		degree    int
+		connected bool
+	}{
+		{"Complete(6)", Complete(6), 6, 15, true, 5, true},
+		{"Edgeless(4)", Edgeless(4), 4, 0, true, 0, false},
+		{"Cycle(7)", Cycle(7), 7, 7, true, 2, true},
+		{"Path(5)", Path(5), 5, 4, false, 0, true},
+		{"Star(5)", Star(5), 5, 4, false, 0, true},
+		{"Grid(3,4)", Grid(3, 4), 12, 17, false, 0, true},
+		{"Torus(3,4)", Torus(3, 4), 12, 24, true, 4, true},
+		{"Hypercube(4)", Hypercube(4), 16, 32, true, 4, true},
+		{"CompleteBipartite(2,3)", CompleteBipartite(2, 3), 5, 6, false, 0, true},
+		{"TwoCliquesBridge(4)", TwoCliquesBridge(4), 8, 13, false, 0, true},
+		{"Petersen", Petersen(), 10, 15, true, 3, true},
+		{"Circulant(10,{1,2,5})", Circulant(10, []int{1, 2, 5}), 10, 25, true, 5, true},
+		{"Figure1", Figure1(), 5, 5, false, 0, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.g.N(); got != tc.n {
+				t.Errorf("N = %d, want %d", got, tc.n)
+			}
+			if got := tc.g.M(); got != tc.m {
+				t.Errorf("M = %d, want %d", got, tc.m)
+			}
+			reg, d := tc.g.IsRegular()
+			if reg != tc.regular {
+				t.Errorf("IsRegular = %v, want %v", reg, tc.regular)
+			}
+			if reg && tc.regular && d != tc.degree {
+				t.Errorf("degree = %d, want %d", d, tc.degree)
+			}
+			if got := tc.g.IsConnected(); got != tc.connected {
+				t.Errorf("IsConnected = %v, want %v", got, tc.connected)
+			}
+			if err := tc.g.Validate(); err != nil {
+				t.Errorf("Validate: %v", err)
+			}
+		})
+	}
+}
+
+func TestFigure1Neighborhoods(t *testing.T) {
+	// Figure 1 of the paper: Sp={p,q}, Sq={p,q,r}, Sr={q,r,s,t},
+	// Ss={r,s,t}, St={r,s,t} with p..t = 0..4.
+	g := Figure1()
+	want := map[int][]int{
+		0: {0, 1},
+		1: {0, 1, 2},
+		2: {1, 2, 3, 4},
+		3: {2, 3, 4},
+		4: {2, 3, 4},
+	}
+	for v, ns := range want {
+		s := bitset.New(g.N())
+		s.Add(v)
+		got := g.Closure(s).Members()
+		if len(got) != len(ns) {
+			t.Fatalf("S_%d = %v, want %v", v, got, ns)
+		}
+		for i := range ns {
+			if got[i] != ns[i] {
+				t.Fatalf("S_%d = %v, want %v", v, got, ns)
+			}
+		}
+	}
+}
+
+func TestBoundaryAndClosure(t *testing.T) {
+	g := Cycle(6)
+	s := bitset.FromSlice(6, []int{0, 1})
+	b := g.Boundary(s)
+	if got, want := b.String(), "{2, 5}"; got != want {
+		t.Errorf("Boundary = %s, want %s", got, want)
+	}
+	c := g.Closure(s)
+	if got, want := c.String(), "{0, 1, 2, 5}"; got != want {
+		t.Errorf("Closure = %s, want %s", got, want)
+	}
+	if b.Intersects(s) {
+		t.Error("boundary intersects its set")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := Cycle(5)
+	h := g.Clone()
+	h.AddEdge(0, 2)
+	if g.HasEdge(0, 2) {
+		t.Error("mutating clone affected original")
+	}
+	if got, want := h.M(), g.M()+1; got != want {
+		t.Errorf("clone M = %d, want %d", got, want)
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, tc := range []struct{ n, d int }{{8, 3}, {10, 4}, {16, 3}, {20, 6}, {50, 8}} {
+		g, err := RandomRegular(tc.n, tc.d, rng)
+		if err != nil {
+			t.Fatalf("RandomRegular(%d,%d): %v", tc.n, tc.d, err)
+		}
+		reg, d := g.IsRegular()
+		if !reg || d != tc.d {
+			t.Errorf("RandomRegular(%d,%d): regular=%v d=%d", tc.n, tc.d, reg, d)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("Validate: %v", err)
+		}
+	}
+}
+
+func TestRandomRegularRejectsImpossible(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RandomRegular(5, 3, rng); err == nil {
+		t.Error("RandomRegular(5,3) should fail: odd degree sum")
+	}
+	if _, err := RandomRegular(4, 4, rng); err == nil {
+		t.Error("RandomRegular(4,4) should fail: d >= n")
+	}
+	if g, err := RandomRegular(6, 0, rng); err != nil || g.M() != 0 {
+		t.Errorf("RandomRegular(6,0) = (%v, %v), want edgeless", g, err)
+	}
+}
+
+func TestRandomRegularDeterministic(t *testing.T) {
+	a, err := RandomRegular(12, 3, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomRegular(12, 3, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 12; u++ {
+		for v := 0; v < 12; v++ {
+			if a.HasEdge(u, v) != b.HasEdge(u, v) {
+				t.Fatalf("same seed produced different graphs at edge {%d,%d}", u, v)
+			}
+		}
+	}
+}
+
+func TestRandomGNP(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := RandomGNP(30, 0.0, rng)
+	if g.M() != 0 {
+		t.Errorf("G(30, 0) has %d edges", g.M())
+	}
+	g = RandomGNP(30, 1.0, rng)
+	if g.M() != 30*29/2 {
+		t.Errorf("G(30, 1) has %d edges, want %d", g.M(), 30*29/2)
+	}
+	g = RandomGNP(40, 0.3, rng)
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if g.M() < 100 || g.M() > 400 {
+		t.Errorf("G(40, .3) has implausible edge count %d", g.M())
+	}
+}
+
+func TestRandomConnectedRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g, err := RandomConnectedRegular(24, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Error("graph not connected")
+	}
+}
+
+func TestMargulis(t *testing.T) {
+	g := Margulis(5)
+	if got, want := g.N(), 25; got != want {
+		t.Fatalf("N = %d, want %d", got, want)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d := g.MaxDegree(); d > 8 {
+		t.Errorf("MaxDegree = %d, want ≤ 8", d)
+	}
+	if !g.IsConnected() {
+		t.Error("Margulis(5) not connected")
+	}
+}

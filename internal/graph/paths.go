@@ -1,0 +1,80 @@
+package graph
+
+// BFS distance utilities. The experiments use them for topology reporting
+// (mnmgraph) and for reasoning about how far apart the sides of an SM-cut
+// sit; none of the model results depend on them.
+
+// Distances returns BFS hop counts from the source to every vertex; -1
+// marks unreachable vertices. An out-of-range source yields all -1.
+func (g *Graph) Distances(from int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if from < 0 || from >= g.n {
+		return dist
+	}
+	dist[from] = 0
+	queue := []int{from}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Diameter returns the largest BFS distance between any two vertices, or
+// -1 if the graph is disconnected (or empty).
+func (g *Graph) Diameter() int {
+	if g.n == 0 {
+		return -1
+	}
+	diam := 0
+	for v := 0; v < g.n; v++ {
+		for _, d := range g.Distances(v) {
+			if d == -1 {
+				return -1
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// DegreeHistogram returns how many vertices have each degree.
+func (g *Graph) DegreeHistogram() map[int]int {
+	out := make(map[int]int)
+	for v := 0; v < g.n; v++ {
+		out[len(g.adj[v])]++
+	}
+	return out
+}
+
+// Barbell returns two k-cliques joined by a path of pathLen intermediate
+// vertices (pathLen = 0 reduces to TwoCliquesBridge). The family gives a
+// tunable SM-cut: the longer the path, the more boundary vertices the
+// partitioning adversary of Theorem 4.4 must crash.
+func Barbell(k, pathLen int) *Graph {
+	g := New(2*k + pathLen)
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			g.AddEdge(u, v)
+			g.AddEdge(k+pathLen+u, k+pathLen+v)
+		}
+	}
+	prev := k - 1
+	for i := 0; i < pathLen; i++ {
+		g.AddEdge(prev, k+i)
+		prev = k + i
+	}
+	g.AddEdge(prev, k+pathLen)
+	return g
+}

@@ -1,0 +1,118 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"math/rand"
+)
+
+func TestDistances(t *testing.T) {
+	g := Path(5)
+	d := g.Distances(0)
+	for i := 0; i < 5; i++ {
+		if d[i] != i {
+			t.Errorf("dist(0, %d) = %d", i, d[i])
+		}
+	}
+	g = New(4)
+	g.AddEdge(0, 1)
+	d = g.Distances(0)
+	if d[1] != 1 || d[2] != -1 || d[3] != -1 {
+		t.Errorf("disconnected distances = %v", d)
+	}
+	d = g.Distances(-1)
+	for _, v := range d {
+		if v != -1 {
+			t.Error("out-of-range source produced distances")
+		}
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"Complete(5)", Complete(5), 1},
+		{"Path(6)", Path(6), 5},
+		{"Cycle(8)", Cycle(8), 4},
+		{"Petersen", Petersen(), 2},
+		{"Hypercube(4)", Hypercube(4), 4},
+		{"Edgeless(3)", Edgeless(3), -1},
+		{"Empty", New(0), -1},
+		{"Singleton", Complete(1), 0},
+	}
+	for _, tc := range tests {
+		if got := tc.g.Diameter(); got != tc.want {
+			t.Errorf("%s: Diameter = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	h := Star(5).DegreeHistogram()
+	if h[4] != 1 || h[1] != 4 {
+		t.Errorf("Star(5) histogram = %v", h)
+	}
+	h = Cycle(6).DegreeHistogram()
+	if h[2] != 6 || len(h) != 1 {
+		t.Errorf("Cycle(6) histogram = %v", h)
+	}
+}
+
+func TestBarbell(t *testing.T) {
+	g := Barbell(4, 2)
+	if got, want := g.N(), 10; got != want {
+		t.Fatalf("N = %d, want %d", got, want)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Fatal("barbell disconnected")
+	}
+	// pathLen=0 reduces to TwoCliquesBridge.
+	a, b := Barbell(4, 0), TwoCliquesBridge(4)
+	for u := 0; u < a.N(); u++ {
+		for v := 0; v < a.N(); v++ {
+			if a.HasEdge(u, v) != b.HasEdge(u, v) {
+				t.Fatalf("Barbell(4,0) differs from TwoCliquesBridge(4) at {%d,%d}", u, v)
+			}
+		}
+	}
+	// A longer path lowers expansion and raises the SM-cut count the
+	// adversary can exploit.
+	h2, _, err := Barbell(3, 4).ExactExpansion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, _, err := Barbell(3, 0).ExactExpansion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h2.Less(h0) {
+		t.Errorf("longer barbell should have lower expansion: %v vs %v", h2, h0)
+	}
+}
+
+// TestQuickDiameterTriangleInequality property-checks dist(a,c) ≤
+// dist(a,b) + dist(b,c) on random connected graphs.
+func TestQuickDiameterTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(8)
+		g := RandomGNP(n, 0.5, rng)
+		if !g.IsConnected() {
+			return true // vacuous
+		}
+		a, b, c := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+		da := g.Distances(a)
+		db := g.Distances(b)
+		return da[c] <= da[b]+db[c]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

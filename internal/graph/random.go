@@ -1,0 +1,120 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// ErrNoRegularGraph reports parameters for which no simple d-regular graph
+// exists (n·d odd or d ≥ n).
+var ErrNoRegularGraph = errors.New("graph: no simple d-regular graph with these parameters")
+
+// RandomRegular samples a simple d-regular graph on n vertices: it builds a
+// deterministic circulant d-regular seed and then applies Θ(n·d) random
+// double-edge swaps (the standard degree-preserving Markov chain), which
+// mixes toward the uniform distribution on d-regular graphs. Random regular
+// graphs are expanders with high probability, which is how a large
+// deployment would pick a bounded-degree G_SM without an explicit
+// construction.
+//
+// Unlike the rejection-based pairing model, this construction cannot fail
+// for feasible parameters. The result is deterministic for a given rng
+// state.
+func RandomRegular(n, d int, rng *rand.Rand) (*Graph, error) {
+	if d < 0 || n < 0 {
+		return nil, fmt.Errorf("graph: invalid parameters n=%d d=%d", n, d)
+	}
+	if d == 0 {
+		return New(n), nil
+	}
+	if d >= n || (n*d)%2 != 0 {
+		return nil, fmt.Errorf("%w: n=%d d=%d", ErrNoRegularGraph, n, d)
+	}
+
+	g := circulantSeed(n, d)
+
+	// Collect the edge list once; swaps update it in place.
+	edges := make([][2]int, 0, g.M())
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+	}
+
+	swaps := 30 * len(edges)
+	for k := 0; k < swaps; k++ {
+		i := rng.Intn(len(edges))
+		j := rng.Intn(len(edges))
+		if i == j {
+			continue
+		}
+		a, b := edges[i][0], edges[i][1]
+		c, e := edges[j][0], edges[j][1]
+		if rng.Intn(2) == 1 {
+			c, e = e, c
+		}
+		// Rewire {a,b},{c,e} → {a,c},{b,e} when it keeps the graph simple.
+		if a == c || a == e || b == c || b == e {
+			continue
+		}
+		if g.HasEdge(a, c) || g.HasEdge(b, e) {
+			continue
+		}
+		g.RemoveEdge(a, b)
+		g.RemoveEdge(c, e)
+		g.AddEdge(a, c)
+		g.AddEdge(b, e)
+		edges[i] = [2]int{a, c}
+		edges[j] = [2]int{b, e}
+	}
+	return g, nil
+}
+
+// circulantSeed returns a deterministic simple d-regular graph on n
+// vertices for feasible (n, d): the circulant with offsets 1..⌊d/2⌋, plus
+// the antipodal offset n/2 when d is odd (possible only for even n, which
+// feasibility guarantees).
+func circulantSeed(n, d int) *Graph {
+	offsets := make([]int, 0, d/2+1)
+	for o := 1; o <= d/2; o++ {
+		offsets = append(offsets, o)
+	}
+	if d%2 == 1 {
+		offsets = append(offsets, n/2)
+	}
+	return Circulant(n, offsets)
+}
+
+// RandomGNP samples an Erdős–Rényi G(n, p) graph: each of the n(n-1)/2
+// possible edges is present independently with probability p.
+func RandomGNP(n int, p float64, rng *rand.Rand) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// RandomConnectedRegular samples d-regular graphs until one is connected.
+// Disconnected samples are rare for d ≥ 3 but possible; HBO needs
+// connectivity for any non-trivial fault-tolerance gain.
+func RandomConnectedRegular(n, d int, rng *rand.Rand) (*Graph, error) {
+	const maxTries = 200
+	for try := 0; try < maxTries; try++ {
+		g, err := RandomRegular(n, d, rng)
+		if err != nil {
+			return nil, err
+		}
+		if g.IsConnected() {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: no connected %d-regular graph on %d vertices found after %d tries", d, n, maxTries)
+}

@@ -1,0 +1,197 @@
+package graph
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/mnm-model/mnm/internal/bitset"
+)
+
+// SMCut is the partition structure of the paper's impossibility result
+// (§4.3): disjoint sets B = B1 ∪ B2, S and T covering all vertices such
+// that (B1 ∪ S, B2 ∪ T) is a cut of the graph and there are no edges
+// between S and T, between B1 and T, or between B2 and S. Intuitively, B is
+// the boundary of the cut; the adversary can crash B and delay all
+// messages, leaving the shared memory unable to connect S with T.
+//
+// Theorem 4.4: with f crash failures, consensus is unsolvable on G_SM if an
+// SM-cut exists with |S| ≥ n−f and |T| ≥ n−f.
+type SMCut struct {
+	B1, B2, S, T bitset.Set
+}
+
+// Verify checks every defining condition of an SM-cut on g and returns an
+// error naming the first violated one. Used by tests and by FindSMCut's
+// own self-check.
+func (c *SMCut) Verify(g *Graph) error {
+	n := g.N()
+	all := bitset.New(n)
+	for _, part := range []struct {
+		name string
+		set  bitset.Set
+	}{{"B1", c.B1}, {"B2", c.B2}, {"S", c.S}, {"T", c.T}} {
+		if part.set.Universe() != n {
+			return fmt.Errorf("smcut: %s has universe %d, want %d", part.name, part.set.Universe(), n)
+		}
+		if all.Intersects(part.set) {
+			return fmt.Errorf("smcut: %s overlaps another part", part.name)
+		}
+		all.UnionWith(part.set)
+	}
+	if all.Count() != n {
+		return fmt.Errorf("smcut: parts cover %d of %d vertices", all.Count(), n)
+	}
+
+	side1 := c.B1.Clone()
+	side1.UnionWith(c.S)
+	side2 := c.B2.Clone()
+	side2.UnionWith(c.T)
+	if side1.Empty() || side2.Empty() {
+		return fmt.Errorf("smcut: (B1∪S, B2∪T) is not a cut (one side empty)")
+	}
+
+	forbidden := []struct {
+		name string
+		a, b bitset.Set
+	}{
+		{"S–T", c.S, c.T},
+		{"B1–T", c.B1, c.T},
+		{"B2–S", c.B2, c.S},
+		// Edges crossing the cut may only run between B1 and B2:
+		{"S–B2∪T", c.S, side2},
+		{"T–B1∪S", c.T, side1},
+	}
+	for _, f := range forbidden {
+		if err := noEdgesBetween(g, f.a, f.b); err != nil {
+			return fmt.Errorf("smcut: forbidden %s edge: %w", f.name, err)
+		}
+	}
+	return nil
+}
+
+func noEdgesBetween(g *Graph, a, b bitset.Set) error {
+	var found error
+	a.ForEach(func(v int) bool {
+		if g.NeighborSet(v).Intersects(b) {
+			found = fmt.Errorf("vertex %d has a neighbor across", v)
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// MinSide returns min(|S|, |T|).
+func (c *SMCut) MinSide() int {
+	s, t := c.S.Count(), c.T.Count()
+	if s < t {
+		return s
+	}
+	return t
+}
+
+// String implements fmt.Stringer.
+func (c *SMCut) String() string {
+	return fmt.Sprintf("SM-cut{S=%v, B1=%v, B2=%v, T=%v}", c.S, c.B1, c.B2, c.T)
+}
+
+// canonicalSMCut builds the SM-cut induced by the cut (X, V∖X) with the
+// smallest possible boundary: B1 is the inner boundary of X (vertices of X
+// with a neighbor outside), B2 the inner boundary of V∖X, and S, T the
+// remainders. Any SM-cut arises this way from the cut (B1∪S, B2∪T), up to
+// moving vertices from S or T into B (which only shrinks S and T), so
+// searching canonical cuts is complete.
+func canonicalSMCut(n int, rows []uint64, x uint64) (sCount, tCount int, b1, b2 uint64) {
+	full := uint64(1)<<uint(n) - 1
+	y := full &^ x
+	for m := x; m != 0; m &= m - 1 {
+		v := bits.TrailingZeros64(m)
+		if rows[v]&y != 0 {
+			b1 |= 1 << uint(v)
+		}
+	}
+	for m := y; m != 0; m &= m - 1 {
+		v := bits.TrailingZeros64(m)
+		if rows[v]&x != 0 {
+			b2 |= 1 << uint(v)
+		}
+	}
+	sCount = bits.OnesCount64(x &^ b1)
+	tCount = bits.OnesCount64(y &^ b2)
+	return sCount, tCount, b1, b2
+}
+
+// FindSMCut searches g exhaustively for an SM-cut with |S| ≥ minSide and
+// |T| ≥ minSide, returning a maximal-min-side witness if one exists.
+// By Theorem 4.4, a witness with minSide = n−f proves consensus is
+// unsolvable with f crashes. Exponential in n; see MaxEnumN.
+func (g *Graph) FindSMCut(minSide int) (*SMCut, bool, error) {
+	if err := g.enumErr("FindSMCut"); err != nil {
+		return nil, false, err
+	}
+	if g.n < 2 || minSide < 1 {
+		return nil, false, nil
+	}
+	rows := g.rowMasks()
+	full := uint64(1)<<uint(g.n) - 1
+
+	var bestCut *SMCut
+	bestMin := minSide - 1
+	// Fix vertex 0 on the X side: (X, Y) and (Y, X) induce mirrored
+	// SM-cuts, so half the cut space suffices.
+	for x := uint64(1); x < full; x += 2 {
+		s, t, b1, b2 := canonicalSMCut(g.n, rows, x)
+		mside := s
+		if t < mside {
+			mside = t
+		}
+		if mside > bestMin {
+			y := full &^ x
+			cut := &SMCut{
+				B1: maskToSet(g.n, b1),
+				B2: maskToSet(g.n, b2),
+				S:  maskToSet(g.n, x&^b1),
+				T:  maskToSet(g.n, y&^b2),
+			}
+			bestMin = mside
+			bestCut = cut
+		}
+	}
+	if bestCut == nil {
+		return nil, false, nil
+	}
+	if err := bestCut.Verify(g); err != nil {
+		return nil, false, fmt.Errorf("graph: internal error, canonical SM-cut failed verification: %w", err)
+	}
+	return bestCut, true, nil
+}
+
+// MaxSMCutSide returns the maximum over all SM-cuts of min(|S|, |T|), or 0
+// if the graph admits no SM-cut at all (e.g. the complete graph).
+// Exponential in n; see MaxEnumN.
+func (g *Graph) MaxSMCutSide() (int, error) {
+	cut, ok, err := g.FindSMCut(1)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, nil
+	}
+	return cut.MinSide(), nil
+}
+
+// ImpossibilityThreshold returns the smallest crash count f for which
+// Theorem 4.4 makes consensus unsolvable on g: the smallest f with an
+// SM-cut whose sides both have ≥ n−f vertices. If the graph has no SM-cut,
+// it returns n (no finite crash count is ruled out by the theorem).
+// Exponential in n; see MaxEnumN.
+func (g *Graph) ImpossibilityThreshold() (int, error) {
+	m, err := g.MaxSMCutSide()
+	if err != nil {
+		return 0, err
+	}
+	if m == 0 {
+		return g.n, nil
+	}
+	return g.n - m, nil
+}

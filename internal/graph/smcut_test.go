@@ -1,0 +1,211 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/mnm-model/mnm/internal/bitset"
+)
+
+func TestFindSMCutPath(t *testing.T) {
+	// Path 0-1-2-3-4-5-6: cutting at the middle edge gives B1={3} (say),
+	// B2={4}? Canonical: X = {0,1,2,3} → B1={3}, S={0,1,2}; Y={4,5,6} →
+	// B2={4}, T={5,6}. So an SM-cut with min side ≥ 2 exists.
+	g := Path(7)
+	cut, ok, err := g.FindSMCut(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("no SM-cut found on Path(7)")
+	}
+	if err := cut.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if cut.MinSide() < 2 {
+		t.Errorf("MinSide = %d, want ≥ 2", cut.MinSide())
+	}
+}
+
+func TestFindSMCutComplete(t *testing.T) {
+	// The complete graph has no SM-cut with non-empty S and T: every
+	// vertex of one side neighbors every vertex of the other.
+	g := Complete(6)
+	_, ok, err := g.FindSMCut(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("found SM-cut on K6")
+	}
+	thr, err := g.ImpossibilityThreshold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr != 6 {
+		t.Errorf("ImpossibilityThreshold(K6) = %d, want 6 (none)", thr)
+	}
+}
+
+func TestFindSMCutTwoCliques(t *testing.T) {
+	// Two 5-cliques and a bridge: X = one clique gives S of size 4,
+	// T of size 4 (the bridge endpoints are B1, B2).
+	g := TwoCliquesBridge(5)
+	cut, ok, err := g.FindSMCut(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("no SM-cut with sides ≥ 4 on two 5-cliques + bridge")
+	}
+	if got := cut.MinSide(); got != 4 {
+		t.Errorf("MinSide = %d, want 4", got)
+	}
+	// Impossibility: n = 10, max min-side 4 → consensus impossible for
+	// f ≥ 6 by Theorem 4.4.
+	thr, err := g.ImpossibilityThreshold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr != 6 {
+		t.Errorf("ImpossibilityThreshold = %d, want 6", thr)
+	}
+}
+
+func TestEdgelessSMCut(t *testing.T) {
+	// No shared memory at all: the pure message-passing partition
+	// argument applies, S and T can split the vertices nearly in half
+	// with empty B.
+	g := Edgeless(8)
+	cut, ok, err := g.FindSMCut(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("no SM-cut on edgeless graph")
+	}
+	if !cut.B1.Empty() || !cut.B2.Empty() {
+		t.Errorf("edgeless SM-cut has non-empty boundary: %v", cut)
+	}
+	if cut.MinSide() != 4 {
+		t.Errorf("MinSide = %d, want 4", cut.MinSide())
+	}
+	// f ≥ n - 4 = 4 is impossible — matching the classic f ≥ n/2
+	// message-passing bound.
+	thr, err := g.ImpossibilityThreshold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr != 4 {
+		t.Errorf("ImpossibilityThreshold = %d, want 4", thr)
+	}
+}
+
+func TestSMCutVerifyRejectsBadCuts(t *testing.T) {
+	g := Path(4) // 0-1-2-3
+	mk := func(b1, b2, s, tt []int) *SMCut {
+		return &SMCut{
+			B1: bitset.FromSlice(4, b1),
+			B2: bitset.FromSlice(4, b2),
+			S:  bitset.FromSlice(4, s),
+			T:  bitset.FromSlice(4, tt),
+		}
+	}
+	if err := mk([]int{1}, []int{2}, []int{0}, []int{3}).Verify(g); err != nil {
+		t.Errorf("valid SM-cut rejected: %v", err)
+	}
+	bad := []struct {
+		name string
+		cut  *SMCut
+	}{
+		{"S–T edge", mk([]int{}, []int{}, []int{0, 1}, []int{2, 3})},
+		{"B1–T edge", mk([]int{2}, []int{}, []int{0, 1}, []int{3})},
+		{"overlap", mk([]int{1}, []int{1}, []int{0}, []int{2, 3})},
+		{"not covering", mk([]int{1}, []int{2}, []int{0}, []int{})},
+	}
+	for _, tc := range bad {
+		if err := tc.cut.Verify(g); err == nil {
+			t.Errorf("%s: Verify accepted invalid cut %v", tc.name, tc.cut)
+		}
+	}
+}
+
+// TestQuickSMCutConsistency checks on random graphs that (1) any found cut
+// verifies, and (2) the impossibility threshold is consistent with the
+// exact HBO tolerance: HBO terminates at tolerance f_t, so solvability at
+// f_t forces f_t < ImpossibilityThreshold.
+func TestQuickSMCutConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(9)
+		g := RandomGNP(n, 0.25+0.5*rng.Float64(), rng)
+		cut, ok, err := g.FindSMCut(1)
+		if err != nil {
+			return false
+		}
+		if ok && cut.Verify(g) != nil {
+			return false
+		}
+		thr, err := g.ImpossibilityThreshold()
+		if err != nil {
+			return false
+		}
+		tol, err := g.ExactHBOTolerance()
+		if err != nil {
+			return false
+		}
+		return tol < thr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkExactExpansion(b *testing.B) {
+	g := Hypercube(4) // n = 16
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := g.ExactExpansion(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFindSMCut(b *testing.B) {
+	g := TwoCliquesBridge(8) // n = 16
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := g.FindSMCut(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedyExpansion(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := RandomConnectedRegular(100, 6, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.GreedyExpansionUpperBound(rng, 3)
+	}
+}
+
+func BenchmarkSpectralBound(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := RandomConnectedRegular(400, 8, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.SpectralExpansionLowerBound(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package hbo
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/benor"
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/graph"
+	"github.com/mnm-model/mnm/internal/sched"
+	"github.com/mnm-model/mnm/internal/sim"
+)
+
+// TestMemorySurvivabilityIsLoadBearing inverts the paper's §3 assumption
+// that shared memory does not fail: when a crashed process takes its
+// registers down with it (non-RDMA semantics), HBO's consensus objects at
+// that host become unusable and the algorithm cannot deliver its
+// guarantees — precisely why the model insists on crash-surviving memory.
+func TestMemorySurvivabilityIsLoadBearing(t *testing.T) {
+	inputs := []benor.Val{benor.V0, benor.V1, benor.V0, benor.V1, benor.V0}
+	crashes := []sim.Crash{{Proc: 1, AtStep: 40}, {Proc: 2, AtStep: 80}}
+
+	run := func(memFails bool) (*sim.Result, error) {
+		r, err := sim.New(sim.Config{
+			GSM:                  graph.Complete(5),
+			Seed:                 3,
+			MaxSteps:             400_000,
+			Crashes:              crashes,
+			MemoryFailsWithCrash: memFails,
+			StopWhen:             func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, DecisionKey) },
+		}, New(Config{Inputs: inputs}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Run()
+	}
+
+	// Baseline: with surviving memory, the same crash plan decides.
+	res, err := run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped || len(res.Errors) != 0 {
+		t.Fatalf("baseline failed: stopped=%v errs=%v", res.Stopped, res.Errors)
+	}
+
+	// Ablation: memory dies with the process → HBO loses its guarantee
+	// (survivors hit failed consensus objects, error out, and the run
+	// ends with nobody left to schedule).
+	res, err = run(true)
+	if err != nil && !errors.Is(err, sim.ErrNoProgress) {
+		t.Fatal(err)
+	}
+	if res.Stopped && len(res.Errors) == 0 {
+		t.Fatal("HBO retained termination despite failing memory — the ablation should break it")
+	}
+	foundMemErr := false
+	for _, e := range res.Errors {
+		if errors.Is(e, core.ErrMemoryFailed) {
+			foundMemErr = true
+		}
+	}
+	if !foundMemErr {
+		t.Errorf("expected ErrMemoryFailed from survivors, got %v", res.Errors)
+	}
+}
+
+// lowestStepAdversary keeps all undecided processes in lockstep: it always
+// schedules the runnable process with the fewest local steps — the
+// schedule that maximizes simultaneous (conflicting) phase entry, the
+// classically bad case for Ben-Or-style random tie-breaking.
+func lowestStepAdversary() sched.Scheduler {
+	return sched.Func(func(v sched.View) core.ProcID {
+		best := core.NoProc
+		var bestSteps uint64
+		for p := 0; p < v.N(); p++ {
+			id := core.ProcID(p)
+			if !v.Runnable(id) {
+				continue
+			}
+			if best == core.NoProc || v.StepsOf(id) < bestSteps {
+				best = id
+				bestSteps = v.StepsOf(id)
+			}
+		}
+		return best
+	})
+}
+
+func TestLockstepAdversary(t *testing.T) {
+	// Safety must hold and termination must still occur w.p. 1 under the
+	// lockstep adversary (the local coins eventually align).
+	inputs := []benor.Val{benor.V0, benor.V1, benor.V0, benor.V1, benor.V0, benor.V1}
+	for seed := int64(0); seed < 5; seed++ {
+		r, err := sim.New(sim.Config{
+			GSM:       graph.Complete(6),
+			Seed:      seed,
+			Scheduler: lowestStepAdversary(),
+			MaxSteps:  5_000_000,
+			StopWhen:  func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, DecisionKey) },
+		}, New(Config{Inputs: inputs}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Stopped {
+			t.Fatalf("seed %d: no termination under lockstep adversary", seed)
+		}
+		checkAgreement(t, decisions(r, 6), inputs)
+	}
+}
+
+// TestStarvationAdversary starves one process for a long prefix; the
+// others must decide without it, and the late-scheduled process must catch
+// up to the same decision from its buffered messages and the shared
+// decision registers.
+func TestStarvationAdversary(t *testing.T) {
+	inputs := []benor.Val{benor.V1, benor.V0, benor.V1, benor.V0, benor.V1}
+	starved := core.ProcID(4)
+	inner := &sched.RoundRobin{}
+	s := sched.Func(func(v sched.View) core.ProcID {
+		if v.GlobalStep() < 100_000 {
+			// Round-robin among everyone except the starved process.
+			for i := 0; i < v.N(); i++ {
+				p := inner.Next(v)
+				if p != starved {
+					return p
+				}
+			}
+		}
+		return inner.Next(v)
+	})
+	r, err := sim.New(sim.Config{
+		GSM:       graph.Complete(5),
+		Seed:      9,
+		Scheduler: s,
+		MaxSteps:  5_000_000,
+		StopWhen:  func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, DecisionKey) },
+	}, New(Config{Inputs: inputs}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatalf("no termination with starved process: %+v", res)
+	}
+	decs := decisions(r, 5)
+	if _, ok := decs[starved]; !ok {
+		t.Fatal("starved process never decided after being released")
+	}
+	checkAgreement(t, decs, inputs)
+	// The others must have decided well before the starved process ran.
+	if r.StepsOf(starved) > 200_000 {
+		t.Errorf("starved process took %d steps — starvation did not happen", r.StepsOf(starved))
+	}
+}

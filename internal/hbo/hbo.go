@@ -1,0 +1,354 @@
+// Package hbo implements Hybrid Ben-Or (HBO), the m&m consensus algorithm
+// of Figure 2 in "Passing Messages while Sharing Memory" (PODC 2018).
+//
+// HBO simulates Ben-Or's message-passing consensus while using shared
+// memory to survive more crashes: before sending in a phase, process p
+// agrees with each shared-memory neighbor q's neighborhood — through a
+// wait-free consensus object RVals[q, k] / PVals[q, k] placed at q — on
+// the message q is *supposed* to send, and then sends a message carrying a
+// tuple ⟨q, agreed value⟩ for every q in {p} ∪ neighbors(p). A message
+// therefore *represents* all the processes whose tuples it carries, and
+// the Ben-Or quorum "more than n/2 messages" becomes "messages
+// representing more than n/2 distinct processes". A crashed process keeps
+// being represented as long as any of its G_SM neighbors survives, which
+// is how the fault tolerance grows from ⌊(n−1)/2⌋ to
+// f < (1 − 1/(2(1+h(G_SM)))) · n (Theorem 4.3).
+//
+// Safety (uniform agreement, validity — Theorem 4.1) holds in every run
+// with reliable links; termination with probability 1 (Theorem 4.2)
+// requires a majority of processes to stay represented.
+package hbo
+
+import (
+	"fmt"
+
+	"github.com/mnm-model/mnm/internal/benor"
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/regcons"
+)
+
+// Register family names for the two consensus-object arrays of Figure 2.
+const (
+	RValsName = "RVals"
+	PValsName = "PVals"
+)
+
+// Expose keys published by HBO processes.
+const (
+	// DecisionKey carries the decided benor.Val.
+	DecisionKey = "decision"
+	// RoundKey carries the current round number.
+	RoundKey = "round"
+)
+
+// Tuple is one ⟨q, val⟩ entry of an HBO message: the agreed value of the
+// message that process Q is supposed to send.
+type Tuple struct {
+	Q   core.ProcID
+	Val benor.Val
+}
+
+// Msg is an HBO message: a phase, a round, and one tuple per process the
+// message represents.
+type Msg struct {
+	Phase  benor.Phase
+	Round  int
+	Tuples []Tuple
+}
+
+// Decided is the terminal broadcast used when HaltAfterDecide is set.
+type Decided struct {
+	Val benor.Val
+}
+
+// Config parameterizes HBO.
+type Config struct {
+	// Inputs holds each process's proposal (benor.V0 or benor.V1).
+	Inputs []benor.Val
+	// UseCAS switches the per-neighborhood consensus objects from the
+	// register-only racing construction to single compare-and-swap
+	// registers (the RDMA hardware-primitive ablation).
+	UseCAS bool
+	// HaltAfterDecide makes processes broadcast a final decision message
+	// and halt after deciding, instead of the paper's run-forever loop.
+	HaltAfterDecide bool
+	// MaxObjectRounds bounds each racing consensus object's rounds
+	// (0 = unlimited); it is a simulation safety valve only.
+	MaxObjectRounds int
+}
+
+// Validate checks the configuration for n processes.
+func (c Config) Validate(n int) error {
+	if len(c.Inputs) != n {
+		return fmt.Errorf("hbo: %d inputs for %d processes", len(c.Inputs), n)
+	}
+	for p, v := range c.Inputs {
+		if v != benor.V0 && v != benor.V1 {
+			return fmt.Errorf("hbo: input of p%d is %v, want 0 or 1", p, v)
+		}
+	}
+	return nil
+}
+
+// New returns the HBO algorithm for the given configuration.
+func New(cfg Config) core.Algorithm {
+	return core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			return run(env, cfg)
+		}
+	})
+}
+
+// repTable accumulates, for one (phase, round), the agreed value of every
+// represented process.
+type repTable struct {
+	vals map[core.ProcID]benor.Val
+}
+
+// add records a tuple; consensus-object agreement makes conflicting values
+// for the same id impossible, so a conflict is a hard error.
+func (rt *repTable) add(tp Tuple) error {
+	if rt.vals == nil {
+		rt.vals = make(map[core.ProcID]benor.Val)
+	}
+	if prev, ok := rt.vals[tp.Q]; ok {
+		if prev != tp.Val {
+			return fmt.Errorf("hbo: conflicting tuples for %v: %v vs %v (consensus object violation)", tp.Q, prev, tp.Val)
+		}
+		return nil
+	}
+	rt.vals[tp.Q] = tp.Val
+	return nil
+}
+
+// represented returns the number of distinct processes represented.
+func (rt *repTable) represented() int { return len(rt.vals) }
+
+// majorityValue returns a non-'?' value represented by more than n/2
+// distinct processes, if any.
+func (rt *repTable) majorityValue(n int) (benor.Val, bool) {
+	counts := make(map[benor.Val]int, 3)
+	for _, v := range rt.vals {
+		counts[v]++
+	}
+	for v, c := range counts {
+		if v != benor.Unknown && 2*c > n {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// anyValue returns any non-'?' value present in the table.
+func (rt *repTable) anyValue() (benor.Val, bool) {
+	for _, v := range rt.vals {
+		if v != benor.Unknown {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func run(env core.Env, cfg Config) error {
+	n := env.N()
+	if err := cfg.Validate(n); err != nil {
+		return err
+	}
+
+	// group is {p} ∪ neighbors(p): the processes whose messages p helps
+	// agree on and relays.
+	group := make([]core.ProcID, 0, len(env.Neighbors())+1)
+	group = append(group, env.ID())
+	group = append(group, env.Neighbors()...)
+
+	objectFor := func(family string, q core.ProcID, round int) (regcons.Object, error) {
+		base := core.RegI(q, family, round)
+		if cfg.UseCAS {
+			return regcons.NewCASBased(base), nil
+		}
+		rc, err := regcons.NewRacing(base, benor.Domain())
+		if err != nil {
+			return nil, err
+		}
+		rc.MaxRounds = cfg.MaxObjectRounds
+		return rc, nil
+	}
+
+	// agreeAll proposes v to family[q, round] for every q in the group
+	// and returns the tuples to send.
+	agreeAll := func(family string, round int, v benor.Val) ([]Tuple, error) {
+		tuples := make([]Tuple, 0, len(group))
+		for _, q := range group {
+			obj, err := objectFor(family, q, round)
+			if err != nil {
+				return nil, err
+			}
+			agreed, err := obj.Propose(env, v)
+			if err != nil {
+				return nil, fmt.Errorf("hbo: propose to %s[%v,%d]: %w", family, q, round, err)
+			}
+			av, ok := agreed.(benor.Val)
+			if !ok {
+				return nil, fmt.Errorf("hbo: object %s[%v,%d] returned %T", family, q, round, agreed)
+			}
+			tuples = append(tuples, Tuple{Q: q, Val: av})
+		}
+		return tuples, nil
+	}
+
+	// agreeEach is the randomized variant of Figure 2's last branch: a
+	// fresh coin is flipped for every neighbor ("v ← 0 or 1 randomly"
+	// inside the for-loop).
+	agreeEach := func(family string, round int) ([]Tuple, error) {
+		tuples := make([]Tuple, 0, len(group))
+		for _, q := range group {
+			obj, err := objectFor(family, q, round)
+			if err != nil {
+				return nil, err
+			}
+			v := benor.Val(env.Rand().Intn(2))
+			agreed, err := obj.Propose(env, v)
+			if err != nil {
+				return nil, fmt.Errorf("hbo: propose to %s[%v,%d]: %w", family, q, round, err)
+			}
+			av, ok := agreed.(benor.Val)
+			if !ok {
+				return nil, fmt.Errorf("hbo: object %s[%v,%d] returned %T", family, q, round, agreed)
+			}
+			tuples = append(tuples, Tuple{Q: q, Val: av})
+		}
+		return tuples, nil
+	}
+
+	var (
+		inbox    core.Inbox
+		tables   = map[benor.Phase]map[int]*repTable{benor.PhaseR: {}, benor.PhaseP: {}}
+		decided  = false
+		decision benor.Val
+	)
+
+	tableOf := func(ph benor.Phase, k int) *repTable {
+		tb := tables[ph][k]
+		if tb == nil {
+			tb = &repTable{}
+			tables[ph][k] = tb
+		}
+		return tb
+	}
+
+	var tupleErr error
+	drain := func() (benor.Val, bool) {
+		inbox.DrainFrom(env)
+		for _, m := range inbox.Take(func(core.Message) bool { return true }) {
+			switch pay := m.Payload.(type) {
+			case Msg:
+				tb := tableOf(pay.Phase, pay.Round)
+				for _, tp := range pay.Tuples {
+					if err := tb.add(tp); err != nil && tupleErr == nil {
+						tupleErr = err
+					}
+				}
+			case Decided:
+				return pay.Val, true
+			}
+		}
+		return 0, false
+	}
+
+	decide := func(v benor.Val) error {
+		if !decided {
+			decided = true
+			decision = v
+			env.Expose(DecisionKey, v)
+			env.Logf("decided %v", v)
+		}
+		if cfg.HaltAfterDecide {
+			return env.Broadcast(Decided{Val: v})
+		}
+		return nil
+	}
+
+	// collect waits until messages of the form (phase, round, *) represent
+	// more than n/2 processes.
+	collect := func(ph benor.Phase, k int) (*repTable, *benor.Val, error) {
+		for {
+			if dv, ok := drain(); ok {
+				return nil, &dv, nil
+			}
+			if tupleErr != nil {
+				return nil, nil, tupleErr
+			}
+			tb := tableOf(ph, k)
+			if 2*tb.represented() > n {
+				return tb, nil, nil
+			}
+			env.Yield()
+		}
+	}
+
+	// Initial proposals: message[q] ← ⟨q, RVals[q,1].propose(v_p)⟩.
+	k := 1
+	tuples, err := agreeAll(RValsName, k, cfg.Inputs[env.ID()])
+	if err != nil {
+		return err
+	}
+
+	for {
+		env.Expose(RoundKey, k)
+
+		// Phase R: send the represented estimates to all.
+		if err := env.Broadcast(Msg{Phase: benor.PhaseR, Round: k, Tuples: tuples}); err != nil {
+			return err
+		}
+		rt, dv, err := collect(benor.PhaseR, k)
+		if err != nil {
+			return err
+		}
+		if dv != nil {
+			return decide(*dv)
+		}
+		if v, ok := rt.majorityValue(n); ok {
+			tuples, err = agreeAll(PValsName, k, v)
+		} else {
+			tuples, err = agreeAll(PValsName, k, benor.Unknown)
+		}
+		if err != nil {
+			return err
+		}
+
+		// Phase P: send the represented proposals to all.
+		if err := env.Broadcast(Msg{Phase: benor.PhaseP, Round: k, Tuples: tuples}); err != nil {
+			return err
+		}
+		pt, dv, err := collect(benor.PhaseP, k)
+		if err != nil {
+			return err
+		}
+		if dv != nil {
+			return decide(*dv)
+		}
+		if v, ok := pt.majorityValue(n); ok {
+			if err := decide(v); err != nil {
+				return err
+			}
+			if cfg.HaltAfterDecide {
+				return nil
+			}
+		}
+
+		k++
+		switch {
+		case decided:
+			tuples, err = agreeAll(RValsName, k, decision)
+		default:
+			if v, ok := pt.anyValue(); ok {
+				tuples, err = agreeAll(RValsName, k, v)
+			} else {
+				tuples, err = agreeEach(RValsName, k)
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+}

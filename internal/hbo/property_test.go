@@ -1,0 +1,141 @@
+package hbo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/mnm-model/mnm/internal/benor"
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/graph"
+	"github.com/mnm-model/mnm/internal/msgnet"
+	"github.com/mnm-model/mnm/internal/sched"
+	"github.com/mnm-model/mnm/internal/sim"
+)
+
+// TestQuickSafetyOnRandomSystems property-checks Theorem 4.1 (validity and
+// uniform agreement hold in EVERY run, whatever the topology, crash plan,
+// schedule and delays) over randomized systems. Termination is not
+// asserted — the adversary may crash past the tolerance — so runs are
+// budget-bounded and judged only on the decisions that did happen.
+func TestQuickSafetyOnRandomSystems(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(5) // 3..7
+		g := graph.RandomGNP(n, 0.2+0.6*rng.Float64(), rng)
+
+		inputs := make([]benor.Val, n)
+		anyOne := false
+		for i := range inputs {
+			inputs[i] = benor.Val(rng.Intn(2))
+			if inputs[i] == benor.V1 {
+				anyOne = true
+			}
+		}
+
+		// Random crash plan: up to n-1 crashes at random steps.
+		var crashes []sim.Crash
+		perm := rng.Perm(n)
+		for _, v := range perm[:rng.Intn(n)] {
+			crashes = append(crashes, sim.Crash{
+				Proc:   core.ProcID(v),
+				AtStep: uint64(rng.Intn(2000)),
+			})
+		}
+
+		r, err := sim.New(sim.Config{
+			GSM:       g,
+			Seed:      seed,
+			Scheduler: sched.NewRandom(seed * 3),
+			Delivery:  msgnet.RandomDelay{Max: uint64(rng.Intn(20)), Seed: uint64(seed)},
+			MaxSteps:  60_000,
+			Crashes:   crashes,
+			StopWhen:  func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, DecisionKey) },
+		}, New(Config{Inputs: inputs}))
+		if err != nil {
+			return false
+		}
+		res, err := r.Run()
+		if err != nil {
+			return false
+		}
+		for _, e := range res.Errors {
+			_ = e
+			return false // no process may fail internally
+		}
+
+		var agreed *benor.Val
+		for p := 0; p < n; p++ {
+			raw := r.Exposed(core.ProcID(p), DecisionKey)
+			if raw == nil {
+				continue
+			}
+			v, ok := raw.(benor.Val)
+			if !ok {
+				return false
+			}
+			// Validity: only a proposed binary value may be decided.
+			if v != benor.V0 && v != benor.V1 {
+				return false
+			}
+			if v == benor.V1 && !anyOne {
+				return false
+			}
+			anyZero := false
+			for _, in := range inputs {
+				if in == benor.V0 {
+					anyZero = true
+				}
+			}
+			if v == benor.V0 && !anyZero {
+				return false
+			}
+			// Uniform agreement (including decisions by processes that
+			// crashed after deciding — their exposure persists).
+			if agreed == nil {
+				agreed = &v
+			} else if *agreed != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 35}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHeldMessagesDelaySafety holds ALL messages from two processes for a
+// long prefix (they can still do shared-memory work); safety and, with a
+// represented majority, termination must survive.
+func TestHeldMessagesDelaySafety(t *testing.T) {
+	held := map[core.ProcID]bool{0: true, 1: true}
+	policy := policyFunc(func(from, to core.ProcID, sentAt, now uint64) bool {
+		return !held[from] || now > 20_000
+	})
+	inputs := []benor.Val{benor.V0, benor.V1, benor.V0, benor.V1, benor.V0}
+	r, err := sim.New(sim.Config{
+		GSM:      graph.Complete(5),
+		Seed:     4,
+		Delivery: policy,
+		MaxSteps: 5_000_000,
+		StopWhen: func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, DecisionKey) },
+	}, New(Config{Inputs: inputs}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatalf("no termination after messages released: %+v", res)
+	}
+	checkAgreement(t, decisions(r, 5), inputs)
+}
+
+type policyFunc func(from, to core.ProcID, sentAt, now uint64) bool
+
+func (f policyFunc) Deliverable(from, to core.ProcID, sentAt, now uint64) bool {
+	return f(from, to, sentAt, now)
+}

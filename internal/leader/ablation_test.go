@@ -1,0 +1,215 @@
+package leader
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/graph"
+	"github.com/mnm-model/mnm/internal/sim"
+)
+
+// TestMemoryFailureBreaksMonitoring inverts the crash-surviving-memory
+// assumption: when the leader's STATE register dies with it, followers
+// cannot even execute the monitoring protocol (their reads fail), let
+// alone elect a replacement — the §3 assumption is load-bearing for Ω too.
+func TestMemoryFailureBreaksMonitoring(t *testing.T) {
+	stable := StableLeaderCondition(3_000)
+	r, err := sim.New(sim.Config{
+		GSM:                  graph.Complete(3),
+		Seed:                 4,
+		MaxSteps:             500_000,
+		Crashes:              []sim.Crash{{Proc: 0, AtStep: 50_000}},
+		MemoryFailsWithCrash: true,
+		StopWhen: func(r *sim.Runner) bool {
+			// Only count stability after the crash; the pre-crash
+			// system stabilizes on p0 almost immediately.
+			return r.GlobalStep() > 50_000 && stable(r)
+		},
+	}, New(Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil && !errors.Is(err, sim.ErrNoProgress) {
+		t.Fatal(err)
+	}
+	memErrs := 0
+	for _, e := range res.Errors {
+		if errors.Is(e, core.ErrMemoryFailed) {
+			memErrs++
+		}
+	}
+	if memErrs == 0 {
+		t.Errorf("expected followers to fail on the dead STATE register, got %v", res.Errors)
+	}
+}
+
+func TestTwoProcessSystem(t *testing.T) {
+	// Ω with n=2: the minimum interesting system. Both notifiers must
+	// stabilize.
+	for _, kind := range []NotifierKind{MessageNotifier, SharedMemoryNotifier} {
+		r, err := sim.New(sim.Config{
+			GSM:      graph.Complete(2),
+			Seed:     6,
+			MaxSteps: 1_000_000,
+			StopWhen: StableLeaderCondition(stableWindow),
+		}, New(Config{Notifier: kind}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Stopped {
+			t.Fatalf("%v: n=2 did not stabilize", kind)
+		}
+	}
+}
+
+func TestSingleProcessElectsItself(t *testing.T) {
+	r, err := sim.New(sim.Config{
+		GSM:      graph.Complete(1),
+		Seed:     1,
+		MaxSteps: 200_000,
+		StopWhen: StableLeaderCondition(1_000),
+	}, New(Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatal("singleton system did not stabilize")
+	}
+	if l := r.Exposed(0, LeaderKey); l != core.ProcID(0) {
+		t.Errorf("singleton leader = %v", l)
+	}
+}
+
+func TestAggressiveInitialTimeout(t *testing.T) {
+	// A tiny initial timeout triggers many false suspicions; the adaptive
+	// timeout increments (line 39) must still converge.
+	r, err := sim.New(sim.Config{
+		GSM:       graph.Complete(4),
+		Seed:      8,
+		Scheduler: timelySched(2, 3),
+		MaxSteps:  6_000_000,
+		StopWhen:  StableLeaderCondition(stableWindow),
+	}, New(Config{InitialTimeout: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatalf("no stabilization with InitialTimeout=1: %+v", res)
+	}
+}
+
+func TestBadnessMonotonicityAndAccusations(t *testing.T) {
+	// Badness counters never decrease, and a process that keeps claiming
+	// leadership while being slow accumulates badness. Verify on a run
+	// where process 3 is timely and others contend.
+	var lastBadness [4]uint64
+	stable := StableLeaderCondition(stableWindow)
+	r, err := sim.New(sim.Config{
+		GSM:       graph.Complete(4),
+		Seed:      10,
+		Scheduler: timelySched(3, 7),
+		MaxSteps:  2_000_000,
+		StopWhen: func(r *sim.Runner) bool {
+			for p := core.ProcID(0); p < 4; p++ {
+				b, _ := r.Exposed(p, BadnessKey).(uint64)
+				if b < lastBadness[p] {
+					panic("badness decreased") // surfaced as process panic-free runner error
+				}
+				lastBadness[p] = b
+			}
+			return stable(r)
+		},
+	}, New(Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatalf("no stabilization: %+v", res)
+	}
+	// The eventual leader must have minimal badness among the final
+	// contender outputs (a weaker, observable version of the proof's
+	// "smallest badness wins").
+	l, ok := CommonLeader(r)
+	if !ok {
+		t.Fatal("no common leader")
+	}
+	lb, _ := r.Exposed(l, BadnessKey).(uint64)
+	for p := core.ProcID(0); p < 4; p++ {
+		if pb, _ := r.Exposed(p, BadnessKey).(uint64); pb < lb {
+			t.Logf("process %v has lower badness (%d) than leader %v (%d) — allowed if it stopped contending", p, pb, l, lb)
+		}
+	}
+}
+
+func TestDetectorForeignMessages(t *testing.T) {
+	// Non-detector traffic must surface in Detector.Foreign rather than
+	// being swallowed.
+	type appMsg struct{ X int }
+	got := make(chan int, 1)
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			det, err := NewDetector(env, Config{})
+			if err != nil {
+				return err
+			}
+			if env.ID() == 0 {
+				if err := env.Send(1, appMsg{X: 42}); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < 2000; i++ {
+				if err := det.Tick(env); err != nil {
+					return err
+				}
+				for _, m := range det.Foreign {
+					if am, ok := m.Payload.(appMsg); ok {
+						select {
+						case got <- am.X:
+						default:
+						}
+					}
+				}
+				det.Foreign = det.Foreign[:0]
+				env.Yield()
+			}
+			return nil
+		}
+	})
+	r, err := sim.New(sim.Config{GSM: graph.Complete(2), MaxSteps: 2_000_000}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, e := range res.Errors {
+		t.Fatalf("process %v: %v", p, e)
+	}
+	select {
+	case x := <-got:
+		if x != 42 {
+			t.Errorf("foreign payload = %d", x)
+		}
+	default:
+		t.Error("application message swallowed by the detector")
+	}
+}

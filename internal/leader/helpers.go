@@ -1,0 +1,76 @@
+package leader
+
+import (
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/msgnet"
+	"github.com/mnm-model/mnm/internal/sim"
+)
+
+// CommonLeader returns the leader agreed by every non-crashed process, or
+// (NoProc, false) if outputs diverge, are missing, or point at a crashed
+// process.
+func CommonLeader(r *sim.Runner) (core.ProcID, bool) {
+	common := core.NoProc
+	for p := 0; p < r.N(); p++ {
+		id := core.ProcID(p)
+		if r.Crashed(id) {
+			continue
+		}
+		raw := r.Exposed(id, LeaderKey)
+		l, ok := raw.(core.ProcID)
+		if !ok || l == core.NoProc {
+			return core.NoProc, false
+		}
+		if common == core.NoProc {
+			common = l
+		} else if common != l {
+			return core.NoProc, false
+		}
+	}
+	if common == core.NoProc || r.Crashed(common) {
+		return core.NoProc, false
+	}
+	return common, true
+}
+
+// StableLeaderCondition returns a sim StopWhen that fires once all correct
+// processes have output the same correct leader for window consecutive
+// global steps — the observable form of Ω's "there is a time after which
+// every correct process outputs the same correct leader".
+func StableLeaderCondition(window uint64) func(*sim.Runner) bool {
+	var (
+		streak uint64
+		last   = core.NoProc
+	)
+	return func(r *sim.Runner) bool {
+		l, ok := CommonLeader(r)
+		if !ok {
+			streak = 0
+			last = core.NoProc
+			return false
+		}
+		if l != last {
+			streak = 0
+			last = l
+		}
+		streak++
+		return streak >= window
+	}
+}
+
+// DropNotifications is a msgnet.DropPolicy that drops every Figure-4
+// notification message and delivers everything else. It is a *legal*
+// fair-lossy adversary: the Fair-loss axiom only protects messages sent
+// infinitely often, and the Figure-3+4 algorithm notifies a contender only
+// finitely many times. Running the MessageNotifier algorithm under this
+// policy exhibits exactly the failure mode that motivates the Figure-5
+// shared-register notifier (§5.2, Theorem 5.4).
+type DropNotifications struct{}
+
+var _ msgnet.DropPolicy = DropNotifications{}
+
+// Drop implements msgnet.DropPolicy.
+func (DropNotifications) Drop(_, _ core.ProcID, payload core.Value) bool {
+	_, isNotify := payload.(notifyMsg)
+	return isNotify
+}

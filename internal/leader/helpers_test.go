@@ -1,0 +1,128 @@
+package leader
+
+import (
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/graph"
+	"github.com/mnm-model/mnm/internal/sim"
+)
+
+// runWithStop runs a trivial exposing algorithm and returns the runner.
+func runExposer(t *testing.T, n int, expose func(env core.Env) core.Value, crashes []sim.Crash, maxSteps uint64) *sim.Runner {
+	t.Helper()
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			for {
+				env.Expose(LeaderKey, expose(env))
+				env.Yield()
+			}
+		}
+	})
+	r, err := sim.New(sim.Config{
+		GSM:      graph.Complete(n),
+		MaxSteps: maxSteps,
+		Crashes:  crashes,
+	}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestCommonLeaderAgreeing(t *testing.T) {
+	r := runExposer(t, 3, func(core.Env) core.Value { return core.ProcID(1) }, nil, 100)
+	l, ok := CommonLeader(r)
+	if !ok || l != 1 {
+		t.Errorf("CommonLeader = (%v, %v), want (p1, true)", l, ok)
+	}
+}
+
+func TestCommonLeaderDiverging(t *testing.T) {
+	r := runExposer(t, 3, func(env core.Env) core.Value { return env.ID() }, nil, 100)
+	if _, ok := CommonLeader(r); ok {
+		t.Error("divergent outputs reported as common")
+	}
+}
+
+func TestCommonLeaderPointingAtCrashed(t *testing.T) {
+	// Everyone elects p0, but p0 is crashed: Ω requires a *correct*
+	// leader, so there is no valid common leader.
+	r := runExposer(t, 3, func(core.Env) core.Value { return core.ProcID(0) },
+		[]sim.Crash{{Proc: 0, AtStep: 0}}, 200)
+	if _, ok := CommonLeader(r); ok {
+		t.Error("crashed leader accepted as common leader")
+	}
+}
+
+func TestCommonLeaderIgnoresCrashedVoters(t *testing.T) {
+	// A crashed process's stale (divergent) output must not block
+	// agreement among the correct ones.
+	r := runExposer(t, 3, func(env core.Env) core.Value {
+		if env.ID() == 2 {
+			return core.ProcID(2) // diverges, then crashes
+		}
+		return core.ProcID(1)
+	}, []sim.Crash{{Proc: 2, AtStep: 50}}, 500)
+	l, ok := CommonLeader(r)
+	if !ok || l != 1 {
+		t.Errorf("CommonLeader = (%v, %v), want (p1, true) ignoring the crashed voter", l, ok)
+	}
+}
+
+func TestCommonLeaderMissingOutput(t *testing.T) {
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			if env.ID() == 0 {
+				env.Expose(LeaderKey, core.ProcID(0))
+			}
+			for {
+				env.Yield()
+			}
+		}
+	})
+	r, err := sim.New(sim.Config{GSM: graph.Complete(2), MaxSteps: 100}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := CommonLeader(r); ok {
+		t.Error("missing output reported as common leader")
+	}
+}
+
+func TestStableLeaderConditionResetsOnChange(t *testing.T) {
+	// Leader flips between windows: the streak must reset and the
+	// condition must not fire within the budget.
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			for {
+				// Flip the common output every 100 local steps.
+				phase := (env.LocalSteps() / 100) % 2
+				env.Expose(LeaderKey, core.ProcID(phase))
+				env.Yield()
+			}
+		}
+	})
+	stable := StableLeaderCondition(500)
+	r, err := sim.New(sim.Config{
+		GSM:      graph.Complete(2),
+		MaxSteps: 50_000,
+		StopWhen: stable,
+	}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped {
+		t.Error("flapping outputs satisfied the stability condition")
+	}
+}

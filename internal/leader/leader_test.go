@@ -1,0 +1,380 @@
+package leader
+
+import (
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/graph"
+	"github.com/mnm-model/mnm/internal/metrics"
+	"github.com/mnm-model/mnm/internal/msgnet"
+	"github.com/mnm-model/mnm/internal/sched"
+	"github.com/mnm-model/mnm/internal/sim"
+)
+
+const stableWindow = 3_000
+
+func timelySched(timely core.ProcID, seed int64) sched.Scheduler {
+	return &sched.TimelyProcess{
+		Timely: timely,
+		Bound:  4,
+		Inner:  sched.NewRandom(seed),
+	}
+}
+
+func TestStabilizesReliableLinks(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		r, err := sim.New(sim.Config{
+			GSM:       graph.Complete(5),
+			Seed:      seed,
+			Scheduler: timelySched(2, seed*3+1),
+			MaxSteps:  2_000_000,
+			StopWhen:  StableLeaderCondition(stableWindow),
+		}, New(Config{Notifier: MessageNotifier}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Stopped {
+			t.Fatalf("seed %d: no stable leader: %+v", seed, res)
+		}
+		if l, ok := CommonLeader(r); !ok {
+			t.Fatalf("seed %d: no common leader at stop", seed)
+		} else {
+			t.Logf("seed %d: leader %v after %d steps", seed, l, res.Steps)
+		}
+	}
+}
+
+func TestStabilizesRoundRobin(t *testing.T) {
+	// With a fair schedule, everyone is timely; stabilization must still
+	// converge to a single leader.
+	r, err := sim.New(sim.Config{
+		GSM:      graph.Complete(4),
+		Seed:     9,
+		MaxSteps: 1_000_000,
+		StopWhen: StableLeaderCondition(stableWindow),
+	}, New(Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatalf("no stable leader under round robin: %+v", res)
+	}
+}
+
+func TestLeaderCrashFailover(t *testing.T) {
+	// The stable leader is deposed by a crash; the survivors must elect a
+	// new correct leader. The stop condition only counts stability after
+	// the crash has happened.
+	const crashStep = 150_000
+	for seed := int64(0); seed < 4; seed++ {
+		stable := StableLeaderCondition(stableWindow)
+		r, err := sim.New(sim.Config{
+			GSM:       graph.Complete(5),
+			Seed:      seed,
+			Scheduler: timelySched(3, seed+5),
+			MaxSteps:  4_000_000,
+			Crashes:   []sim.Crash{{Proc: 0, AtStep: crashStep}},
+			StopWhen: func(r *sim.Runner) bool {
+				return r.GlobalStep() > crashStep && stable(r)
+			},
+		}, New(Config{Notifier: MessageNotifier}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Stopped {
+			t.Fatalf("seed %d: no failover: %+v", seed, res)
+		}
+		l, ok := CommonLeader(r)
+		if !ok {
+			t.Fatalf("seed %d: no common leader after crash", seed)
+		}
+		if l == 0 {
+			t.Fatalf("seed %d: crashed process still leader", seed)
+		}
+	}
+}
+
+// steadyStateDeltas runs until stable, then measures counter deltas over
+// the following observeSteps steps.
+func steadyStateDeltas(t *testing.T, cfg Config, drop msgnet.DropPolicy, links msgnet.LinkKind, observeSteps uint64) (metrics.Snapshot, core.ProcID, *sim.Runner) {
+	t.Helper()
+	stable := StableLeaderCondition(stableWindow)
+	var (
+		baseline    *metrics.Snapshot
+		targetStep  uint64
+		finalLeader core.ProcID
+	)
+	var final metrics.Snapshot
+	r, err := sim.New(sim.Config{
+		GSM:       graph.Complete(5),
+		Seed:      77,
+		Links:     links,
+		Drop:      drop,
+		Scheduler: timelySched(1, 13),
+		MaxSteps:  6_000_000,
+		StopWhen: func(r *sim.Runner) bool {
+			if baseline == nil {
+				if stable(r) {
+					s := r.Counters().Snapshot(r.GlobalStep())
+					baseline = &s
+					targetStep = r.GlobalStep() + observeSteps
+					finalLeader, _ = CommonLeader(r)
+				}
+				return false
+			}
+			if r.GlobalStep() >= targetStep {
+				final = r.Counters().Snapshot(r.GlobalStep())
+				return true
+			}
+			return false
+		},
+	}, New(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatalf("never reached steady-state observation window: %+v", res)
+	}
+	return final.Sub(*baseline), finalLeader, r
+}
+
+func TestSteadyStateTheorem51(t *testing.T) {
+	// Theorem 5.1 (reliable links): eventually no messages are sent; the
+	// only shared-memory accesses are the leader's periodic (local) write
+	// and the other processes' periodic reads.
+	delta, ldr, _ := steadyStateDeltas(t, Config{Notifier: MessageNotifier}, nil, msgnet.Reliable, 100_000)
+
+	if got := delta.Total(metrics.MsgSent); got != 0 {
+		t.Errorf("steady state sent %d messages, want 0", got)
+	}
+	for p := core.ProcID(0); p < 5; p++ {
+		writes := delta.Of(p, metrics.RegWriteLocal) + delta.Of(p, metrics.RegWriteRemote)
+		reads := delta.Of(p, metrics.RegReadLocal) + delta.Of(p, metrics.RegReadRemote)
+		if p == ldr {
+			if writes == 0 {
+				t.Error("leader stopped writing its heartbeat")
+			}
+			if delta.Of(p, metrics.RegWriteRemote) != 0 {
+				t.Errorf("leader wrote %d remote registers; §5.3 locality requires local-only", delta.Of(p, metrics.RegWriteRemote))
+			}
+			if reads != 0 {
+				t.Errorf("leader read %d registers; Theorem 5.1 steady state has no leader reads", reads)
+			}
+		} else {
+			if writes != 0 {
+				t.Errorf("non-leader %v wrote %d registers in steady state", p, writes)
+			}
+			if reads == 0 {
+				t.Errorf("non-leader %v never read the leader's heartbeat", p)
+			}
+		}
+	}
+}
+
+func TestSteadyStateTheorem52(t *testing.T) {
+	// Theorem 5.2 (fair-lossy links): same as 5.1 plus the leader
+	// periodically reads one (local) register.
+	delta, ldr, _ := steadyStateDeltas(t, Config{Notifier: SharedMemoryNotifier},
+		msgnet.NewRandomDrop(0.3, 99), msgnet.FairLossy, 100_000)
+
+	if got := delta.Total(metrics.MsgSent); got != 0 {
+		t.Errorf("steady state sent %d messages, want 0", got)
+	}
+	if got := delta.Of(ldr, metrics.RegReadLocal); got == 0 {
+		t.Error("leader never read its NOTIFICATIONS register (Theorem 5.2 requires a periodic read)")
+	}
+	if got := delta.Of(ldr, metrics.RegReadRemote) + delta.Of(ldr, metrics.RegWriteRemote); got != 0 {
+		t.Errorf("leader touched %d remote registers; §5.3 locality violated", got)
+	}
+	for p := core.ProcID(0); p < 5; p++ {
+		if p == ldr {
+			continue
+		}
+		if w := delta.Of(p, metrics.RegWriteLocal) + delta.Of(p, metrics.RegWriteRemote); w != 0 {
+			t.Errorf("non-leader %v wrote %d registers in steady state", p, w)
+		}
+	}
+}
+
+func TestFairLossyLinksStabilize(t *testing.T) {
+	// Figure 3+5 must elect a leader even when 40% of messages drop.
+	for seed := int64(0); seed < 4; seed++ {
+		r, err := sim.New(sim.Config{
+			GSM:       graph.Complete(4),
+			Seed:      seed,
+			Links:     msgnet.FairLossy,
+			Drop:      msgnet.NewRandomDrop(0.4, seed+1),
+			Scheduler: timelySched(0, seed*7+2),
+			MaxSteps:  3_000_000,
+			StopWhen:  StableLeaderCondition(stableWindow),
+		}, New(Config{Notifier: SharedMemoryNotifier}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Stopped {
+			t.Fatalf("seed %d: fair-lossy SHM notifier did not stabilize", seed)
+		}
+	}
+}
+
+func TestMessageNotifierFailsUnderNotificationLoss(t *testing.T) {
+	// The DropNotifications adversary is legal for fair-lossy links but
+	// silences the Figure-4 mechanism: every process stays its own leader
+	// and Ω is never achieved — the reason Figure 5 exists.
+	r, err := sim.New(sim.Config{
+		GSM:       graph.Complete(4),
+		Seed:      5,
+		Links:     msgnet.FairLossy,
+		Drop:      DropNotifications{},
+		Scheduler: timelySched(0, 3),
+		MaxSteps:  300_000,
+		StopWhen:  StableLeaderCondition(stableWindow),
+	}, New(Config{Notifier: MessageNotifier}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped {
+		t.Fatal("message notifier stabilized despite losing all notifications")
+	}
+	// Everyone believes itself leader.
+	for p := core.ProcID(0); p < 4; p++ {
+		if l := r.Exposed(p, LeaderKey); l != p {
+			t.Errorf("process %v outputs leader %v, expected itself under notification loss", p, l)
+		}
+	}
+}
+
+func TestSHMNotifierSurvivesSameAdversary(t *testing.T) {
+	// Identical adversary as above, but Figure-5 notifications go through
+	// shared memory and cannot be dropped.
+	r, err := sim.New(sim.Config{
+		GSM:       graph.Complete(4),
+		Seed:      5,
+		Links:     msgnet.FairLossy,
+		Drop:      DropNotifications{},
+		Scheduler: timelySched(0, 3),
+		MaxSteps:  3_000_000,
+		StopWhen:  StableLeaderCondition(stableWindow),
+	}, New(Config{Notifier: SharedMemoryNotifier}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatal("SHM notifier failed under notification-dropping adversary")
+	}
+}
+
+func TestConfigDefaultsAndValidation(t *testing.T) {
+	cfg := Config{}
+	cfg.setDefaults()
+	if cfg.Notifier != MessageNotifier || cfg.InitialTimeout != 32 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	if MessageNotifier.String() != "message-notifier" ||
+		SharedMemoryNotifier.String() != "shared-memory-notifier" {
+		t.Error("NotifierKind strings wrong")
+	}
+	// Unknown notifier kinds fail the process.
+	r, err := sim.New(sim.Config{GSM: graph.Complete(2), MaxSteps: 1000},
+		New(Config{Notifier: NotifierKind(99)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 2 {
+		t.Errorf("bad notifier kind: errors = %v", res.Errors)
+	}
+}
+
+func TestStateRegisterContents(t *testing.T) {
+	// After stabilization, STATE[leader] must be active with a growing
+	// heartbeat, and deposed processes must have cleared their bit.
+	stable := StableLeaderCondition(stableWindow)
+	r, err := sim.New(sim.Config{
+		GSM:      graph.Complete(3),
+		Seed:     2,
+		MaxSteps: 1_000_000,
+		StopWhen: stable,
+	}, New(Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatalf("no stable leader: %+v", res)
+	}
+	ldr, ok := CommonLeader(r)
+	if !ok {
+		t.Fatal("no common leader")
+	}
+	raw, found := r.Memory().Peek(core.Reg(ldr, StateRegName))
+	if !found {
+		t.Fatal("leader STATE register missing")
+	}
+	st := raw.(State)
+	if !st.Active || st.HB == 0 {
+		t.Errorf("leader STATE = %+v, want active with hb > 0", st)
+	}
+	for p := core.ProcID(0); p < 3; p++ {
+		if p == ldr {
+			continue
+		}
+		if raw, found := r.Memory().Peek(core.Reg(p, StateRegName)); found {
+			if st := raw.(State); st.Active {
+				t.Errorf("deposed process %v still active: %+v", p, st)
+			}
+		}
+	}
+}
+
+func BenchmarkLeaderElectionStabilize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := sim.New(sim.Config{
+			GSM:      graph.Complete(5),
+			Seed:     int64(i),
+			MaxSteps: 2_000_000,
+			StopWhen: StableLeaderCondition(1000),
+		}, New(Config{}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil || !res.Stopped {
+			b.Fatalf("err=%v stopped=%v", err, res.Stopped)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package leader
+
+import (
+	"github.com/mnm-model/mnm/internal/core"
+)
+
+// MsgOmega is the classical pure message-passing Ω baseline the paper's
+// §5 improves on: every process periodically broadcasts a heartbeat, every
+// process times out on everyone else's heartbeats, and the leader is the
+// smallest non-suspected id.
+//
+// Its two well-known costs are exactly what the m&m algorithms remove:
+//
+//   - Communication: Θ(n²) heartbeat messages keep flowing forever — there
+//     is no silent steady state (contrast Theorem 5.1's "eventually no
+//     messages are sent").
+//   - Synchrony: correctness needs *timely links*, not just one timely
+//     process. An adversary that delays messages (legal in the m&m model,
+//     which assumes nothing about link timeliness) makes heartbeats miss
+//     their timeouts and the output flaps forever — while the Figure-3
+//     algorithms, whose monitoring runs through shared memory, are
+//     unaffected by any message delay.
+//
+// The adaptive timeout (doubling on each false suspicion) makes the
+// baseline stabilize under eventually-bounded message delay, the classic
+// partial-synchrony assumption.
+type MsgOmegaConfig struct {
+	// HeartbeatEvery is how many local steps pass between heartbeat
+	// broadcasts. Defaults to 16.
+	HeartbeatEvery uint64
+	// InitialTimeout is the starting suspicion timeout in local steps;
+	// it doubles whenever a suspected process proves alive. Defaults to
+	// 64.
+	InitialTimeout uint64
+	// DisableAdaptation freezes the timeout at InitialTimeout — the
+	// classic fixed-timeout configuration, which requires links whose
+	// delay stays within the timeout budget forever.
+	DisableAdaptation bool
+}
+
+func (c *MsgOmegaConfig) setDefaults() {
+	if c.HeartbeatEvery == 0 {
+		c.HeartbeatEvery = 16
+	}
+	if c.InitialTimeout == 0 {
+		c.InitialTimeout = 64
+	}
+}
+
+// heartbeatMsg is the baseline's periodic broadcast.
+type heartbeatMsg struct{}
+
+// NewMsgOmega returns the message-passing Ω baseline. It uses no shared
+// memory at all (it runs fine on an edgeless G_SM).
+func NewMsgOmega(cfg MsgOmegaConfig) core.Algorithm {
+	cfg.setDefaults()
+	return core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			return runMsgOmega(env, cfg)
+		}
+	})
+}
+
+func runMsgOmega(env core.Env, cfg MsgOmegaConfig) error {
+	me := env.ID()
+	n := env.N()
+	var (
+		lastBeat  uint64
+		lastSeen  = make([]uint64, n)
+		timeout   = make([]uint64, n)
+		suspected = make([]bool, n)
+	)
+	for q := 0; q < n; q++ {
+		timeout[q] = cfg.InitialTimeout
+	}
+
+	for {
+		// Broadcast a heartbeat every HeartbeatEvery local steps —
+		// forever; this is the cost the m&m algorithms eliminate.
+		if env.LocalSteps()-lastBeat >= cfg.HeartbeatEvery || lastBeat == 0 {
+			lastBeat = env.LocalSteps()
+			if err := env.Broadcast(heartbeatMsg{}); err != nil {
+				return err
+			}
+		}
+
+		// Collect heartbeats.
+		for {
+			m, ok := env.TryRecv()
+			if !ok {
+				break
+			}
+			if _, isHB := m.Payload.(heartbeatMsg); !isHB {
+				continue
+			}
+			q := m.From
+			lastSeen[q] = env.LocalSteps()
+			if suspected[q] {
+				// False suspicion: q is alive after all. Adapt.
+				suspected[q] = false
+				if !cfg.DisableAdaptation {
+					timeout[q] *= 2
+				}
+			}
+		}
+
+		// Suspect the silent.
+		for q := 0; q < n; q++ {
+			if core.ProcID(q) == me || suspected[q] {
+				continue
+			}
+			if env.LocalSteps()-lastSeen[q] > timeout[q] {
+				suspected[q] = true
+			}
+		}
+
+		// Output the smallest trusted id.
+		ldr := me
+		for q := 0; q < n; q++ {
+			if !suspected[q] && core.ProcID(q) < ldr {
+				ldr = core.ProcID(q)
+			}
+		}
+		env.Expose(LeaderKey, ldr)
+		env.Yield()
+	}
+}

@@ -1,0 +1,133 @@
+package leader
+
+import (
+	"github.com/mnm-model/mnm/internal/core"
+)
+
+// Notifier is the notification mechanism a contender uses to tell another
+// process it is competing for leadership. The paper gives two: a
+// message-based one for reliable links (Figure 4) and a shared-register
+// one for fair-lossy links (Figure 5).
+type Notifier interface {
+	// Notify tells q that env's process contends for leadership.
+	Notify(env core.Env, q core.ProcID) error
+	// Poll returns the processes that notified env's process since the
+	// last Poll (the paper's Get_Notifications).
+	Poll(env core.Env) ([]core.ProcID, error)
+	// HandleMessage lets the notifier consume a delivered message. The
+	// main loop offers it every message it drains; the notifier returns
+	// true if the message was a notification it absorbed.
+	HandleMessage(m core.Message) bool
+}
+
+// notifyMsg is the payload of a Figure-4 notification.
+type notifyMsg struct{}
+
+// MsgNotifier is the reliable-links notification mechanism of Figure 4:
+// Notify(q) just sends a message. It costs no shared-memory accesses, so
+// in the steady state (no contention) the leader touches no registers
+// other than its own STATE — Theorem 5.1's bound.
+type MsgNotifier struct {
+	pending map[core.ProcID]bool
+}
+
+var _ Notifier = (*MsgNotifier)(nil)
+
+// NewMsgNotifier returns the message-based notifier.
+func NewMsgNotifier() *MsgNotifier {
+	return &MsgNotifier{pending: make(map[core.ProcID]bool)}
+}
+
+// Notify implements Notifier. One send step.
+func (mn *MsgNotifier) Notify(env core.Env, q core.ProcID) error {
+	return env.Send(q, notifyMsg{})
+}
+
+// HandleMessage implements Notifier.
+func (mn *MsgNotifier) HandleMessage(m core.Message) bool {
+	if _, ok := m.Payload.(notifyMsg); !ok {
+		return false
+	}
+	mn.pending[m.From] = true
+	return true
+}
+
+// Poll implements Notifier. Local only: no steps.
+func (mn *MsgNotifier) Poll(core.Env) ([]core.ProcID, error) {
+	if len(mn.pending) == 0 {
+		return nil, nil
+	}
+	out := make([]core.ProcID, 0, len(mn.pending))
+	for q := range mn.pending {
+		out = append(out, q)
+	}
+	clear(mn.pending)
+	return out, nil
+}
+
+// Shared register families of the Figure-5 notifier. Both are owned by the
+// notified process, so the eventual leader polls only local registers
+// (§5.3).
+const (
+	// notificationsReg is NOTIFICATIONS[p]: "some process notified p".
+	notificationsReg = "NOTIFICATIONS"
+	// notifiesReg is NOTIFIES[p][q]: "q notified p"; q is the I index.
+	notifiesReg = "NOTIFIES"
+)
+
+// SHMNotifier is the fair-lossy notification mechanism of Figure 5:
+// Notify(q) sets NOTIFIES[q][p] and then the summary bit NOTIFICATIONS[q]
+// in shared memory, which cannot be lost. Poll first reads the single
+// summary bit and scans the NOTIFIES row only when it is set — so in the
+// steady state the leader pays exactly one extra register read per loop,
+// Theorem 5.2's bound.
+type SHMNotifier struct{}
+
+var _ Notifier = SHMNotifier{}
+
+// NewSHMNotifier returns the shared-register notifier.
+func NewSHMNotifier() SHMNotifier { return SHMNotifier{} }
+
+// Notify implements Notifier. Two register-write steps.
+func (SHMNotifier) Notify(env core.Env, q core.ProcID) error {
+	if err := env.Write(core.RegI(q, notifiesReg, int(env.ID())), true); err != nil {
+		return err
+	}
+	return env.Write(core.Reg(q, notificationsReg), true)
+}
+
+// HandleMessage implements Notifier: shared-memory notifications never
+// arrive as messages.
+func (SHMNotifier) HandleMessage(core.Message) bool { return false }
+
+// Poll implements Notifier. One register read in the common (empty) case.
+func (SHMNotifier) Poll(env core.Env) ([]core.ProcID, error) {
+	me := env.ID()
+	flag, err := env.Read(core.Reg(me, notificationsReg))
+	if err != nil {
+		return nil, err
+	}
+	if flag != true {
+		return nil, nil
+	}
+	if err := env.Write(core.Reg(me, notificationsReg), false); err != nil {
+		return nil, err
+	}
+	var out []core.ProcID
+	for _, q := range env.Procs() {
+		if q == me {
+			continue
+		}
+		set, err := env.Read(core.RegI(me, notifiesReg, int(q)))
+		if err != nil {
+			return nil, err
+		}
+		if set == true {
+			if err := env.Write(core.RegI(me, notifiesReg, int(q)), false); err != nil {
+				return nil, err
+			}
+			out = append(out, q)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,182 @@
+// Package metrics counts the communication events the paper's efficiency
+// theorems are about: messages sent, delivered and dropped, and shared
+// register reads and writes split into local (owner) and remote accesses.
+//
+// The leader-election results (§5) are statements about these counters in
+// the steady state — "eventually no messages are sent, and the only
+// accesses to shared memory are the leader's periodic write and the other
+// processes' reads" — so the experiment harness snapshots a Counters at
+// intervals and reports deltas.
+package metrics
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/mnm-model/mnm/internal/core"
+)
+
+// Kind enumerates counted events.
+type Kind int
+
+// Counter kinds. Register accesses are split by locality per §5.3: an
+// access is local when the accessing process owns the register (the
+// register lives at its host), remote otherwise.
+const (
+	MsgSent Kind = iota + 1
+	MsgDelivered
+	MsgDropped
+	RegReadLocal
+	RegReadRemote
+	RegWriteLocal
+	RegWriteRemote
+	Steps
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case MsgSent:
+		return "msg_sent"
+	case MsgDelivered:
+		return "msg_delivered"
+	case MsgDropped:
+		return "msg_dropped"
+	case RegReadLocal:
+		return "reg_read_local"
+	case RegReadRemote:
+		return "reg_read_remote"
+	case RegWriteLocal:
+		return "reg_write_local"
+	case RegWriteRemote:
+		return "reg_write_remote"
+	case Steps:
+		return "steps"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Kinds returns all counter kinds in declaration order.
+func Kinds() []Kind {
+	out := make([]Kind, 0, numKinds-1)
+	for k := Kind(1); k < numKinds; k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Counters is a thread-safe per-process event counter. The zero value is
+// not usable; call NewCounters.
+type Counters struct {
+	mu      sync.Mutex
+	perProc [][numKinds]int64
+}
+
+// NewCounters returns counters for n processes.
+func NewCounters(n int) *Counters {
+	return &Counters{perProc: make([][numKinds]int64, n)}
+}
+
+// Record adds delta to the (p, k) counter. Out-of-range processes and kinds
+// are ignored rather than panicking, so instrumentation can never take down
+// a run.
+func (c *Counters) Record(p core.ProcID, k Kind, delta int64) {
+	if c == nil {
+		return
+	}
+	if int(p) < 0 || int(p) >= len(c.perProc) || k <= 0 || k >= numKinds {
+		return
+	}
+	c.mu.Lock()
+	c.perProc[p][k] += delta
+	c.mu.Unlock()
+}
+
+// Of returns the value of the (p, k) counter.
+func (c *Counters) Of(p core.ProcID, k Kind) int64 {
+	if c == nil || int(p) < 0 || int(p) >= len(c.perProc) || k <= 0 || k >= numKinds {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.perProc[p][k]
+}
+
+// Total returns the sum of the k counter over all processes.
+func (c *Counters) Total(k Kind) int64 {
+	if c == nil || k <= 0 || k >= numKinds {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sum int64
+	for i := range c.perProc {
+		sum += c.perProc[i][k]
+	}
+	return sum
+}
+
+// Snapshot is an immutable copy of all counters at one instant, tagged with
+// the global step at which it was taken.
+type Snapshot struct {
+	Step    uint64
+	perProc [][numKinds]int64
+}
+
+// Snapshot copies the current counter state.
+func (c *Counters) Snapshot(step uint64) Snapshot {
+	if c == nil {
+		return Snapshot{Step: step}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp := make([][numKinds]int64, len(c.perProc))
+	copy(cp, c.perProc)
+	return Snapshot{Step: step, perProc: cp}
+}
+
+// Of returns the value of the (p, k) counter in the snapshot.
+func (s Snapshot) Of(p core.ProcID, k Kind) int64 {
+	if int(p) < 0 || int(p) >= len(s.perProc) || k <= 0 || k >= numKinds {
+		return 0
+	}
+	return s.perProc[p][k]
+}
+
+// Total returns the snapshot-wide sum of the k counter.
+func (s Snapshot) Total(k Kind) int64 {
+	var sum int64
+	for i := range s.perProc {
+		sum += s.perProc[i][k]
+	}
+	return sum
+}
+
+// Sub returns a snapshot holding s - earlier, the event deltas between the
+// two instants. The snapshots must cover the same process count.
+func (s Snapshot) Sub(earlier Snapshot) Snapshot {
+	out := Snapshot{Step: s.Step, perProc: make([][numKinds]int64, len(s.perProc))}
+	for i := range s.perProc {
+		for k := range s.perProc[i] {
+			var e int64
+			if i < len(earlier.perProc) {
+				e = earlier.perProc[i][k]
+			}
+			out.perProc[i][k] = s.perProc[i][k] - e
+		}
+	}
+	return out
+}
+
+// String renders the non-zero totals, for debugging and experiment output.
+func (s Snapshot) String() string {
+	out := fmt.Sprintf("@%d", s.Step)
+	for _, k := range Kinds() {
+		if v := s.Total(k); v != 0 {
+			out += fmt.Sprintf(" %s=%d", k, v)
+		}
+	}
+	return out
+}

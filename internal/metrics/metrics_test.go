@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/core"
+)
+
+func TestRecordAndQuery(t *testing.T) {
+	c := NewCounters(3)
+	c.Record(0, MsgSent, 2)
+	c.Record(1, MsgSent, 3)
+	c.Record(0, RegReadLocal, 1)
+
+	if got := c.Of(0, MsgSent); got != 2 {
+		t.Errorf("Of(0, MsgSent) = %d", got)
+	}
+	if got := c.Total(MsgSent); got != 5 {
+		t.Errorf("Total(MsgSent) = %d", got)
+	}
+	if got := c.Total(RegReadRemote); got != 0 {
+		t.Errorf("Total(RegReadRemote) = %d", got)
+	}
+}
+
+func TestOutOfRangeIgnored(t *testing.T) {
+	c := NewCounters(2)
+	c.Record(-1, MsgSent, 1)
+	c.Record(5, MsgSent, 1)
+	c.Record(0, Kind(99), 1)
+	c.Record(0, Kind(0), 1)
+	for _, k := range Kinds() {
+		if c.Total(k) != 0 {
+			t.Errorf("out-of-range Record affected %v", k)
+		}
+	}
+	if c.Of(9, MsgSent) != 0 || c.Of(0, Kind(77)) != 0 {
+		t.Error("out-of-range Of nonzero")
+	}
+}
+
+func TestNilCountersSafe(t *testing.T) {
+	var c *Counters
+	c.Record(0, MsgSent, 1) // must not panic
+	if c.Of(0, MsgSent) != 0 || c.Total(MsgSent) != 0 {
+		t.Error("nil counters nonzero")
+	}
+	s := c.Snapshot(5)
+	if s.Step != 5 || s.Total(MsgSent) != 0 {
+		t.Error("nil snapshot wrong")
+	}
+}
+
+func TestSnapshotSubAndString(t *testing.T) {
+	c := NewCounters(2)
+	c.Record(0, MsgSent, 4)
+	s1 := c.Snapshot(10)
+	c.Record(0, MsgSent, 6)
+	c.Record(1, RegWriteLocal, 2)
+	s2 := c.Snapshot(20)
+
+	d := s2.Sub(s1)
+	if d.Step != 20 {
+		t.Errorf("delta step = %d", d.Step)
+	}
+	if got := d.Of(0, MsgSent); got != 6 {
+		t.Errorf("delta MsgSent = %d", got)
+	}
+	if got := d.Of(1, RegWriteLocal); got != 2 {
+		t.Errorf("delta RegWriteLocal = %d", got)
+	}
+	if got := d.Of(1, MsgSent); got != 0 {
+		t.Errorf("delta of untouched counter = %d", got)
+	}
+	out := d.String()
+	if !strings.Contains(out, "msg_sent=6") || !strings.Contains(out, "@20") {
+		t.Errorf("String = %q", out)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	c := NewCounters(1)
+	c.Record(0, Steps, 1)
+	s := c.Snapshot(1)
+	c.Record(0, Steps, 100)
+	if got := s.Of(0, Steps); got != 1 {
+		t.Errorf("snapshot mutated after Record: %d", got)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range Kinds() {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Errorf("kind %d missing name", int(k))
+		}
+	}
+	if Kind(42).String() != "kind(42)" {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	c := NewCounters(4)
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p core.ProcID) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Record(p, MsgSent, 1)
+				c.Snapshot(uint64(i))
+			}
+		}(core.ProcID(p))
+	}
+	wg.Wait()
+	if got := c.Total(MsgSent); got != 4000 {
+		t.Errorf("Total = %d, want 4000", got)
+	}
+}

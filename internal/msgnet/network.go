@@ -1,0 +1,202 @@
+package msgnet
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/metrics"
+)
+
+// Network is a fully connected set of directed links among n processes,
+// with per-process FIFO mailboxes. It is safe for concurrent use.
+//
+// Two delivery modes exist:
+//
+//   - Ticked (default): sent messages are queued in flight, and Tick(now)
+//     moves every message the DeliveryPolicy allows into its destination
+//     mailbox. The simulator calls Tick after every scheduler step, which
+//     makes message asynchrony part of the adversary's schedule.
+//   - Auto-deliver: Send places the message directly in the destination
+//     mailbox (subject to the drop policy). The real-time host uses this;
+//     asynchrony then comes from true goroutine interleaving.
+type Network struct {
+	n        int
+	kind     LinkKind
+	drop     DropPolicy
+	delivery DeliveryPolicy
+	auto     bool
+	counters *metrics.Counters
+
+	mu        sync.Mutex
+	inflight  []flight
+	mailboxes [][]core.Message
+	sendSeq   uint64
+}
+
+type flight struct {
+	from   core.ProcID
+	to     core.ProcID
+	pay    core.Value
+	sentAt uint64
+	seq    uint64
+}
+
+// NetOption configures a Network.
+type NetOption func(*Network)
+
+// WithDropPolicy installs the fair-loss drop policy. Ignored for reliable
+// networks (reliable links never drop).
+func WithDropPolicy(p DropPolicy) NetOption {
+	return func(n *Network) { n.drop = p }
+}
+
+// WithDeliveryPolicy installs the asynchrony adversary for ticked mode.
+func WithDeliveryPolicy(p DeliveryPolicy) NetOption {
+	return func(n *Network) { n.delivery = p }
+}
+
+// WithAutoDeliver switches the network to auto-deliver mode.
+func WithAutoDeliver() NetOption {
+	return func(n *Network) { n.auto = true }
+}
+
+// WithNetCounters meters sends, deliveries and drops into c.
+func WithNetCounters(c *metrics.Counters) NetOption {
+	return func(n *Network) { n.counters = c }
+}
+
+// NewNetwork returns a network among n processes with links of the given
+// kind.
+func NewNetwork(n int, kind LinkKind, opts ...NetOption) *Network {
+	net := &Network{
+		n:         n,
+		kind:      kind,
+		drop:      NoDrop{},
+		delivery:  Immediate{},
+		mailboxes: make([][]core.Message, n),
+	}
+	for _, o := range opts {
+		o(net)
+	}
+	if net.kind == Reliable {
+		net.drop = NoDrop{}
+	}
+	return net
+}
+
+// N returns the number of processes.
+func (net *Network) N() int { return net.n }
+
+// Kind returns the link kind.
+func (net *Network) Kind() LinkKind { return net.kind }
+
+// Send sends payload from→to at tick now. In auto-deliver mode the message
+// is immediately placed in to's mailbox unless dropped.
+func (net *Network) Send(from, to core.ProcID, payload core.Value, now uint64) error {
+	if int(to) < 0 || int(to) >= net.n {
+		return fmt.Errorf("%w: send to %v", core.ErrUnknownProc, to)
+	}
+	if int(from) < 0 || int(from) >= net.n {
+		return fmt.Errorf("%w: send from %v", core.ErrUnknownProc, from)
+	}
+	net.counters.Record(from, metrics.MsgSent, 1)
+	if net.kind == FairLossy && net.drop.Drop(from, to, payload) {
+		net.counters.Record(from, metrics.MsgDropped, 1)
+		return nil
+	}
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	if net.auto {
+		net.deliverLocked(flight{from: from, to: to, pay: payload})
+		return nil
+	}
+	net.sendSeq++
+	net.inflight = append(net.inflight, flight{
+		from:   from,
+		to:     to,
+		pay:    payload,
+		sentAt: now,
+		seq:    net.sendSeq,
+	})
+	return nil
+}
+
+// Broadcast sends payload from every-link of from, including the self link
+// (Ben-Or style "send to all"). It counts as a single send operation of the
+// process but one message per link.
+func (net *Network) Broadcast(from core.ProcID, payload core.Value, now uint64) error {
+	for to := 0; to < net.n; to++ {
+		if err := net.Send(from, core.ProcID(to), payload, now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (net *Network) deliverLocked(f flight) {
+	net.mailboxes[f.to] = append(net.mailboxes[f.to], core.Message{From: f.from, Payload: f.pay})
+	net.counters.Record(f.to, metrics.MsgDelivered, 1)
+}
+
+// Tick delivers every in-flight message the delivery policy allows at tick
+// now, preserving per-link send order (links are FIFO in this
+// implementation; the model does not require it, but determinism does).
+func (net *Network) Tick(now uint64) {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	if len(net.inflight) == 0 {
+		return
+	}
+	// A message may only overtake another on the same link if the policy
+	// holds the earlier one; to keep links FIFO we block a link once one
+	// of its messages is held this tick.
+	blocked := make(map[[2]core.ProcID]bool)
+	rest := net.inflight[:0]
+	for _, f := range net.inflight {
+		link := [2]core.ProcID{f.from, f.to}
+		if !blocked[link] && net.delivery.Deliverable(f.from, f.to, f.sentAt, now) {
+			net.deliverLocked(f)
+			continue
+		}
+		blocked[link] = true
+		rest = append(rest, f)
+	}
+	net.inflight = rest
+}
+
+// Recv pops the next message from p's mailbox.
+func (net *Network) Recv(p core.ProcID) (core.Message, bool) {
+	if int(p) < 0 || int(p) >= net.n {
+		return core.Message{}, false
+	}
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	box := net.mailboxes[p]
+	if len(box) == 0 {
+		return core.Message{}, false
+	}
+	m := box[0]
+	// Shift rather than re-slice so the backing array does not pin
+	// delivered payloads forever.
+	copy(box, box[1:])
+	net.mailboxes[p] = box[:len(box)-1]
+	return m, true
+}
+
+// InFlight returns the number of undelivered (queued) messages.
+func (net *Network) InFlight() int {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	return len(net.inflight)
+}
+
+// MailboxLen returns the number of delivered-but-unread messages at p.
+func (net *Network) MailboxLen(p core.ProcID) int {
+	if int(p) < 0 || int(p) >= net.n {
+		return 0
+	}
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	return len(net.mailboxes[p])
+}

@@ -1,0 +1,134 @@
+package mutex
+
+import (
+	"fmt"
+
+	"github.com/mnm-model/mnm/internal/core"
+)
+
+// Bakery is Lamport's bakery algorithm — the classical pure shared-memory
+// mutex the paper's §1 names when it describes the spinning drawback
+// ("the traditional algorithms for this problem, such as the bakery
+// algorithm ... have a common drawback: processes in the doorway must
+// spin"). It uses only single-writer multi-reader read/write registers —
+// no compare-and-swap — so it is the theory-faithful baseline: the two
+// ticket locks in this package both lean on RDMA-style CAS.
+//
+// Registers (owner p, readable by all): CHOOSING[p] and NUMBER[p]. All
+// participants must share memory with every other participant (complete
+// G_SM), because each doorway pass reads every process's registers.
+//
+// The lock is first-come-first-served and safe for any number of
+// participants; like every mutex, it assumes lock holders do not crash in
+// the critical section.
+type Bakery struct {
+	name string
+}
+
+// Register families of a bakery instance.
+const (
+	bakeryChoosing = "CHOOSING"
+	bakeryNumber   = "NUMBER"
+)
+
+// NewBakery returns a bakery lock instance. Unlike the ticket locks it has
+// no home process: register r of participant p lives at p itself.
+func NewBakery(name string) *Bakery {
+	return &Bakery{name: name}
+}
+
+func (b *Bakery) choosingRef(p core.ProcID) core.Ref {
+	return core.Reg(p, "bakery/"+b.name+"/"+bakeryChoosing)
+}
+
+func (b *Bakery) numberRef(p core.ProcID) core.Ref {
+	return core.Reg(p, "bakery/"+b.name+"/"+bakeryNumber)
+}
+
+func (b *Bakery) readInt(env core.Env, ref core.Ref) (int, error) {
+	raw, err := env.Read(ref)
+	if err != nil {
+		return 0, err
+	}
+	if raw == nil {
+		return 0, nil
+	}
+	n, ok := raw.(int)
+	if !ok {
+		return 0, fmt.Errorf("mutex: bakery register %v holds %T", ref, raw)
+	}
+	return n, nil
+}
+
+func (b *Bakery) readBool(env core.Env, ref core.Ref) (bool, error) {
+	raw, err := env.Read(ref)
+	if err != nil {
+		return false, err
+	}
+	if raw == nil {
+		return false, nil
+	}
+	v, ok := raw.(bool)
+	if !ok {
+		return false, fmt.Errorf("mutex: bakery register %v holds %T", ref, raw)
+	}
+	return v, nil
+}
+
+// Acquire takes the lock. Every wait is a spin on shared registers — the
+// behaviour the m&m lock exists to remove.
+func (b *Bakery) Acquire(env core.Env) error {
+	me := env.ID()
+	// Doorway: pick a number greater than everything visible.
+	if err := env.Write(b.choosingRef(me), true); err != nil {
+		return err
+	}
+	maxNum := 0
+	for _, q := range env.Procs() {
+		n, err := b.readInt(env, b.numberRef(q))
+		if err != nil {
+			return err
+		}
+		if n > maxNum {
+			maxNum = n
+		}
+	}
+	if err := env.Write(b.numberRef(me), maxNum+1); err != nil {
+		return err
+	}
+	if err := env.Write(b.choosingRef(me), false); err != nil {
+		return err
+	}
+	myNum := maxNum + 1
+
+	// Wait for everyone ahead of us in (number, id) order.
+	for _, q := range env.Procs() {
+		if q == me {
+			continue
+		}
+		for { // spin until q is out of its doorway
+			ch, err := b.readBool(env, b.choosingRef(q))
+			if err != nil {
+				return err
+			}
+			if !ch {
+				break
+			}
+		}
+		for { // spin until q is behind us or uninterested
+			n, err := b.readInt(env, b.numberRef(q))
+			if err != nil {
+				return err
+			}
+			if n == 0 || n > myNum || (n == myNum && q > me) {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// Release returns the lock.
+func (b *Bakery) Release(env core.Env) error {
+	return env.Write(b.numberRef(env.ID()), 0)
+}

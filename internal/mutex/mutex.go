@@ -1,0 +1,190 @@
+// Package mutex implements the mutual-exclusion example that motivates the
+// m&m model in §1 of the paper.
+//
+// Pure shared-memory locks make waiting processes *spin*: while the
+// critical section is held, every process in the doorway keeps re-reading
+// a shared location, burning CPU (and, over RDMA, NIC) cycles. In the m&m
+// model the lock state lives in shared memory, but a process that leaves
+// the critical section *sends a message* to the next waiter, so waiters
+// sleep on their mailbox instead of spinning on memory.
+//
+// Two locks are provided with the same ticket discipline (FIFO fairness):
+//
+//   - MnMLock — the m&m lock: O(1) shared-memory operations per
+//     acquisition regardless of how long the wait is; waiters block on
+//     message arrival. Requires reliable links for the wakeups.
+//   - SpinLock — the pure shared-memory baseline: a waiter re-reads the
+//     SERVING register on every step while it waits.
+//
+// The metrics difference — register reads per acquisition, constant vs.
+// proportional to waiting time — is exactly the intro's claim, and the
+// MUTEX experiment in the harness regenerates it.
+//
+// Both locks use CompareAndSwap for ticket dispensing (RDMA fetch-and-add/
+// CAS in practice). All lock registers live at a single home process, and
+// every participant must be in the home's shared-memory neighborhood.
+package mutex
+
+import (
+	"fmt"
+
+	"github.com/mnm-model/mnm/internal/core"
+)
+
+// Register families of a lock instance.
+const (
+	ticketReg  = "TICKET"  // next ticket to dispense
+	servingReg = "SERVING" // ticket currently allowed in the CS
+	waiterReg  = "WAITER"  // WAITER[t]: process holding ticket t
+)
+
+// Ticket is a lock acquisition handle, returned by Acquire and required by
+// Release.
+type Ticket struct {
+	seq int
+}
+
+// wakeMsg wakes the holder of ticket Seq.
+type wakeMsg struct {
+	Seq int
+}
+
+// MnMLock is the message-and-memory ticket lock.
+type MnMLock struct {
+	base core.Ref
+}
+
+// NewMnMLock returns an m&m lock whose registers live at home. All users
+// must share memory with home.
+func NewMnMLock(home core.ProcID, name string) *MnMLock {
+	return &MnMLock{base: core.Reg(home, "mnmlock/"+name)}
+}
+
+// fetchTicket atomically dispenses the next ticket via a CAS loop.
+func fetchTicket(env core.Env, base core.Ref) (int, error) {
+	reg := base.Sub(ticketReg, 0, 0)
+	for {
+		raw, err := env.Read(reg)
+		if err != nil {
+			return 0, err
+		}
+		cur := 0
+		if raw != nil {
+			cur = raw.(int)
+		}
+		swapped, _, err := env.CompareAndSwap(reg, raw, cur+1)
+		if err != nil {
+			return 0, err
+		}
+		if swapped {
+			return cur, nil
+		}
+	}
+}
+
+func readServing(env core.Env, base core.Ref) (int, error) {
+	raw, err := env.Read(base.Sub(servingReg, 0, 0))
+	if err != nil {
+		return 0, err
+	}
+	if raw == nil {
+		return 0, nil
+	}
+	return raw.(int), nil
+}
+
+// Acquire takes the lock, blocking (without spinning on shared memory)
+// until it is granted. Messages that are not wakeups are buffered into in;
+// callers that use their own messages must pass their inbox so nothing is
+// lost. A nil inbox is allowed when the caller receives no other traffic.
+func (l *MnMLock) Acquire(env core.Env, in *core.Inbox) (Ticket, error) {
+	if in == nil {
+		in = &core.Inbox{}
+	}
+	seq, err := fetchTicket(env, l.base)
+	if err != nil {
+		return Ticket{}, err
+	}
+	// Announce who holds this ticket, then check SERVING once. The
+	// releaser writes SERVING before reading WAITER, so either we see our
+	// turn here or the releaser sees our announcement and wakes us —
+	// never neither (the flag principle).
+	if err := env.Write(l.base.Sub(waiterReg, seq, 0), env.ID()); err != nil {
+		return Ticket{}, err
+	}
+	serving, err := readServing(env, l.base)
+	if err != nil {
+		return Ticket{}, err
+	}
+	if serving == seq {
+		return Ticket{seq: seq}, nil
+	}
+	// Sleep on the mailbox: no shared-memory accesses while waiting.
+	for {
+		in.DrainFrom(env)
+		woken := in.Take(func(m core.Message) bool {
+			w, ok := m.Payload.(wakeMsg)
+			return ok && w.Seq == seq
+		})
+		if len(woken) > 0 {
+			return Ticket{seq: seq}, nil
+		}
+		env.Yield()
+	}
+}
+
+// Release hands the lock to the next ticket holder, waking it with a
+// message if it has already announced itself.
+func (l *MnMLock) Release(env core.Env, t Ticket) error {
+	next := t.seq + 1
+	if err := env.Write(l.base.Sub(servingReg, 0, 0), next); err != nil {
+		return err
+	}
+	raw, err := env.Read(l.base.Sub(waiterReg, next, 0))
+	if err != nil {
+		return err
+	}
+	if raw == nil {
+		return nil // Next waiter not there yet; it will see SERVING.
+	}
+	who, ok := raw.(core.ProcID)
+	if !ok {
+		return fmt.Errorf("mutex: WAITER[%d] holds %T", next, raw)
+	}
+	return env.Send(who, wakeMsg{Seq: next})
+}
+
+// SpinLock is the pure shared-memory ticket lock baseline: identical
+// discipline, but waiters re-read SERVING on every step.
+type SpinLock struct {
+	base core.Ref
+}
+
+// NewSpinLock returns a spin lock whose registers live at home.
+func NewSpinLock(home core.ProcID, name string) *SpinLock {
+	return &SpinLock{base: core.Reg(home, "spinlock/"+name)}
+}
+
+// Acquire takes the lock, spinning on the SERVING register until granted.
+func (l *SpinLock) Acquire(env core.Env) (Ticket, error) {
+	seq, err := fetchTicket(env, l.base)
+	if err != nil {
+		return Ticket{}, err
+	}
+	for {
+		serving, err := readServing(env, l.base)
+		if err != nil {
+			return Ticket{}, err
+		}
+		if serving == seq {
+			return Ticket{seq: seq}, nil
+		}
+		// The re-read above is the spin this lock is the baseline for;
+		// no Yield needed — the read itself is a step.
+	}
+}
+
+// Release hands the lock to the next ticket holder.
+func (l *SpinLock) Release(env core.Env, t Ticket) error {
+	return env.Write(l.base.Sub(servingReg, 0, 0), t.seq+1)
+}

@@ -1,0 +1,245 @@
+// Package paxos implements single-decree shared-memory Paxos driven by the
+// paper's Ω detector — the deterministic counterpart to HBO's randomized
+// consensus, and the reason §5 cares about leader election at all
+// ("[eventual leader election] is used in several well-known consensus
+// algorithms, such as Paxos, Raft, and CT").
+//
+// The algorithm is the register form of Paxos (Gafni–Lamport's Disk Paxos
+// with the m&m shared memory playing the part of a single never-failing
+// disk): each process p owns a block register BLOCK[p] = (MBal, Bal, Inp)
+// that only p writes and everyone reads. A proposer on ballot b writes
+// MBal=b, collects all blocks, adopts the Inp of the highest Bal seen (or
+// keeps its own input), then writes (MBal=b, Bal=b, Inp=v) and collects
+// again; if no block shows a ballot above b, v is decided and published in
+// a decision register. Ballots are made unique by b = attempt·n + id.
+//
+// Safety (agreement, validity) holds in every run, with any number of
+// concurrent proposers. Termination needs Ω: processes only propose while
+// their detector outputs themselves, so once a single correct leader is
+// elected forever, its ballot runs unopposed and everyone learns the
+// decision from the register. Unlike HBO, no randomness is used — the
+// synchrony assumption (one timely process) replaces the coin. And unlike
+// message Paxos, there are no acceptor quorums: the shared memory is the
+// quorum, so consensus survives any number of crashes (n−1) on a complete
+// G_SM.
+package paxos
+
+import (
+	"fmt"
+
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/leader"
+)
+
+// Register families. All blocks live at their owner (single-writer,
+// multi-reader); the decision register lives at process 0.
+const (
+	blockReg    = "PAXBLOCK"
+	decisionReg = "PAXDEC"
+)
+
+// DecisionKey is the Expose key under which processes publish decisions.
+const DecisionKey = "decision"
+
+// Block is the per-process Paxos state register.
+type Block struct {
+	// MBal is the highest ballot this process has joined.
+	MBal int
+	// Bal is the highest ballot this process has voted in.
+	Bal int
+	// Inp is the value voted for at Bal.
+	Inp core.Value
+}
+
+// Config parameterizes the algorithm.
+type Config struct {
+	// Inputs holds each process's proposal. Values must be comparable
+	// and non-nil.
+	Inputs []core.Value
+	// Leader configures the embedded Ω detector.
+	Leader leader.Config
+	// CheckEvery is how many local steps a non-leader waits between
+	// polls of the decision register. Defaults to 64.
+	CheckEvery uint64
+	// HaltAfterDecide makes processes return once decided.
+	HaltAfterDecide bool
+}
+
+func (c *Config) setDefaults() {
+	if c.CheckEvery == 0 {
+		c.CheckEvery = 64
+	}
+}
+
+// Validate checks the configuration for n processes.
+func (c Config) Validate(n int) error {
+	if len(c.Inputs) != n {
+		return fmt.Errorf("paxos: %d inputs for %d processes", len(c.Inputs), n)
+	}
+	for p, v := range c.Inputs {
+		if v == nil {
+			return fmt.Errorf("paxos: nil input for p%d", p)
+		}
+	}
+	return nil
+}
+
+// New returns the Ω-driven shared-memory Paxos algorithm. G_SM must be
+// complete (every process reads every block).
+func New(cfg Config) core.Algorithm {
+	cfg.setDefaults()
+	return core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			return run(env, cfg)
+		}
+	})
+}
+
+func decisionRef() core.Ref { return core.Reg(0, decisionReg) }
+
+func blockRef(q core.ProcID) core.Ref { return core.Reg(q, blockReg) }
+
+func readBlock(env core.Env, q core.ProcID) (Block, error) {
+	raw, err := env.Read(blockRef(q))
+	if err != nil {
+		return Block{}, err
+	}
+	if raw == nil {
+		return Block{}, nil
+	}
+	b, ok := raw.(Block)
+	if !ok {
+		return Block{}, fmt.Errorf("paxos: BLOCK[%v] holds %T", q, raw)
+	}
+	return b, nil
+}
+
+func run(env core.Env, cfg Config) error {
+	n := env.N()
+	if err := cfg.Validate(n); err != nil {
+		return err
+	}
+	me := env.ID()
+	det, err := leader.NewDetector(env, cfg.Leader)
+	if err != nil {
+		return err
+	}
+
+	var (
+		mine      = Block{} // my block's current contents (I am its only writer)
+		attempt   = 0
+		decided   = false
+		lastCheck uint64
+	)
+
+	decide := func(v core.Value) {
+		if !decided {
+			decided = true
+			env.Expose(DecisionKey, v)
+			env.Logf("decided %v", v)
+		}
+	}
+
+	// checkDecision polls the decision register.
+	checkDecision := func() (bool, error) {
+		raw, err := env.Read(decisionRef())
+		if err != nil {
+			return false, err
+		}
+		if raw == nil {
+			return false, nil
+		}
+		decide(raw)
+		return true, nil
+	}
+
+	// collect reads every block and reports the maximum MBal seen beyond
+	// mine and the vote with the highest Bal.
+	collect := func(myBallot int) (conflict bool, maxVote Block, err error) {
+		for q := 0; q < n; q++ {
+			blk, err := readBlock(env, core.ProcID(q))
+			if err != nil {
+				return false, Block{}, err
+			}
+			if core.ProcID(q) != me && blk.MBal > myBallot {
+				conflict = true
+			}
+			if blk.Bal > maxVote.Bal {
+				maxVote = blk
+			}
+		}
+		return conflict, maxVote, nil
+	}
+
+	for {
+		if err := det.Tick(env); err != nil {
+			return err
+		}
+		det.Foreign = det.Foreign[:0] // this protocol sends no app messages
+
+		if decided {
+			if cfg.HaltAfterDecide {
+				return nil
+			}
+			env.Yield()
+			continue
+		}
+
+		// Periodic decision poll (leaders check too: another proposer
+		// may have won earlier).
+		if env.LocalSteps()-lastCheck >= cfg.CheckEvery || lastCheck == 0 {
+			lastCheck = env.LocalSteps()
+			done, err := checkDecision()
+			if err != nil {
+				return err
+			}
+			if done {
+				continue
+			}
+		}
+
+		if det.Leader() != me {
+			env.Yield()
+			continue
+		}
+
+		// Phase 1: join ballot b.
+		attempt++
+		b := attempt*n + int(me)
+		mine.MBal = b
+		if err := env.Write(blockRef(me), mine); err != nil {
+			return err
+		}
+		conflict, maxVote, err := collect(b)
+		if err != nil {
+			return err
+		}
+		if conflict {
+			continue // A higher ballot is active; retry later.
+		}
+		v := cfg.Inputs[me]
+		if maxVote.Bal > 0 && maxVote.Inp != nil {
+			v = maxVote.Inp // Adopt the highest completed vote.
+		}
+
+		// Phase 2: vote (b, v).
+		mine.Bal = b
+		mine.Inp = v
+		if err := env.Write(blockRef(me), mine); err != nil {
+			return err
+		}
+		conflict, _, err = collect(b)
+		if err != nil {
+			return err
+		}
+		if conflict {
+			continue
+		}
+
+		// Decided: publish for the readers.
+		if err := env.Write(decisionRef(), v); err != nil {
+			return err
+		}
+		decide(v)
+	}
+}

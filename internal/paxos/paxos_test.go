@@ -1,0 +1,239 @@
+package paxos
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/graph"
+	"github.com/mnm-model/mnm/internal/leader"
+	"github.com/mnm-model/mnm/internal/msgnet"
+	"github.com/mnm-model/mnm/internal/sched"
+	"github.com/mnm-model/mnm/internal/sim"
+)
+
+func timely(p core.ProcID, seed int64) sched.Scheduler {
+	return &sched.TimelyProcess{Timely: p, Bound: 4, Inner: sched.NewRandom(seed)}
+}
+
+func runPaxos(t *testing.T, cfg Config, simCfg sim.Config) (*sim.Runner, *sim.Result) {
+	t.Helper()
+	if simCfg.MaxSteps == 0 {
+		simCfg.MaxSteps = 5_000_000
+	}
+	if simCfg.StopWhen == nil {
+		simCfg.StopWhen = func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, DecisionKey) }
+	}
+	r, err := sim.New(simCfg, New(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, e := range res.Errors {
+		t.Fatalf("process %v: %v", p, e)
+	}
+	return r, res
+}
+
+func checkAgreement(t *testing.T, r *sim.Runner, n int, inputs []core.Value) {
+	t.Helper()
+	var agreed core.Value
+	for p := 0; p < n; p++ {
+		v := r.Exposed(core.ProcID(p), DecisionKey)
+		if v == nil {
+			continue
+		}
+		proposed := false
+		for _, in := range inputs {
+			if in == v {
+				proposed = true
+			}
+		}
+		if !proposed {
+			t.Fatalf("process %d decided unproposed %v", p, v)
+		}
+		if agreed == nil {
+			agreed = v
+		} else if agreed != v {
+			t.Fatalf("disagreement: %v vs %v", agreed, v)
+		}
+	}
+}
+
+func TestDecidesWithTimelyLeader(t *testing.T) {
+	inputs := []core.Value{"a", "b", "c", "d", "e"}
+	for seed := int64(0); seed < 8; seed++ {
+		r, res := runPaxos(t,
+			Config{Inputs: inputs},
+			sim.Config{GSM: graph.Complete(5), Seed: seed, Scheduler: timely(2, seed+3)})
+		if !res.Stopped {
+			t.Fatalf("seed %d: no decision: %+v", seed, res)
+		}
+		checkAgreement(t, r, 5, inputs)
+	}
+}
+
+func TestToleratesNMinusOneCrashes(t *testing.T) {
+	// Unlike message Paxos (majority of acceptors) and like the paper's
+	// shared-memory story, register Paxos survives n−1 crashes.
+	inputs := []core.Value{10, 20, 30, 40, 50}
+	crashes := []sim.Crash{
+		{Proc: 0, AtStep: 0}, {Proc: 1, AtStep: 0},
+		{Proc: 2, AtStep: 0}, {Proc: 3, AtStep: 0},
+	}
+	r, res := runPaxos(t,
+		Config{Inputs: inputs},
+		sim.Config{GSM: graph.Complete(5), Seed: 2, Crashes: crashes,
+			Scheduler: timely(4, 9)})
+	if !res.Stopped {
+		t.Fatalf("sole survivor did not decide: %+v", res)
+	}
+	if v := r.Exposed(4, DecisionKey); v != 50 {
+		t.Errorf("sole survivor decided %v, want its own input 50", v)
+	}
+}
+
+func TestLeaderCrashMidBallot(t *testing.T) {
+	// Crash the likely first leader shortly after it starts proposing;
+	// the next leader must finish (possibly adopting the dead leader's
+	// value — either way, agreement).
+	inputs := []core.Value{"x", "y", "z", "w"}
+	for _, crashStep := range []uint64{30, 60, 120, 400} {
+		r, res := runPaxos(t,
+			Config{Inputs: inputs},
+			sim.Config{
+				GSM:       graph.Complete(4),
+				Seed:      int64(crashStep),
+				Scheduler: timely(3, int64(crashStep)+1),
+				Crashes:   []sim.Crash{{Proc: 0, AtStep: crashStep}},
+			})
+		if !res.Stopped {
+			t.Fatalf("crash@%d: no decision", crashStep)
+		}
+		checkAgreement(t, r, 4, inputs)
+	}
+}
+
+func TestSafetyUnderContention(t *testing.T) {
+	// Round-robin scheduling keeps everyone believing itself leader at
+	// the start; dueling ballots must preserve safety, and once the
+	// detector converges a decision must come.
+	inputs := []core.Value{1, 2, 3, 4, 5, 6}
+	for seed := int64(0); seed < 6; seed++ {
+		r, res := runPaxos(t,
+			Config{Inputs: inputs},
+			sim.Config{GSM: graph.Complete(6), Seed: seed})
+		if !res.Stopped {
+			t.Fatalf("seed %d: no decision under round robin", seed)
+		}
+		checkAgreement(t, r, 6, inputs)
+	}
+}
+
+func TestMessageFreeOverLossyLinks(t *testing.T) {
+	// With the Figure-5 notifier, the entire stack — Ω plus Paxos —
+	// works over arbitrarily lossy links (Paxos itself sends nothing).
+	inputs := []core.Value{"p", "q", "r", "s"}
+	r, res := runPaxos(t,
+		Config{
+			Inputs: inputs,
+			Leader: leader.Config{Notifier: leader.SharedMemoryNotifier},
+		},
+		sim.Config{
+			GSM:       graph.Complete(4),
+			Seed:      7,
+			Links:     msgnet.FairLossy,
+			Drop:      msgnet.NewRandomDrop(0.6, 3),
+			Scheduler: timely(1, 11),
+		})
+	if !res.Stopped {
+		t.Fatalf("no decision over 60%%-lossy links: %+v", res)
+	}
+	checkAgreement(t, r, 4, inputs)
+}
+
+func TestHaltAfterDecide(t *testing.T) {
+	inputs := []core.Value{"a", "b", "c"}
+	r, err := sim.New(sim.Config{
+		GSM:       graph.Complete(3),
+		Seed:      4,
+		Scheduler: timely(0, 5),
+		MaxSteps:  5_000_000,
+	}, New(Config{Inputs: inputs, HaltAfterDecide: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Halted) != 3 {
+		t.Fatalf("halted = %v, want all 3", res.Halted)
+	}
+	for p, e := range res.Errors {
+		t.Fatalf("process %v: %v", p, e)
+	}
+	checkAgreement(t, r, 3, inputs)
+}
+
+func TestValidation(t *testing.T) {
+	if err := (Config{Inputs: []core.Value{1}}).Validate(2); err == nil {
+		t.Error("wrong input count accepted")
+	}
+	if err := (Config{Inputs: []core.Value{1, nil}}).Validate(2); err == nil {
+		t.Error("nil input accepted")
+	}
+	if err := (Config{Inputs: []core.Value{1, 2}}).Validate(2); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestAccessOutsideCompleteGraphFails(t *testing.T) {
+	// On a path, block collection crosses non-neighbors: the run must
+	// surface access errors rather than silently misbehave.
+	inputs := []core.Value{1, 2, 3}
+	r, err := sim.New(sim.Config{
+		GSM:      graph.Path(3),
+		Seed:     1,
+		MaxSteps: 300_000,
+	}, New(Config{Inputs: inputs}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil && !errors.Is(err, sim.ErrNoProgress) {
+		t.Fatal(err)
+	}
+	hadErr := false
+	for _, e := range res.Errors {
+		if e != nil {
+			hadErr = true
+		}
+	}
+	if !hadErr {
+		t.Error("no process reported the domain violation")
+	}
+}
+
+func BenchmarkPaxosDecide(b *testing.B) {
+	inputs := []core.Value{"a", "b", "c", "d", "e"}
+	for i := 0; i < b.N; i++ {
+		r, err := sim.New(sim.Config{
+			GSM:       graph.Complete(5),
+			Seed:      int64(i),
+			Scheduler: timely(1, int64(i)+2),
+			MaxSteps:  5_000_000,
+			StopWhen:  func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, DecisionKey) },
+		}, New(Config{Inputs: inputs}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil || !res.Stopped {
+			b.Fatalf("err=%v stopped=%v", err, res.Stopped)
+		}
+	}
+}

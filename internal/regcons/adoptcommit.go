@@ -1,0 +1,154 @@
+package regcons
+
+import (
+	"fmt"
+
+	"github.com/mnm-model/mnm/internal/core"
+)
+
+// ACResult is the outcome of an AdoptCommit proposal.
+type ACResult struct {
+	// Val is the adopted or committed value.
+	Val core.Value
+	// Commit reports that every participant is guaranteed to leave this
+	// object with Val (the coherence property).
+	Commit bool
+	// Strong reports that Val came from a "clean" first phase (some
+	// proposer saw only Val); a strong adopt should be kept, not
+	// randomized away.
+	Strong bool
+	// Seen lists the distinct proposed values observed in the first
+	// phase, in domain order. It always contains Val's origin material;
+	// randomized callers pick their next preference from it.
+	Seen []core.Value
+}
+
+// AdoptCommit is a wait-free commit-adopt object over a fixed value domain,
+// built from atomic read/write boolean registers placed at the owner of
+// the base reference.
+//
+// Guarantees (for any number of concurrent proposers, any asynchrony):
+//
+//   - Validity: the returned Val was proposed by some process.
+//   - Coherence: if any proposal returns Commit=true with value v, every
+//     proposal returns Val = v (committed or strongly adopted).
+//   - Convergence: if all proposers propose the same v, every proposal
+//     commits v.
+//
+// The construction is the two-phase commit-adopt, value-indexed: phase 1
+// marks presence registers A[v] and collects them; a proposer that saw only
+// its own value becomes "strong". Phase 2 marks S[v] (strong) or W[v]
+// (weak) and collects both: commit requires seeing S = {v} and no weak
+// marks; otherwise a strong value, if visible, is adopted. Two distinct
+// strong values cannot coexist (each strong proposer wrote A before
+// collecting, so the later collector would have seen the other value).
+type AdoptCommit struct {
+	base core.Ref
+	dom  domainIndex
+}
+
+var _ fmt.Stringer = (*AdoptCommit)(nil)
+
+// Register families within an object's base reference.
+const (
+	acPresent = "acA" // phase-1 presence per value
+	acStrong  = "acS" // phase-2 strong mark per value
+	acWeak    = "acW" // phase-2 weak mark per value
+)
+
+// NewAdoptCommit returns the adopt-commit object rooted at base with the
+// given candidate value domain (comparable, non-nil, duplicate-free).
+func NewAdoptCommit(base core.Ref, domain []core.Value) (*AdoptCommit, error) {
+	dom, err := newDomainIndex(domain)
+	if err != nil {
+		return nil, err
+	}
+	return &AdoptCommit{base: base, dom: dom}, nil
+}
+
+// String implements fmt.Stringer.
+func (ac *AdoptCommit) String() string {
+	return fmt.Sprintf("adopt-commit(%v)", ac.base)
+}
+
+// Propose runs the two-phase protocol for env's process.
+func (ac *AdoptCommit) Propose(env core.Env, v core.Value) (ACResult, error) {
+	vi, err := ac.dom.indexOf(v)
+	if err != nil {
+		return ACResult{}, err
+	}
+
+	// Phase 1: announce presence, collect presence.
+	if err := env.Write(ac.base.Sub(acPresent, 0, vi), true); err != nil {
+		return ACResult{}, fmt.Errorf("adopt-commit phase 1 write: %w", err)
+	}
+	seen := make([]core.Value, 0, len(ac.dom.vals))
+	for i, cand := range ac.dom.vals {
+		marked, err := ac.readBool(env, acPresent, i)
+		if err != nil {
+			return ACResult{}, fmt.Errorf("adopt-commit phase 1 collect: %w", err)
+		}
+		if marked {
+			seen = append(seen, cand)
+		}
+	}
+	strong := len(seen) == 1 && seen[0] == v
+
+	// Phase 2: publish strength, collect strength.
+	family := acWeak
+	if strong {
+		family = acStrong
+	}
+	if err := env.Write(ac.base.Sub(family, 0, vi), true); err != nil {
+		return ACResult{}, fmt.Errorf("adopt-commit phase 2 write: %w", err)
+	}
+	var strongVals, weakVals []core.Value
+	for i, cand := range ac.dom.vals {
+		sMarked, err := ac.readBool(env, acStrong, i)
+		if err != nil {
+			return ACResult{}, fmt.Errorf("adopt-commit phase 2 collect: %w", err)
+		}
+		if sMarked {
+			strongVals = append(strongVals, cand)
+		}
+	}
+	for i, cand := range ac.dom.vals {
+		wMarked, err := ac.readBool(env, acWeak, i)
+		if err != nil {
+			return ACResult{}, fmt.Errorf("adopt-commit phase 2 collect: %w", err)
+		}
+		if wMarked {
+			weakVals = append(weakVals, cand)
+		}
+	}
+
+	res := ACResult{Val: v, Seen: seen}
+	switch {
+	case len(strongVals) == 1 && len(weakVals) == 0 && strongVals[0] == v:
+		// A clean strong round: everyone will see S[v] and adopt it.
+		res.Commit = true
+		res.Strong = true
+	case len(strongVals) >= 1:
+		// Adopt the (unique, see type comment) strong value.
+		res.Val = strongVals[0]
+		res.Strong = true
+	default:
+		// Keep own value; caller may randomize over Seen.
+	}
+	return res, nil
+}
+
+func (ac *AdoptCommit) readBool(env core.Env, family string, i int) (bool, error) {
+	raw, err := env.Read(ac.base.Sub(family, 0, i))
+	if err != nil {
+		return false, err
+	}
+	if raw == nil {
+		return false, nil
+	}
+	b, ok := raw.(bool)
+	if !ok {
+		return false, fmt.Errorf("regcons: register %v holds %T, want bool", ac.base.Sub(family, 0, i), raw)
+	}
+	return b, nil
+}

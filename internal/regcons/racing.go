@@ -1,0 +1,137 @@
+package regcons
+
+import (
+	"fmt"
+
+	"github.com/mnm-model/mnm/internal/core"
+)
+
+// Racing is randomized multivalued consensus from read/write registers, in
+// the round-based style of Aspnes–Herlihy: each asynchronous round is an
+// AdoptCommit; a proposer that commits writes the decision register and
+// returns; a proposer that adopts a strong value keeps it; a proposer with
+// no strong signal flips a local coin over the values it has seen. A
+// decision register lets latecomers (and slow participants) return in one
+// read.
+//
+// Properties:
+//
+//   - Agreement and Validity hold deterministically in every run (they
+//     follow from AdoptCommit coherence/validity and the decision
+//     register's write conditions).
+//   - Termination holds with probability 1: a round in which every active
+//     proposer enters with the same preference commits, and the local
+//     coins reach that state with probability ≥ |domain|^-k per round for
+//     k active proposers. (Like Ben-Or — and like the constructions the
+//     paper cites — expected time can be exponential against a worst-case
+//     strong adversary, but safety is never at risk.)
+//
+// The object is wait-free in the randomized sense: no proposer ever waits
+// for any other process; only registers at the owner are touched.
+type Racing struct {
+	base core.Ref
+	dom  domainIndex
+	// MaxRounds bounds the number of rounds before giving up with
+	// ErrRoundLimit, protecting simulations against the measure-zero
+	// non-terminating executions. 0 means no bound.
+	MaxRounds int
+}
+
+var _ Object = (*Racing)(nil)
+
+// ErrRoundLimit reports that a Racing proposal exceeded MaxRounds.
+var ErrRoundLimit = fmt.Errorf("regcons: racing consensus exceeded its round limit")
+
+// decFamily is the decision register family within the object's base.
+const decFamily = "dec"
+
+// NewRacing returns a racing consensus object rooted at base over the
+// given candidate value domain.
+func NewRacing(base core.Ref, domain []core.Value) (*Racing, error) {
+	dom, err := newDomainIndex(domain)
+	if err != nil {
+		return nil, err
+	}
+	return &Racing{base: base, dom: dom}, nil
+}
+
+// String implements fmt.Stringer.
+func (rc *Racing) String() string {
+	return fmt.Sprintf("racing-consensus(%v)", rc.base)
+}
+
+// Propose implements Object.
+func (rc *Racing) Propose(env core.Env, v core.Value) (core.Value, error) {
+	if _, err := rc.dom.indexOf(v); err != nil {
+		return nil, err
+	}
+	dec := rc.base.Sub(decFamily, 0, 0)
+	pref := v
+	for round := 1; rc.MaxRounds == 0 || round <= rc.MaxRounds; round++ {
+		// Fast path: someone already decided.
+		decided, err := env.Read(dec)
+		if err != nil {
+			return nil, fmt.Errorf("racing consensus decision read: %w", err)
+		}
+		if decided != nil {
+			return decided, nil
+		}
+
+		ac := &AdoptCommit{base: rc.base.Sub("rnd", round, 0), dom: rc.dom}
+		res, err := ac.Propose(env, pref)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case res.Commit:
+			if err := env.Write(dec, res.Val); err != nil {
+				return nil, fmt.Errorf("racing consensus decision write: %w", err)
+			}
+			return res.Val, nil
+		case res.Strong:
+			pref = res.Val
+		default:
+			// Local coin over the values seen this round (all of which
+			// were proposed, preserving validity).
+			pref = res.Seen[env.Rand().Intn(len(res.Seen))]
+		}
+	}
+	return nil, fmt.Errorf("%w (limit %d) at %v", ErrRoundLimit, rc.MaxRounds, rc.base)
+}
+
+// CASBased is one-shot consensus from a single compare-and-swap register,
+// modeling the atomic verbs real RDMA NICs provide. It is the
+// hardware-primitive ablation: constant time, deterministic wait-freedom,
+// at the cost of stepping outside the paper's read/write register model.
+type CASBased struct {
+	base core.Ref
+}
+
+var _ Object = (*CASBased)(nil)
+
+// NewCASBased returns the CAS-backed consensus object rooted at base.
+func NewCASBased(base core.Ref) *CASBased {
+	return &CASBased{base: base}
+}
+
+// String implements fmt.Stringer.
+func (c *CASBased) String() string {
+	return fmt.Sprintf("cas-consensus(%v)", c.base)
+}
+
+// Propose implements Object: the first successful CAS from nil wins; every
+// proposal returns the winner's value.
+func (c *CASBased) Propose(env core.Env, v core.Value) (core.Value, error) {
+	if v == nil {
+		return nil, fmt.Errorf("regcons: cannot propose nil")
+	}
+	reg := c.base.Sub(decFamily, 0, 0)
+	swapped, cur, err := env.CompareAndSwap(reg, nil, v)
+	if err != nil {
+		return nil, fmt.Errorf("cas consensus: %w", err)
+	}
+	if swapped {
+		return v, nil
+	}
+	return cur, nil
+}

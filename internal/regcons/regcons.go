@@ -1,0 +1,78 @@
+// Package regcons implements the wait-free shared-memory consensus objects
+// that HBO (Figure 2 of the paper) uses to agree, within each G_SM
+// neighborhood, on the message a neighbor is supposed to send. The paper
+// points to the randomized register-based constructions of Aspnes–Herlihy
+// and Attiya–Censor; this package provides:
+//
+//   - AdoptCommit: a commit-adopt object (in the style of Gafni's) built
+//     from atomic read/write registers — the deterministic safety core.
+//   - Racing: randomized consensus over a small known value domain,
+//     structured as rounds of AdoptCommit with a local-coin tie-break and
+//     a decision register for latecomers. Safety (agreement, validity) is
+//     deterministic; termination holds with probability 1.
+//   - CASBased: one-shot consensus from a single RDMA-style compare-and-
+//     swap — the hardware-primitive ablation.
+//
+// The register-based objects are *value-indexed*: they keep one register
+// per candidate value rather than one per participant. HBO proposes only
+// values from {0, 1, '?'}, so the domain is tiny, and value indexing means
+// an object needs no knowledge of who may access it — any process inside
+// the owner's shared-memory neighborhood can participate. All registers of
+// an object live at the object's owner (the Owner of its base core.Ref),
+// so every access stays inside one G_SM neighborhood, exactly as HBO's
+// "RVals[p, i]: consensus object accessible by {p} ∪ neighbors(p)"
+// requires.
+package regcons
+
+import (
+	"fmt"
+
+	"github.com/mnm-model/mnm/internal/core"
+)
+
+// Object is a shared consensus object with the paper's interface: "one
+// operation, propose(v), which takes a value v and returns the first value
+// that was proposed to the object" — more precisely, a single agreed value
+// that some participant proposed.
+type Object interface {
+	// Propose submits v on behalf of env's process and returns the
+	// object's agreed value. It may take many steps but sends no
+	// messages — it touches only registers at the object's owner.
+	Propose(env core.Env, v core.Value) (core.Value, error)
+}
+
+// domainIndex maps candidate values to small register indices. Values must
+// be comparable; the domain is fixed at object creation.
+type domainIndex struct {
+	vals []core.Value
+	idx  map[core.Value]int
+}
+
+func newDomainIndex(domain []core.Value) (domainIndex, error) {
+	if len(domain) == 0 {
+		return domainIndex{}, fmt.Errorf("regcons: empty value domain")
+	}
+	d := domainIndex{
+		vals: make([]core.Value, len(domain)),
+		idx:  make(map[core.Value]int, len(domain)),
+	}
+	copy(d.vals, domain)
+	for i, v := range d.vals {
+		if v == nil {
+			return domainIndex{}, fmt.Errorf("regcons: nil is not a valid domain value")
+		}
+		if _, dup := d.idx[v]; dup {
+			return domainIndex{}, fmt.Errorf("regcons: duplicate domain value %v", v)
+		}
+		d.idx[v] = i
+	}
+	return d, nil
+}
+
+func (d domainIndex) indexOf(v core.Value) (int, error) {
+	i, ok := d.idx[v]
+	if !ok {
+		return 0, fmt.Errorf("regcons: value %v outside object domain %v", v, d.vals)
+	}
+	return i, nil
+}

@@ -1,0 +1,441 @@
+package regcons
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/graph"
+	"github.com/mnm-model/mnm/internal/sched"
+	"github.com/mnm-model/mnm/internal/sim"
+)
+
+// binDomain is the HBO-style candidate domain.
+var binDomain = []core.Value{0, 1, "?"}
+
+// proposeAll runs n processes that each propose proposals[p] to a fresh
+// object built by mk, under the given scheduler and crash plan, and
+// returns the values the surviving processes obtained.
+func proposeAll(t *testing.T, n int, proposals []core.Value, mk func() Object, seed int64, s sched.Scheduler, crashes []sim.Crash) map[core.ProcID]core.Value {
+	t.Helper()
+	obj := mk()
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			v, err := obj.Propose(env, proposals[id])
+			if err != nil {
+				return err
+			}
+			env.Expose("out", v)
+			return nil
+		}
+	})
+	r, err := sim.New(sim.Config{
+		GSM:       graph.Complete(n),
+		Seed:      seed,
+		Scheduler: s,
+		MaxSteps:  2_000_000,
+		Crashes:   crashes,
+	}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut {
+		t.Fatalf("run timed out (termination failure)")
+	}
+	for p, perr := range res.Errors {
+		t.Fatalf("process %v failed: %v", p, perr)
+	}
+	out := make(map[core.ProcID]core.Value)
+	for p := core.ProcID(0); int(p) < n; p++ {
+		if v := r.Exposed(p, "out"); v != nil {
+			out[p] = v
+		}
+	}
+	return out
+}
+
+func checkAgreementValidity(t *testing.T, outs map[core.ProcID]core.Value, proposals []core.Value) {
+	t.Helper()
+	proposed := make(map[core.Value]bool)
+	for _, v := range proposals {
+		proposed[v] = true
+	}
+	var agreed core.Value
+	for p, v := range outs {
+		if !proposed[v] {
+			t.Fatalf("process %v decided %v, which nobody proposed (validity)", p, v)
+		}
+		if agreed == nil {
+			agreed = v
+		} else if v != agreed {
+			t.Fatalf("disagreement: %v vs %v (agreement)", v, agreed)
+		}
+	}
+}
+
+func TestAdoptCommitSolo(t *testing.T) {
+	base := core.Reg(0, "obj")
+	ac, err := NewAdoptCommit(base, binDomain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res ACResult
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			var err error
+			res, err = ac.Propose(env, 1)
+			return err
+		}
+	})
+	r, err := sim.New(sim.Config{GSM: graph.Complete(1)}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Commit || res.Val != 1 || !res.Strong {
+		t.Errorf("solo propose = %+v, want commit of 1", res)
+	}
+	if len(res.Seen) != 1 || res.Seen[0] != 1 {
+		t.Errorf("Seen = %v, want [1]", res.Seen)
+	}
+}
+
+func TestAdoptCommitConvergence(t *testing.T) {
+	// All propose the same value → all commit it, under any scheduler.
+	for seed := int64(0); seed < 10; seed++ {
+		base := core.Reg(0, "obj")
+		ac, err := NewAdoptCommit(base, binDomain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results := make([]ACResult, 5)
+		alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+			return func(env core.Env) error {
+				r, err := ac.Propose(env, "?")
+				results[id] = r
+				return err
+			}
+		})
+		r, err := sim.New(sim.Config{
+			GSM:       graph.Complete(5),
+			Seed:      seed,
+			Scheduler: sched.NewRandom(seed),
+		}, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for p, res := range results {
+			if !res.Commit || res.Val != "?" {
+				t.Errorf("seed %d p%d: %+v, want commit of ?", seed, p, res)
+			}
+		}
+	}
+}
+
+func TestAdoptCommitCoherence(t *testing.T) {
+	// Mixed proposals under many random schedules: if anyone commits v,
+	// everyone's value is v; every value is proposed; committed+strong
+	// consistency holds.
+	for seed := int64(0); seed < 60; seed++ {
+		base := core.Reg(0, "obj")
+		ac, err := NewAdoptCommit(base, binDomain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 4
+		proposals := []core.Value{0, 1, "?", 0}
+		results := make([]ACResult, n)
+		alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+			return func(env core.Env) error {
+				r, err := ac.Propose(env, proposals[id])
+				results[id] = r
+				return err
+			}
+		})
+		r, err := sim.New(sim.Config{
+			GSM:       graph.Complete(n),
+			Seed:      seed,
+			Scheduler: sched.NewRandom(seed * 31),
+		}, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+		proposed := map[core.Value]bool{0: true, 1: true, "?": true}
+		var committed core.Value
+		for p, res := range results {
+			if !proposed[res.Val] {
+				t.Fatalf("seed %d p%d adopted unproposed %v", seed, p, res.Val)
+			}
+			if res.Commit {
+				if committed != nil && committed != res.Val {
+					t.Fatalf("seed %d: two different commits %v, %v", seed, committed, res.Val)
+				}
+				committed = res.Val
+			}
+		}
+		if committed != nil {
+			for p, res := range results {
+				if res.Val != committed {
+					t.Fatalf("seed %d p%d has %v, but %v was committed (coherence)", seed, p, res.Val, committed)
+				}
+			}
+		}
+	}
+}
+
+func TestRacingAgreementValidityAcrossSeeds(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		proposals := []core.Value{0, 1, "?", 1, 0}
+		outs := proposeAll(t, 5, proposals, func() Object {
+			rc, err := NewRacing(core.Reg(0, "obj"), binDomain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rc
+		}, seed, sched.NewRandom(seed*7+1), nil)
+		if len(outs) != 5 {
+			t.Fatalf("seed %d: only %d of 5 proposals completed", seed, len(outs))
+		}
+		checkAgreementValidity(t, outs, proposals)
+	}
+}
+
+func TestRacingWithCrashes(t *testing.T) {
+	// Crash two of five proposers mid-run: the rest must still decide
+	// (wait-freedom: no one waits for the crashed).
+	for seed := int64(0); seed < 20; seed++ {
+		proposals := []core.Value{0, 1, 1, 0, "?"}
+		crashes := []sim.Crash{
+			{Proc: 1, AtStep: uint64(5 + seed*3)},
+			{Proc: 3, AtStep: uint64(11 + seed*5)},
+		}
+		outs := proposeAll(t, 5, proposals, func() Object {
+			rc, err := NewRacing(core.Reg(0, "obj"), binDomain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rc
+		}, seed, sched.NewRandom(seed*13+5), crashes)
+		checkAgreementValidity(t, outs, proposals)
+		for _, p := range []core.ProcID{0, 2, 4} {
+			if _, ok := outs[p]; !ok {
+				t.Fatalf("seed %d: surviving process %v did not decide", seed, p)
+			}
+		}
+	}
+}
+
+func TestRacingLatecomerFastPath(t *testing.T) {
+	// Processes 0..2 decide first (priority window); process 3 then joins
+	// and must return via the decision register.
+	proposals := []core.Value{0, 0, 1, 1}
+	rc, err := NewRacing(core.Reg(0, "obj"), binDomain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &sched.Prioritize{
+		Procs: []core.ProcID{0, 1, 2},
+		K:     5000,
+		Inner: &sched.RoundRobin{},
+	}
+	outs := proposeAll(t, 4, proposals, func() Object { return rc }, 3, s, nil)
+	checkAgreementValidity(t, outs, proposals)
+	if len(outs) != 4 {
+		t.Fatalf("only %d of 4 decided", len(outs))
+	}
+}
+
+func TestRacingRoundLimit(t *testing.T) {
+	rc, err := NewRacing(core.Reg(0, "obj"), binDomain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.MaxRounds = 0 // unlimited is the default; now test a tiny limit
+	rc2 := *rc
+	rc2.MaxRounds = 1
+	// A single proposer always commits in round 1, so the limit must not
+	// trigger.
+	var got core.Value
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			v, err := rc2.Propose(env, 1)
+			got = v
+			return err
+		}
+	})
+	r, err := sim.New(sim.Config{GSM: graph.Complete(1)}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 0 || got != 1 {
+		t.Errorf("solo propose with MaxRounds=1: got %v errs %v", got, res.Errors)
+	}
+}
+
+func TestProposeOutsideDomain(t *testing.T) {
+	rc, err := NewRacing(core.Reg(0, "obj"), binDomain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var perr error
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			_, perr = rc.Propose(env, 42)
+			return nil
+		}
+	})
+	r, err := sim.New(sim.Config{GSM: graph.Complete(1)}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if perr == nil {
+		t.Error("out-of-domain proposal accepted")
+	}
+}
+
+func TestDomainValidation(t *testing.T) {
+	if _, err := NewRacing(core.Reg(0, "o"), nil); err == nil {
+		t.Error("empty domain accepted")
+	}
+	if _, err := NewRacing(core.Reg(0, "o"), []core.Value{1, 1}); err == nil {
+		t.Error("duplicate domain accepted")
+	}
+	if _, err := NewAdoptCommit(core.Reg(0, "o"), []core.Value{nil}); err == nil {
+		t.Error("nil domain value accepted")
+	}
+}
+
+func TestCASBasedAgreement(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		proposals := []core.Value{0, 1, "?", 1}
+		outs := proposeAll(t, 4, proposals, func() Object {
+			return NewCASBased(core.Reg(0, "obj"))
+		}, seed, sched.NewRandom(seed+100), nil)
+		if len(outs) != 4 {
+			t.Fatalf("seed %d: %d of 4 decided", seed, len(outs))
+		}
+		checkAgreementValidity(t, outs, proposals)
+	}
+}
+
+func TestCASBasedRejectsNil(t *testing.T) {
+	c := NewCASBased(core.Reg(0, "obj"))
+	var perr error
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			_, perr = c.Propose(env, nil)
+			return nil
+		}
+	})
+	r, err := sim.New(sim.Config{GSM: graph.Complete(1)}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if perr == nil {
+		t.Error("nil proposal accepted")
+	}
+}
+
+func TestObjectsRespectDomainPlacement(t *testing.T) {
+	// An object owned by process 2 on a path 0-1-2 is out of process 0's
+	// reach: proposals must fail with ErrAccessDenied, not corrupt state.
+	rc, err := NewRacing(core.Reg(2, "obj"), binDomain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make([]error, 3)
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			_, errs[id] = rc.Propose(env, 0)
+			return nil
+		}
+	})
+	r, err := sim.New(sim.Config{GSM: graph.Path(3), MaxSteps: 100000}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(errs[0], core.ErrAccessDenied) {
+		t.Errorf("out-of-neighborhood propose error = %v, want ErrAccessDenied", errs[0])
+	}
+	if errs[1] != nil || errs[2] != nil {
+		t.Errorf("in-neighborhood proposals failed: %v, %v", errs[1], errs[2])
+	}
+}
+
+func BenchmarkRacingSolo(b *testing.B) {
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			for i := 0; i < b.N; i++ {
+				rc, err := NewRacing(core.RegI(0, "obj", i), binDomain)
+				if err != nil {
+					return err
+				}
+				if _, err := rc.Propose(env, 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	})
+	r, err := sim.New(sim.Config{GSM: graph.Complete(1), MaxSteps: ^uint64(0)}, alg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if res, err := r.Run(); err != nil || len(res.Errors) > 0 {
+		b.Fatalf("err=%v procErrs=%v", err, res.Errors)
+	}
+}
+
+func BenchmarkRacingContended(b *testing.B) {
+	const n = 4
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			for i := 0; i < b.N; i++ {
+				rc, err := NewRacing(core.RegI(0, "obj", i), binDomain)
+				if err != nil {
+					return err
+				}
+				if _, err := rc.Propose(env, int(id)%2); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	})
+	r, err := sim.New(sim.Config{GSM: graph.Complete(n), MaxSteps: ^uint64(0), Seed: 42}, alg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if res, err := r.Run(); err != nil || len(res.Errors) > 0 {
+		b.Fatalf("err=%v procErrs=%v", err, res.Errors)
+	}
+}

@@ -1,0 +1,188 @@
+package rsm
+
+import (
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/graph"
+	"github.com/mnm-model/mnm/internal/leader"
+	"github.com/mnm-model/mnm/internal/msgnet"
+	"github.com/mnm-model/mnm/internal/sched"
+	"github.com/mnm-model/mnm/internal/sim"
+)
+
+// allDoneAndConverged fires when every correct replica committed its own
+// commands and all correct replicas applied the same prefix length.
+func allDoneAndConverged(r *sim.Runner) bool {
+	first := -1
+	for p := 0; p < r.N(); p++ {
+		id := core.ProcID(p)
+		if r.Crashed(id) {
+			continue
+		}
+		if r.Exposed(id, DoneKey) != true {
+			return false
+		}
+		applied, ok := r.Exposed(id, AppliedKey).(int)
+		if !ok {
+			return false
+		}
+		if first == -1 {
+			first = applied
+		} else if applied != first {
+			return false
+		}
+	}
+	return first > 0
+}
+
+func checkReplicaHashesEqual(t *testing.T, r *sim.Runner) {
+	t.Helper()
+	var hash *uint64
+	for p := 0; p < r.N(); p++ {
+		id := core.ProcID(p)
+		if r.Crashed(id) {
+			continue
+		}
+		h, ok := r.Exposed(id, HashKey).(uint64)
+		if !ok {
+			t.Fatalf("replica %v has no hash", id)
+		}
+		if hash == nil {
+			hash = &h
+		} else if *hash != h {
+			t.Fatalf("replica state divergence: %x vs %x", *hash, h)
+		}
+	}
+}
+
+func TestReplicationConverges(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		r, err := sim.New(sim.Config{
+			GSM:       graph.Complete(4),
+			Seed:      seed,
+			Scheduler: sched.NewRandom(seed*3 + 1),
+			MaxSteps:  4_000_000,
+			StopWhen:  allDoneAndConverged,
+		}, New(Config{CommandsPerProcess: 3}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p, e := range res.Errors {
+			t.Fatalf("seed %d: replica %v: %v", seed, p, e)
+		}
+		if !res.Stopped {
+			t.Fatalf("seed %d: replication did not converge: %+v", seed, res)
+		}
+		checkReplicaHashesEqual(t, r)
+		// Every committed slot holds a well-formed command and the
+		// committed prefix contains all 12 distinct commands.
+		applied := r.Exposed(0, AppliedKey).(int)
+		seen := make(map[Command]bool)
+		for s := 0; s < applied; s++ {
+			raw, ok := r.Memory().Peek(SlotRef(s, 4))
+			if !ok {
+				t.Fatalf("seed %d: applied slot %d empty", seed, s)
+			}
+			seen[raw.(Command)] = true
+		}
+		if len(seen) != 12 {
+			t.Errorf("seed %d: %d distinct commands committed, want 12", seed, len(seen))
+		}
+	}
+}
+
+func TestReplicationSurvivesLeaderCrash(t *testing.T) {
+	// Crash the (likely) initial leader mid-run: remaining replicas must
+	// still commit all their commands.
+	stable := allDoneAndConverged
+	r, err := sim.New(sim.Config{
+		GSM:       graph.Complete(5),
+		Seed:      3,
+		Scheduler: sched.NewRandom(7),
+		MaxSteps:  8_000_000,
+		Crashes:   []sim.Crash{{Proc: 0, AtStep: 20_000}},
+		StopWhen:  stable,
+	}, New(Config{CommandsPerProcess: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, e := range res.Errors {
+		t.Fatalf("replica %v: %v", p, e)
+	}
+	if !res.Stopped {
+		t.Fatalf("replication did not converge after leader crash: %+v", res)
+	}
+	checkReplicaHashesEqual(t, r)
+}
+
+func TestReplicationOverFairLossyLinks(t *testing.T) {
+	r, err := sim.New(sim.Config{
+		GSM:       graph.Complete(4),
+		Seed:      9,
+		Links:     msgnet.FairLossy,
+		Drop:      msgnet.NewRandomDrop(0.3, 5),
+		Scheduler: sched.NewRandom(11),
+		MaxSteps:  8_000_000,
+		StopWhen:  allDoneAndConverged,
+	}, New(Config{
+		CommandsPerProcess: 2,
+		Leader:             leader.Config{Notifier: leader.SharedMemoryNotifier},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, e := range res.Errors {
+		t.Fatalf("replica %v: %v", p, e)
+	}
+	if !res.Stopped {
+		t.Fatalf("replication did not converge over fair-lossy links: %+v", res)
+	}
+	checkReplicaHashesEqual(t, r)
+}
+
+func TestSlotStriping(t *testing.T) {
+	if SlotRef(0, 4).Owner != 0 || SlotRef(5, 4).Owner != 1 || SlotRef(7, 4).Owner != 3 {
+		t.Error("slots not striped round-robin across owners")
+	}
+	if SlotRef(3, 4).I != 3 {
+		t.Error("slot index not preserved")
+	}
+}
+
+func TestCommandString(t *testing.T) {
+	c := Command{Proposer: 2, Seq: 5, Op: "x"}
+	if got, want := c.String(), "p2/5:x"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func BenchmarkReplicationConverge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := sim.New(sim.Config{
+			GSM:      graph.Complete(4),
+			Seed:     int64(i),
+			MaxSteps: 8_000_000,
+			StopWhen: allDoneAndConverged,
+		}, New(Config{CommandsPerProcess: 2}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil || !res.Stopped {
+			b.Fatalf("err=%v stopped=%v", err, res.Stopped)
+		}
+	}
+}

@@ -1,0 +1,342 @@
+// Package rt is the real-time host for m&m algorithms: one goroutine per
+// process, channels-and-mutexes substrates, true parallelism.
+//
+// The same algorithm code that runs under the deterministic simulator
+// (internal/sim) runs here unmodified — the core.Env contract is
+// identical; only the notion of a "step" changes from a scheduler grant to
+// an actual operation. The real-time host exists for two reasons: to show
+// that the algorithms are real programs rather than simulator artifacts,
+// and to measure wall-clock performance shapes (register ops vs. message
+// ops, scaling with n and the G_SM degree) on real hardware.
+//
+// Runs are not deterministic: asynchrony comes from the Go scheduler.
+// Every safety property must therefore hold for *any* interleaving, which
+// is exactly what the paper's algorithms promise (and -race verifies the
+// substrate side).
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/graph"
+	"github.com/mnm-model/mnm/internal/metrics"
+	"github.com/mnm-model/mnm/internal/msgnet"
+	"github.com/mnm-model/mnm/internal/shm"
+)
+
+// Config describes a real-time m&m system.
+type Config struct {
+	// GSM is the shared-memory graph; its vertex count is the system
+	// size. Required.
+	GSM *graph.Graph
+	// Links selects reliable or fair-lossy links. Defaults to reliable.
+	Links msgnet.LinkKind
+	// Drop is the fair-loss drop policy (fair-lossy links only).
+	Drop msgnet.DropPolicy
+	// Seed derives per-process randomness.
+	Seed int64
+	// Counters receives metrics; one is created if nil.
+	Counters *metrics.Counters
+}
+
+// Host runs an algorithm with real concurrency.
+type Host struct {
+	n        int
+	mem      *shm.Memory
+	net      *msgnet.Network
+	counters *metrics.Counters
+	procs    []*rtProc
+	wg       sync.WaitGroup
+	stopped  atomic.Bool
+	started  atomic.Bool
+
+	mu        sync.Mutex
+	errs      map[core.ProcID]error
+	startGate chan struct{}
+}
+
+type rtProc struct {
+	id      core.ProcID
+	steps   atomic.Uint64
+	crashed atomic.Bool
+	rng     *rand.Rand // used only by the owning goroutine
+
+	mu      sync.Mutex
+	exposed map[string]core.Value
+
+	neighbors []core.ProcID
+}
+
+// New builds a host for alg over the system described by cfg. Processes do
+// not run until Start is called.
+func New(cfg Config, alg core.Algorithm) (*Host, error) {
+	if cfg.GSM == nil {
+		return nil, errors.New("rt: Config.GSM is required")
+	}
+	n := cfg.GSM.N()
+	if n == 0 {
+		return nil, errors.New("rt: empty system")
+	}
+	if cfg.Links == 0 {
+		cfg.Links = msgnet.Reliable
+	}
+	counters := cfg.Counters
+	if counters == nil {
+		counters = metrics.NewCounters(n)
+	}
+	netOpts := []msgnet.NetOption{
+		msgnet.WithAutoDeliver(),
+		msgnet.WithNetCounters(counters),
+	}
+	if cfg.Drop != nil {
+		netOpts = append(netOpts, msgnet.WithDropPolicy(cfg.Drop))
+	}
+	h := &Host{
+		n:        n,
+		mem:      shm.NewMemory(shm.NewUniformDomain(cfg.GSM), shm.WithCounters(counters)),
+		net:      msgnet.NewNetwork(n, cfg.Links, netOpts...),
+		counters: counters,
+		procs:    make([]*rtProc, n),
+		errs:     make(map[core.ProcID]error),
+	}
+	for p := 0; p < n; p++ {
+		ns := cfg.GSM.Neighbors(p)
+		neighbors := make([]core.ProcID, len(ns))
+		for i, q := range ns {
+			neighbors[i] = core.ProcID(q)
+		}
+		h.procs[p] = &rtProc{
+			id:        core.ProcID(p),
+			rng:       rand.New(rand.NewSource(cfg.Seed ^ (0x9e3779b9 * int64(p+1)))),
+			exposed:   make(map[string]core.Value),
+			neighbors: neighbors,
+		}
+	}
+	h.allProcsInit(alg)
+	return h, nil
+}
+
+func (h *Host) allProcsInit(alg core.Algorithm) {
+	all := make([]core.ProcID, h.n)
+	for p := 0; p < h.n; p++ {
+		all[p] = core.ProcID(p)
+	}
+	for p := 0; p < h.n; p++ {
+		ps := h.procs[p]
+		body := alg.ProcessFor(ps.id)
+		env := &rtEnv{h: h, ps: ps, all: all}
+		h.wg.Add(1)
+		go func() {
+			defer h.wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					if _, ok := rec.(stopPanic); ok {
+						return
+					}
+					h.recordErr(ps.id, fmt.Errorf("rt: process %v panicked: %v\n%s", ps.id, rec, debug.Stack()))
+				}
+			}()
+			<-h.startCh()
+			if err := body(env); err != nil {
+				h.recordErr(ps.id, err)
+			}
+		}()
+	}
+}
+
+// startCh lazily builds the start gate.
+func (h *Host) startCh() <-chan struct{} {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.startGate == nil {
+		h.startGate = make(chan struct{})
+	}
+	return h.startGate
+}
+
+func (h *Host) recordErr(p core.ProcID, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.errs[p] = err
+}
+
+// Start releases all process goroutines. It may be called once.
+func (h *Host) Start() {
+	if h.started.Swap(true) {
+		return
+	}
+	h.mu.Lock()
+	if h.startGate == nil {
+		h.startGate = make(chan struct{})
+	}
+	gate := h.startGate
+	h.mu.Unlock()
+	close(gate)
+}
+
+// Stop asks every still-running process to unwind at its next operation
+// and waits for all goroutines to exit. Safe to call multiple times.
+func (h *Host) Stop() {
+	h.stopped.Store(true)
+	if !h.started.Load() {
+		h.Start()
+	}
+	h.wg.Wait()
+}
+
+// Wait blocks until every process goroutine has exited on its own
+// (returned from its body) and reports their errors. Most long-running
+// algorithms never halt; use Stop for those.
+func (h *Host) Wait() map[core.ProcID]error {
+	h.wg.Wait()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[core.ProcID]error, len(h.errs))
+	for p, e := range h.errs {
+		out[p] = e
+	}
+	return out
+}
+
+// Errors returns the process errors recorded so far.
+func (h *Host) Errors() map[core.ProcID]error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[core.ProcID]error, len(h.errs))
+	for p, e := range h.errs {
+		out[p] = e
+	}
+	return out
+}
+
+// Crash crash-stops process p: it unwinds at its next operation, its
+// registers survive.
+func (h *Host) Crash(p core.ProcID) {
+	if int(p) < 0 || int(p) >= h.n {
+		return
+	}
+	h.procs[p].crashed.Store(true)
+}
+
+// Exposed returns the value process p last published under name, or nil.
+func (h *Host) Exposed(p core.ProcID, name string) core.Value {
+	if int(p) < 0 || int(p) >= h.n {
+		return nil
+	}
+	ps := h.procs[p]
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.exposed[name]
+}
+
+// Memory returns the shared register store for observer-level inspection.
+func (h *Host) Memory() *shm.Memory { return h.mem }
+
+// Counters returns the live metrics counters.
+func (h *Host) Counters() *metrics.Counters { return h.counters }
+
+// N returns the system size.
+func (h *Host) N() int { return h.n }
+
+// stopPanic unwinds a process goroutine on stop/crash.
+type stopPanic struct{}
+
+// rtEnv implements core.Env on the real-time host.
+type rtEnv struct {
+	h   *Host
+	ps  *rtProc
+	all []core.ProcID
+}
+
+var _ core.Env = (*rtEnv)(nil)
+
+// step accounts one operation and unwinds if the host stopped or the
+// process crashed.
+func (e *rtEnv) step() {
+	if e.h.stopped.Load() || e.ps.crashed.Load() {
+		panic(stopPanic{})
+	}
+	e.ps.steps.Add(1)
+	e.h.counters.Record(e.ps.id, metrics.Steps, 1)
+}
+
+// ID implements core.Env.
+func (e *rtEnv) ID() core.ProcID { return e.ps.id }
+
+// N implements core.Env.
+func (e *rtEnv) N() int { return e.h.n }
+
+// Procs implements core.Env.
+func (e *rtEnv) Procs() []core.ProcID { return e.all }
+
+// Neighbors implements core.Env.
+func (e *rtEnv) Neighbors() []core.ProcID { return e.ps.neighbors }
+
+// Send implements core.Env.
+func (e *rtEnv) Send(to core.ProcID, payload core.Value) error {
+	e.step()
+	return e.h.net.Send(e.ps.id, to, payload, 0)
+}
+
+// Broadcast implements core.Env.
+func (e *rtEnv) Broadcast(payload core.Value) error {
+	e.step()
+	return e.h.net.Broadcast(e.ps.id, payload, 0)
+}
+
+// TryRecv implements core.Env.
+func (e *rtEnv) TryRecv() (core.Message, bool) {
+	if e.h.stopped.Load() || e.ps.crashed.Load() {
+		panic(stopPanic{})
+	}
+	return e.h.net.Recv(e.ps.id)
+}
+
+// Read implements core.Env.
+func (e *rtEnv) Read(ref core.Ref) (core.Value, error) {
+	e.step()
+	return e.h.mem.Read(e.ps.id, ref)
+}
+
+// Write implements core.Env.
+func (e *rtEnv) Write(ref core.Ref, v core.Value) error {
+	e.step()
+	return e.h.mem.Write(e.ps.id, ref, v)
+}
+
+// CompareAndSwap implements core.Env.
+func (e *rtEnv) CompareAndSwap(ref core.Ref, expected, desired core.Value) (bool, core.Value, error) {
+	e.step()
+	return e.h.mem.CompareAndSwap(e.ps.id, ref, expected, desired)
+}
+
+// Yield implements core.Env: one step plus a scheduling hint so that
+// polling loops do not monopolize an OS thread.
+func (e *rtEnv) Yield() {
+	e.step()
+	runtime.Gosched()
+}
+
+// LocalSteps implements core.Env.
+func (e *rtEnv) LocalSteps() uint64 { return e.ps.steps.Load() }
+
+// Expose implements core.Env.
+func (e *rtEnv) Expose(name string, v core.Value) {
+	e.ps.mu.Lock()
+	e.ps.exposed[name] = v
+	e.ps.mu.Unlock()
+}
+
+// Rand implements core.Env. The source is confined to the owning
+// goroutine.
+func (e *rtEnv) Rand() *rand.Rand { return e.ps.rng }
+
+// Logf implements core.Env as a no-op on the real-time host.
+func (e *rtEnv) Logf(string, ...any) {}

@@ -1,0 +1,280 @@
+package rt
+
+import (
+	"testing"
+	"time"
+
+	"github.com/mnm-model/mnm/internal/benor"
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/graph"
+	"github.com/mnm-model/mnm/internal/hbo"
+	"github.com/mnm-model/mnm/internal/leader"
+	"github.com/mnm-model/mnm/internal/regcons"
+)
+
+func TestHaltingAlgorithmWaits(t *testing.T) {
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			if err := env.Write(core.Reg(env.ID(), "done"), true); err != nil {
+				return err
+			}
+			env.Expose("done", true)
+			return nil
+		}
+	})
+	h, err := New(Config{GSM: graph.Complete(4)}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Start()
+	errs := h.Wait()
+	for p, e := range errs {
+		t.Errorf("process %v: %v", p, e)
+	}
+	for p := core.ProcID(0); p < 4; p++ {
+		if h.Exposed(p, "done") != true {
+			t.Errorf("process %v did not finish", p)
+		}
+		if v, ok := h.Memory().Peek(core.Reg(p, "done")); !ok || v != true {
+			t.Errorf("register of %v missing", p)
+		}
+	}
+}
+
+func TestStopUnwindsInfiniteLoops(t *testing.T) {
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			for {
+				env.Yield()
+			}
+		}
+	})
+	h, err := New(Config{GSM: graph.Complete(8)}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Start()
+	time.Sleep(20 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		h.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not terminate the host")
+	}
+	if errs := h.Errors(); len(errs) != 0 {
+		t.Errorf("stop produced process errors: %v", errs)
+	}
+}
+
+func TestCrashStopsOneProcess(t *testing.T) {
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			for {
+				env.Expose("steps", env.LocalSteps())
+				env.Yield()
+			}
+		}
+	})
+	h, err := New(Config{GSM: graph.Complete(2)}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Start()
+	time.Sleep(10 * time.Millisecond)
+	h.Crash(0)
+	time.Sleep(10 * time.Millisecond)
+	frozen := h.Exposed(0, "steps")
+	time.Sleep(10 * time.Millisecond)
+	if h.Exposed(0, "steps") != frozen {
+		t.Error("crashed process kept stepping")
+	}
+	h.Stop()
+}
+
+func TestPanicContainment(t *testing.T) {
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			if env.ID() == 1 {
+				panic("bug")
+			}
+			return nil
+		}
+	})
+	h, err := New(Config{GSM: graph.Complete(2)}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Start()
+	errs := h.Wait()
+	if errs[1] == nil {
+		t.Error("panic not recorded")
+	}
+	if errs[0] != nil {
+		t.Errorf("healthy process got error: %v", errs[0])
+	}
+}
+
+func TestBenOrRealtime(t *testing.T) {
+	inputs := []benor.Val{benor.V0, benor.V1, benor.V0, benor.V1, benor.V0}
+	h, err := New(Config{GSM: graph.Edgeless(5), Seed: 3},
+		benor.New(benor.Config{F: 2, Inputs: inputs, HaltAfterDecide: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Start()
+	errs := h.Wait()
+	for p, e := range errs {
+		t.Fatalf("process %v: %v", p, e)
+	}
+	var agreed *benor.Val
+	for p := core.ProcID(0); p < 5; p++ {
+		raw := h.Exposed(p, benor.DecisionKey)
+		v, ok := raw.(benor.Val)
+		if !ok {
+			t.Fatalf("process %v did not decide (got %v)", p, raw)
+		}
+		if agreed == nil {
+			agreed = &v
+		} else if *agreed != v {
+			t.Fatalf("disagreement: %v vs %v", *agreed, v)
+		}
+	}
+}
+
+func TestHBORealtime(t *testing.T) {
+	inputs := []benor.Val{benor.V1, benor.V0, benor.V1, benor.V0, benor.V1}
+	h, err := New(Config{GSM: graph.Cycle(5), Seed: 8},
+		hbo.New(hbo.Config{Inputs: inputs, HaltAfterDecide: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Start()
+	errs := h.Wait()
+	for p, e := range errs {
+		t.Fatalf("process %v: %v", p, e)
+	}
+	var agreed *benor.Val
+	for p := core.ProcID(0); p < 5; p++ {
+		v, ok := h.Exposed(p, hbo.DecisionKey).(benor.Val)
+		if !ok {
+			t.Fatalf("process %v did not decide", p)
+		}
+		if agreed == nil {
+			agreed = &v
+		} else if *agreed != v {
+			t.Fatalf("disagreement: %v vs %v", *agreed, v)
+		}
+	}
+}
+
+func TestLeaderElectionRealtime(t *testing.T) {
+	h, err := New(Config{GSM: graph.Complete(4), Seed: 5},
+		leader.New(leader.Config{Notifier: SharedKind()}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Start()
+	defer h.Stop()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if l, ok := commonLeader(h, 4); ok {
+			// Require it to stay stable for a moment.
+			time.Sleep(50 * time.Millisecond)
+			if l2, ok2 := commonLeader(h, 4); ok2 && l2 == l {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("no stable leader within 10s of wall clock")
+}
+
+// SharedKind avoids importing the leader constant twice in the test body.
+func SharedKind() leader.NotifierKind { return leader.SharedMemoryNotifier }
+
+func commonLeader(h *Host, n int) (core.ProcID, bool) {
+	common := core.NoProc
+	for p := core.ProcID(0); int(p) < n; p++ {
+		l, ok := h.Exposed(p, leader.LeaderKey).(core.ProcID)
+		if !ok {
+			return core.NoProc, false
+		}
+		if common == core.NoProc {
+			common = l
+		} else if common != l {
+			return core.NoProc, false
+		}
+	}
+	return common, common != core.NoProc
+}
+
+func TestConsensusObjectsRealtime(t *testing.T) {
+	// True concurrency hammering one racing object: agreement must hold.
+	obj, err := regcons.NewRacing(core.Reg(0, "obj"), benor.Domain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			v, err := obj.Propose(env, benor.Val(int(env.ID())%2))
+			if err != nil {
+				return err
+			}
+			env.Expose("out", v)
+			return nil
+		}
+	})
+	h, err := New(Config{GSM: graph.Complete(8), Seed: 2}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Start()
+	errs := h.Wait()
+	for p, e := range errs {
+		t.Fatalf("process %v: %v", p, e)
+	}
+	var agreed core.Value
+	for p := core.ProcID(0); p < 8; p++ {
+		v := h.Exposed(p, "out")
+		if v == nil {
+			t.Fatalf("process %v got no value", p)
+		}
+		if agreed == nil {
+			agreed = v
+		} else if agreed != v {
+			t.Fatalf("disagreement: %v vs %v", agreed, v)
+		}
+	}
+}
+
+func BenchmarkRTRegisterWrite(b *testing.B) {
+	done := make(chan error, 1)
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			var err error
+			for i := 0; i < b.N; i++ {
+				if err = env.Write(core.Reg(0, "hot"), i); err != nil {
+					break
+				}
+			}
+			done <- err
+			return err
+		}
+	})
+	h, err := New(Config{GSM: graph.Complete(1)}, alg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	h.Start()
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+	h.Stop()
+}

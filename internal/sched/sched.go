@@ -1,0 +1,200 @@
+// Package sched provides process schedulers for the deterministic m&m
+// simulator. The scheduler *is* the asynchrony adversary of the model: it
+// decides, step by step, which process executes next, and may do so based
+// on full knowledge of the run so far (a "strong adversary" in the sense
+// used for randomized consensus).
+//
+// The paper's synchrony notions (§3) are properties of schedules:
+//
+//   - An asynchronous system corresponds to an arbitrary scheduler.
+//   - "p is q-timely" holds when every interval containing i steps of q
+//     contains a step of p, for some bound i. The TimelyProcess scheduler
+//     enforces exactly this for one chosen process against all others,
+//     while leaving everything else (including message delays) arbitrary —
+//     the paper's "little synchrony" systems.
+package sched
+
+import (
+	"math/rand"
+
+	"github.com/mnm-model/mnm/internal/core"
+)
+
+// View is the scheduler's read-only window onto the run.
+type View interface {
+	// N returns the number of processes.
+	N() int
+	// GlobalStep returns how many steps have been scheduled in total.
+	GlobalStep() uint64
+	// Runnable reports whether p is correct and still running (not
+	// crashed, not voluntarily halted).
+	Runnable(p core.ProcID) bool
+	// StepsOf returns the number of steps p has taken.
+	StepsOf(p core.ProcID) uint64
+}
+
+// Scheduler picks the next process to step. Returning core.NoProc ends the
+// run (no runnable process, or the adversary gives up).
+type Scheduler interface {
+	Next(v View) core.ProcID
+}
+
+// Runnables collects the runnable processes in id order.
+func Runnables(v View) []core.ProcID {
+	out := make([]core.ProcID, 0, v.N())
+	for p := 0; p < v.N(); p++ {
+		if v.Runnable(core.ProcID(p)) {
+			out = append(out, core.ProcID(p))
+		}
+	}
+	return out
+}
+
+// RoundRobin schedules runnable processes in cyclic id order. It is the
+// fairest deterministic schedule; under it every correct process is timely.
+type RoundRobin struct {
+	cursor int
+}
+
+var _ Scheduler = (*RoundRobin)(nil)
+
+// Next implements Scheduler.
+func (s *RoundRobin) Next(v View) core.ProcID {
+	n := v.N()
+	if n == 0 {
+		return core.NoProc
+	}
+	for i := 0; i < n; i++ {
+		p := core.ProcID((s.cursor + i) % n)
+		if v.Runnable(p) {
+			s.cursor = (int(p) + 1) % n
+			return p
+		}
+	}
+	return core.NoProc
+}
+
+// Random schedules a uniformly random runnable process using its own
+// deterministic source. Distinct seeds give independent asynchronous
+// schedules; it does not guarantee timeliness of anyone (though each
+// process is timely with high probability over finite runs).
+type Random struct {
+	rng *rand.Rand
+}
+
+var _ Scheduler = (*Random)(nil)
+
+// NewRandom returns a Random scheduler seeded with seed.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Scheduler.
+func (s *Random) Next(v View) core.ProcID {
+	run := Runnables(v)
+	if len(run) == 0 {
+		return core.NoProc
+	}
+	return run[s.rng.Intn(len(run))]
+}
+
+// TimelyProcess wraps an inner scheduler and enforces that one chosen
+// process is timely with bound Bound: whenever any other process has taken
+// Bound-1 steps since Timely's last step, Timely is scheduled before that
+// other process can step again. Every interval containing Bound steps of
+// any process therefore contains a step of Timely — the paper's
+// [Timeliness] property. All other processes remain at the inner
+// scheduler's (the adversary's) mercy.
+//
+// If Timely crashes or halts, the wrapper becomes a no-op: the run then
+// simply has no timely process (which the algorithms must survive without
+// violating safety).
+type TimelyProcess struct {
+	// Timely is the process guaranteed to be timely.
+	Timely core.ProcID
+	// Bound is the timeliness bound i ≥ 1.
+	Bound uint64
+	// Inner schedules everyone else.
+	Inner Scheduler
+
+	sinceTimely map[core.ProcID]uint64
+}
+
+var _ Scheduler = (*TimelyProcess)(nil)
+
+// Next implements Scheduler.
+func (s *TimelyProcess) Next(v View) core.ProcID {
+	if s.sinceTimely == nil {
+		s.sinceTimely = make(map[core.ProcID]uint64)
+	}
+	bound := s.Bound
+	if bound < 1 {
+		bound = 1
+	}
+	if !v.Runnable(s.Timely) {
+		return s.Inner.Next(v)
+	}
+	for q, c := range s.sinceTimely {
+		if q != s.Timely && c >= bound-1 && v.Runnable(q) {
+			// One more step of q would give an interval with bound
+			// steps of q and none of Timely.
+			s.record(s.Timely)
+			return s.Timely
+		}
+	}
+	p := s.Inner.Next(v)
+	if p == core.NoProc {
+		return p
+	}
+	s.record(p)
+	return p
+}
+
+func (s *TimelyProcess) record(p core.ProcID) {
+	if p == s.Timely {
+		for q := range s.sinceTimely {
+			s.sinceTimely[q] = 0
+		}
+		return
+	}
+	s.sinceTimely[p]++
+}
+
+// Func adapts a function to the Scheduler interface, for programmable
+// adversaries in tests.
+type Func func(v View) core.ProcID
+
+var _ Scheduler = (Func)(nil)
+
+// Next implements Scheduler.
+func (f Func) Next(v View) core.ProcID { return f(v) }
+
+// Prioritize schedules the given processes (in order, round-robin among
+// the runnable ones) for the first K steps, then defers to Inner — a
+// convenient adversary for starving everyone else early in a run.
+type Prioritize struct {
+	// Procs are the favored processes.
+	Procs []core.ProcID
+	// K is how many initial global steps favor Procs.
+	K uint64
+	// Inner takes over afterwards.
+	Inner Scheduler
+
+	cursor int
+}
+
+var _ Scheduler = (*Prioritize)(nil)
+
+// Next implements Scheduler.
+func (s *Prioritize) Next(v View) core.ProcID {
+	if v.GlobalStep() < s.K && len(s.Procs) > 0 {
+		for i := 0; i < len(s.Procs); i++ {
+			p := s.Procs[(s.cursor+i)%len(s.Procs)]
+			if v.Runnable(p) {
+				s.cursor = (s.cursor + i + 1) % len(s.Procs)
+				return p
+			}
+		}
+	}
+	return s.Inner.Next(v)
+}

@@ -1,0 +1,167 @@
+package sched
+
+import (
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/core"
+)
+
+// fakeView is a minimal View for driving schedulers directly.
+type fakeView struct {
+	n       int
+	step    uint64
+	down    map[core.ProcID]bool
+	stepsOf map[core.ProcID]uint64
+}
+
+func (v *fakeView) N() int                       { return v.n }
+func (v *fakeView) GlobalStep() uint64           { return v.step }
+func (v *fakeView) Runnable(p core.ProcID) bool  { return int(p) >= 0 && int(p) < v.n && !v.down[p] }
+func (v *fakeView) StepsOf(p core.ProcID) uint64 { return v.stepsOf[p] }
+func (v *fakeView) advance(p core.ProcID) {
+	v.step++
+	if v.stepsOf == nil {
+		v.stepsOf = map[core.ProcID]uint64{}
+	}
+	v.stepsOf[p]++
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	v := &fakeView{n: 3}
+	s := &RoundRobin{}
+	want := []core.ProcID{0, 1, 2, 0, 1, 2}
+	for i, w := range want {
+		got := s.Next(v)
+		if got != w {
+			t.Fatalf("pick %d = %v, want %v", i, got, w)
+		}
+		v.advance(got)
+	}
+}
+
+func TestRoundRobinSkipsDown(t *testing.T) {
+	v := &fakeView{n: 4, down: map[core.ProcID]bool{1: true, 2: true}}
+	s := &RoundRobin{}
+	want := []core.ProcID{0, 3, 0, 3}
+	for i, w := range want {
+		if got := s.Next(v); got != w {
+			t.Fatalf("pick %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestRoundRobinAllDown(t *testing.T) {
+	v := &fakeView{n: 2, down: map[core.ProcID]bool{0: true, 1: true}}
+	s := &RoundRobin{}
+	if got := s.Next(v); got != core.NoProc {
+		t.Errorf("Next = %v, want NoProc", got)
+	}
+	if got := (&RoundRobin{}).Next(&fakeView{n: 0}); got != core.NoProc {
+		t.Errorf("empty system Next = %v, want NoProc", got)
+	}
+}
+
+func TestRandomOnlyPicksRunnable(t *testing.T) {
+	v := &fakeView{n: 5, down: map[core.ProcID]bool{0: true, 4: true}}
+	s := NewRandom(1)
+	seen := map[core.ProcID]bool{}
+	for i := 0; i < 200; i++ {
+		p := s.Next(v)
+		if v.down[p] {
+			t.Fatalf("picked down process %v", p)
+		}
+		seen[p] = true
+	}
+	for _, p := range []core.ProcID{1, 2, 3} {
+		if !seen[p] {
+			t.Errorf("process %v never scheduled in 200 picks", p)
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	v1 := &fakeView{n: 6}
+	v2 := &fakeView{n: 6}
+	a, b := NewRandom(42), NewRandom(42)
+	for i := 0; i < 100; i++ {
+		pa, pb := a.Next(v1), b.Next(v2)
+		if pa != pb {
+			t.Fatalf("pick %d diverged: %v vs %v", i, pa, pb)
+		}
+		v1.advance(pa)
+		v2.advance(pb)
+	}
+}
+
+func TestTimelyProcessBound(t *testing.T) {
+	const bound = 3
+	v := &fakeView{n: 4}
+	// Inner adversary starves process 1 completely.
+	inner := Func(func(View) core.ProcID { return 3 })
+	s := &TimelyProcess{Timely: 1, Bound: bound, Inner: inner}
+
+	counts := map[core.ProcID]int{}
+	for i := 0; i < 500; i++ {
+		p := s.Next(v)
+		v.advance(p)
+		if p == 1 {
+			for q := range counts {
+				counts[q] = 0
+			}
+			continue
+		}
+		counts[p]++
+		if counts[p] >= bound {
+			t.Fatalf("interval with %d steps of %v and none of timely p1", counts[p], p)
+		}
+	}
+	if v.stepsOf[1] == 0 {
+		t.Fatal("timely process never ran")
+	}
+}
+
+func TestTimelyProcessDelegatesWhenTimelyDown(t *testing.T) {
+	v := &fakeView{n: 3, down: map[core.ProcID]bool{1: true}}
+	inner := Func(func(View) core.ProcID { return 2 })
+	s := &TimelyProcess{Timely: 1, Bound: 2, Inner: inner}
+	for i := 0; i < 10; i++ {
+		if p := s.Next(v); p != 2 {
+			t.Fatalf("pick = %v, want inner's choice 2", p)
+		}
+		v.advance(2)
+	}
+}
+
+func TestPrioritize(t *testing.T) {
+	v := &fakeView{n: 4}
+	s := &Prioritize{
+		Procs: []core.ProcID{2, 3},
+		K:     6,
+		Inner: &RoundRobin{},
+	}
+	var picks []core.ProcID
+	for i := 0; i < 8; i++ {
+		p := s.Next(v)
+		picks = append(picks, p)
+		v.advance(p)
+	}
+	for i := 0; i < 6; i++ {
+		if picks[i] != 2 && picks[i] != 3 {
+			t.Errorf("pick %d = %v during priority window", i, picks[i])
+		}
+	}
+}
+
+func TestRunnablesOrder(t *testing.T) {
+	v := &fakeView{n: 5, down: map[core.ProcID]bool{2: true}}
+	got := Runnables(v)
+	want := []core.ProcID{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Runnables = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Runnables = %v, want %v", got, want)
+		}
+	}
+}

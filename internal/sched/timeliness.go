@@ -1,0 +1,77 @@
+package sched
+
+import (
+	"github.com/mnm-model/mnm/internal/core"
+)
+
+// MinTimelinessBound analyzes a schedule trace (the sequence of processes
+// that took steps) and returns the smallest bound i for which process p
+// was q-timely for *every* other process q that appears in the trace —
+// i.e. the smallest i such that every interval of the trace containing i
+// steps of any q contains at least one step of p (§3, [Pairwise
+// timeliness] and [Timeliness]).
+//
+// The second result is false if p never steps in a non-trivial trace (no
+// finite bound exists). Analyzing finite prefixes of course cannot prove
+// eventual timeliness, but it verifies that a scheduler *enforces* a bound
+// over the runs it produced, and measures how timely a process happened to
+// be under an arbitrary scheduler.
+func MinTimelinessBound(trace []core.ProcID, p core.ProcID) (uint64, bool) {
+	// For each q ≠ p, find the maximum number of q-steps strictly between
+	// consecutive p-steps (including before the first and after the
+	// last). p is q-timely with bound i iff that maximum is < i, so the
+	// minimal valid bound is max+1.
+	counts := make(map[core.ProcID]uint64)
+	var worst uint64
+	sawP := false
+	for _, who := range trace {
+		if who == p {
+			sawP = true
+			for q := range counts {
+				counts[q] = 0
+			}
+			continue
+		}
+		counts[who]++
+		if counts[who] > worst {
+			worst = counts[who]
+		}
+	}
+	if !sawP {
+		if len(trace) == 0 {
+			return 1, true // vacuously timely
+		}
+		return 0, false
+	}
+	return worst + 1, true
+}
+
+// IsTimelyWithBound reports whether process p is timely with bound i in
+// the given schedule trace.
+func IsTimelyWithBound(trace []core.ProcID, p core.ProcID, bound uint64) bool {
+	if bound == 0 {
+		return false
+	}
+	minBound, ok := MinTimelinessBound(trace, p)
+	return ok && minBound <= bound
+}
+
+// Recording wraps a scheduler and records every pick, for timeliness
+// analysis of real runs.
+type Recording struct {
+	// Inner is the wrapped scheduler.
+	Inner Scheduler
+	// Trace accumulates the schedule.
+	Trace []core.ProcID
+}
+
+var _ Scheduler = (*Recording)(nil)
+
+// Next implements Scheduler.
+func (s *Recording) Next(v View) core.ProcID {
+	p := s.Inner.Next(v)
+	if p != core.NoProc {
+		s.Trace = append(s.Trace, p)
+	}
+	return p
+}

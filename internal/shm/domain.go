@@ -1,0 +1,93 @@
+package shm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/mnm-model/mnm/internal/core"
+)
+
+// SetDomain is the paper's *general* shared-memory domain: an arbitrary
+// collection S of process subsets, where a register may be shared among
+// exactly one named set. The paper introduces it "to allow for future
+// theoretical work and potential new hardware platforms" (§3); all of the
+// paper's results use the uniform special case (UniformDomain), but the
+// substrate supports the general form.
+//
+// Register placement piggybacks on core.Ref: a register belongs to the set
+// named by its Name's prefix up to the first '/', falling back to the
+// whole Name. For example, with AddSet("grp", 1, 2, 3), the registers
+// {Owner: x, Name: "grp"} and {Owner: x, Name: "grp/sub"} are accessible
+// exactly by processes 1, 2 and 3.
+type SetDomain struct {
+	mu   sync.RWMutex
+	sets map[string]map[core.ProcID]bool
+}
+
+var _ Domain = (*SetDomain)(nil)
+
+// NewSetDomain returns an empty general domain: until sets are added, no
+// access is allowed.
+func NewSetDomain() *SetDomain {
+	return &SetDomain{sets: make(map[string]map[core.ProcID]bool)}
+}
+
+// AddSet registers the named process set. Adding a name twice replaces the
+// set.
+func (d *SetDomain) AddSet(name string, members ...core.ProcID) {
+	set := make(map[core.ProcID]bool, len(members))
+	for _, m := range members {
+		set[m] = true
+	}
+	d.mu.Lock()
+	d.sets[name] = set
+	d.mu.Unlock()
+}
+
+// setNameOf extracts the owning set name from a register reference.
+func setNameOf(r core.Ref) string {
+	for i := 0; i < len(r.Name); i++ {
+		if r.Name[i] == '/' {
+			return r.Name[:i]
+		}
+	}
+	return r.Name
+}
+
+// MayAccess implements Domain.
+func (d *SetDomain) MayAccess(p core.ProcID, r core.Ref) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	set, ok := d.sets[setNameOf(r)]
+	return ok && set[p]
+}
+
+// Members returns the sorted members of the named set, or nil if the set
+// does not exist.
+func (d *SetDomain) Members(name string) []core.ProcID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	set, ok := d.sets[name]
+	if !ok {
+		return nil
+	}
+	out := make([]core.ProcID, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String implements fmt.Stringer.
+func (d *SetDomain) String() string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	names := make([]string, 0, len(d.sets))
+	for n := range d.sets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return fmt.Sprintf("set-domain%v", names)
+}

@@ -1,0 +1,94 @@
+package shm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/core"
+)
+
+func TestSetDomainMembership(t *testing.T) {
+	d := NewSetDomain()
+	d.AddSet("grp", 1, 2, 3)
+	d.AddSet("pair", 0, 4)
+
+	cases := []struct {
+		p    core.ProcID
+		ref  core.Ref
+		want bool
+	}{
+		{1, core.Reg(9, "grp"), true},      // owner irrelevant for set domains
+		{3, core.RegI(0, "grp", 7), true},  // indices irrelevant
+		{2, core.Reg(0, "grp/sub"), true},  // sub-registers inherit the set
+		{0, core.Reg(0, "grp"), false},     // not a member
+		{4, core.Reg(0, "pair"), true},     //
+		{1, core.Reg(0, "pair"), false},    //
+		{1, core.Reg(0, "unknown"), false}, // unregistered set: no access
+		{1, core.Reg(0, "grpx"), false},    // name is not a prefix match
+	}
+	for _, tc := range cases {
+		if got := d.MayAccess(tc.p, tc.ref); got != tc.want {
+			t.Errorf("MayAccess(%v, %v) = %v, want %v", tc.p, tc.ref, got, tc.want)
+		}
+	}
+}
+
+func TestSetDomainMembersAndReplace(t *testing.T) {
+	d := NewSetDomain()
+	d.AddSet("s", 3, 1, 2)
+	if got := fmt.Sprint(d.Members("s")); got != "[p1 p2 p3]" {
+		t.Errorf("Members = %v", got)
+	}
+	d.AddSet("s", 5)
+	if got := fmt.Sprint(d.Members("s")); got != "[p5]" {
+		t.Errorf("replaced Members = %v", got)
+	}
+	if d.Members("nope") != nil {
+		t.Error("unknown set has members")
+	}
+	if d.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestSetDomainWithMemory(t *testing.T) {
+	d := NewSetDomain()
+	d.AddSet("Sq", 0, 1, 2) // the paper's S_q = {p, q, r}
+	m := NewMemory(d)
+	ref := core.Reg(1, "Sq")
+	if err := m.Write(0, ref, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Read(2, ref); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Read(3, ref); !errors.Is(err, core.ErrAccessDenied) {
+		t.Errorf("non-member read err = %v", err)
+	}
+}
+
+func TestMemoryFailureMode(t *testing.T) {
+	m := NewMemory(OpenDomain{})
+	ref := core.Reg(1, "STATE")
+	if err := m.Write(1, ref, 7); err != nil {
+		t.Fatal(err)
+	}
+	m.FailOwner(1)
+	if !m.OwnerFailed(1) || m.OwnerFailed(0) {
+		t.Error("OwnerFailed bookkeeping wrong")
+	}
+	if _, err := m.Read(0, ref); !errors.Is(err, core.ErrMemoryFailed) {
+		t.Errorf("read of failed memory err = %v", err)
+	}
+	if err := m.Write(0, ref, 8); !errors.Is(err, core.ErrMemoryFailed) {
+		t.Errorf("write to failed memory err = %v", err)
+	}
+	if _, _, err := m.CompareAndSwap(0, ref, 7, 9); !errors.Is(err, core.ErrMemoryFailed) {
+		t.Errorf("cas on failed memory err = %v", err)
+	}
+	// Registers at other owners are unaffected.
+	if err := m.Write(0, core.Reg(0, "STATE"), 1); err != nil {
+		t.Errorf("healthy owner affected: %v", err)
+	}
+}

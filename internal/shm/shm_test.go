@@ -1,0 +1,290 @@
+package shm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/graph"
+	"github.com/mnm-model/mnm/internal/metrics"
+)
+
+func TestUniformDomainFigure1(t *testing.T) {
+	// Figure 1: p..t = 0..4; a register owned by r (=2) is accessible by
+	// q, r, s, t but NOT by p.
+	d := NewUniformDomain(graph.Figure1())
+	reg := core.Reg(2, "X")
+	wantAccess := map[core.ProcID]bool{0: false, 1: true, 2: true, 3: true, 4: true}
+	for p, want := range wantAccess {
+		if got := d.MayAccess(p, reg); got != want {
+			t.Errorf("MayAccess(%v, reg@r) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestUniformDomainSetsFigure1(t *testing.T) {
+	d := NewUniformDomain(graph.Figure1())
+	got := d.Sets()
+	want := [][]core.ProcID{
+		{0, 1},
+		{0, 1, 2},
+		{1, 2, 3, 4},
+		{2, 3, 4},
+		{2, 3, 4},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Sets len = %d, want %d", len(got), len(want))
+	}
+	for p := range want {
+		if fmt.Sprint(got[p]) != fmt.Sprint(want[p]) {
+			t.Errorf("S_%d = %v, want %v", p, got[p], want[p])
+		}
+	}
+}
+
+func TestUniformDomainOutOfRange(t *testing.T) {
+	d := NewUniformDomain(graph.Complete(3))
+	if d.MayAccess(-1, core.Reg(0, "X")) {
+		t.Error("negative pid allowed")
+	}
+	if d.MayAccess(0, core.Reg(5, "X")) {
+		t.Error("out-of-range owner allowed")
+	}
+}
+
+func TestMemoryReadWrite(t *testing.T) {
+	m := NewMemory(OpenDomain{})
+	ref := core.RegI(1, "STATE", 0)
+
+	v, err := m.Read(0, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Errorf("unwritten register read %v, want nil", v)
+	}
+
+	if err := m.Write(0, ref, 42); err != nil {
+		t.Fatal(err)
+	}
+	v, err = m.Read(2, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Errorf("read %v, want 42", v)
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d, want 1", m.Len())
+	}
+}
+
+func TestMemoryAccessDenied(t *testing.T) {
+	// Path 0-1-2: processes 0 and 2 do not share memory.
+	m := NewMemory(NewUniformDomain(graph.Path(3)))
+	ref := core.Reg(2, "R")
+	if _, err := m.Read(0, ref); !errors.Is(err, core.ErrAccessDenied) {
+		t.Errorf("Read err = %v, want ErrAccessDenied", err)
+	}
+	if err := m.Write(0, ref, 1); !errors.Is(err, core.ErrAccessDenied) {
+		t.Errorf("Write err = %v, want ErrAccessDenied", err)
+	}
+	// Neighbor 1 and owner 2 are fine.
+	if err := m.Write(1, ref, 1); err != nil {
+		t.Errorf("neighbor write: %v", err)
+	}
+	if _, err := m.Read(2, ref); err != nil {
+		t.Errorf("owner read: %v", err)
+	}
+}
+
+func TestMemorySurvivesCrash(t *testing.T) {
+	// There is no crash API on Memory by design: the store outlives
+	// processes. This test documents the property: a value written by a
+	// process remains readable regardless of the writer's fate.
+	m := NewMemory(OpenDomain{})
+	ref := core.Reg(0, "persistent")
+	if err := m.Write(0, ref, "written-before-crash"); err != nil {
+		t.Fatal(err)
+	}
+	// Process 0 "crashes" — nothing to do on the memory.
+	v, err := m.Read(1, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "written-before-crash" {
+		t.Errorf("read %v after owner crash", v)
+	}
+}
+
+func TestLocalityMetering(t *testing.T) {
+	c := metrics.NewCounters(3)
+	m := NewMemory(OpenDomain{}, WithCounters(c))
+	ref := core.Reg(1, "STATE")
+
+	if err := m.Write(1, ref, 7); err != nil { // owner: local
+		t.Fatal(err)
+	}
+	if _, err := m.Read(0, ref); err != nil { // remote
+		t.Fatal(err)
+	}
+	if _, err := m.Read(1, ref); err != nil { // local
+		t.Fatal(err)
+	}
+	if err := m.Write(2, ref, 8); err != nil { // remote
+		t.Fatal(err)
+	}
+
+	checks := []struct {
+		p    core.ProcID
+		k    metrics.Kind
+		want int64
+	}{
+		{1, metrics.RegWriteLocal, 1},
+		{1, metrics.RegReadLocal, 1},
+		{0, metrics.RegReadRemote, 1},
+		{2, metrics.RegWriteRemote, 1},
+		{0, metrics.RegReadLocal, 0},
+	}
+	for _, tc := range checks {
+		if got := c.Of(tc.p, tc.k); got != tc.want {
+			t.Errorf("counter (%v, %v) = %d, want %d", tc.p, tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestDeniedAccessNotMetered(t *testing.T) {
+	c := metrics.NewCounters(3)
+	m := NewMemory(NewUniformDomain(graph.Path(3)), WithCounters(c))
+	_, _ = m.Read(0, core.Reg(2, "R"))
+	_ = m.Write(0, core.Reg(2, "R"), 1)
+	for _, k := range metrics.Kinds() {
+		if got := c.Total(k); got != 0 {
+			t.Errorf("denied access metered: %v = %d", k, got)
+		}
+	}
+}
+
+func TestPeekBypassesDomain(t *testing.T) {
+	m := NewMemory(NewUniformDomain(graph.Path(3)))
+	ref := core.Reg(2, "R")
+	if err := m.Write(2, ref, 9); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := m.Peek(ref)
+	if !ok || v != 9 {
+		t.Errorf("Peek = (%v, %v), want (9, true)", v, ok)
+	}
+	if _, ok := m.Peek(core.Reg(0, "missing")); ok {
+		t.Error("Peek found unwritten register")
+	}
+}
+
+func TestRefIndexing(t *testing.T) {
+	m := NewMemory(OpenDomain{})
+	// Distinct (name, i, j) must address distinct registers.
+	refs := []core.Ref{
+		core.Reg(0, "A"),
+		core.RegI(0, "A", 1),
+		core.RegIJ(0, "A", 1, 1),
+		core.RegIJ(0, "A", 0, 1),
+		core.Reg(1, "A"),
+		core.Reg(0, "B"),
+		core.Reg(0, "A").Sub("x", 0, 0),
+		core.Reg(0, "A").Sub("x", 1, 0),
+	}
+	for i, r := range refs {
+		if err := m.Write(0, r, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, r := range refs {
+		v, err := m.Read(0, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != i {
+			t.Errorf("register %v = %v, want %d (collision)", r, v, i)
+		}
+	}
+}
+
+func TestSubRefDistinctAcrossParentIndices(t *testing.T) {
+	a := core.RegI(0, "RVals", 3).Sub("ac", 0, 1)
+	b := core.RegI(0, "RVals", 4).Sub("ac", 0, 1)
+	if a == b {
+		t.Error("Sub collided across parent indices")
+	}
+	c := core.RegI(0, "RVals", 3).Sub("ac", 1, 1)
+	if a == c {
+		t.Error("Sub collided across child indices")
+	}
+}
+
+// TestConcurrentAccess exercises the rt-host usage: many goroutines
+// hammering the same register must be race-free (run with -race) and every
+// read must observe some written value.
+func TestConcurrentAccess(t *testing.T) {
+	m := NewMemory(OpenDomain{}, WithCounters(metrics.NewCounters(8)))
+	ref := core.Reg(0, "hot")
+	if err := m.Write(0, ref, -1); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func(p core.ProcID) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := m.Write(p, ref, int(p)*1000+i); err != nil {
+					errCh <- err
+					return
+				}
+				v, err := m.Read(p, ref)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if _, ok := v.(int); !ok {
+					errCh <- fmt.Errorf("read non-int %v", v)
+					return
+				}
+			}
+		}(core.ProcID(p))
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMemoryWrite(b *testing.B) {
+	m := NewMemory(OpenDomain{})
+	ref := core.Reg(0, "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := m.Write(0, ref, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMemoryReadMetered(b *testing.B) {
+	c := metrics.NewCounters(4)
+	m := NewMemory(NewUniformDomain(graph.Complete(4)), WithCounters(c))
+	ref := core.Reg(1, "bench")
+	if err := m.Write(1, ref, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Read(0, ref); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

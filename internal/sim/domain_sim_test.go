@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/graph"
+	"github.com/mnm-model/mnm/internal/shm"
+)
+
+// TestGeneralDomainOverride runs the paper's general (non-uniform) model:
+// a named register set spanning processes that are NOT adjacent in G_SM.
+// The override must govern shared-memory access while the graph continues
+// to define Neighbors.
+func TestGeneralDomainOverride(t *testing.T) {
+	dom := shm.NewSetDomain()
+	dom.AddSet("board", 0, 2) // ends of the path share a bulletin board
+	var neighborView []core.ProcID
+	results := make([]error, 3)
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			if env.ID() == 0 {
+				neighborView = append([]core.ProcID(nil), env.Neighbors()...)
+				return env.Write(core.Reg(0, "board"), "from-p0")
+			}
+			core.WaitUntil(env, func() bool { return env.LocalSteps() > 4 })
+			_, err := env.Read(core.Reg(0, "board"))
+			results[env.ID()] = err
+			return nil
+		}
+	})
+	r, err := New(Config{
+		GSM:    graph.Path(3), // 0-1-2: 0 and 2 are NOT G_SM neighbors
+		Domain: dom,
+	}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := res.Errors[0]; e != nil {
+		t.Fatalf("writer failed: %v", e)
+	}
+	// p2 may read the board even though it is not adjacent to p0 ...
+	if results[2] != nil {
+		t.Errorf("set member read failed: %v", results[2])
+	}
+	// ... while p1 (a G_SM neighbor of p0!) is outside the set.
+	if !errors.Is(results[1], core.ErrAccessDenied) {
+		t.Errorf("non-member read err = %v, want ErrAccessDenied", results[1])
+	}
+	// Neighbors still reflect the graph, not the domain.
+	if len(neighborView) != 1 || neighborView[0] != 1 {
+		t.Errorf("Neighbors(0) = %v, want [p1]", neighborView)
+	}
+}
+
+// TestErrNoProgressWhenAllHaltEarly checks the runner distinguishes "all
+// processes returned but the stop condition never fired" from success.
+func TestErrNoProgressWhenAllHaltEarly(t *testing.T) {
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error { return nil } // halt immediately
+	})
+	r, err := New(Config{
+		GSM:      graph.Complete(2),
+		MaxSteps: 10_000,
+		StopWhen: func(r *Runner) bool { return false },
+	}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Run()
+	if !errors.Is(err, ErrNoProgress) {
+		t.Errorf("err = %v, want ErrNoProgress", err)
+	}
+}
+
+// TestLogfTracing checks Env.Logf reaches the configured sink with the
+// step/process prefix.
+func TestLogfTracing(t *testing.T) {
+	var lines []string
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			env.Logf("hello %d", 7)
+			return nil
+		}
+	})
+	r, err := New(Config{
+		GSM: graph.Complete(1),
+		Logf: func(format string, args ...any) {
+			lines = append(lines, sprintfWrap(format, args...))
+		},
+	}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 1 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if want := "[step 0] p0: hello 7"; lines[0] != want {
+		t.Errorf("line = %q, want %q", lines[0], want)
+	}
+}
+
+func sprintfWrap(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}

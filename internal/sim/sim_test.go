@@ -1,0 +1,482 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/graph"
+	"github.com/mnm-model/mnm/internal/metrics"
+	"github.com/mnm-model/mnm/internal/msgnet"
+	"github.com/mnm-model/mnm/internal/sched"
+)
+
+// echoAlg: process 0 broadcasts a token; everyone else waits for it, writes
+// it to a shared register owned by itself, and halts.
+func echoAlg() core.Algorithm {
+	return core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			if env.ID() == 0 {
+				if err := env.Broadcast("token"); err != nil {
+					return err
+				}
+			}
+			var got core.Message
+			core.WaitUntil(env, func() bool {
+				m, ok := env.TryRecv()
+				if ok {
+					got = m
+				}
+				return ok
+			})
+			if err := env.Write(core.Reg(env.ID(), "echo"), got.Payload); err != nil {
+				return err
+			}
+			env.Expose("done", true)
+			return nil
+		}
+	})
+}
+
+func TestEchoRun(t *testing.T) {
+	r, err := New(Config{GSM: graph.Complete(4), Seed: 1}, echoAlg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Halted) != 4 {
+		t.Fatalf("halted %v, want all 4", res.Halted)
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("process errors: %v", res.Errors)
+	}
+	for p := core.ProcID(0); p < 4; p++ {
+		v, ok := r.Memory().Peek(core.Reg(p, "echo"))
+		if !ok || v != "token" {
+			t.Errorf("echo[%v] = (%v, %v)", p, v, ok)
+		}
+		if r.Exposed(p, "done") != true {
+			t.Errorf("process %v did not expose done", p)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, int64, int64) {
+		r, err := New(Config{
+			GSM:       graph.Cycle(5),
+			Seed:      77,
+			Scheduler: sched.NewRandom(5),
+			Delivery:  msgnet.RandomDelay{Max: 3, Seed: 9},
+		}, echoAlg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Steps, res.Counters.Total(metrics.MsgSent), res.Counters.Total(metrics.Steps)
+	}
+	s1, m1, t1 := run()
+	s2, m2, t2 := run()
+	if s1 != s2 || m1 != m2 || t1 != t2 {
+		t.Errorf("runs diverged: (%d,%d,%d) vs (%d,%d,%d)", s1, m1, t1, s2, m2, t2)
+	}
+}
+
+func TestCrashStopsProcessRegistersSurvive(t *testing.T) {
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			if err := env.Write(core.Reg(env.ID(), "alive"), int(env.ID())); err != nil {
+				return err
+			}
+			for { // Run forever; only crash or shutdown stops us.
+				env.Yield()
+			}
+		}
+	})
+	r, err := New(Config{
+		GSM:      graph.Complete(3),
+		Seed:     1,
+		MaxSteps: 500,
+		Crashes:  []Crash{{Proc: 1, AtStep: 50}},
+	}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut {
+		t.Error("expected timeout (processes loop forever)")
+	}
+	if len(res.Crashed) != 1 || res.Crashed[0] != 1 {
+		t.Errorf("Crashed = %v, want [p1]", res.Crashed)
+	}
+	// The crashed process stopped stepping.
+	if got := r.StepsOf(1); got > 50 {
+		t.Errorf("crashed process took %d steps, want ≤ 50", got)
+	}
+	// Its register survives.
+	if v, ok := r.Memory().Peek(core.Reg(1, "alive")); !ok || v != 1 {
+		t.Errorf("register of crashed process lost: (%v, %v)", v, ok)
+	}
+	// Others kept running.
+	if r.StepsOf(0) < 200 {
+		t.Errorf("survivor took only %d steps", r.StepsOf(0))
+	}
+}
+
+func TestPanicContainment(t *testing.T) {
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			if env.ID() == 2 {
+				env.Yield()
+				panic("algorithm bug")
+			}
+			for i := 0; i < 10; i++ {
+				env.Yield()
+			}
+			return nil
+		}
+	})
+	r, err := New(Config{GSM: graph.Complete(3), Seed: 1, MaxSteps: 1000}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors[2] == nil {
+		t.Fatal("panic not captured as process error")
+	}
+	if len(res.Halted) != 3 {
+		t.Errorf("halted = %v, want all 3 (others unaffected)", res.Halted)
+	}
+}
+
+func TestStopWhen(t *testing.T) {
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			for i := 0; ; i++ {
+				if i == 20 {
+					env.Expose("ready", true)
+				}
+				env.Yield()
+			}
+		}
+	})
+	r, err := New(Config{
+		GSM:      graph.Complete(2),
+		Seed:     1,
+		MaxSteps: 100000,
+		StopWhen: func(r *Runner) bool {
+			return r.Exposed(0, "ready") == true && r.Exposed(1, "ready") == true
+		},
+	}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped || res.TimedOut {
+		t.Errorf("Stopped=%v TimedOut=%v, want stopped", res.Stopped, res.TimedOut)
+	}
+	if res.Steps > 100 {
+		t.Errorf("run continued to %d steps after condition", res.Steps)
+	}
+}
+
+func TestMaxStepsTimeout(t *testing.T) {
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			for {
+				env.Yield()
+			}
+		}
+	})
+	r, err := New(Config{GSM: graph.Complete(2), MaxSteps: 123}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut || res.Steps != 123 {
+		t.Errorf("TimedOut=%v Steps=%d, want timeout at 123", res.TimedOut, res.Steps)
+	}
+}
+
+func TestSharedMemoryDomainEnforcedInRun(t *testing.T) {
+	// On a path 0-1-2, process 0 must not access a register owned by 2.
+	var sawDenied error
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			if env.ID() != 0 {
+				return nil
+			}
+			_, err := env.Read(core.Reg(2, "far"))
+			sawDenied = err
+			return nil
+		}
+	})
+	r, err := New(Config{GSM: graph.Path(3), Seed: 1}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(sawDenied, core.ErrAccessDenied) {
+		t.Errorf("cross-domain read error = %v, want ErrAccessDenied", sawDenied)
+	}
+}
+
+func TestNeighborsMatchGraph(t *testing.T) {
+	var got []core.ProcID
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			if env.ID() == 2 {
+				got = append([]core.ProcID(nil), env.Neighbors()...)
+			}
+			return nil
+		}
+	})
+	r, err := New(Config{GSM: graph.Figure1(), Seed: 1}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[p1 p3 p4]" {
+		t.Errorf("Neighbors(2) = %v, want [p1 p3 p4]", got)
+	}
+}
+
+func TestTimelySchedulerEnforcesTimeliness(t *testing.T) {
+	// Record the schedule and verify: between consecutive steps of the
+	// timely process, no other process takes ≥ bound steps.
+	const bound = 4
+	var trace []core.ProcID
+	inner := sched.NewRandom(3)
+	timely := &sched.TimelyProcess{Timely: 1, Bound: bound, Inner: inner}
+	recorder := sched.Func(func(v sched.View) core.ProcID {
+		p := timely.Next(v)
+		if p != core.NoProc {
+			trace = append(trace, p)
+		}
+		return p
+	})
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			for {
+				env.Yield()
+			}
+		}
+	})
+	r, err := New(Config{GSM: graph.Complete(4), Scheduler: recorder, MaxSteps: 5000}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[core.ProcID]int{}
+	for _, p := range trace {
+		if p == 1 {
+			for q := range counts {
+				counts[q] = 0
+			}
+			continue
+		}
+		counts[p]++
+		if counts[p] >= bound {
+			t.Fatalf("process %v took %d steps without a step of the timely process", p, counts[p])
+		}
+	}
+}
+
+func TestSchedulerPickingCrashedIsAnError(t *testing.T) {
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			for {
+				env.Yield()
+			}
+		}
+	})
+	bad := sched.Func(func(v sched.View) core.ProcID { return 0 })
+	r, err := New(Config{
+		GSM:       graph.Complete(2),
+		Scheduler: bad,
+		Crashes:   []Crash{{Proc: 0, AtStep: 10}},
+		MaxSteps:  100,
+	}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err == nil {
+		t.Error("runner accepted a pick of a crashed process")
+	}
+}
+
+func TestRunTwiceFails(t *testing.T) {
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error { return nil }
+	})
+	r, err := New(Config{GSM: graph.Complete(2)}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err == nil {
+		t.Error("second Run succeeded")
+	}
+}
+
+func TestSnapshotSeries(t *testing.T) {
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			for {
+				if err := env.Broadcast("x"); err != nil {
+					return err
+				}
+			}
+		}
+	})
+	r, err := New(Config{GSM: graph.Complete(2), MaxSteps: 100, SnapshotEvery: 25}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) < 4 {
+		t.Fatalf("series has %d snapshots, want ≥ 4", len(res.Series))
+	}
+	// Message counts must be non-decreasing.
+	for i := 1; i < len(res.Series); i++ {
+		if res.Series[i].Total(metrics.MsgSent) < res.Series[i-1].Total(metrics.MsgSent) {
+			t.Error("message counter decreased across snapshots")
+		}
+	}
+}
+
+func TestNoGoroutineLeaks(t *testing.T) {
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			for {
+				env.Yield()
+			}
+		}
+	})
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		r, err := New(Config{GSM: graph.Complete(8), MaxSteps: 200, Seed: int64(i)}, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Allow the scheduler a moment to retire exited goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+func TestFairLossyLinksInRun(t *testing.T) {
+	// Sender retries until receiver acks; fair-lossy drops the first 5
+	// attempts of each message but the retry loop must get through.
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			switch env.ID() {
+			case 0:
+				acked := false
+				for !acked {
+					if err := env.Send(1, "ping"); err != nil {
+						return err
+					}
+					if m, ok := env.TryRecv(); ok && m.Payload == "ack" {
+						acked = true
+					}
+				}
+				env.Expose("acked", true)
+				return nil
+			default:
+				// With fair-lossy links a single ack can be lost; the
+				// receiver re-acks every ping (send-forever pattern).
+				for {
+					if m, ok := env.TryRecv(); ok && m.Payload == "ping" {
+						if err := env.Send(0, "ack"); err != nil {
+							return err
+						}
+						continue
+					}
+					env.Yield()
+				}
+			}
+		}
+	})
+	r, err := New(Config{
+		GSM:      graph.Complete(2),
+		Links:    msgnet.FairLossy,
+		Drop:     &msgnet.DropFirstK{K: 5},
+		MaxSteps: 10000,
+		StopWhen: func(r *Runner) bool { return r.Exposed(0, "acked") == true },
+	}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Exposed(0, "acked") != true {
+		t.Errorf("retry over fair-lossy links failed: %+v", res)
+	}
+	if res.Counters.Total(metrics.MsgDropped) == 0 {
+		t.Error("drop policy never dropped — test not exercising fair loss")
+	}
+}
+
+func BenchmarkSimStepYield(b *testing.B) {
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			for {
+				env.Yield()
+			}
+		}
+	})
+	r, err := New(Config{GSM: graph.Complete(8), MaxSteps: uint64(b.N) + 1}, alg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := r.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,207 @@
+// Package trace records structured per-step event logs of simulated runs:
+// who did what (register op, send, broadcast, yield, crash, halt, expose)
+// at which global step. Traces serve debugging (mnmsim -trace), test
+// assertions about operation patterns, and post-hoc schedule analysis
+// (e.g. feeding sched.MinTimelinessBound).
+//
+// The recorder is a bounded ring: recording never allocates beyond the
+// configured capacity and never fails, so tracing can stay on in long
+// runs; the oldest events are dropped and counted.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/mnm-model/mnm/internal/core"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds.
+const (
+	Yield Kind = iota + 1
+	Send
+	Broadcast
+	RegRead
+	RegWrite
+	CAS
+	Expose
+	Crash
+	Halt
+	Log
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Yield:
+		return "yield"
+	case Send:
+		return "send"
+	case Broadcast:
+		return "broadcast"
+	case RegRead:
+		return "read"
+	case RegWrite:
+		return "write"
+	case CAS:
+		return "cas"
+	case Expose:
+		return "expose"
+	case Crash:
+		return "crash"
+	case Halt:
+		return "halt"
+	case Log:
+		return "log"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	// Step is the global step at which the event happened.
+	Step uint64
+	// Proc is the acting process.
+	Proc core.ProcID
+	// Kind classifies the event.
+	Kind Kind
+	// Ref is the register involved (register events only).
+	Ref core.Ref
+	// To is the destination (Send only).
+	To core.ProcID
+	// Note is free-form detail (payload/value rendering, log text).
+	Note string
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	switch e.Kind {
+	case Send:
+		return fmt.Sprintf("[%d] %v send→%v %s", e.Step, e.Proc, e.To, e.Note)
+	case RegRead, RegWrite, CAS:
+		return fmt.Sprintf("[%d] %v %s %v %s", e.Step, e.Proc, e.Kind, e.Ref, e.Note)
+	default:
+		return fmt.Sprintf("[%d] %v %s %s", e.Step, e.Proc, e.Kind, e.Note)
+	}
+}
+
+// Recorder is a bounded, thread-safe event ring.
+type Recorder struct {
+	mu      sync.Mutex
+	buf     []Event
+	start   int
+	count   int
+	dropped uint64
+}
+
+// NewRecorder returns a recorder keeping the most recent capacity events
+// (minimum 1).
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{buf: make([]Event, capacity)}
+}
+
+// Record appends an event, evicting the oldest if full. A nil recorder
+// ignores the event, so call sites need no guards.
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.count < len(r.buf) {
+		r.buf[(r.start+r.count)%len(r.buf)] = ev
+		r.count++
+		return
+	}
+	r.buf[r.start] = ev
+	r.start = (r.start + 1) % len(r.buf)
+	r.dropped++
+}
+
+// Events returns the retained events, oldest first.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, r.count)
+	for i := 0; i < r.count; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Dropped returns how many events were evicted.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Schedule extracts the step-taking sequence (the acting process of every
+// retained event that consumed a step), for timeliness analysis.
+func (r *Recorder) Schedule() []core.ProcID {
+	evs := r.Events()
+	out := make([]core.ProcID, 0, len(evs))
+	for _, e := range evs {
+		switch e.Kind {
+		case Yield, Send, Broadcast, RegRead, RegWrite, CAS:
+			out = append(out, e.Proc)
+		}
+	}
+	return out
+}
+
+// Filter returns the retained events matching pred, oldest first.
+func (r *Recorder) Filter(pred func(Event) bool) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if pred(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteTo dumps the retained events to w, oldest first, and reports bytes
+// written.
+func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	if d := r.Dropped(); d > 0 {
+		n, err := fmt.Fprintf(w, "(%d earlier events dropped)\n", d)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	for _, e := range r.Events() {
+		n, err := fmt.Fprintln(w, e.String())
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,413 @@
+// Package mnm is a Go library for the message-and-memory (m&m) model of
+// distributed computing introduced by Aguilera, Ben-David, Calciu,
+// Guerraoui, Petrank and Toueg in "Passing Messages while Sharing Memory"
+// (PODC 2018).
+//
+// In the m&m model, processes communicate both by passing messages over a
+// fully connected network and by reading and writing shared registers,
+// where register sharing is constrained by a shared-memory graph G_SM
+// (modeling RDMA/disaggregated-memory hardware limits). The library
+// provides:
+//
+//   - the model substrates: domain-enforced shared registers (crash
+//     survivable, locality-metered), reliable and fair-lossy links with
+//     pluggable asynchrony adversaries, and two hosts for algorithms — a
+//     deterministic adversary-scheduled simulator and a goroutine-based
+//     real-time host;
+//   - the paper's algorithms: Hybrid Ben-Or consensus (Figure 2) with its
+//     per-neighborhood wait-free consensus objects, pure Ben-Or as the
+//     message-passing baseline, and both eventual leader election
+//     algorithms (Figures 3–5);
+//   - the supporting graph theory: expander constructions, exact vertex
+//     expansion, the Theorem 4.3 fault-tolerance bound, worst-case crash
+//     sets, and the SM-cut structure of the Theorem 4.4 impossibility;
+//   - application-layer examples: a no-spin m&m mutex and a replicated
+//     log driven by the Ω detector.
+//
+// This package is a façade: it re-exports the library's types through
+// aliases and adds one-call helpers for the common flows. Power users can
+// reach every knob through the aliased configuration structs.
+package mnm
+
+import (
+	"fmt"
+
+	"github.com/mnm-model/mnm/internal/benor"
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/graph"
+	"github.com/mnm-model/mnm/internal/hbo"
+	"github.com/mnm-model/mnm/internal/leader"
+	"github.com/mnm-model/mnm/internal/metrics"
+	"github.com/mnm-model/mnm/internal/msgnet"
+	"github.com/mnm-model/mnm/internal/mutex"
+	"github.com/mnm-model/mnm/internal/paxos"
+	"github.com/mnm-model/mnm/internal/regcons"
+	"github.com/mnm-model/mnm/internal/rsm"
+	"github.com/mnm-model/mnm/internal/rt"
+	"github.com/mnm-model/mnm/internal/sched"
+	"github.com/mnm-model/mnm/internal/shm"
+	"github.com/mnm-model/mnm/internal/sim"
+	"github.com/mnm-model/mnm/internal/trace"
+)
+
+// Model vocabulary.
+type (
+	// ProcID identifies a process (0..n-1).
+	ProcID = core.ProcID
+	// Value is a register value or message payload (treat as immutable).
+	Value = core.Value
+	// Message is a delivered message.
+	Message = core.Message
+	// Ref names a shared register.
+	Ref = core.Ref
+	// Env is the m&m interface an algorithm process runs against.
+	Env = core.Env
+	// Process is one process's code.
+	Process = core.Process
+	// Algorithm instantiates processes.
+	Algorithm = core.Algorithm
+	// AlgorithmFunc adapts a function to Algorithm.
+	AlgorithmFunc = core.AlgorithmFunc
+	// Inbox buffers drained messages.
+	Inbox = core.Inbox
+)
+
+// NoProc is the "no process" sentinel.
+const NoProc = core.NoProc
+
+// Shared-memory graphs and their analysis.
+type (
+	// Graph is an undirected shared-memory graph G_SM.
+	Graph = graph.Graph
+	// Ratio is an exact rational (used for vertex expansion values).
+	Ratio = graph.Ratio
+	// SMCut is the impossibility structure of Theorem 4.4.
+	SMCut = graph.SMCut
+)
+
+// Simulation and real-time hosting.
+type (
+	// SimConfig configures a deterministic simulated run.
+	SimConfig = sim.Config
+	// SimRunner executes a simulated run.
+	SimRunner = sim.Runner
+	// SimResult summarizes a simulated run.
+	SimResult = sim.Result
+	// Crash schedules a crash-stop failure.
+	Crash = sim.Crash
+	// RTConfig configures a real-time host.
+	RTConfig = rt.Config
+	// RTHost runs an algorithm with real goroutine concurrency.
+	RTHost = rt.Host
+	// Scheduler picks the next process each simulated step.
+	Scheduler = sched.Scheduler
+	// Counters is the communication-event metric store.
+	Counters = metrics.Counters
+	// Snapshot is a point-in-time copy of Counters.
+	Snapshot = metrics.Snapshot
+	// TraceRecorder is a bounded structured event log for simulated runs
+	// (install via SimConfig.Trace).
+	TraceRecorder = trace.Recorder
+	// TraceEvent is one recorded run event.
+	TraceEvent = trace.Event
+	// LinkKind selects reliable or fair-lossy links.
+	LinkKind = msgnet.LinkKind
+	// DropPolicy is the fair-loss adversary.
+	DropPolicy = msgnet.DropPolicy
+	// DeliveryPolicy is the message asynchrony adversary.
+	DeliveryPolicy = msgnet.DeliveryPolicy
+	// Memory is the shared register store.
+	Memory = shm.Memory
+	// UniformDomain is the G_SM-induced shared-memory domain.
+	UniformDomain = shm.UniformDomain
+	// SetDomain is the paper's general shared-memory domain: arbitrary
+	// named process sets (§3's "broader model based on S").
+	SetDomain = shm.SetDomain
+)
+
+// NewSetDomain returns an empty general shared-memory domain; add sets
+// with AddSet and install it via SimConfig.Domain.
+func NewSetDomain() *SetDomain { return shm.NewSetDomain() }
+
+// Link kinds.
+const (
+	// Reliable links never lose messages.
+	Reliable = msgnet.Reliable
+	// FairLossy links may drop messages but deliver anything sent
+	// infinitely often.
+	FairLossy = msgnet.FairLossy
+)
+
+// Algorithms.
+type (
+	// ConsensusValue is a Ben-Or/HBO value (V0, V1 or Unknown).
+	ConsensusValue = benor.Val
+	// BenOrConfig configures the pure message-passing baseline.
+	BenOrConfig = benor.Config
+	// HBOConfig configures Hybrid Ben-Or.
+	HBOConfig = hbo.Config
+	// LeaderConfig configures eventual leader election.
+	LeaderConfig = leader.Config
+	// MsgOmegaConfig configures the classic message-passing Ω baseline.
+	MsgOmegaConfig = leader.MsgOmegaConfig
+	// NotifierKind selects the Figure-4 or Figure-5 notifier.
+	NotifierKind = leader.NotifierKind
+	// Detector is the steppable Ω module.
+	Detector = leader.Detector
+	// ConsensusObject is a shared wait-free consensus object.
+	ConsensusObject = regcons.Object
+	// RSMConfig configures the replicated log.
+	RSMConfig = rsm.Config
+	// PaxosConfig configures Ω-driven shared-memory Paxos.
+	PaxosConfig = paxos.Config
+	// MnMLock is the no-spin m&m ticket lock.
+	MnMLock = mutex.MnMLock
+	// SpinLock is the pure shared-memory baseline lock.
+	SpinLock = mutex.SpinLock
+	// BakeryLock is Lamport's bakery — the read/write-register-only
+	// mutex the paper's §1 names.
+	BakeryLock = mutex.Bakery
+)
+
+// Consensus values.
+const (
+	// V0 is binary value 0.
+	V0 = benor.V0
+	// V1 is binary value 1.
+	V1 = benor.V1
+	// Unknown is the '?' placeholder of phase P.
+	Unknown = benor.Unknown
+)
+
+// Notifier kinds.
+const (
+	// MessageNotifier is the Figure-4 mechanism (reliable links).
+	MessageNotifier = leader.MessageNotifier
+	// SharedMemoryNotifier is the Figure-5 mechanism (fair-lossy links).
+	SharedMemoryNotifier = leader.SharedMemoryNotifier
+)
+
+// Expose keys of the shipped algorithms.
+const (
+	// HBODecisionKey is where HBO processes publish decisions.
+	HBODecisionKey = hbo.DecisionKey
+	// BenOrDecisionKey is where Ben-Or processes publish decisions.
+	BenOrDecisionKey = benor.DecisionKey
+	// LeaderKey is where leader-election processes publish their leader.
+	LeaderKey = leader.LeaderKey
+	// PaxosDecisionKey is where Ω-Paxos processes publish decisions.
+	PaxosDecisionKey = paxos.DecisionKey
+)
+
+// MetricKind identifies a counted communication event.
+type MetricKind = metrics.Kind
+
+// Metric kinds (see internal/metrics): message and register-access
+// counters, with register ops split by §5.3 locality.
+const (
+	MsgSent        = metrics.MsgSent
+	MsgDelivered   = metrics.MsgDelivered
+	MsgDropped     = metrics.MsgDropped
+	RegReadLocal   = metrics.RegReadLocal
+	RegReadRemote  = metrics.RegReadRemote
+	RegWriteLocal  = metrics.RegWriteLocal
+	RegWriteRemote = metrics.RegWriteRemote
+	StepsMetric    = metrics.Steps
+)
+
+// NewCounters returns a metric store for n processes.
+func NewCounters(n int) *Counters { return metrics.NewCounters(n) }
+
+// NewTraceRecorder returns a bounded event recorder keeping the most
+// recent capacity events.
+func NewTraceRecorder(capacity int) *TraceRecorder { return trace.NewRecorder(capacity) }
+
+// Replicated-log expose keys.
+const (
+	// RSMAppliedKey carries a replica's applied log length (int).
+	RSMAppliedKey = rsm.AppliedKey
+	// RSMHashKey carries a replica's state hash chain (uint64).
+	RSMHashKey = rsm.HashKey
+	// RSMDoneKey is true once a replica's own commands all committed.
+	RSMDoneKey = rsm.DoneKey
+)
+
+// RSMSlotRef returns the shared register of replicated-log slot s in an
+// n-process system.
+func RSMSlotRef(s, n int) Ref { return rsm.SlotRef(s, n) }
+
+// NewRandomDrop returns an i.i.d. drop policy with probability p (< 1).
+func NewRandomDrop(p float64, seed int64) DropPolicy { return msgnet.NewRandomDrop(p, seed) }
+
+// NewSim builds a deterministic simulated run.
+func NewSim(cfg SimConfig, alg Algorithm) (*SimRunner, error) { return sim.New(cfg, alg) }
+
+// NewRT builds a real-time host.
+func NewRT(cfg RTConfig, alg Algorithm) (*RTHost, error) { return rt.New(cfg, alg) }
+
+// NewHBO returns the Hybrid Ben-Or consensus algorithm (Figure 2).
+func NewHBO(cfg HBOConfig) Algorithm { return hbo.New(cfg) }
+
+// NewBenOr returns the pure message-passing Ben-Or baseline.
+func NewBenOr(cfg BenOrConfig) Algorithm { return benor.New(cfg) }
+
+// NewLeaderElection returns the Figure-3 eventual leader election with the
+// configured notifier.
+func NewLeaderElection(cfg LeaderConfig) Algorithm { return leader.New(cfg) }
+
+// NewMsgOmega returns the classical heartbeat-broadcast Ω baseline (pure
+// message passing, Θ(n²) steady-state traffic, requires link timeliness).
+func NewMsgOmega(cfg MsgOmegaConfig) Algorithm { return leader.NewMsgOmega(cfg) }
+
+// NewReplicatedLog returns the Ω-driven replicated log.
+func NewReplicatedLog(cfg RSMConfig) Algorithm { return rsm.New(cfg) }
+
+// NewPaxos returns single-decree shared-memory Paxos driven by the Ω
+// detector: deterministic consensus for arbitrary comparable values that
+// tolerates n−1 crashes on a complete G_SM, given one timely process.
+func NewPaxos(cfg PaxosConfig) Algorithm { return paxos.New(cfg) }
+
+// NewDetector embeds a steppable Ω detector into a host algorithm.
+func NewDetector(env Env, cfg LeaderConfig) (*Detector, error) { return leader.NewDetector(env, cfg) }
+
+// NewRacingConsensus returns a wait-free register-based consensus object
+// over the given value domain, rooted at base.
+func NewRacingConsensus(base Ref, domain []Value) (ConsensusObject, error) {
+	return regcons.NewRacing(base, domain)
+}
+
+// NewCASConsensus returns a one-shot consensus object backed by a single
+// compare-and-swap register.
+func NewCASConsensus(base Ref) ConsensusObject { return regcons.NewCASBased(base) }
+
+// NewMnMLock returns a no-spin m&m lock homed at home.
+func NewMnMLock(home ProcID, name string) *MnMLock { return mutex.NewMnMLock(home, name) }
+
+// NewSpinLock returns the pure shared-memory baseline lock.
+func NewSpinLock(home ProcID, name string) *SpinLock { return mutex.NewSpinLock(home, name) }
+
+// NewBakeryLock returns Lamport's bakery lock (read/write registers only).
+func NewBakeryLock(name string) *BakeryLock { return mutex.NewBakery(name) }
+
+// RoundRobin returns the fair deterministic scheduler.
+func RoundRobin() Scheduler { return &sched.RoundRobin{} }
+
+// RandomScheduler returns a seeded uniformly random scheduler.
+func RandomScheduler(seed int64) Scheduler { return sched.NewRandom(seed) }
+
+// TimelyScheduler returns a scheduler under which exactly the given
+// process is guaranteed timely (bound i = bound) while everyone else runs
+// at the seeded-random adversary's whim — the paper's "little synchrony".
+func TimelyScheduler(timely ProcID, bound uint64, seed int64) Scheduler {
+	return &sched.TimelyProcess{Timely: timely, Bound: bound, Inner: sched.NewRandom(seed)}
+}
+
+// StableLeaderCondition returns a SimConfig.StopWhen that fires when every
+// correct process has output the same correct leader for window
+// consecutive steps.
+func StableLeaderCondition(window uint64) func(*SimRunner) bool {
+	return leader.StableLeaderCondition(window)
+}
+
+// AllDecided returns a SimConfig.StopWhen for consensus runs: it fires
+// when every correct process has exposed a decision under key.
+func AllDecided(key string) func(*SimRunner) bool {
+	return func(r *SimRunner) bool { return sim.AllCorrectExposed(r, key) }
+}
+
+// Graph constructors.
+var (
+	// CompleteGraph is the complete graph K_n (pure shared memory).
+	CompleteGraph = graph.Complete
+	// EdgelessGraph has no shared memory (pure message passing).
+	EdgelessGraph = graph.Edgeless
+	// CycleGraph is the n-cycle.
+	CycleGraph = graph.Cycle
+	// PathGraph is the n-path.
+	PathGraph = graph.Path
+	// HypercubeGraph is the d-dimensional hypercube.
+	HypercubeGraph = graph.Hypercube
+	// TorusGraph is the r×c torus.
+	TorusGraph = graph.Torus
+	// PetersenGraph is the Petersen graph.
+	PetersenGraph = graph.Petersen
+	// MargulisGraph is the degree-8 Margulis expander on m² vertices.
+	MargulisGraph = graph.Margulis
+	// CirculantGraph is the circulant graph with the given offsets.
+	CirculantGraph = graph.Circulant
+	// TwoCliquesBridgeGraph is two k-cliques joined by one edge.
+	TwoCliquesBridgeGraph = graph.TwoCliquesBridge
+	// BarbellGraph is two k-cliques joined by a path.
+	BarbellGraph = graph.Barbell
+	// Figure1Graph is the example graph of the paper's Figure 1.
+	Figure1Graph = graph.Figure1
+	// RandomRegularGraph samples a d-regular graph.
+	RandomRegularGraph = graph.RandomRegular
+	// RandomConnectedRegularGraph samples a connected d-regular graph.
+	RandomConnectedRegularGraph = graph.RandomConnectedRegular
+)
+
+// FaultToleranceBound evaluates Theorem 4.3 exactly: the largest f with
+// f < (1 − 1/(2(1+h))) · n.
+func FaultToleranceBound(n int, h Ratio) int { return graph.FaultToleranceBound(n, h) }
+
+// SolveConsensus is the one-call consensus flow: it runs HBO over gsm in
+// the deterministic simulator with the given binary inputs and optional
+// crash plan, and returns the decided value.
+func SolveConsensus(gsm *Graph, inputs []ConsensusValue, seed int64, crashes ...Crash) (ConsensusValue, error) {
+	r, err := NewSim(SimConfig{
+		GSM:      gsm,
+		Seed:     seed,
+		Crashes:  crashes,
+		MaxSteps: 20_000_000,
+		StopWhen: AllDecided(HBODecisionKey),
+	}, NewHBO(HBOConfig{Inputs: inputs}))
+	if err != nil {
+		return 0, err
+	}
+	res, err := r.Run()
+	if err != nil {
+		return 0, err
+	}
+	for p, e := range res.Errors {
+		return 0, fmt.Errorf("mnm: process %v failed: %w", p, e)
+	}
+	if !res.Stopped {
+		return 0, fmt.Errorf("mnm: consensus did not terminate within %d steps (insufficient representation?)", res.Steps)
+	}
+	for p := 0; p < gsm.N(); p++ {
+		if v, ok := r.Exposed(ProcID(p), HBODecisionKey).(ConsensusValue); ok {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("mnm: no process exposed a decision")
+}
+
+// ElectLeader is the one-call leader election flow: it runs the Figure-3
+// algorithm on a complete n-process graph (with the given notifier and a
+// timely process) until the leader output is stable, and returns the
+// elected leader.
+func ElectLeader(n int, kind NotifierKind, timely ProcID, seed int64) (ProcID, error) {
+	r, err := NewSim(SimConfig{
+		GSM:       CompleteGraph(n),
+		Seed:      seed,
+		Scheduler: TimelyScheduler(timely, 4, seed+1),
+		MaxSteps:  20_000_000,
+		StopWhen:  StableLeaderCondition(3_000),
+	}, NewLeaderElection(LeaderConfig{Notifier: kind}))
+	if err != nil {
+		return NoProc, err
+	}
+	res, err := r.Run()
+	if err != nil {
+		return NoProc, err
+	}
+	if !res.Stopped {
+		return NoProc, fmt.Errorf("mnm: no stable leader within %d steps", res.Steps)
+	}
+	l, ok := leader.CommonLeader(r)
+	if !ok {
+		return NoProc, fmt.Errorf("mnm: leader outputs diverged at stop")
+	}
+	return l, nil
+}
