@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSmokeQuickParallelJSON is the harness smoke test: a quick parallel
+// subset run must exit 0 and emit one parseable JSON record per experiment
+// in presentation (selection) order.
+func TestSmokeQuickParallelJSON(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-quick", "-parallel", "4", "-experiment", "F1,T43,LE1", "-json"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d JSON records, want 3:\n%s", len(lines), out.String())
+	}
+	wantIDs := []string{"F1", "T43", "LE1"}
+	for i, line := range lines {
+		var rec struct {
+			ID        string   `json:"id"`
+			Rows      []string `json:"rows"`
+			ElapsedMS int64    `json:"elapsed_ms"`
+			OK        bool     `json:"ok"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("record %d not parseable JSON: %v\n%s", i, err, line)
+		}
+		if rec.ID != wantIDs[i] {
+			t.Errorf("record %d id = %q, want %q (presentation order)", i, rec.ID, wantIDs[i])
+		}
+		if !rec.OK {
+			t.Errorf("record %d (%s) not ok", i, rec.ID)
+		}
+		if len(rec.Rows) < 5 {
+			t.Errorf("record %d (%s) suspiciously short: %d rows", i, rec.ID, len(rec.Rows))
+		}
+		if rec.ElapsedMS < 0 {
+			t.Errorf("record %d (%s) negative elapsed_ms", i, rec.ID)
+		}
+	}
+}
+
+// TestExperimentSelectionParsing covers the trailing-comma and duplicate-id
+// fixes: empty entries are skipped, repeated ids run once, unknown ids
+// still fail.
+func TestExperimentSelectionParsing(t *testing.T) {
+	sel, err := selectExperiments("T43,,F1, ,T43,")
+	if err != nil {
+		t.Fatalf("selection with empties/dupes failed: %v", err)
+	}
+	var got []string
+	for _, e := range sel {
+		got = append(got, e.ID)
+	}
+	if strings.Join(got, ",") != "T43,F1" {
+		t.Errorf("selected %v, want [T43 F1]", got)
+	}
+
+	if _, err := selectExperiments("nope"); err == nil {
+		t.Error("unknown experiment did not error")
+	}
+	if _, err := selectExperiments(",,"); err == nil {
+		t.Error("empty selection did not error")
+	}
+	if all, err := selectExperiments("all"); err != nil || len(all) == 0 {
+		t.Errorf("all selection: %v, %d experiments", err, len(all))
+	}
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-quick", "-experiment", "F1,"}, &out, &errOut); code != 0 {
+		t.Errorf("trailing comma exited %d, stderr: %s", code, errOut.String())
+	}
+	if code := run([]string{"-quick", "-experiment", "bogus"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown experiment exited %d, want 2", code)
+	}
+}
+
+// TestParallelTablesByteIdentical compares the JSON rows (table bytes,
+// minus wall-clock noise) of a sequential and a parallel run at the same
+// seed.
+func TestParallelTablesByteIdentical(t *testing.T) {
+	rowsOf := func(parallel string) []string {
+		var out, errOut bytes.Buffer
+		code := run([]string{"-quick", "-seed", "5", "-parallel", parallel, "-experiment", "T43,BO", "-json"}, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("-parallel %s exited %d, stderr: %s", parallel, code, errOut.String())
+		}
+		var rows []string
+		for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+			var rec struct {
+				Rows []string `json:"rows"`
+			}
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				t.Fatal(err)
+			}
+			rows = append(rows, rec.Rows...)
+		}
+		return rows
+	}
+	seq := rowsOf("1")
+	par := rowsOf("4")
+	if strings.Join(seq, "\n") != strings.Join(par, "\n") {
+		t.Errorf("tables differ between -parallel 1 and -parallel 4:\n--- seq ---\n%s\n--- par ---\n%s",
+			strings.Join(seq, "\n"), strings.Join(par, "\n"))
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, id := range []string{"F1", "T43", "PAX"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("-list output missing %s", id)
+		}
+	}
+}

@@ -109,9 +109,11 @@ func hboMatrixExperiment() Experiment {
 			{"Petersen, f=3", graph.Petersen(), 3},
 			{"Hypercube(3), f=2", graph.Hypercube(3), 2},
 		}
-		t := newTable(w)
-		t.row("system", "seeds", "terminated", "agreement", "validity", "avg steps", "avg msgs")
-		for _, gc := range graphs {
+		// Every (graph, seed) trial is independent: the crash set and all
+		// run randomness derive from p.Seed and the trial's own indices.
+		rows := make([][]any, len(graphs))
+		err := forEach(p, len(graphs), func(i int) error {
+			gc := graphs[i]
 			rng := rand.New(rand.NewSource(p.Seed + 1))
 			crashSet, _ := gc.g.GreedyWorstCrashSet(gc.f, rng, 20)
 			crashes := crashesFromSet(crashSet.Members())
@@ -134,11 +136,20 @@ func hboMatrixExperiment() Experiment {
 				steps += int64(out.steps)
 				msgs += out.msgs
 			}
-			t.row(gc.name, seeds,
+			rows[i] = []any{gc.name, seeds,
 				fmt.Sprintf("%d/%d", term, seeds),
 				fmt.Sprintf("%d/%d", agree, seeds),
 				fmt.Sprintf("%d/%d", valid, seeds),
-				steps/int64(seeds), msgs/int64(seeds))
+				steps / int64(seeds), msgs / int64(seeds)}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		t := newTable(w)
+		t.row("system", "seeds", "terminated", "agreement", "validity", "avg steps", "avg msgs")
+		for _, r := range rows {
+			t.row(r...)
 		}
 		t.flush()
 		fmt.Fprintln(w, "\nexpected: termination, agreement and validity on every row (crash sets are worst-case of the stated size).")
@@ -181,10 +192,11 @@ func toleranceExperiment() Experiment {
 		if p.Quick {
 			graphs = graphs[:5]
 		}
-		t := newTable(w)
-		t.row("graph", "n", "maxdeg", "h(G)", "T4.3 bound", "exact tol", "HBO@tol", "HBO@tol+1")
-		for _, gc := range graphs {
-			g := gc.g
+		// Each graph's tolerance analysis and HBO runs are independent of
+		// every other row; fan the rows out and render after the barrier.
+		rows := make([][]any, len(graphs))
+		err = forEach(p, len(graphs), func(i int) error {
+			g := graphs[i].g
 			n := g.N()
 			h, _, err := g.ExactExpansion()
 			if err != nil {
@@ -215,7 +227,16 @@ func toleranceExperiment() Experiment {
 					okBeyond = mark(over)
 				}
 			}
-			t.row(gc.name, n, g.MaxDegree(), h, bound, tol, mark(okAtTol), okBeyond)
+			rows[i] = []any{graphs[i].name, n, g.MaxDegree(), h, bound, tol, mark(okAtTol), okBeyond}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		t := newTable(w)
+		t.row("graph", "n", "maxdeg", "h(G)", "T4.3 bound", "exact tol", "HBO@tol", "HBO@tol+1")
+		for _, r := range rows {
+			t.row(r...)
 		}
 		t.flush()
 		fmt.Fprintln(w, "\nexpected: T4.3 bound ≤ exact tolerance; HBO terminates at the exact")
@@ -256,13 +277,14 @@ func benorVsHBOExperiment() Experiment {
 		for i := range inputs {
 			inputs[i] = benor.Val(i % 2)
 		}
-		t := newTable(w)
-		t.row("crashes f", "Ben-Or terminated", "Ben-Or steps", "HBO(K7) terminated", "HBO steps")
 		maxF := n - 1
 		if p.Quick {
 			maxF = 5
 		}
-		for f := 0; f <= maxF; f++ {
+		// One pooled trial per crash count; the two baselines inside a
+		// trial share nothing with other trials but the flag-level seed.
+		rows := make([][]any, maxF+1)
+		err := forEach(p, maxF+1, func(f int) error {
 			crashes := make([]sim.Crash, f)
 			for i := range crashes {
 				crashes[i] = sim.Crash{Proc: core.ProcID(i), AtStep: 0}
@@ -286,7 +308,16 @@ func benorVsHBOExperiment() Experiment {
 			if err != nil {
 				return err
 			}
-			t.row(f, mark(boRes.Stopped), boRes.Steps, mark(hboOut.terminated), hboOut.steps)
+			rows[f] = []any{f, mark(boRes.Stopped), boRes.Steps, mark(hboOut.terminated), hboOut.steps}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		t := newTable(w)
+		t.row("crashes f", "Ben-Or terminated", "Ben-Or steps", "HBO(K7) terminated", "HBO steps")
+		for _, r := range rows {
+			t.row(r...)
 		}
 		t.flush()
 		fmt.Fprintln(w, "\nexpected: Ben-Or terminates only for f ≤ 3 (= ⌊(n−1)/2⌋); HBO on the")
@@ -313,9 +344,11 @@ func scalabilityExperiment() Experiment {
 			budget = 1_500_000
 		}
 		const d = 4
-		t := newTable(w)
-		t.row("n", "degree", "h(G) (greedy≥exact? est)", "T4.3 bound", "n/2 baseline", "exact tol", "HBO steps@tol/2", "msgs")
-		for _, n := range sizes {
+		// Row seeds derive from the size n, not the row position, so the
+		// pooled rows are order-independent by construction.
+		rows := make([][]any, len(sizes))
+		err := forEach(p, len(sizes), func(i int) error {
+			n := sizes[i]
 			rng := rand.New(rand.NewSource(p.Seed + int64(n)))
 			g, err := graph.RandomConnectedRegular(n, d, rng)
 			if err != nil {
@@ -354,7 +387,16 @@ func scalabilityExperiment() Experiment {
 			if tol >= 0 {
 				tolCell = fmt.Sprint(tol)
 			}
-			t.row(n, d, h, bound, (n-1)/2, tolCell, out.steps, out.msgs)
+			rows[i] = []any{n, d, h, bound, (n - 1) / 2, tolCell, out.steps, out.msgs}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		t := newTable(w)
+		t.row("n", "degree", "h(G) (greedy≥exact? est)", "T4.3 bound", "n/2 baseline", "exact tol", "HBO steps@tol/2", "msgs")
+		for _, r := range rows {
+			t.row(r...)
 		}
 		t.flush()
 		fmt.Fprintln(w, "\nexpected: with degree fixed at 4, the T4.3 bound and exact tolerance")

@@ -8,7 +8,7 @@ package expt
 import (
 	"fmt"
 	"io"
-	"sort"
+	"sync"
 	"text/tabwriter"
 
 	"github.com/mnm-model/mnm/internal/core"
@@ -21,6 +21,13 @@ type Params struct {
 	Quick bool
 	// Seed perturbs all randomness in the experiment.
 	Seed int64
+	// Parallel is the worker count for the independent (graph, n, f,
+	// seed) trials inside an experiment; values below 2 run trials
+	// sequentially. Output is byte-identical at every setting: each
+	// trial derives its randomness from Seed and its own index, results
+	// are collected by index, and tables render only after all trials
+	// finish.
+	Parallel int
 }
 
 // Experiment is one reproducible artifact.
@@ -35,45 +42,109 @@ type Experiment struct {
 	Run func(w io.Writer, p Params) error
 }
 
-// All returns every experiment in presentation order.
+// registry is the experiment catalog, built exactly once: the Experiment
+// constructors allocate closures, and rebuilding all of them on every
+// ByID/IDs lookup (as earlier versions did) wasted work on each
+// mnmbench error path and selection parse.
+var (
+	registryOnce sync.Once
+	registryAll  []Experiment
+	registryByID map[string]Experiment
+)
+
+func registry() []Experiment {
+	registryOnce.Do(func() {
+		registryAll = []Experiment{
+			figure1Experiment(),
+			hboMatrixExperiment(),
+			toleranceExperiment(),
+			smcutExperiment(),
+			benorVsHBOExperiment(),
+			leaderSeriesExperiment(),
+			fairLossyExperiment(),
+			msgOmegaExperiment(),
+			localityExperiment(),
+			tightnessExperiment(),
+			scalabilityExperiment(),
+			mutexExperiment(),
+			memFailExperiment(),
+			expanderFamilyExperiment(),
+			paxosExperiment(),
+		}
+		registryByID = make(map[string]Experiment, len(registryAll))
+		for _, e := range registryAll {
+			registryByID[e.ID] = e
+		}
+	})
+	return registryAll
+}
+
+// All returns every experiment in presentation order. The returned slice
+// is the caller's to mutate.
 func All() []Experiment {
-	return []Experiment{
-		figure1Experiment(),
-		hboMatrixExperiment(),
-		toleranceExperiment(),
-		smcutExperiment(),
-		benorVsHBOExperiment(),
-		leaderSeriesExperiment(),
-		fairLossyExperiment(),
-		msgOmegaExperiment(),
-		localityExperiment(),
-		tightnessExperiment(),
-		scalabilityExperiment(),
-		mutexExperiment(),
-		memFailExperiment(),
-		expanderFamilyExperiment(),
-		paxosExperiment(),
-	}
+	return append([]Experiment(nil), registry()...)
 }
 
 // ByID finds an experiment by its handle.
 func ByID(id string) (Experiment, bool) {
-	for _, e := range All() {
-		if e.ID == id {
-			return e, true
-		}
-	}
-	return Experiment{}, false
+	registry()
+	e, ok := registryByID[id]
+	return e, ok
 }
 
-// IDs lists all experiment handles.
+// IDs lists all experiment handles in presentation order (the order All
+// returns and mnmbench runs them in).
 func IDs() []string {
-	var out []string
-	for _, e := range All() {
-		out = append(out, e.ID)
+	all := registry()
+	out := make([]string, len(all))
+	for i, e := range all {
+		out[i] = e.ID
 	}
-	sort.Strings(out)
 	return out
+}
+
+// forEach runs fn(i) for every i in [0, n) on p's worker pool; it is the
+// fan-out layer every sweep-style experiment runs its independent trials
+// through. Callers store per-trial results into an index-addressed slice
+// inside fn and render rows only after forEach returns, so the printed
+// table is identical for every Parallel setting. The returned error is the
+// lowest-index failure, again independent of worker count.
+func forEach(p Params, n int, fn func(i int) error) error {
+	workers := p.Parallel
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // table is a small tabwriter wrapper.

@@ -147,9 +147,11 @@ func fairLossyExperiment() Experiment {
 			observe = 30_000
 		}
 		rates := []float64{0.0, 0.2, 0.5}
-		t := newTable(w)
-		t.row("drop rate", "stabilized at step", "steady msgs", "leader writes", "leader reads", "others' writes")
-		for _, rate := range rates {
+		// Each drop rate is a fully independent stabilize-then-observe
+		// run; fan the sweep out and render in rate order.
+		rows := make([][]any, len(rates))
+		err := forEach(p, len(rates), func(i int) error {
+			rate := rates[i]
 			var drop msgnet.DropPolicy
 			if rate > 0 {
 				drop = msgnet.NewRandomDrop(rate, p.Seed+int64(rate*100))
@@ -167,11 +169,20 @@ func fairLossyExperiment() Experiment {
 				}
 				othersWrites += delta.Of(q, metrics.RegWriteLocal) + delta.Of(q, metrics.RegWriteRemote)
 			}
-			t.row(fmt.Sprintf("%.1f", rate), stableAt,
+			rows[i] = []any{fmt.Sprintf("%.1f", rate), stableAt,
 				delta.Total(metrics.MsgSent),
-				delta.Of(ldr, metrics.RegWriteLocal)+delta.Of(ldr, metrics.RegWriteRemote),
-				delta.Of(ldr, metrics.RegReadLocal)+delta.Of(ldr, metrics.RegReadRemote),
-				othersWrites)
+				delta.Of(ldr, metrics.RegWriteLocal) + delta.Of(ldr, metrics.RegWriteRemote),
+				delta.Of(ldr, metrics.RegReadLocal) + delta.Of(ldr, metrics.RegReadRemote),
+				othersWrites}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		t := newTable(w)
+		t.row("drop rate", "stabilized at step", "steady msgs", "leader writes", "leader reads", "others' writes")
+		for _, r := range rows {
+			t.row(r...)
 		}
 		t.flush()
 		fmt.Fprintln(w, "\nexpected: stabilization at every drop rate; zero steady-state messages;")
@@ -196,9 +207,10 @@ func localityExperiment() Experiment {
 		if p.Quick {
 			observe = 25_000
 		}
-		t := newTable(w)
-		t.row("notifier", "leader local ops", "leader remote ops", "others' local ops", "others' remote ops")
-		for _, k := range []leader.NotifierKind{leader.MessageNotifier, leader.SharedMemoryNotifier} {
+		notifiers := []leader.NotifierKind{leader.MessageNotifier, leader.SharedMemoryNotifier}
+		rows := make([][]any, len(notifiers))
+		err := forEach(p, len(notifiers), func(i int) error {
+			k := notifiers[i]
 			links := msgnet.Reliable
 			if k == leader.SharedMemoryNotifier {
 				links = msgnet.FairLossy
@@ -218,7 +230,16 @@ func localityExperiment() Experiment {
 					or += rem
 				}
 			}
-			t.row(k, ll, lr, ol, or)
+			rows[i] = []any{k, ll, lr, ol, or}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		t := newTable(w)
+		t.row("notifier", "leader local ops", "leader remote ops", "others' local ops", "others' remote ops")
+		for _, r := range rows {
+			t.row(r...)
 		}
 		t.flush()
 		fmt.Fprintln(w, "\nexpected: leader remote ops = 0 for both notifiers (its heartbeat and")
@@ -253,9 +274,20 @@ func tightnessExperiment() Experiment {
 			{"Fig 3+4, fair-lossy + notification-dropping adversary", leader.Config{Notifier: leader.MessageNotifier}, msgnet.FairLossy, leader.DropNotifications{}, "fails (needs reliable links)"},
 			{"Fig 3+5, fair-lossy + same adversary", leader.Config{Notifier: leader.SharedMemoryNotifier}, msgnet.FairLossy, leader.DropNotifications{}, "stabilizes (registers cannot drop)"},
 		}
-		t := newTable(w)
-		t.row("configuration", "stabilized", "self-leaders at end", "expected")
-		for _, rw := range rows {
+		// The three ablation rows and the Theorem-5.3 steady-state run
+		// (the extra index) share nothing; pool all four.
+		cells := make([][]any, len(rows))
+		var writes int64
+		err := forEach(p, len(rows)+1, func(i int) error {
+			if i == len(rows) {
+				delta, ldr, _, err := steadyState(leader.Config{Notifier: leader.MessageNotifier}, msgnet.Reliable, nil, p.Seed+21, 50_000)
+				if err != nil {
+					return err
+				}
+				writes = delta.Of(ldr, metrics.RegWriteLocal) + delta.Of(ldr, metrics.RegWriteRemote)
+				return nil
+			}
+			rw := rows[i]
 			r, err := sim.New(sim.Config{
 				GSM:       graph.Complete(4),
 				Seed:      p.Seed + 11,
@@ -278,16 +310,18 @@ func tightnessExperiment() Experiment {
 					selfLeaders++
 				}
 			}
-			t.row(rw.name, mark(res.Stopped), selfLeaders, rw.want)
-		}
-		t.flush()
-
-		// Theorem 5.3's flip side: the stable leader keeps writing.
-		delta, ldr, _, err := steadyState(leader.Config{Notifier: leader.MessageNotifier}, msgnet.Reliable, nil, p.Seed+21, 50_000)
+			cells[i] = []any{rw.name, mark(res.Stopped), selfLeaders, rw.want}
+			return nil
+		})
 		if err != nil {
 			return err
 		}
-		writes := delta.Of(ldr, metrics.RegWriteLocal) + delta.Of(ldr, metrics.RegWriteRemote)
+		t := newTable(w)
+		t.row("configuration", "stabilized", "self-leaders at end", "expected")
+		for _, r := range cells {
+			t.row(r...)
+		}
+		t.flush()
 		fmt.Fprintf(w, "\nleader register writes during a 50k-step steady window: %d (Theorem 5.3: must stay > 0 forever)\n", writes)
 		fmt.Fprintln(w, "\nexpected: row 2 fails with every process stuck electing itself — the")
 		fmt.Fprintln(w, "adversary is fair-lossy-legal because notifications are sent finitely")

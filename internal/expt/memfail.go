@@ -89,23 +89,36 @@ func memFailExperiment() Experiment {
 			return out, nil
 		}
 
-		t := newTable(w)
-		t.row("system", "memory semantics", "goal reached", "processes hitting dead memory")
-		for _, memFails := range []bool{false, true} {
+		// Four independent runs: {RDMA, dies-with-process} × {HBO, Ω}.
+		rows := make([][]any, 4)
+		err := forEach(p, 4, func(i int) error {
+			memFails := i >= 2
 			sem := "survives crash (RDMA, the model)"
 			if memFails {
 				sem = "dies with process (ablation)"
 			}
-			ho, err := runHBO(memFails)
-			if err != nil {
-				return fmt.Errorf("hbo memFails=%v: %w", memFails, err)
+			if i%2 == 0 {
+				ho, err := runHBO(memFails)
+				if err != nil {
+					return fmt.Errorf("hbo memFails=%v: %w", memFails, err)
+				}
+				rows[i] = []any{"HBO, K5, 2 mid-run crashes", sem, mark(ho.terminated), ho.memErrs}
+			} else {
+				lo, err := runLeader(memFails)
+				if err != nil {
+					return fmt.Errorf("leader memFails=%v: %w", memFails, err)
+				}
+				rows[i] = []any{"Ω failover, K4, leader crash", sem, mark(lo.terminated), lo.memErrs}
 			}
-			t.row("HBO, K5, 2 mid-run crashes", sem, mark(ho.terminated), ho.memErrs)
-			lo, err := runLeader(memFails)
-			if err != nil {
-				return fmt.Errorf("leader memFails=%v: %w", memFails, err)
-			}
-			t.row("Ω failover, K4, leader crash", sem, mark(lo.terminated), lo.memErrs)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		t := newTable(w)
+		t.row("system", "memory semantics", "goal reached", "processes hitting dead memory")
+		for _, r := range rows {
+			t.row(r...)
 		}
 		t.flush()
 		fmt.Fprintln(w, "\nexpected: both systems reach their goals under the paper's semantics and")

@@ -47,21 +47,26 @@ func msgOmegaExperiment() Experiment {
 			budget = 1_200_000
 		}
 
+		// alg is a constructor so that pooled trials never share an
+		// Algorithm value between concurrently running simulations.
 		type system struct {
 			name string
 			gsm  *graph.Graph
-			alg  core.Algorithm
+			alg  func() core.Algorithm
 		}
 		systems := []system{
-			{"classic msg-Ω (heartbeat broadcast)", graph.Edgeless(5), leader.NewMsgOmega(leader.MsgOmegaConfig{})},
-			{"m&m Fig 3+4 (message notifier)", graph.Complete(5), leader.New(leader.Config{Notifier: leader.MessageNotifier})},
-			{"m&m Fig 3+5 (register notifier)", graph.Complete(5), leader.New(leader.Config{Notifier: leader.SharedMemoryNotifier})},
+			{"classic msg-Ω (heartbeat broadcast)", graph.Edgeless(5),
+				func() core.Algorithm { return leader.NewMsgOmega(leader.MsgOmegaConfig{}) }},
+			{"m&m Fig 3+4 (message notifier)", graph.Complete(5),
+				func() core.Algorithm { return leader.New(leader.Config{Notifier: leader.MessageNotifier}) }},
+			{"m&m Fig 3+5 (register notifier)", graph.Complete(5),
+				func() core.Algorithm { return leader.New(leader.Config{Notifier: leader.SharedMemoryNotifier}) }},
 		}
 
 		// Part 1: steady-state traffic under friendly conditions.
-		t := newTable(w)
-		t.row("system", "stabilized", "steady msgs/100k steps", "steady reg ops/100k steps")
-		for _, s := range systems {
+		rows := make([][]any, len(systems))
+		err := forEach(p, len(systems), func(i int) error {
+			s := systems[i]
 			counters := metrics.NewCounters(5)
 			stable := leader.StableLeaderCondition(3_000)
 			var baseline *metrics.Snapshot
@@ -87,7 +92,7 @@ func msgOmegaExperiment() Experiment {
 					}
 					return false
 				},
-			}, s.alg)
+			}, s.alg())
 			if err != nil {
 				return err
 			}
@@ -98,9 +103,18 @@ func msgOmegaExperiment() Experiment {
 			scale := float64(100_000) / float64(observe)
 			regOps := delta.Total(metrics.RegReadLocal) + delta.Total(metrics.RegReadRemote) +
 				delta.Total(metrics.RegWriteLocal) + delta.Total(metrics.RegWriteRemote)
-			t.row(s.name, mark(res.Stopped),
+			rows[i] = []any{s.name, mark(res.Stopped),
 				fmt.Sprintf("%.0f", float64(delta.Total(metrics.MsgSent))*scale),
-				fmt.Sprintf("%.0f", float64(regOps)*scale))
+				fmt.Sprintf("%.0f", float64(regOps)*scale)}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		t := newTable(w)
+		t.row("system", "stabilized", "steady msgs/100k steps", "steady reg ops/100k steps")
+		for _, r := range rows {
+			t.row(r...)
 		}
 		t.flush()
 
@@ -111,25 +125,26 @@ func msgOmegaExperiment() Experiment {
 		// through registers and never notice.
 		burstSystems := []system{
 			{"classic msg-Ω (fixed timeout)", graph.Edgeless(5),
-				leader.NewMsgOmega(leader.MsgOmegaConfig{InitialTimeout: 300, DisableAdaptation: true})},
+				func() core.Algorithm {
+					return leader.NewMsgOmega(leader.MsgOmegaConfig{InitialTimeout: 300, DisableAdaptation: true})
+				}},
 			systems[1],
 			systems[2],
 		}
-		fmt.Fprintln(w, "\nunder recurring message-hold bursts (5000 of every 6000 ticks silent):")
-		t = newTable(w)
-		t.row("system", "stabilized within budget")
 		part2Budget := uint64(600_000)
 		if p.Quick {
 			part2Budget = 250_000
 		}
-		for _, s := range burstSystems {
+		burstRows := make([][]any, len(burstSystems))
+		err = forEach(p, len(burstSystems), func(i int) error {
+			s := burstSystems[i]
 			r, err := sim.New(sim.Config{
 				GSM:      s.gsm,
 				Seed:     p.Seed + 5,
 				Delivery: burstHold{Period: 6_000, Hold: 5_000},
 				MaxSteps: part2Budget,
 				StopWhen: leader.StableLeaderCondition(3_000),
-			}, s.alg)
+			}, s.alg())
 			if err != nil {
 				return err
 			}
@@ -137,7 +152,17 @@ func msgOmegaExperiment() Experiment {
 			if err != nil {
 				return err
 			}
-			t.row(s.name, mark(res.Stopped))
+			burstRows[i] = []any{s.name, mark(res.Stopped)}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "\nunder recurring message-hold bursts (5000 of every 6000 ticks silent):")
+		t = newTable(w)
+		t.row("system", "stabilized within budget")
+		for _, r := range burstRows {
+			t.row(r...)
 		}
 		t.flush()
 

@@ -28,61 +28,72 @@ func mutexExperiment() Experiment {
 			rounds = 3
 		}
 		sizes := []int{2, 4, 8}
+		kinds := []string{"m&m", "spin", "bakery"}
+		// Flatten the (system size, lock kind) sweep into one pooled trial
+		// per cell; every trial builds its own lock and simulator.
+		rows := make([][]any, len(sizes)*len(kinds))
+		err := forEach(p, len(rows), func(i int) error {
+			n := sizes[i/len(kinds)]
+			kind := kinds[i%len(kinds)]
+			acqs := int64(n * rounds)
+			counters := metrics.NewCounters(n)
+			var alg core.Algorithm
+			switch kind {
+			case "m&m":
+				l := mutex.NewMnMLock(0, "x")
+				alg = lockWorkload(rounds, func(env core.Env, in *core.Inbox) (mutex.Ticket, error) {
+					return l.Acquire(env, in)
+				}, l.Release)
+			case "spin":
+				l := mutex.NewSpinLock(0, "x")
+				alg = lockWorkload(rounds, func(env core.Env, _ *core.Inbox) (mutex.Ticket, error) {
+					return l.Acquire(env)
+				}, l.Release)
+			default:
+				l := mutex.NewBakery("x")
+				alg = lockWorkload(rounds, func(env core.Env, _ *core.Inbox) (mutex.Ticket, error) {
+					return mutex.Ticket{}, l.Acquire(env)
+				}, func(env core.Env, _ mutex.Ticket) error {
+					return l.Release(env)
+				})
+			}
+			r, err := sim.New(sim.Config{
+				GSM:       graph.Complete(n),
+				Seed:      p.Seed + int64(n),
+				Scheduler: sched.NewRandom(p.Seed + int64(n) + 1),
+				MaxSteps:  8_000_000,
+				Counters:  counters,
+			}, alg)
+			if err != nil {
+				return err
+			}
+			res, err := r.Run()
+			if err != nil {
+				return err
+			}
+			for pid, perr := range res.Errors {
+				return fmt.Errorf("n=%d %s lock, process %v: %w", n, kind, pid, perr)
+			}
+			if len(res.Halted) != n {
+				return fmt.Errorf("n=%d %s lock deadlocked (halted %d of %d)", n, kind, len(res.Halted), n)
+			}
+			reads := counters.Total(metrics.RegReadLocal) + counters.Total(metrics.RegReadRemote)
+			writes := counters.Total(metrics.RegWriteLocal) + counters.Total(metrics.RegWriteRemote)
+			msgs := counters.Total(metrics.MsgSent)
+			rows[i] = []any{n, kind,
+				fmt.Sprintf("%.1f", float64(reads)/float64(acqs)),
+				fmt.Sprintf("%.1f", float64(writes)/float64(acqs)),
+				fmt.Sprintf("%.1f", float64(msgs)/float64(acqs)),
+				res.Steps}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
 		t := newTable(w)
 		t.row("n", "lock", "reads/acq", "writes/acq", "msgs/acq", "steps total")
-		for _, n := range sizes {
-			acqs := int64(n * rounds)
-			for _, kind := range []string{"m&m", "spin", "bakery"} {
-				counters := metrics.NewCounters(n)
-				var alg core.Algorithm
-				switch kind {
-				case "m&m":
-					l := mutex.NewMnMLock(0, "x")
-					alg = lockWorkload(rounds, func(env core.Env, in *core.Inbox) (mutex.Ticket, error) {
-						return l.Acquire(env, in)
-					}, l.Release)
-				case "spin":
-					l := mutex.NewSpinLock(0, "x")
-					alg = lockWorkload(rounds, func(env core.Env, _ *core.Inbox) (mutex.Ticket, error) {
-						return l.Acquire(env)
-					}, l.Release)
-				default:
-					l := mutex.NewBakery("x")
-					alg = lockWorkload(rounds, func(env core.Env, _ *core.Inbox) (mutex.Ticket, error) {
-						return mutex.Ticket{}, l.Acquire(env)
-					}, func(env core.Env, _ mutex.Ticket) error {
-						return l.Release(env)
-					})
-				}
-				r, err := sim.New(sim.Config{
-					GSM:       graph.Complete(n),
-					Seed:      p.Seed + int64(n),
-					Scheduler: sched.NewRandom(p.Seed + int64(n) + 1),
-					MaxSteps:  8_000_000,
-					Counters:  counters,
-				}, alg)
-				if err != nil {
-					return err
-				}
-				res, err := r.Run()
-				if err != nil {
-					return err
-				}
-				for pid, perr := range res.Errors {
-					return fmt.Errorf("n=%d %s lock, process %v: %w", n, kind, pid, perr)
-				}
-				if len(res.Halted) != n {
-					return fmt.Errorf("n=%d %s lock deadlocked (halted %d of %d)", n, kind, len(res.Halted), n)
-				}
-				reads := counters.Total(metrics.RegReadLocal) + counters.Total(metrics.RegReadRemote)
-				writes := counters.Total(metrics.RegWriteLocal) + counters.Total(metrics.RegWriteRemote)
-				msgs := counters.Total(metrics.MsgSent)
-				t.row(n, kind,
-					fmt.Sprintf("%.1f", float64(reads)/float64(acqs)),
-					fmt.Sprintf("%.1f", float64(writes)/float64(acqs)),
-					fmt.Sprintf("%.1f", float64(msgs)/float64(acqs)),
-					res.Steps)
-			}
+		for _, r := range rows {
+			t.row(r...)
 		}
 		t.flush()
 		fmt.Fprintln(w, "\nexpected: the m&m lock's reads per acquisition stay O(1) as contention")

@@ -1,0 +1,82 @@
+package expt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestParallelOutputMatchesSequential runs pooled experiments with the same
+// seed at Parallel=1 and Parallel=4 and requires byte-identical tables:
+// trials collect results by index and render after a barrier, so worker
+// count must never leak into the output.
+func TestParallelOutputMatchesSequential(t *testing.T) {
+	for _, id := range []string{"T43", "BO", "MEMF", "T44"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %s not registered", id)
+			}
+			var seq, par bytes.Buffer
+			if err := e.Run(&seq, Params{Quick: true, Seed: 3, Parallel: 1}); err != nil {
+				t.Fatalf("sequential run: %v", err)
+			}
+			if err := e.Run(&par, Params{Quick: true, Seed: 3, Parallel: 4}); err != nil {
+				t.Fatalf("parallel run: %v", err)
+			}
+			if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+				t.Errorf("parallel output differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+					seq.String(), par.String())
+			}
+		})
+	}
+}
+
+// TestForEachDeterministicError checks the pool reports the lowest-index
+// failure at every worker count, so error behavior does not depend on
+// scheduling.
+func TestForEachDeterministicError(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, workers := range []int{0, 1, 2, 8} {
+		err := forEach(Params{Parallel: workers}, 10, func(i int) error {
+			switch i {
+			case 3:
+				return errLow
+			case 7:
+				return errHigh
+			default:
+				return nil
+			}
+		})
+		if !errors.Is(err, errLow) {
+			t.Errorf("workers=%d: got %v, want lowest-index error", workers, err)
+		}
+	}
+}
+
+// TestForEachCoversAllIndices checks every index runs exactly once.
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		const n = 50
+		counts := make([]int, n)
+		var mu = make(chan struct{}, 1)
+		mu <- struct{}{}
+		err := forEach(Params{Parallel: workers}, n, func(i int) error {
+			<-mu
+			counts[i]++
+			mu <- struct{}{}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Errorf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}

@@ -39,9 +39,49 @@ func paxosExperiment() Experiment {
 			inputs[i] = binInputs[i]
 		}
 
-		t := newTable(w)
-		t.row("crashes f", "algorithm", "terminated", "steps", "msgs", "reg ops", "assumption used")
-		for _, f := range []int{0, 2, 4} {
+		// One pooled trial per crash count (each yields an HBO row and a
+		// Paxos row); the lossy-links headline run is the extra index.
+		fs := []int{0, 2, 4}
+		rows := make([][][]any, len(fs))
+		var (
+			lossyStopped bool
+			lossySteps   uint64
+			lossyMsgs    int64
+			lossyRegOps  int64
+		)
+		err := forEach(p, len(fs)+1, func(i int) error {
+			if i == len(fs) {
+				// Over fair-lossy links with the Figure-5 notifier, the
+				// whole Paxos stack is message-free.
+				counters := metrics.NewCounters(n)
+				r, err := sim.New(sim.Config{
+					GSM:       graph.Complete(n),
+					Seed:      p.Seed + 31,
+					Links:     msgnet.FairLossy,
+					Drop:      msgnet.NewRandomDrop(0.6, p.Seed+2),
+					Scheduler: timelySched(1, p.Seed+3),
+					MaxSteps:  budget,
+					Counters:  counters,
+					StopWhen:  func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, paxos.DecisionKey) },
+				}, paxos.New(paxos.Config{
+					Inputs: inputs,
+					Leader: leader.Config{Notifier: leader.SharedMemoryNotifier},
+				}))
+				if err != nil {
+					return err
+				}
+				res, err := r.Run()
+				if err != nil {
+					return err
+				}
+				lossyStopped, lossySteps = res.Stopped, res.Steps
+				lossyMsgs = counters.Total(metrics.MsgSent)
+				lossyRegOps = counters.Total(metrics.RegReadLocal) + counters.Total(metrics.RegReadRemote) +
+					counters.Total(metrics.RegWriteLocal) + counters.Total(metrics.RegWriteRemote)
+				return nil
+			}
+
+			f := fs[i]
 			crashes := make([]sim.Crash, f)
 			for i := range crashes {
 				crashes[i] = sim.Crash{Proc: core.ProcID(i), AtStep: 0}
@@ -51,7 +91,6 @@ func paxosExperiment() Experiment {
 			if err != nil {
 				return err
 			}
-			t.row(f, "HBO (randomized)", mark(hboOut.terminated), hboOut.steps, hboOut.msgs, hboOut.regOps, "none (coins)")
 
 			counters := metrics.NewCounters(n)
 			// The timely process must survive the crash plan.
@@ -80,39 +119,28 @@ func paxosExperiment() Experiment {
 			}
 			regOps := counters.Total(metrics.RegReadLocal) + counters.Total(metrics.RegReadRemote) +
 				counters.Total(metrics.RegWriteLocal) + counters.Total(metrics.RegWriteRemote)
-			t.row(f, "Ω-Paxos (deterministic)", mark(res.Stopped), res.Steps,
-				counters.Total(metrics.MsgSent), regOps, "one timely process")
+			rows[i] = [][]any{
+				{f, "HBO (randomized)", mark(hboOut.terminated), hboOut.steps, hboOut.msgs, hboOut.regOps, "none (coins)"},
+				{f, "Ω-Paxos (deterministic)", mark(res.Stopped), res.Steps,
+					counters.Total(metrics.MsgSent), regOps, "one timely process"},
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		t := newTable(w)
+		t.row("crashes f", "algorithm", "terminated", "steps", "msgs", "reg ops", "assumption used")
+		for _, pair := range rows {
+			for _, r := range pair {
+				t.row(r...)
+			}
 		}
 		t.flush()
 
-		// The headline of the combination: over fair-lossy links with the
-		// Figure-5 notifier, the whole Paxos stack is message-free.
-		counters := metrics.NewCounters(n)
-		r, err := sim.New(sim.Config{
-			GSM:       graph.Complete(n),
-			Seed:      p.Seed + 31,
-			Links:     msgnet.FairLossy,
-			Drop:      msgnet.NewRandomDrop(0.6, p.Seed+2),
-			Scheduler: timelySched(1, p.Seed+3),
-			MaxSteps:  budget,
-			Counters:  counters,
-			StopWhen:  func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, paxos.DecisionKey) },
-		}, paxos.New(paxos.Config{
-			Inputs: inputs,
-			Leader: leader.Config{Notifier: leader.SharedMemoryNotifier},
-		}))
-		if err != nil {
-			return err
-		}
-		res, err := r.Run()
-		if err != nil {
-			return err
-		}
 		fmt.Fprintf(w, "\nΩ-Paxos over 60%%-lossy links (Figure-5 notifier): terminated=%v, "+
 			"steps=%d, messages sent=%d (accusations only), register ops=%d\n",
-			res.Stopped, res.Steps, counters.Total(metrics.MsgSent),
-			counters.Total(metrics.RegReadLocal)+counters.Total(metrics.RegReadRemote)+
-				counters.Total(metrics.RegWriteLocal)+counters.Total(metrics.RegWriteRemote))
+			lossyStopped, lossySteps, lossyMsgs, lossyRegOps)
 
 		fmt.Fprintln(w, "\nexpected: both algorithms decide at every crash count up to n−1; Paxos")
 		fmt.Fprintln(w, "trades HBO's coins for the §5 synchrony assumption and works even when")

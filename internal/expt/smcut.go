@@ -38,10 +38,11 @@ func smcutExperiment() Experiment {
 			{"Petersen", graph.Petersen()},
 			{"Complete(8)", graph.Complete(8)},
 		}
-		t := newTable(w)
-		t.row("graph", "n", "max min(|S|,|T|)", "impossible for f ≥", "exact tolerance", "tol < threshold")
-		for _, gc := range graphs {
-			g := gc.g
+		// The per-graph enumerations (cut structure, impossibility
+		// threshold, exact tolerance) are independent; fan them out.
+		rows := make([][]any, len(graphs))
+		err := forEach(p, len(graphs), func(i int) error {
+			g := graphs[i].g
 			side, err := g.MaxSMCutSide()
 			if err != nil {
 				return err
@@ -58,7 +59,16 @@ func smcutExperiment() Experiment {
 			if thr >= g.N() {
 				thrCell = "none"
 			}
-			t.row(gc.name, g.N(), side, thrCell, tol, mark(tol < thr))
+			rows[i] = []any{graphs[i].name, g.N(), side, thrCell, tol, mark(tol < thr)}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		t := newTable(w)
+		t.row("graph", "n", "max min(|S|,|T|)", "impossible for f ≥", "exact tolerance", "tol < threshold")
+		for _, r := range rows {
+			t.row(r...)
 		}
 		t.flush()
 
@@ -75,13 +85,19 @@ func smcutExperiment() Experiment {
 		crashB := crashesFromSet(append(cut.B1.Members(), cut.B2.Members()...))
 		part := &msgnet.Partition{SideA: sideA, Until: ^uint64(0)}
 
-		bridgeOut, err := runHBOOnce(bridge, p.Seed+2, crashB, budget, part)
-		if err != nil {
+		// The bridge run and its K8 control (same adversary — same
+		// partition, same crash count — but shared memory crossing every
+		// cut) are independent trials.
+		var bridgeOut, completeOut hboOutcome
+		err = forEach(p, 2, func(i int) error {
+			var err error
+			if i == 0 {
+				bridgeOut, err = runHBOOnce(bridge, p.Seed+2, crashB, budget, part)
+			} else {
+				completeOut, err = runHBOOnce(graph.Complete(8), p.Seed+2, crashB, budget*4, part)
+			}
 			return err
-		}
-		// Same adversary (same partition, same crash count) on K8, whose
-		// shared memory crosses every cut.
-		completeOut, err := runHBOOnce(graph.Complete(8), p.Seed+2, crashB, budget*4, part)
+		})
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,8 @@
 package leader
 
 import (
+	"sort"
+
 	"github.com/mnm-model/mnm/internal/core"
 )
 
@@ -52,7 +54,10 @@ func (mn *MsgNotifier) HandleMessage(m core.Message) bool {
 	return true
 }
 
-// Poll implements Notifier. Local only: no steps.
+// Poll implements Notifier. Local only: no steps. The result is sorted:
+// pending is a map, and handing its runtime-randomized iteration order to
+// the detector made the leader's reaction sequence — and therefore every
+// deterministic-simulator counter trace — differ from run to run.
 func (mn *MsgNotifier) Poll(core.Env) ([]core.ProcID, error) {
 	if len(mn.pending) == 0 {
 		return nil, nil
@@ -61,6 +66,7 @@ func (mn *MsgNotifier) Poll(core.Env) ([]core.ProcID, error) {
 	for q := range mn.pending {
 		out = append(out, q)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	clear(mn.pending)
 	return out, nil
 }

@@ -194,7 +194,14 @@ func (h *Host) Stop() {
 // Wait blocks until every process goroutine has exited on its own
 // (returned from its body) and reports their errors. Most long-running
 // algorithms never halt; use Stop for those.
+//
+// If the host was never started, Wait releases the start gate first, the
+// same way Stop does: otherwise every process goroutine would still be
+// parked on the gate and Wait would block forever with nothing running.
 func (h *Host) Wait() map[core.ProcID]error {
+	if !h.started.Load() {
+		h.Start()
+	}
 	h.wg.Wait()
 	h.mu.Lock()
 	defer h.mu.Unlock()

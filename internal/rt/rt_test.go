@@ -41,6 +41,38 @@ func TestHaltingAlgorithmWaits(t *testing.T) {
 	}
 }
 
+// TestWaitWithoutStartReleasesGate is the regression test for the Wait
+// deadlock: calling Wait before Start used to park forever because every
+// process goroutine was still blocked on the start gate. Wait must release
+// the gate (like Stop) and then block only until the bodies return.
+func TestWaitWithoutStartReleasesGate(t *testing.T) {
+	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
+		return func(env core.Env) error {
+			env.Expose("done", true)
+			return nil
+		}
+	})
+	h, err := New(Config{GSM: graph.Complete(3)}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan map[core.ProcID]error, 1)
+	go func() { done <- h.Wait() }()
+	select {
+	case errs := <-done:
+		for p, e := range errs {
+			t.Errorf("process %v: %v", p, e)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Wait() without Start() deadlocked")
+	}
+	for p := core.ProcID(0); p < 3; p++ {
+		if h.Exposed(p, "done") != true {
+			t.Errorf("process %v never ran", p)
+		}
+	}
+}
+
 func TestStopUnwindsInfiniteLoops(t *testing.T) {
 	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
 		return func(env core.Env) error {
