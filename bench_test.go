@@ -86,10 +86,9 @@ func BenchmarkBO_BenOrDecide(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := mnm.NewSim(mnm.SimConfig{
-			GSM:      mnm.EdgelessGraph(n),
-			Seed:     int64(i),
-			MaxSteps: 5_000_000,
-			StopWhen: mnm.AllDecided(mnm.BenOrDecisionKey),
+			RunConfig: mnm.RunConfig{GSM: mnm.EdgelessGraph(n), Seed: int64(i)},
+			MaxSteps:  5_000_000,
+			StopWhen:  mnm.AllDecided(mnm.BenOrDecisionKey),
 		}, mnm.NewBenOr(mnm.BenOrConfig{F: 3, Inputs: inputs}))
 		if err != nil {
 			b.Fatal(err)
@@ -118,10 +117,7 @@ func BenchmarkLE2_StabilizeFairLossy(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := mnm.NewSim(mnm.SimConfig{
-			GSM:       mnm.CompleteGraph(5),
-			Seed:      int64(i),
-			Links:     mnm.FairLossy,
-			Drop:      mnm.NewRandomDrop(0.3, int64(i)+1),
+			RunConfig: mnm.RunConfig{GSM: mnm.CompleteGraph(5), Seed: int64(i), Links: mnm.FairLossy, Drop: mnm.NewRandomDrop(0.3, int64(i)+1)},
 			Scheduler: mnm.TimelyScheduler(1, 4, int64(i)+2),
 			MaxSteps:  20_000_000,
 			StopWhen:  mnm.StableLeaderCondition(3_000),
@@ -185,9 +181,8 @@ func benchLockWorkload(b *testing.B, cycle func(mnm.Env, *mnm.Inbox) error) {
 		}
 	})
 	r, err := mnm.NewSim(mnm.SimConfig{
-		GSM:      mnm.CompleteGraph(2),
-		Seed:     1,
-		MaxSteps: ^uint64(0),
+		RunConfig: mnm.RunConfig{GSM: mnm.CompleteGraph(2), Seed: 1},
+		MaxSteps:  ^uint64(0),
 	}, alg)
 	if err != nil {
 		b.Fatal(err)
@@ -207,9 +202,8 @@ func BenchmarkRSM_Replicate(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := mnm.NewSim(mnm.SimConfig{
-			GSM:      mnm.CompleteGraph(n),
-			Seed:     int64(i),
-			MaxSteps: 20_000_000,
+			RunConfig: mnm.RunConfig{GSM: mnm.CompleteGraph(n), Seed: int64(i)},
+			MaxSteps:  20_000_000,
 			StopWhen: func(r *mnm.SimRunner) bool {
 				for p := 0; p < n; p++ {
 					if r.Exposed(mnm.ProcID(p), mnm.RSMDoneKey) != true {
@@ -256,7 +250,7 @@ func BenchmarkConsensusObjects(b *testing.B) {
 				return nil
 			}
 		})
-		r, err := mnm.NewSim(mnm.SimConfig{GSM: mnm.CompleteGraph(1), MaxSteps: ^uint64(0)}, alg)
+		r, err := mnm.NewSim(mnm.SimConfig{RunConfig: mnm.RunConfig{GSM: mnm.CompleteGraph(1)}, MaxSteps: ^uint64(0)}, alg)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,234 @@
+// Command mnmnode runs ONE process of an m&m system as one OS process,
+// communicating with its peers over TCP: messages travel as gob frames
+// through internal/transport/tcp, and shared registers owned by remote
+// processes are reached through the same transport's RPC plane. Launching
+// n mnmnode processes with the same -addrs table yields the paper's model
+// over real sockets.
+//
+// Usage (three shells, or one script):
+//
+//	mnmnode -id 0 -n 3 -addrs 127.0.0.1:7400,127.0.0.1:7401,127.0.0.1:7402 -alg hbo -inputs 1,0,1
+//	mnmnode -id 1 -n 3 -addrs ... -alg hbo -inputs 1,0,1
+//	mnmnode -id 2 -n 3 -addrs ... -alg hbo -inputs 1,0,1
+//
+// Each node prints one result line to stdout:
+//
+//	decided 1        (consensus)
+//	leader p0        (leader election, once stable for -stable)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/mnm-model/mnm/internal/benor"
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/graph"
+	"github.com/mnm-model/mnm/internal/hbo"
+	"github.com/mnm-model/mnm/internal/leader"
+	"github.com/mnm-model/mnm/internal/rt"
+	"github.com/mnm-model/mnm/internal/transport"
+	"github.com/mnm-model/mnm/internal/transport/tcp"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		id      = flag.Int("id", 0, "this node's process id (0..n-1)")
+		n       = flag.Int("n", 3, "system size")
+		addrs   = flag.String("addrs", "", "comma-separated host:port of every process, index = id (required)")
+		alg     = flag.String("alg", "hbo", "algorithm: hbo | le-msg | le-shm")
+		seed    = flag.Int64("seed", 1, "run seed")
+		inputs  = flag.String("inputs", "", "comma-separated 0/1 proposals for hbo (one per process)")
+		stable  = flag.Duration("stable", 2*time.Second, "how long a leader must hold before it is reported")
+		timeout = flag.Duration("timeout", 60*time.Second, "overall deadline")
+		linger  = flag.Duration("linger", time.Second, "how long to keep serving peers after finishing")
+		verbose = flag.Bool("v", false, "log connection lifecycle events to stderr")
+	)
+	flag.Parse()
+
+	addrList := strings.Split(*addrs, ",")
+	if *addrs == "" || len(addrList) != *n {
+		fmt.Fprintf(os.Stderr, "mnmnode: -addrs must list exactly n=%d addresses\n", *n)
+		return 2
+	}
+	if *id < 0 || *id >= *n {
+		fmt.Fprintf(os.Stderr, "mnmnode: -id %d out of range [0,%d)\n", *id, *n)
+		return 2
+	}
+	self := core.ProcID(*id)
+
+	var logf func(string, ...any)
+	if *verbose {
+		l := log.New(os.Stderr, fmt.Sprintf("node%d ", *id), log.Lmicroseconds)
+		logf = l.Printf
+	}
+
+	tr, err := tcp.New(tcp.Config{
+		N:          *n,
+		Hosted:     []core.ProcID{self},
+		Addrs:      addrList,
+		ListenAddr: addrList[*id],
+		Logf:       logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mnmnode: %v\n", err)
+		return 1
+	}
+
+	cfg := rt.Config{
+		RunConfig: rt.RunConfig{GSM: graph.Complete(*n), Seed: *seed, Logf: logf},
+		Transport: tr,
+		Hosted:    []core.ProcID{self},
+	}
+
+	var algo core.Algorithm
+	var finish func(h *rt.Host, deadline time.Time) (string, error)
+	switch *alg {
+	case "hbo":
+		vals, err := parseInputs(*inputs, *n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mnmnode: %v\n", err)
+			return 2
+		}
+		algo = hbo.New(hbo.Config{Inputs: vals, HaltAfterDecide: true})
+		finish = func(h *rt.Host, deadline time.Time) (string, error) {
+			v, err := awaitExposed(h, self, hbo.DecisionKey, deadline)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("decided %d", v.(benor.Val)), nil
+		}
+	case "le-msg", "le-shm":
+		kind := leader.MessageNotifier
+		if *alg == "le-shm" {
+			kind = leader.SharedMemoryNotifier
+		}
+		algo = leader.New(leader.Config{Notifier: kind})
+		window := *stable
+		finish = func(h *rt.Host, deadline time.Time) (string, error) {
+			l, err := awaitStableLeader(h, self, window, deadline)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("leader %v", l), nil
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "mnmnode: unknown -alg %q\n", *alg)
+		return 2
+	}
+
+	h, err := rt.New(cfg, algo)
+	if err != nil {
+		tr.Close()
+		fmt.Fprintf(os.Stderr, "mnmnode: %v\n", err)
+		return 1
+	}
+	deadline := time.Now().Add(*timeout)
+	if err := waitMesh(tr, self, *n, deadline); err != nil {
+		h.Stop()
+		fmt.Fprintf(os.Stderr, "mnmnode: %v\n", err)
+		return 1
+	}
+	h.Start()
+	line, err := finish(h, deadline)
+	if err != nil {
+		h.Stop()
+		fmt.Fprintf(os.Stderr, "mnmnode: %v\n", err)
+		return 1
+	}
+	fmt.Println(line)
+	// Keep serving register reads and retransmissions for peers that have
+	// not finished yet, then drain and tear down.
+	time.Sleep(*linger)
+	res := h.Stop()
+	for p, e := range res.Errors {
+		fmt.Fprintf(os.Stderr, "mnmnode: process %v: %v\n", p, e)
+		return 1
+	}
+	if *verbose {
+		logf("done: %d steps in %v", res.Steps, res.Elapsed.Round(time.Millisecond))
+	}
+	return 0
+}
+
+// waitMesh blocks until this node's outbound link to every peer is up.
+// Starting earlier is legal — sends queue and retransmit — but the
+// step-counted heartbeat timers of the leader detector assume comparable
+// step rates, and a process stalled in connect backoff mid-step looks
+// exactly like a crashed leader to an already-connected peer.
+func waitMesh(tr *tcp.Transport, self core.ProcID, n int, deadline time.Time) error {
+	for q := 0; q < n; q++ {
+		p := core.ProcID(q)
+		if p == self {
+			continue
+		}
+		for tr.LinkState(self, p) != transport.LinkUp {
+			if !time.Now().Before(deadline) {
+				return fmt.Errorf("link to process %v not up before deadline", p)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// parseInputs parses the -inputs list into benor values.
+func parseInputs(s string, n int) ([]benor.Val, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-inputs is required for hbo")
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("-inputs has %d values, want n=%d", len(parts), n)
+	}
+	out := make([]benor.Val, n)
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || (v != 0 && v != 1) {
+			return nil, fmt.Errorf("-inputs[%d] = %q, want 0 or 1", i, p)
+		}
+		out[i] = benor.Val(v)
+	}
+	return out, nil
+}
+
+// awaitExposed polls until process p exposes key, or the deadline passes.
+func awaitExposed(h *rt.Host, p core.ProcID, key string, deadline time.Time) (core.Value, error) {
+	for time.Now().Before(deadline) {
+		if v := h.Exposed(p, key); v != nil {
+			return v, nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("timed out waiting for %q", key)
+}
+
+// awaitStableLeader polls process p's leader output until it has held one
+// non-⊥ value for window, or the deadline passes.
+func awaitStableLeader(h *rt.Host, p core.ProcID, window time.Duration, deadline time.Time) (core.ProcID, error) {
+	cur := core.NoProc
+	var since time.Time
+	for time.Now().Before(deadline) {
+		l := core.NoProc
+		if v, ok := h.Exposed(p, leader.LeaderKey).(core.ProcID); ok {
+			l = v
+		}
+		if l != cur {
+			cur, since = l, time.Now()
+		}
+		if cur != core.NoProc && time.Since(since) >= window {
+			return cur, nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return core.NoProc, fmt.Errorf("timed out waiting for a stable leader (last %v)", cur)
+}

@@ -70,10 +70,9 @@ func run() int {
 	}
 
 	cfg := sim.Config{
-		GSM:      g,
-		Seed:     *seed,
-		MaxSteps: *maxSteps,
-		Crashes:  crashes,
+		RunConfig: sim.RunConfig{GSM: g, Seed: *seed},
+		MaxSteps:  *maxSteps,
+		Crashes:   crashes,
 	}
 	var rec *trace.Recorder
 	if *traceN > 0 {

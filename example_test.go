@@ -92,7 +92,7 @@ func ExampleAlgorithmFunc() {
 			}
 		}
 	})
-	r, err := mnm.NewSim(mnm.SimConfig{GSM: mnm.CompleteGraph(3)}, alg)
+	r, err := mnm.NewSim(mnm.SimConfig{RunConfig: mnm.RunConfig{GSM: mnm.CompleteGraph(3)}}, alg)
 	if err != nil {
 		fmt.Println("error:", err)
 		return

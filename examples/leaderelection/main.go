@@ -27,11 +27,9 @@ func run() error {
 	)
 	counters := mnm.NewCounters(n)
 	r, err := mnm.NewSim(mnm.SimConfig{
-		GSM:           mnm.CompleteGraph(n),
-		Seed:          3,
+		RunConfig:     mnm.RunConfig{GSM: mnm.CompleteGraph(n), Seed: 3, Counters: counters},
 		Scheduler:     mnm.TimelyScheduler(1, 4, 9),
 		MaxSteps:      maxSteps,
-		Counters:      counters,
 		SnapshotEvery: window,
 		Crashes:       []mnm.Crash{{Proc: 0, AtStep: crashAt}},
 	}, mnm.NewLeaderElection(mnm.LeaderConfig{Notifier: mnm.MessageNotifier}))

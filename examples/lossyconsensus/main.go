@@ -25,13 +25,10 @@ func run() error {
 	counters := mnm.NewCounters(n)
 
 	r, err := mnm.NewSim(mnm.SimConfig{
-		GSM:       mnm.CompleteGraph(n),
-		Seed:      11,
-		Links:     mnm.FairLossy,
-		Drop:      mnm.NewRandomDrop(0.7, 5), // 70% of messages vanish
+		RunConfig: mnm.RunConfig{GSM: mnm.CompleteGraph(n), Seed: 11, Links: mnm.FairLossy, Drop: mnm.NewRandomDrop(0.7, 5), Counters: counters},
+		// 70% of messages vanish
 		Scheduler: mnm.TimelyScheduler(2, 4, 6),
 		MaxSteps:  10_000_000,
-		Counters:  counters,
 		StopWhen:  mnm.AllDecided(mnm.PaxosDecisionKey),
 	}, mnm.NewPaxos(mnm.PaxosConfig{
 		Inputs: inputs,

@@ -80,11 +80,9 @@ func measure(body func(mnm.Env, *mnm.Inbox) error) (reads, writes, msgs int64, e
 		}
 	})
 	r, err := mnm.NewSim(mnm.SimConfig{
-		GSM:       mnm.CompleteGraph(procs),
-		Seed:      5,
+		RunConfig: mnm.RunConfig{GSM: mnm.CompleteGraph(procs), Seed: 5, Counters: counters},
 		Scheduler: mnm.RandomScheduler(8),
 		MaxSteps:  5_000_000,
-		Counters:  counters,
 	}, alg)
 	if err != nil {
 		return 0, 0, 0, err

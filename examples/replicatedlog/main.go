@@ -29,8 +29,7 @@ func run() error {
 	)
 	total := n * commands
 	r, err := mnm.NewSim(mnm.SimConfig{
-		GSM:       mnm.CompleteGraph(n),
-		Seed:      7,
+		RunConfig: mnm.RunConfig{GSM: mnm.CompleteGraph(n), Seed: 7},
 		Scheduler: mnm.RandomScheduler(9),
 		MaxSteps:  8_000_000,
 		Crashes:   []mnm.Crash{{Proc: 0, AtStep: 500}},

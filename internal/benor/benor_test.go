@@ -14,8 +14,7 @@ import (
 func runBenOr(t *testing.T, cfg Config, n int, seed int64, s sched.Scheduler, crashes []sim.Crash, delivery msgnet.DeliveryPolicy) (*sim.Runner, *sim.Result) {
 	t.Helper()
 	r, err := sim.New(sim.Config{
-		GSM:       graph.Edgeless(n), // pure message passing
-		Seed:      seed,
+		RunConfig: sim.RunConfig{GSM: graph.Edgeless(n), Seed: seed},
 		Scheduler: s,
 		Delivery:  delivery,
 		MaxSteps:  3_000_000,
@@ -134,11 +133,10 @@ func TestStallsBeyondMajorityCrashes(t *testing.T) {
 		{Proc: 3, AtStep: 5},
 	}
 	r, err := sim.New(sim.Config{
-		GSM:      graph.Edgeless(7),
-		Seed:     1,
-		MaxSteps: 60_000,
-		Crashes:  crashes,
-		StopWhen: func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, DecisionKey) },
+		RunConfig: sim.RunConfig{GSM: graph.Edgeless(7), Seed: 1},
+		MaxSteps:  60_000,
+		Crashes:   crashes,
+		StopWhen:  func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, DecisionKey) },
 	}, New(cfg))
 	if err != nil {
 		t.Fatal(err)
@@ -174,9 +172,8 @@ func TestHaltAfterDecide(t *testing.T) {
 	inputs := []Val{V1, V0, V1}
 	cfg := Config{F: 1, Inputs: inputs, HaltAfterDecide: true}
 	r, err := sim.New(sim.Config{
-		GSM:      graph.Edgeless(3),
-		Seed:     5,
-		MaxSteps: 500_000,
+		RunConfig: sim.RunConfig{GSM: graph.Edgeless(3), Seed: 5},
+		MaxSteps:  500_000,
 	}, New(cfg))
 	if err != nil {
 		t.Fatal(err)
@@ -227,10 +224,9 @@ func BenchmarkBenOrDecide(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := Config{F: 3, Inputs: inputs}
 		r, err := sim.New(sim.Config{
-			GSM:      graph.Edgeless(7),
-			Seed:     int64(i),
-			MaxSteps: 3_000_000,
-			StopWhen: func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, DecisionKey) },
+			RunConfig: sim.RunConfig{GSM: graph.Edgeless(7), Seed: int64(i)},
+			MaxSteps:  3_000_000,
+			StopWhen:  func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, DecisionKey) },
 		}, New(cfg))
 		if err != nil {
 			b.Fatal(err)

@@ -36,8 +36,7 @@ func TestQuickSafetyRandomized(t *testing.T) {
 			crashes = append(crashes, sim.Crash{Proc: core.ProcID(v), AtStep: uint64(rng.Intn(1500))})
 		}
 		r, err := sim.New(sim.Config{
-			GSM:       graph.Edgeless(n),
-			Seed:      seed,
+			RunConfig: sim.RunConfig{GSM: graph.Edgeless(n), Seed: seed},
 			Scheduler: sched.NewRandom(seed + 2),
 			Delivery:  msgnet.RandomDelay{Max: uint64(rng.Intn(15)), Seed: uint64(seed)},
 			MaxSteps:  50_000,
@@ -96,11 +95,9 @@ func TestMessageComplexityPerRound(t *testing.T) {
 	}
 	counters := metrics.NewCounters(n)
 	r, err := sim.New(sim.Config{
-		GSM:      graph.Edgeless(n),
-		Seed:     1,
-		MaxSteps: 200_000,
-		Counters: counters,
-		StopWhen: func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, DecisionKey) },
+		RunConfig: sim.RunConfig{GSM: graph.Edgeless(n), Seed: 1, Counters: counters},
+		MaxSteps:  200_000,
+		StopWhen:  func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, DecisionKey) },
 	}, New(Config{F: 2, Inputs: inputs}))
 	if err != nil {
 		t.Fatal(err)
@@ -137,11 +134,10 @@ func TestOneProcessMessagesHeld(t *testing.T) {
 	})
 	inputs := []Val{V0, V1, V0, V1, V0, V1}
 	r, err := sim.New(sim.Config{
-		GSM:      graph.Edgeless(6),
-		Seed:     5,
-		Delivery: policy,
-		MaxSteps: 3_000_000,
-		StopWhen: func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, DecisionKey) },
+		RunConfig: sim.RunConfig{GSM: graph.Edgeless(6), Seed: 5},
+		Delivery:  policy,
+		MaxSteps:  3_000_000,
+		StopWhen:  func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, DecisionKey) },
 	}, New(Config{F: 2, Inputs: inputs}))
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,26 @@
+package benor
+
+import (
+	"encoding/gob"
+
+	"github.com/mnm-model/mnm/internal/core"
+)
+
+// The socket transport (internal/transport/tcp) gob-encodes message
+// payloads as core.Value, which requires every concrete payload type to be
+// registered. Each algorithm package registers its own wire types here so
+// that simply importing the algorithm makes it runnable over any backend.
+func init() {
+	gob.Register(Msg{})
+	gob.Register(Decided{})
+	gob.Register(Val(0))
+}
+
+// WirePayloads returns one representative of every payload type this
+// package sends, for transport round-trip tests.
+func WirePayloads() []core.Value {
+	return []core.Value{
+		Msg{Phase: PhaseR, Round: 3, Val: V1},
+		Decided{Val: V0},
+	}
+}

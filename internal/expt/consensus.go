@@ -35,8 +35,7 @@ func runHBOOnce(g *graph.Graph, seed int64, crashes []sim.Crash, budget uint64, 
 		inputs[i] = benor.Val(i % 2)
 	}
 	r, err := sim.New(sim.Config{
-		GSM:       g,
-		Seed:      seed,
+		RunConfig: sim.RunConfig{GSM: g, Seed: seed},
 		Scheduler: sched.NewRandom(seed*31 + 7),
 		Delivery:  delivery,
 		MaxSteps:  budget,
@@ -291,11 +290,10 @@ func benorVsHBOExperiment() Experiment {
 			}
 			// Ben-Or with its maximum safe quorum parameter F = 3.
 			bo, err := sim.New(sim.Config{
-				GSM:      graph.Edgeless(n),
-				Seed:     p.Seed + int64(f),
-				MaxSteps: budget,
-				Crashes:  append([]sim.Crash(nil), crashes...),
-				StopWhen: func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, benor.DecisionKey) },
+				RunConfig: sim.RunConfig{GSM: graph.Edgeless(n), Seed: p.Seed + int64(f)},
+				MaxSteps:  budget,
+				Crashes:   append([]sim.Crash(nil), crashes...),
+				StopWhen:  func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, benor.DecisionKey) },
 			}, benor.New(benor.Config{F: 3, Inputs: inputs}))
 			if err != nil {
 				return err

@@ -36,8 +36,7 @@ func leaderSeriesExperiment() Experiment {
 		crashAt := 5*window + 1
 		maxSteps := 10 * window
 		r, err := sim.New(sim.Config{
-			GSM:           graph.Complete(n),
-			Seed:          p.Seed + 1,
+			RunConfig:     sim.RunConfig{GSM: graph.Complete(n), Seed: p.Seed + 1},
 			Scheduler:     timelySched(1, p.Seed+2),
 			MaxSteps:      maxSteps,
 			Crashes:       []sim.Crash{{Proc: 0, AtStep: crashAt}},
@@ -95,10 +94,7 @@ func steadyState(cfg leader.Config, links msgnet.LinkKind, drop msgnet.DropPolic
 		finalDelta metrics.Snapshot
 	)
 	r, err := sim.New(sim.Config{
-		GSM:       graph.Complete(5),
-		Seed:      seed,
-		Links:     links,
-		Drop:      drop,
+		RunConfig: sim.RunConfig{GSM: graph.Complete(5), Seed: seed, Links: links, Drop: drop},
 		Scheduler: timelySched(1, seed+7),
 		MaxSteps:  12_000_000,
 		StopWhen: func(r *sim.Runner) bool {
@@ -289,10 +285,7 @@ func tightnessExperiment() Experiment {
 			}
 			rw := rows[i]
 			r, err := sim.New(sim.Config{
-				GSM:       graph.Complete(4),
-				Seed:      p.Seed + 11,
-				Links:     rw.links,
-				Drop:      rw.drop,
+				RunConfig: sim.RunConfig{GSM: graph.Complete(4), Seed: p.Seed + 11, Links: rw.links, Drop: rw.drop},
 				Scheduler: timelySched(0, p.Seed+4),
 				MaxSteps:  budget,
 				StopWhen:  leader.StableLeaderCondition(3_000),

@@ -37,8 +37,7 @@ func memFailExperiment() Experiment {
 		runHBO := func(memFails bool) (outcome, error) {
 			inputs := []benor.Val{benor.V0, benor.V1, benor.V0, benor.V1, benor.V0}
 			r, err := sim.New(sim.Config{
-				GSM:                  graph.Complete(5),
-				Seed:                 p.Seed + 3,
+				RunConfig:            sim.RunConfig{GSM: graph.Complete(5), Seed: p.Seed + 3},
 				MaxSteps:             budget,
 				Crashes:              []sim.Crash{{Proc: 1, AtStep: 40}, {Proc: 2, AtStep: 90}},
 				MemoryFailsWithCrash: memFails,
@@ -63,8 +62,7 @@ func memFailExperiment() Experiment {
 		runLeader := func(memFails bool) (outcome, error) {
 			stable := leader.StableLeaderCondition(3_000)
 			r, err := sim.New(sim.Config{
-				GSM:                  graph.Complete(4),
-				Seed:                 p.Seed + 5,
+				RunConfig:            sim.RunConfig{GSM: graph.Complete(4), Seed: p.Seed + 5},
 				Scheduler:            timelySched(1, p.Seed+6),
 				MaxSteps:             budget * 4,
 				Crashes:              []sim.Crash{{Proc: 0, AtStep: 60_000}},

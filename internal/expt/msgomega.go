@@ -73,10 +73,8 @@ func msgOmegaExperiment() Experiment {
 			var target uint64
 			var delta metrics.Snapshot
 			r, err := sim.New(sim.Config{
-				GSM:      s.gsm,
-				Seed:     p.Seed + 2,
-				MaxSteps: budget,
-				Counters: counters,
+				RunConfig: sim.RunConfig{GSM: s.gsm, Seed: p.Seed + 2, Counters: counters},
+				MaxSteps:  budget,
 				StopWhen: func(r *sim.Runner) bool {
 					if baseline == nil {
 						if stable(r) {
@@ -139,11 +137,10 @@ func msgOmegaExperiment() Experiment {
 		err = forEach(p, len(burstSystems), func(i int) error {
 			s := burstSystems[i]
 			r, err := sim.New(sim.Config{
-				GSM:      s.gsm,
-				Seed:     p.Seed + 5,
-				Delivery: burstHold{Period: 6_000, Hold: 5_000},
-				MaxSteps: part2Budget,
-				StopWhen: leader.StableLeaderCondition(3_000),
+				RunConfig: sim.RunConfig{GSM: s.gsm, Seed: p.Seed + 5},
+				Delivery:  burstHold{Period: 6_000, Hold: 5_000},
+				MaxSteps:  part2Budget,
+				StopWhen:  leader.StableLeaderCondition(3_000),
 			}, s.alg())
 			if err != nil {
 				return err

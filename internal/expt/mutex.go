@@ -58,11 +58,9 @@ func mutexExperiment() Experiment {
 				})
 			}
 			r, err := sim.New(sim.Config{
-				GSM:       graph.Complete(n),
-				Seed:      p.Seed + int64(n),
+				RunConfig: sim.RunConfig{GSM: graph.Complete(n), Seed: p.Seed + int64(n), Counters: counters},
 				Scheduler: sched.NewRandom(p.Seed + int64(n) + 1),
 				MaxSteps:  8_000_000,
-				Counters:  counters,
 			}, alg)
 			if err != nil {
 				return err

@@ -22,8 +22,7 @@ func TestMemorySurvivabilityIsLoadBearing(t *testing.T) {
 
 	run := func(memFails bool) (*sim.Result, error) {
 		r, err := sim.New(sim.Config{
-			GSM:                  graph.Complete(5),
-			Seed:                 3,
+			RunConfig:            sim.RunConfig{GSM: graph.Complete(5), Seed: 3},
 			MaxSteps:             400_000,
 			Crashes:              crashes,
 			MemoryFailsWithCrash: memFails,
@@ -93,8 +92,7 @@ func TestLockstepAdversary(t *testing.T) {
 	inputs := []benor.Val{benor.V0, benor.V1, benor.V0, benor.V1, benor.V0, benor.V1}
 	for seed := int64(0); seed < 5; seed++ {
 		r, err := sim.New(sim.Config{
-			GSM:       graph.Complete(6),
-			Seed:      seed,
+			RunConfig: sim.RunConfig{GSM: graph.Complete(6), Seed: seed},
 			Scheduler: lowestStepAdversary(),
 			MaxSteps:  5_000_000,
 			StopWhen:  func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, DecisionKey) },
@@ -134,8 +132,7 @@ func TestStarvationAdversary(t *testing.T) {
 		return inner.Next(v)
 	})
 	r, err := sim.New(sim.Config{
-		GSM:       graph.Complete(5),
-		Seed:      9,
+		RunConfig: sim.RunConfig{GSM: graph.Complete(5), Seed: 9},
 		Scheduler: s,
 		MaxSteps:  5_000_000,
 		StopWhen:  func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, DecisionKey) },

@@ -18,8 +18,7 @@ func runHBO(t *testing.T, g *graph.Graph, cfg Config, seed int64, s sched.Schedu
 		maxSteps = 5_000_000
 	}
 	r, err := sim.New(sim.Config{
-		GSM:       g,
-		Seed:      seed,
+		RunConfig: sim.RunConfig{GSM: g, Seed: seed},
 		Scheduler: s,
 		MaxSteps:  maxSteps,
 		Crashes:   crashes,
@@ -148,11 +147,10 @@ func TestEdgelessMatchesBenOrCeiling(t *testing.T) {
 		{Proc: 2, AtStep: 0}, {Proc: 3, AtStep: 0},
 	}
 	r, err := sim.New(sim.Config{
-		GSM:      graph.Edgeless(7),
-		Seed:     3,
-		MaxSteps: 80_000,
-		Crashes:  crashes,
-		StopWhen: func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, DecisionKey) },
+		RunConfig: sim.RunConfig{GSM: graph.Edgeless(7), Seed: 3},
+		MaxSteps:  80_000,
+		Crashes:   crashes,
+		StopWhen:  func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, DecisionKey) },
 	}, New(Config{Inputs: inputs}))
 	if err != nil {
 		t.Fatal(err)
@@ -221,8 +219,7 @@ func TestSafetyUnderDelaysAndCrashes(t *testing.T) {
 			crashes = crashes[:1]
 		}
 		r, err := sim.New(sim.Config{
-			GSM:       graph.Complete(6),
-			Seed:      seed,
+			RunConfig: sim.RunConfig{GSM: graph.Complete(6), Seed: seed},
 			Scheduler: sched.NewRandom(seed * 5),
 			Delivery:  msgnet.RandomDelay{Max: 30, Seed: uint64(seed)},
 			MaxSteps:  5_000_000,
@@ -257,9 +254,8 @@ func TestCASVariant(t *testing.T) {
 func TestHaltAfterDecide(t *testing.T) {
 	inputs := []benor.Val{benor.V1, benor.V0, benor.V1, benor.V0}
 	r, err := sim.New(sim.Config{
-		GSM:      graph.Complete(4),
-		Seed:     11,
-		MaxSteps: 5_000_000,
+		RunConfig: sim.RunConfig{GSM: graph.Complete(4), Seed: 11},
+		MaxSteps:  5_000_000,
 	}, New(Config{Inputs: inputs, HaltAfterDecide: true}))
 	if err != nil {
 		t.Fatal(err)
@@ -306,10 +302,9 @@ func BenchmarkHBODecideComplete(b *testing.B) {
 	inputs := []benor.Val{benor.V0, benor.V1, benor.V0, benor.V1, benor.V0}
 	for i := 0; i < b.N; i++ {
 		r, err := sim.New(sim.Config{
-			GSM:      graph.Complete(5),
-			Seed:     int64(i),
-			MaxSteps: 5_000_000,
-			StopWhen: func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, DecisionKey) },
+			RunConfig: sim.RunConfig{GSM: graph.Complete(5), Seed: int64(i)},
+			MaxSteps:  5_000_000,
+			StopWhen:  func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, DecisionKey) },
 		}, New(Config{Inputs: inputs}))
 		if err != nil {
 			b.Fatal(err)

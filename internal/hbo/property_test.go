@@ -44,8 +44,7 @@ func TestQuickSafetyOnRandomSystems(t *testing.T) {
 		}
 
 		r, err := sim.New(sim.Config{
-			GSM:       g,
-			Seed:      seed,
+			RunConfig: sim.RunConfig{GSM: g, Seed: seed},
 			Scheduler: sched.NewRandom(seed * 3),
 			Delivery:  msgnet.RandomDelay{Max: uint64(rng.Intn(20)), Seed: uint64(seed)},
 			MaxSteps:  60_000,
@@ -115,11 +114,10 @@ func TestHeldMessagesDelaySafety(t *testing.T) {
 	})
 	inputs := []benor.Val{benor.V0, benor.V1, benor.V0, benor.V1, benor.V0}
 	r, err := sim.New(sim.Config{
-		GSM:      graph.Complete(5),
-		Seed:     4,
-		Delivery: policy,
-		MaxSteps: 5_000_000,
-		StopWhen: func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, DecisionKey) },
+		RunConfig: sim.RunConfig{GSM: graph.Complete(5), Seed: 4},
+		Delivery:  policy,
+		MaxSteps:  5_000_000,
+		StopWhen:  func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, DecisionKey) },
 	}, New(Config{Inputs: inputs}))
 	if err != nil {
 		t.Fatal(err)

@@ -16,8 +16,7 @@ import (
 func TestMemoryFailureBreaksMonitoring(t *testing.T) {
 	stable := StableLeaderCondition(3_000)
 	r, err := sim.New(sim.Config{
-		GSM:                  graph.Complete(3),
-		Seed:                 4,
+		RunConfig:            sim.RunConfig{GSM: graph.Complete(3), Seed: 4},
 		MaxSteps:             500_000,
 		Crashes:              []sim.Crash{{Proc: 0, AtStep: 50_000}},
 		MemoryFailsWithCrash: true,
@@ -50,10 +49,9 @@ func TestTwoProcessSystem(t *testing.T) {
 	// stabilize.
 	for _, kind := range []NotifierKind{MessageNotifier, SharedMemoryNotifier} {
 		r, err := sim.New(sim.Config{
-			GSM:      graph.Complete(2),
-			Seed:     6,
-			MaxSteps: 1_000_000,
-			StopWhen: StableLeaderCondition(stableWindow),
+			RunConfig: sim.RunConfig{GSM: graph.Complete(2), Seed: 6},
+			MaxSteps:  1_000_000,
+			StopWhen:  StableLeaderCondition(stableWindow),
 		}, New(Config{Notifier: kind}))
 		if err != nil {
 			t.Fatal(err)
@@ -70,10 +68,9 @@ func TestTwoProcessSystem(t *testing.T) {
 
 func TestSingleProcessElectsItself(t *testing.T) {
 	r, err := sim.New(sim.Config{
-		GSM:      graph.Complete(1),
-		Seed:     1,
-		MaxSteps: 200_000,
-		StopWhen: StableLeaderCondition(1_000),
+		RunConfig: sim.RunConfig{GSM: graph.Complete(1), Seed: 1},
+		MaxSteps:  200_000,
+		StopWhen:  StableLeaderCondition(1_000),
 	}, New(Config{}))
 	if err != nil {
 		t.Fatal(err)
@@ -94,8 +91,7 @@ func TestAggressiveInitialTimeout(t *testing.T) {
 	// A tiny initial timeout triggers many false suspicions; the adaptive
 	// timeout increments (line 39) must still converge.
 	r, err := sim.New(sim.Config{
-		GSM:       graph.Complete(4),
-		Seed:      8,
+		RunConfig: sim.RunConfig{GSM: graph.Complete(4), Seed: 8},
 		Scheduler: timelySched(2, 3),
 		MaxSteps:  6_000_000,
 		StopWhen:  StableLeaderCondition(stableWindow),
@@ -119,8 +115,7 @@ func TestBadnessMonotonicityAndAccusations(t *testing.T) {
 	var lastBadness [4]uint64
 	stable := StableLeaderCondition(stableWindow)
 	r, err := sim.New(sim.Config{
-		GSM:       graph.Complete(4),
-		Seed:      10,
+		RunConfig: sim.RunConfig{GSM: graph.Complete(4), Seed: 10},
 		Scheduler: timelySched(3, 7),
 		MaxSteps:  2_000_000,
 		StopWhen: func(r *sim.Runner) bool {
@@ -193,7 +188,7 @@ func TestDetectorForeignMessages(t *testing.T) {
 			return nil
 		}
 	})
-	r, err := sim.New(sim.Config{GSM: graph.Complete(2), MaxSteps: 2_000_000}, alg)
+	r, err := sim.New(sim.Config{RunConfig: sim.RunConfig{GSM: graph.Complete(2)}, MaxSteps: 2_000_000}, alg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,9 +20,9 @@ func runExposer(t *testing.T, n int, expose func(env core.Env) core.Value, crash
 		}
 	})
 	r, err := sim.New(sim.Config{
-		GSM:      graph.Complete(n),
-		MaxSteps: maxSteps,
-		Crashes:  crashes,
+		RunConfig: sim.RunConfig{GSM: graph.Complete(n)},
+		MaxSteps:  maxSteps,
+		Crashes:   crashes,
 	}, alg)
 	if err != nil {
 		t.Fatal(err)
@@ -84,7 +84,7 @@ func TestCommonLeaderMissingOutput(t *testing.T) {
 			}
 		}
 	})
-	r, err := sim.New(sim.Config{GSM: graph.Complete(2), MaxSteps: 100}, alg)
+	r, err := sim.New(sim.Config{RunConfig: sim.RunConfig{GSM: graph.Complete(2)}, MaxSteps: 100}, alg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,9 +111,9 @@ func TestStableLeaderConditionResetsOnChange(t *testing.T) {
 	})
 	stable := StableLeaderCondition(500)
 	r, err := sim.New(sim.Config{
-		GSM:      graph.Complete(2),
-		MaxSteps: 50_000,
-		StopWhen: stable,
+		RunConfig: sim.RunConfig{GSM: graph.Complete(2)},
+		MaxSteps:  50_000,
+		StopWhen:  stable,
 	}, alg)
 	if err != nil {
 		t.Fatal(err)

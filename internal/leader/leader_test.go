@@ -24,8 +24,7 @@ func timelySched(timely core.ProcID, seed int64) sched.Scheduler {
 func TestStabilizesReliableLinks(t *testing.T) {
 	for seed := int64(0); seed < 6; seed++ {
 		r, err := sim.New(sim.Config{
-			GSM:       graph.Complete(5),
-			Seed:      seed,
+			RunConfig: sim.RunConfig{GSM: graph.Complete(5), Seed: seed},
 			Scheduler: timelySched(2, seed*3+1),
 			MaxSteps:  2_000_000,
 			StopWhen:  StableLeaderCondition(stableWindow),
@@ -52,10 +51,9 @@ func TestStabilizesRoundRobin(t *testing.T) {
 	// With a fair schedule, everyone is timely; stabilization must still
 	// converge to a single leader.
 	r, err := sim.New(sim.Config{
-		GSM:      graph.Complete(4),
-		Seed:     9,
-		MaxSteps: 1_000_000,
-		StopWhen: StableLeaderCondition(stableWindow),
+		RunConfig: sim.RunConfig{GSM: graph.Complete(4), Seed: 9},
+		MaxSteps:  1_000_000,
+		StopWhen:  StableLeaderCondition(stableWindow),
 	}, New(Config{}))
 	if err != nil {
 		t.Fatal(err)
@@ -77,8 +75,7 @@ func TestLeaderCrashFailover(t *testing.T) {
 	for seed := int64(0); seed < 4; seed++ {
 		stable := StableLeaderCondition(stableWindow)
 		r, err := sim.New(sim.Config{
-			GSM:       graph.Complete(5),
-			Seed:      seed,
+			RunConfig: sim.RunConfig{GSM: graph.Complete(5), Seed: seed},
 			Scheduler: timelySched(3, seed+5),
 			MaxSteps:  4_000_000,
 			Crashes:   []sim.Crash{{Proc: 0, AtStep: crashStep}},
@@ -118,10 +115,7 @@ func steadyStateDeltas(t *testing.T, cfg Config, drop msgnet.DropPolicy, links m
 	)
 	var final metrics.Snapshot
 	r, err := sim.New(sim.Config{
-		GSM:       graph.Complete(5),
-		Seed:      77,
-		Links:     links,
-		Drop:      drop,
+		RunConfig: sim.RunConfig{GSM: graph.Complete(5), Seed: 77, Links: links, Drop: drop},
 		Scheduler: timelySched(1, 13),
 		MaxSteps:  6_000_000,
 		StopWhen: func(r *sim.Runner) bool {
@@ -216,10 +210,7 @@ func TestFairLossyLinksStabilize(t *testing.T) {
 	// Figure 3+5 must elect a leader even when 40% of messages drop.
 	for seed := int64(0); seed < 4; seed++ {
 		r, err := sim.New(sim.Config{
-			GSM:       graph.Complete(4),
-			Seed:      seed,
-			Links:     msgnet.FairLossy,
-			Drop:      msgnet.NewRandomDrop(0.4, seed+1),
+			RunConfig: sim.RunConfig{GSM: graph.Complete(4), Seed: seed, Links: msgnet.FairLossy, Drop: msgnet.NewRandomDrop(0.4, seed+1)},
 			Scheduler: timelySched(0, seed*7+2),
 			MaxSteps:  3_000_000,
 			StopWhen:  StableLeaderCondition(stableWindow),
@@ -242,10 +233,7 @@ func TestMessageNotifierFailsUnderNotificationLoss(t *testing.T) {
 	// silences the Figure-4 mechanism: every process stays its own leader
 	// and Ω is never achieved — the reason Figure 5 exists.
 	r, err := sim.New(sim.Config{
-		GSM:       graph.Complete(4),
-		Seed:      5,
-		Links:     msgnet.FairLossy,
-		Drop:      DropNotifications{},
+		RunConfig: sim.RunConfig{GSM: graph.Complete(4), Seed: 5, Links: msgnet.FairLossy, Drop: DropNotifications{}},
 		Scheduler: timelySched(0, 3),
 		MaxSteps:  300_000,
 		StopWhen:  StableLeaderCondition(stableWindow),
@@ -272,10 +260,7 @@ func TestSHMNotifierSurvivesSameAdversary(t *testing.T) {
 	// Identical adversary as above, but Figure-5 notifications go through
 	// shared memory and cannot be dropped.
 	r, err := sim.New(sim.Config{
-		GSM:       graph.Complete(4),
-		Seed:      5,
-		Links:     msgnet.FairLossy,
-		Drop:      DropNotifications{},
+		RunConfig: sim.RunConfig{GSM: graph.Complete(4), Seed: 5, Links: msgnet.FairLossy, Drop: DropNotifications{}},
 		Scheduler: timelySched(0, 3),
 		MaxSteps:  3_000_000,
 		StopWhen:  StableLeaderCondition(stableWindow),
@@ -303,7 +288,7 @@ func TestConfigDefaultsAndValidation(t *testing.T) {
 		t.Error("NotifierKind strings wrong")
 	}
 	// Unknown notifier kinds fail the process.
-	r, err := sim.New(sim.Config{GSM: graph.Complete(2), MaxSteps: 1000},
+	r, err := sim.New(sim.Config{RunConfig: sim.RunConfig{GSM: graph.Complete(2)}, MaxSteps: 1000},
 		New(Config{Notifier: NotifierKind(99)}))
 	if err != nil {
 		t.Fatal(err)
@@ -322,10 +307,9 @@ func TestStateRegisterContents(t *testing.T) {
 	// heartbeat, and deposed processes must have cleared their bit.
 	stable := StableLeaderCondition(stableWindow)
 	r, err := sim.New(sim.Config{
-		GSM:      graph.Complete(3),
-		Seed:     2,
-		MaxSteps: 1_000_000,
-		StopWhen: stable,
+		RunConfig: sim.RunConfig{GSM: graph.Complete(3), Seed: 2},
+		MaxSteps:  1_000_000,
+		StopWhen:  stable,
 	}, New(Config{}))
 	if err != nil {
 		t.Fatal(err)
@@ -364,10 +348,9 @@ func TestStateRegisterContents(t *testing.T) {
 func BenchmarkLeaderElectionStabilize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r, err := sim.New(sim.Config{
-			GSM:      graph.Complete(5),
-			Seed:     int64(i),
-			MaxSteps: 2_000_000,
-			StopWhen: StableLeaderCondition(1000),
+			RunConfig: sim.RunConfig{GSM: graph.Complete(5), Seed: int64(i)},
+			MaxSteps:  2_000_000,
+			StopWhen:  StableLeaderCondition(1000),
 		}, New(Config{}))
 		if err != nil {
 			b.Fatal(err)

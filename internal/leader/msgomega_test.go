@@ -15,10 +15,9 @@ func TestMsgOmegaStabilizesWithTimelyLinks(t *testing.T) {
 	// required synchrony), the classic Ω stabilizes on the smallest
 	// correct id.
 	r, err := sim.New(sim.Config{
-		GSM:      graph.Edgeless(5), // no shared memory needed
-		Seed:     1,
-		MaxSteps: 1_000_000,
-		StopWhen: StableLeaderCondition(stableWindow),
+		RunConfig: sim.RunConfig{GSM: graph.Edgeless(5), Seed: 1},
+		MaxSteps:  1_000_000,
+		StopWhen:  StableLeaderCondition(stableWindow),
 	}, NewMsgOmega(MsgOmegaConfig{}))
 	if err != nil {
 		t.Fatal(err)
@@ -39,11 +38,10 @@ func TestMsgOmegaFailover(t *testing.T) {
 	stable := StableLeaderCondition(stableWindow)
 	const crashAt = 60_000
 	r, err := sim.New(sim.Config{
-		GSM:      graph.Edgeless(4),
-		Seed:     3,
-		MaxSteps: 2_000_000,
-		Crashes:  []sim.Crash{{Proc: 0, AtStep: crashAt}},
-		StopWhen: func(r *sim.Runner) bool { return r.GlobalStep() > crashAt && stable(r) },
+		RunConfig: sim.RunConfig{GSM: graph.Edgeless(4), Seed: 3},
+		MaxSteps:  2_000_000,
+		Crashes:   []sim.Crash{{Proc: 0, AtStep: crashAt}},
+		StopWhen:  func(r *sim.Runner) bool { return r.GlobalStep() > crashAt && stable(r) },
 	}, NewMsgOmega(MsgOmegaConfig{}))
 	if err != nil {
 		t.Fatal(err)
@@ -66,10 +64,8 @@ func TestMsgOmegaNeverGoesSilent(t *testing.T) {
 	counters := metrics.NewCounters(3)
 	var before, after int64
 	r, err := sim.New(sim.Config{
-		GSM:      graph.Edgeless(3),
-		Seed:     2,
-		MaxSteps: 400_000,
-		Counters: counters,
+		RunConfig: sim.RunConfig{GSM: graph.Edgeless(3), Seed: 2, Counters: counters},
+		MaxSteps:  400_000,
 		StopWhen: func(r *sim.Runner) bool {
 			if r.GlobalStep() == 200_000 {
 				before = counters.Total(metrics.MsgSent)
@@ -111,11 +107,10 @@ func TestMsgOmegaBreaksUnderLinkDelay(t *testing.T) {
 		return now%5_000 >= 4_200 // 4200 of every 5000 ticks silent
 	})
 	r, err := sim.New(sim.Config{
-		GSM:      graph.Edgeless(4),
-		Seed:     4,
-		Delivery: policy,
-		MaxSteps: 250_000,
-		StopWhen: StableLeaderCondition(stableWindow),
+		RunConfig: sim.RunConfig{GSM: graph.Edgeless(4), Seed: 4},
+		Delivery:  policy,
+		MaxSteps:  250_000,
+		StopWhen:  StableLeaderCondition(stableWindow),
 	}, NewMsgOmega(MsgOmegaConfig{InitialTimeout: 300, DisableAdaptation: true}))
 	if err != nil {
 		t.Fatal(err)
@@ -130,11 +125,10 @@ func TestMsgOmegaBreaksUnderLinkDelay(t *testing.T) {
 	// The m&m algorithm under the *same* delivery adversary stabilizes:
 	// its monitoring never touches the network.
 	r2, err := sim.New(sim.Config{
-		GSM:      graph.Complete(4),
-		Seed:     4,
-		Delivery: policy,
-		MaxSteps: 1_000_000,
-		StopWhen: StableLeaderCondition(stableWindow),
+		RunConfig: sim.RunConfig{GSM: graph.Complete(4), Seed: 4},
+		Delivery:  policy,
+		MaxSteps:  1_000_000,
+		StopWhen:  StableLeaderCondition(stableWindow),
 	}, New(Config{Notifier: SharedMemoryNotifier}))
 	if err != nil {
 		t.Fatal(err)

@@ -47,11 +47,9 @@ func TestBakeryUsesOnlyReadsAndWrites(t *testing.T) {
 	})
 	counters := metrics.NewCounters(3)
 	r, err := sim.New(sim.Config{
-		GSM:       graph.Complete(3),
-		Seed:      3,
+		RunConfig: sim.RunConfig{GSM: graph.Complete(3), Seed: 3, Counters: counters},
 		Scheduler: sched.NewRandom(4),
 		MaxSteps:  2_000_000,
-		Counters:  counters,
 	}, alg)
 	if err != nil {
 		t.Fatal(err)
@@ -94,7 +92,7 @@ func TestBakeryFCFS(t *testing.T) {
 		}
 	})
 	r, err := sim.New(sim.Config{
-		GSM: graph.Complete(3),
+		RunConfig: sim.RunConfig{GSM: graph.Complete(3)},
 		Scheduler: &sched.Prioritize{
 			Procs: []core.ProcID{2},
 			K:     200,
@@ -132,11 +130,9 @@ func TestBakerySpinsGrowWithContention(t *testing.T) {
 		})
 		counters := metrics.NewCounters(n)
 		r, err := sim.New(sim.Config{
-			GSM:       graph.Complete(n),
-			Seed:      7,
+			RunConfig: sim.RunConfig{GSM: graph.Complete(n), Seed: 7, Counters: counters},
 			Scheduler: sched.NewRandom(9),
 			MaxSteps:  8_000_000,
-			Counters:  counters,
 		}, alg)
 		if err != nil {
 			t.Fatal(err)

@@ -61,11 +61,9 @@ func csAlg(rounds int, acquire func(core.Env, *core.Inbox) (Ticket, error), rele
 func runLock(t *testing.T, alg core.Algorithm, n int, seed int64, counters *metrics.Counters) *sim.Result {
 	t.Helper()
 	r, err := sim.New(sim.Config{
-		GSM:       graph.Complete(n),
-		Seed:      seed,
+		RunConfig: sim.RunConfig{GSM: graph.Complete(n), Seed: seed, Counters: counters},
 		Scheduler: sched.NewRandom(seed * 3),
 		MaxSteps:  3_000_000,
-		Counters:  counters,
 	}, alg)
 	if err != nil {
 		t.Fatal(err)
@@ -162,8 +160,7 @@ func TestTicketFIFO(t *testing.T) {
 		}
 	})
 	r, err := sim.New(sim.Config{
-		GSM:       graph.Complete(5),
-		Seed:      7,
+		RunConfig: sim.RunConfig{GSM: graph.Complete(5), Seed: 7},
 		Scheduler: sched.NewRandom(11),
 		MaxSteps:  1_000_000,
 	}, alg)
@@ -211,7 +208,7 @@ func TestDistinctLocksIndependent(t *testing.T) {
 			return l.Release(env, tk)
 		}
 	})
-	r, err := sim.New(sim.Config{GSM: graph.Complete(4), MaxSteps: 500_000}, alg)
+	r, err := sim.New(sim.Config{RunConfig: sim.RunConfig{GSM: graph.Complete(4)}, MaxSteps: 500_000}, alg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +243,7 @@ func BenchmarkMnMLockUncontended(b *testing.B) {
 			return nil
 		}
 	})
-	r, err := sim.New(sim.Config{GSM: graph.Complete(1), MaxSteps: ^uint64(0)}, alg)
+	r, err := sim.New(sim.Config{RunConfig: sim.RunConfig{GSM: graph.Complete(1)}, MaxSteps: ^uint64(0)}, alg)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,0 +1,19 @@
+package mutex
+
+import (
+	"encoding/gob"
+
+	"github.com/mnm-model/mnm/internal/core"
+)
+
+// Wire-type registration for the socket transport; see the comment in
+// internal/benor/wire.go.
+func init() {
+	gob.Register(wakeMsg{})
+}
+
+// WirePayloads returns one representative of every payload type this
+// package sends, for transport round-trip tests.
+func WirePayloads() []core.Value {
+	return []core.Value{wakeMsg{Seq: 5}}
+}

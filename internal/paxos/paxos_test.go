@@ -68,7 +68,7 @@ func TestDecidesWithTimelyLeader(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
 		r, res := runPaxos(t,
 			Config{Inputs: inputs},
-			sim.Config{GSM: graph.Complete(5), Seed: seed, Scheduler: timely(2, seed+3)})
+			sim.Config{RunConfig: sim.RunConfig{GSM: graph.Complete(5), Seed: seed}, Scheduler: timely(2, seed+3)})
 		if !res.Stopped {
 			t.Fatalf("seed %d: no decision: %+v", seed, res)
 		}
@@ -86,8 +86,11 @@ func TestToleratesNMinusOneCrashes(t *testing.T) {
 	}
 	r, res := runPaxos(t,
 		Config{Inputs: inputs},
-		sim.Config{GSM: graph.Complete(5), Seed: 2, Crashes: crashes,
-			Scheduler: timely(4, 9)})
+		sim.Config{
+			RunConfig: sim.RunConfig{GSM: graph.Complete(5), Seed: 2},
+			Crashes:   crashes,
+			Scheduler: timely(4, 9),
+		})
 	if !res.Stopped {
 		t.Fatalf("sole survivor did not decide: %+v", res)
 	}
@@ -105,8 +108,7 @@ func TestLeaderCrashMidBallot(t *testing.T) {
 		r, res := runPaxos(t,
 			Config{Inputs: inputs},
 			sim.Config{
-				GSM:       graph.Complete(4),
-				Seed:      int64(crashStep),
+				RunConfig: sim.RunConfig{GSM: graph.Complete(4), Seed: int64(crashStep)},
 				Scheduler: timely(3, int64(crashStep)+1),
 				Crashes:   []sim.Crash{{Proc: 0, AtStep: crashStep}},
 			})
@@ -125,7 +127,7 @@ func TestSafetyUnderContention(t *testing.T) {
 	for seed := int64(0); seed < 6; seed++ {
 		r, res := runPaxos(t,
 			Config{Inputs: inputs},
-			sim.Config{GSM: graph.Complete(6), Seed: seed})
+			sim.Config{RunConfig: sim.RunConfig{GSM: graph.Complete(6), Seed: seed}})
 		if !res.Stopped {
 			t.Fatalf("seed %d: no decision under round robin", seed)
 		}
@@ -143,10 +145,7 @@ func TestMessageFreeOverLossyLinks(t *testing.T) {
 			Leader: leader.Config{Notifier: leader.SharedMemoryNotifier},
 		},
 		sim.Config{
-			GSM:       graph.Complete(4),
-			Seed:      7,
-			Links:     msgnet.FairLossy,
-			Drop:      msgnet.NewRandomDrop(0.6, 3),
+			RunConfig: sim.RunConfig{GSM: graph.Complete(4), Seed: 7, Links: msgnet.FairLossy, Drop: msgnet.NewRandomDrop(0.6, 3)},
 			Scheduler: timely(1, 11),
 		})
 	if !res.Stopped {
@@ -158,8 +157,7 @@ func TestMessageFreeOverLossyLinks(t *testing.T) {
 func TestHaltAfterDecide(t *testing.T) {
 	inputs := []core.Value{"a", "b", "c"}
 	r, err := sim.New(sim.Config{
-		GSM:       graph.Complete(3),
-		Seed:      4,
+		RunConfig: sim.RunConfig{GSM: graph.Complete(3), Seed: 4},
 		Scheduler: timely(0, 5),
 		MaxSteps:  5_000_000,
 	}, New(Config{Inputs: inputs, HaltAfterDecide: true}))
@@ -196,9 +194,8 @@ func TestAccessOutsideCompleteGraphFails(t *testing.T) {
 	// surface access errors rather than silently misbehave.
 	inputs := []core.Value{1, 2, 3}
 	r, err := sim.New(sim.Config{
-		GSM:      graph.Path(3),
-		Seed:     1,
-		MaxSteps: 300_000,
+		RunConfig: sim.RunConfig{GSM: graph.Path(3), Seed: 1},
+		MaxSteps:  300_000,
 	}, New(Config{Inputs: inputs}))
 	if err != nil {
 		t.Fatal(err)
@@ -222,8 +219,7 @@ func BenchmarkPaxosDecide(b *testing.B) {
 	inputs := []core.Value{"a", "b", "c", "d", "e"}
 	for i := 0; i < b.N; i++ {
 		r, err := sim.New(sim.Config{
-			GSM:       graph.Complete(5),
-			Seed:      int64(i),
+			RunConfig: sim.RunConfig{GSM: graph.Complete(5), Seed: int64(i)},
 			Scheduler: timely(1, int64(i)+2),
 			MaxSteps:  5_000_000,
 			StopWhen:  func(r *sim.Runner) bool { return sim.AllCorrectExposed(r, DecisionKey) },

@@ -30,8 +30,7 @@ func proposeAll(t *testing.T, n int, proposals []core.Value, mk func() Object, s
 		}
 	})
 	r, err := sim.New(sim.Config{
-		GSM:       graph.Complete(n),
-		Seed:      seed,
+		RunConfig: sim.RunConfig{GSM: graph.Complete(n), Seed: seed},
 		Scheduler: s,
 		MaxSteps:  2_000_000,
 		Crashes:   crashes,
@@ -91,7 +90,7 @@ func TestAdoptCommitSolo(t *testing.T) {
 			return err
 		}
 	})
-	r, err := sim.New(sim.Config{GSM: graph.Complete(1)}, alg)
+	r, err := sim.New(sim.Config{RunConfig: sim.RunConfig{GSM: graph.Complete(1)}}, alg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,8 +122,7 @@ func TestAdoptCommitConvergence(t *testing.T) {
 			}
 		})
 		r, err := sim.New(sim.Config{
-			GSM:       graph.Complete(5),
-			Seed:      seed,
+			RunConfig: sim.RunConfig{GSM: graph.Complete(5), Seed: seed},
 			Scheduler: sched.NewRandom(seed),
 		}, alg)
 		if err != nil {
@@ -162,8 +160,7 @@ func TestAdoptCommitCoherence(t *testing.T) {
 			}
 		})
 		r, err := sim.New(sim.Config{
-			GSM:       graph.Complete(n),
-			Seed:      seed,
+			RunConfig: sim.RunConfig{GSM: graph.Complete(n), Seed: seed},
 			Scheduler: sched.NewRandom(seed * 31),
 		}, alg)
 		if err != nil {
@@ -275,7 +272,7 @@ func TestRacingRoundLimit(t *testing.T) {
 			return err
 		}
 	})
-	r, err := sim.New(sim.Config{GSM: graph.Complete(1)}, alg)
+	r, err := sim.New(sim.Config{RunConfig: sim.RunConfig{GSM: graph.Complete(1)}}, alg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +297,7 @@ func TestProposeOutsideDomain(t *testing.T) {
 			return nil
 		}
 	})
-	r, err := sim.New(sim.Config{GSM: graph.Complete(1)}, alg)
+	r, err := sim.New(sim.Config{RunConfig: sim.RunConfig{GSM: graph.Complete(1)}}, alg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -346,7 +343,7 @@ func TestCASBasedRejectsNil(t *testing.T) {
 			return nil
 		}
 	})
-	r, err := sim.New(sim.Config{GSM: graph.Complete(1)}, alg)
+	r, err := sim.New(sim.Config{RunConfig: sim.RunConfig{GSM: graph.Complete(1)}}, alg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -372,7 +369,7 @@ func TestObjectsRespectDomainPlacement(t *testing.T) {
 			return nil
 		}
 	})
-	r, err := sim.New(sim.Config{GSM: graph.Path(3), MaxSteps: 100000}, alg)
+	r, err := sim.New(sim.Config{RunConfig: sim.RunConfig{GSM: graph.Path(3)}, MaxSteps: 100000}, alg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -402,7 +399,7 @@ func BenchmarkRacingSolo(b *testing.B) {
 			return nil
 		}
 	})
-	r, err := sim.New(sim.Config{GSM: graph.Complete(1), MaxSteps: ^uint64(0)}, alg)
+	r, err := sim.New(sim.Config{RunConfig: sim.RunConfig{GSM: graph.Complete(1)}, MaxSteps: ^uint64(0)}, alg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -429,7 +426,7 @@ func BenchmarkRacingContended(b *testing.B) {
 			return nil
 		}
 	})
-	r, err := sim.New(sim.Config{GSM: graph.Complete(n), MaxSteps: ^uint64(0), Seed: 42}, alg)
+	r, err := sim.New(sim.Config{RunConfig: sim.RunConfig{GSM: graph.Complete(n), Seed: 42}, MaxSteps: ^uint64(0)}, alg)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -59,8 +59,7 @@ func checkReplicaHashesEqual(t *testing.T, r *sim.Runner) {
 func TestReplicationConverges(t *testing.T) {
 	for seed := int64(0); seed < 5; seed++ {
 		r, err := sim.New(sim.Config{
-			GSM:       graph.Complete(4),
-			Seed:      seed,
+			RunConfig: sim.RunConfig{GSM: graph.Complete(4), Seed: seed},
 			Scheduler: sched.NewRandom(seed*3 + 1),
 			MaxSteps:  4_000_000,
 			StopWhen:  allDoneAndConverged,
@@ -101,8 +100,7 @@ func TestReplicationSurvivesLeaderCrash(t *testing.T) {
 	// still commit all their commands.
 	stable := allDoneAndConverged
 	r, err := sim.New(sim.Config{
-		GSM:       graph.Complete(5),
-		Seed:      3,
+		RunConfig: sim.RunConfig{GSM: graph.Complete(5), Seed: 3},
 		Scheduler: sched.NewRandom(7),
 		MaxSteps:  8_000_000,
 		Crashes:   []sim.Crash{{Proc: 0, AtStep: 20_000}},
@@ -126,10 +124,7 @@ func TestReplicationSurvivesLeaderCrash(t *testing.T) {
 
 func TestReplicationOverFairLossyLinks(t *testing.T) {
 	r, err := sim.New(sim.Config{
-		GSM:       graph.Complete(4),
-		Seed:      9,
-		Links:     msgnet.FairLossy,
-		Drop:      msgnet.NewRandomDrop(0.3, 5),
+		RunConfig: sim.RunConfig{GSM: graph.Complete(4), Seed: 9, Links: msgnet.FairLossy, Drop: msgnet.NewRandomDrop(0.3, 5)},
 		Scheduler: sched.NewRandom(11),
 		MaxSteps:  8_000_000,
 		StopWhen:  allDoneAndConverged,
@@ -172,10 +167,9 @@ func TestCommandString(t *testing.T) {
 func BenchmarkReplicationConverge(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r, err := sim.New(sim.Config{
-			GSM:      graph.Complete(4),
-			Seed:     int64(i),
-			MaxSteps: 8_000_000,
-			StopWhen: allDoneAndConverged,
+			RunConfig: sim.RunConfig{GSM: graph.Complete(4), Seed: int64(i)},
+			MaxSteps:  8_000_000,
+			StopWhen:  allDoneAndConverged,
 		}, New(Config{CommandsPerProcess: 2}))
 		if err != nil {
 			b.Fatal(err)

@@ -1,0 +1,20 @@
+package rsm
+
+import (
+	"encoding/gob"
+
+	"github.com/mnm-model/mnm/internal/core"
+)
+
+// Wire-type registration for the socket transport; see the comment in
+// internal/benor/wire.go.
+func init() {
+	gob.Register(submitMsg{})
+	gob.Register(Command{})
+}
+
+// WirePayloads returns one representative of every payload type this
+// package sends, for transport round-trip tests.
+func WirePayloads() []core.Value {
+	return []core.Value{submitMsg{Cmd: Command{Proposer: 2, Seq: 7, Op: "put k v"}}}
+}

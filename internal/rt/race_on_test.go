@@ -1,0 +1,7 @@
+//go:build race
+
+package rt
+
+// raceEnabled reports whether this test binary carries race-detector
+// instrumentation; see TestLeaderElectionOverTCP for why it matters.
+const raceEnabled = true

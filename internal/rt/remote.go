@@ -1,0 +1,161 @@
+// Remote shared-register access for distributed real-time runs.
+//
+// In the m&m model every register physically resides at its owner (§5.3 of
+// the paper: the owner accesses it locally, neighbors access it remotely
+// over their shared-memory connection). The real-time host realizes that
+// placement literally: when Config.Hosted is a strict subset, a register
+// whose owner lives on another node is read, written or CAS'd by a
+// synchronous call over the transport's RPC plane, and the owner's host
+// serves it out of its local shm.Memory. Because the caller's process id
+// travels with the request and the check runs against the owner's domain,
+// shared-memory access control (core.ErrAccessDenied outside
+// {owner} ∪ neighbors(owner)) is enforced exactly as in a single process.
+package rt
+
+import (
+	"encoding/gob"
+	"fmt"
+
+	"github.com/mnm-model/mnm/internal/core"
+)
+
+// memReadReq asks the owner's node to read Ref on behalf of Caller.
+type memReadReq struct {
+	Caller core.ProcID
+	Ref    core.Ref
+}
+
+// memReadResp carries the value read.
+type memReadResp struct {
+	Val core.Value
+}
+
+// memWriteReq asks the owner's node to write Ref on behalf of Caller.
+// A successful write has a nil response payload.
+type memWriteReq struct {
+	Caller core.ProcID
+	Ref    core.Ref
+	Val    core.Value
+}
+
+// memCASReq asks the owner's node to compare-and-swap Ref on behalf of
+// Caller.
+type memCASReq struct {
+	Caller   core.ProcID
+	Ref      core.Ref
+	Expected core.Value
+	Desired  core.Value
+}
+
+// memCASResp carries the CAS outcome.
+type memCASResp struct {
+	Swapped bool
+	Current core.Value
+}
+
+func init() {
+	gob.Register(memReadReq{})
+	gob.Register(memReadResp{})
+	gob.Register(memWriteReq{})
+	gob.Register(memCASReq{})
+	gob.Register(memCASResp{})
+}
+
+// callRemote performs one register RPC, unwinding the calling process
+// goroutine as soon as the host stops: a peer that has already shut down
+// would otherwise hold the caller inside the transport until its call
+// timeout, stalling Stop for seconds. The abandoned Call completes (or
+// times out) in the background; its buffered channel lets it exit.
+func (h *Host) callRemote(p core.ProcID, owner core.ProcID, req core.Value) (core.Value, error) {
+	type outcome struct {
+		v   core.Value
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		v, err := h.rpc.Call(p, owner, req)
+		ch <- outcome{v, err}
+	}()
+	select {
+	case out := <-ch:
+		return out.v, out.err
+	case <-h.stopCh:
+		panic(stopPanic{})
+	}
+}
+
+// readReg reads ref for process p, locally when the owner is hosted here
+// and over RPC otherwise.
+func (h *Host) readReg(p core.ProcID, ref core.Ref) (core.Value, error) {
+	if h.rpc == nil || h.hostedSet[ref.Owner] {
+		return h.mem.Read(p, ref)
+	}
+	resp, err := h.callRemote(p, ref.Owner, memReadReq{Caller: p, Ref: ref})
+	if err != nil {
+		return nil, err
+	}
+	rr, ok := resp.(memReadResp)
+	if !ok {
+		return nil, fmt.Errorf("rt: remote read of %v returned %T", ref, resp)
+	}
+	return rr.Val, nil
+}
+
+// writeReg writes ref for process p, locally or over RPC.
+func (h *Host) writeReg(p core.ProcID, ref core.Ref, v core.Value) error {
+	if h.rpc == nil || h.hostedSet[ref.Owner] {
+		return h.mem.Write(p, ref, v)
+	}
+	_, err := h.callRemote(p, ref.Owner, memWriteReq{Caller: p, Ref: ref, Val: v})
+	return err
+}
+
+// casReg compare-and-swaps ref for process p, locally or over RPC.
+func (h *Host) casReg(p core.ProcID, ref core.Ref, expected, desired core.Value) (bool, core.Value, error) {
+	if h.rpc == nil || h.hostedSet[ref.Owner] {
+		return h.mem.CompareAndSwap(p, ref, expected, desired)
+	}
+	resp, err := h.callRemote(p, ref.Owner, memCASReq{Caller: p, Ref: ref, Expected: expected, Desired: desired})
+	if err != nil {
+		return false, nil, err
+	}
+	cr, ok := resp.(memCASResp)
+	if !ok {
+		return false, nil, fmt.Errorf("rt: remote CAS of %v returned %T", ref, resp)
+	}
+	return cr.Swapped, cr.Current, nil
+}
+
+// serveMem is the RPC handler installed on the transport: it serves
+// register operations for registers owned by processes hosted here, out of
+// the local shm.Memory (which enforces the shared-memory domain against
+// the calling process id carried in the request).
+func (h *Host) serveMem(_ core.ProcID, req core.Value) (core.Value, error) {
+	switch r := req.(type) {
+	case memReadReq:
+		if !h.hostedSet[r.Ref.Owner] {
+			return nil, fmt.Errorf("rt: register %v not owned by this node", r.Ref)
+		}
+		v, err := h.mem.Read(r.Caller, r.Ref)
+		if err != nil {
+			return nil, err
+		}
+		return memReadResp{Val: v}, nil
+	case memWriteReq:
+		if !h.hostedSet[r.Ref.Owner] {
+			return nil, fmt.Errorf("rt: register %v not owned by this node", r.Ref)
+		}
+		return nil, h.mem.Write(r.Caller, r.Ref, r.Val)
+	case memCASReq:
+		if !h.hostedSet[r.Ref.Owner] {
+			return nil, fmt.Errorf("rt: register %v not owned by this node", r.Ref)
+		}
+		swapped, current, err := h.mem.CompareAndSwap(r.Caller, r.Ref, r.Expected, r.Desired)
+		if err != nil {
+			return nil, err
+		}
+		return memCASResp{Swapped: swapped, Current: current}, nil
+	default:
+		return nil, fmt.Errorf("rt: unknown RPC request %T", req)
+	}
+}

@@ -1,5 +1,5 @@
 // Package rt is the real-time host for m&m algorithms: one goroutine per
-// process, channels-and-mutexes substrates, true parallelism.
+// process, true parallelism, pluggable message transports.
 //
 // The same algorithm code that runs under the deterministic simulator
 // (internal/sim) runs here unmodified — the core.Env contract is
@@ -9,10 +9,20 @@
 // and to measure wall-clock performance shapes (register ops vs. message
 // ops, scaling with n and the G_SM degree) on real hardware.
 //
-// Runs are not deterministic: asynchrony comes from the Go scheduler.
-// Every safety property must therefore hold for *any* interleaving, which
-// is exactly what the paper's algorithms promise (and -race verifies the
-// substrate side).
+// Messages travel over a transport.Transport. The default is the
+// in-process channel backend (transport.Chan, the exact message path this
+// host used before the transport layer existed); supplying a
+// transport/tcp.Transport instead runs the same algorithms across OS
+// processes over real sockets. With a distributed transport, Config.Hosted
+// restricts which processes this host actually runs; shared registers
+// owned by remote processes are reached through the transport's RPC plane,
+// served by the owner's host out of its local register store (so
+// shared-memory domain checks always happen at the owner).
+//
+// Runs are not deterministic: asynchrony comes from the Go scheduler (and,
+// over TCP, from the network). Every safety property must therefore hold
+// for *any* interleaving, which is exactly what the paper's algorithms
+// promise (and -race verifies the substrate side).
 package rt
 
 import (
@@ -23,43 +33,103 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/mnm-model/mnm/internal/core"
-	"github.com/mnm-model/mnm/internal/graph"
 	"github.com/mnm-model/mnm/internal/metrics"
 	"github.com/mnm-model/mnm/internal/msgnet"
+	"github.com/mnm-model/mnm/internal/runcfg"
 	"github.com/mnm-model/mnm/internal/shm"
+	"github.com/mnm-model/mnm/internal/trace"
+	"github.com/mnm-model/mnm/internal/transport"
 )
+
+// RunConfig is the host-independent part of a run description, shared with
+// the simulator (see internal/runcfg).
+type RunConfig = runcfg.RunConfig
 
 // Config describes a real-time m&m system.
 type Config struct {
-	// GSM is the shared-memory graph; its vertex count is the system
-	// size. Required.
-	GSM *graph.Graph
-	// Links selects reliable or fair-lossy links. Defaults to reliable.
-	Links msgnet.LinkKind
-	// Drop is the fair-loss drop policy (fair-lossy links only).
-	Drop msgnet.DropPolicy
-	// Seed derives per-process randomness.
-	Seed int64
-	// Counters receives metrics; one is created if nil.
+	// RunConfig holds the host-independent knobs: GSM (required), Links,
+	// Drop, Seed, Counters, Trace and Logf.
+	runcfg.RunConfig
+
+	// Transport carries messages between processes. Nil selects the
+	// in-process channel backend, preserving the host's historical
+	// behavior exactly. A non-nil transport must span the same n as GSM;
+	// if Drop is also set, the transport is wrapped in transport.Lossy.
+	// The host owns the transport from then on: Stop closes and drains it.
+	Transport transport.Transport
+
+	// Hosted lists the processes this host actually runs. Empty means all
+	// of them. A strict subset requires a Transport whose concrete type
+	// implements transport.RPC (e.g. transport/tcp.Transport), because
+	// registers owned by remote processes are accessed through it.
+	Hosted []core.ProcID
+}
+
+// Result is the structured outcome of a real-time run, mirroring
+// sim.Result for the fields that make sense without a global step counter.
+type Result struct {
+	// Errors maps processes to the error their body returned, if any.
+	Errors map[core.ProcID]error
+	// Elapsed is the wall-clock time from Start until every hosted
+	// process goroutine exited.
+	Elapsed time.Duration
+	// Steps is the total number of steps taken by hosted processes.
+	Steps uint64
+	// Hosted lists the processes this host ran.
+	Hosted []core.ProcID
+	// Counters holds the final metric values. Note that with a
+	// distributed transport, remote register operations are metered at
+	// the owner's node (under the calling process's index), so each
+	// node's counters cover the registers it serves.
 	Counters *metrics.Counters
+}
+
+// Err returns the first process error by process id, or nil.
+func (r *Result) Err() error {
+	if r == nil {
+		return nil
+	}
+	var first core.ProcID = -1
+	for p := range r.Errors {
+		if first < 0 || p < first {
+			first = p
+		}
+	}
+	if first < 0 {
+		return nil
+	}
+	return r.Errors[first]
 }
 
 // Host runs an algorithm with real concurrency.
 type Host struct {
-	n        int
-	mem      *shm.Memory
-	net      *msgnet.Network
-	counters *metrics.Counters
-	procs    []*rtProc
-	wg       sync.WaitGroup
-	stopped  atomic.Bool
-	started  atomic.Bool
+	n         int
+	hosted    []core.ProcID
+	hostedSet map[core.ProcID]bool
+	mem       *shm.Memory
+	tr        transport.Transport
+	rpc       transport.RPC // nil when every register owner is hosted
+	counters  *metrics.Counters
+	traceRec  *trace.Recorder
+	logf      func(format string, args ...any)
+	procs     []*rtProc // nil entries for processes hosted elsewhere
+	wg        sync.WaitGroup
+	stopped   atomic.Bool
+	started   atomic.Bool
+	stopCh    chan struct{}
+	stopOnce  sync.Once
 
 	mu        sync.Mutex
 	errs      map[core.ProcID]error
 	startGate chan struct{}
+	startedAt time.Time
+	elapsed   time.Duration
+
+	finishOnce sync.Once
+	closeOnce  sync.Once
 }
 
 type rtProc struct {
@@ -91,29 +161,70 @@ func New(cfg Config, alg core.Algorithm) (*Host, error) {
 	if counters == nil {
 		counters = metrics.NewCounters(n)
 	}
-	netOpts := []msgnet.NetOption{
-		msgnet.WithAutoDeliver(),
-		msgnet.WithNetCounters(counters),
+
+	hosted, hostedSet, err := hostedProcs(n, cfg.Hosted)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Drop != nil {
-		netOpts = append(netOpts, msgnet.WithDropPolicy(cfg.Drop))
+
+	tr := cfg.Transport
+	var rpc transport.RPC
+	if tr == nil {
+		if len(hosted) < n {
+			return nil, errors.New("rt: Config.Hosted subset requires a distributed Transport")
+		}
+		netOpts := []msgnet.NetOption{msgnet.WithNetCounters(counters)}
+		if cfg.Drop != nil {
+			netOpts = append(netOpts, msgnet.WithDropPolicy(cfg.Drop))
+		}
+		tr = transport.NewChan(n, cfg.Links, netOpts...)
+	} else {
+		if tr.N() != n {
+			return nil, fmt.Errorf("rt: transport spans %d processes, GSM has %d", tr.N(), n)
+		}
+		rpc, _ = tr.(transport.RPC)
+		if len(hosted) < n && rpc == nil {
+			return nil, errors.New("rt: Config.Hosted subset requires a Transport implementing transport.RPC")
+		}
+		if cfg.Drop != nil {
+			// The drop decision happens above the wire, so the fair-loss
+			// adversary composes with any backend. The RPC plane is not
+			// wrapped: remote register access models RDMA, not links.
+			tr = transport.NewLossy(tr, cfg.Drop, counters)
+		}
 	}
+	if len(hosted) == n {
+		rpc = nil // every owner is local; never leave the process
+	}
+
 	h := &Host{
-		n:        n,
-		mem:      shm.NewMemory(shm.NewUniformDomain(cfg.GSM), shm.WithCounters(counters)),
-		net:      msgnet.NewNetwork(n, cfg.Links, netOpts...),
-		counters: counters,
-		procs:    make([]*rtProc, n),
-		errs:     make(map[core.ProcID]error),
+		n:         n,
+		hosted:    hosted,
+		hostedSet: hostedSet,
+		mem:       shm.NewMemory(shm.NewUniformDomain(cfg.GSM), shm.WithCounters(counters)),
+		tr:        tr,
+		rpc:       rpc,
+		counters:  counters,
+		traceRec:  cfg.Trace,
+		logf:      cfg.Logf,
+		procs:     make([]*rtProc, n),
+		errs:      make(map[core.ProcID]error),
+		stopCh:    make(chan struct{}),
 	}
-	for p := 0; p < n; p++ {
-		ns := cfg.GSM.Neighbors(p)
+	if rpc != nil {
+		rpc.SetHandler(h.serveMem)
+	}
+	if err := tr.Dial(); err != nil {
+		return nil, fmt.Errorf("rt: transport dial: %w", err)
+	}
+	for _, p := range hosted {
+		ns := cfg.GSM.Neighbors(int(p))
 		neighbors := make([]core.ProcID, len(ns))
 		for i, q := range ns {
 			neighbors[i] = core.ProcID(q)
 		}
 		h.procs[p] = &rtProc{
-			id:        core.ProcID(p),
+			id:        p,
 			rng:       rand.New(rand.NewSource(cfg.Seed ^ (0x9e3779b9 * int64(p+1)))),
 			exposed:   make(map[string]core.Value),
 			neighbors: neighbors,
@@ -123,12 +234,36 @@ func New(cfg Config, alg core.Algorithm) (*Host, error) {
 	return h, nil
 }
 
+// hostedProcs validates and normalizes the hosted set (empty means all).
+func hostedProcs(n int, req []core.ProcID) ([]core.ProcID, map[core.ProcID]bool, error) {
+	set := make(map[core.ProcID]bool, len(req))
+	if len(req) == 0 {
+		out := make([]core.ProcID, n)
+		for p := 0; p < n; p++ {
+			out[p] = core.ProcID(p)
+			set[core.ProcID(p)] = true
+		}
+		return out, set, nil
+	}
+	var out []core.ProcID
+	for _, p := range req {
+		if int(p) < 0 || int(p) >= n {
+			return nil, nil, fmt.Errorf("rt: hosted process %v out of range [0,%d)", p, n)
+		}
+		if !set[p] {
+			set[p] = true
+			out = append(out, p)
+		}
+	}
+	return out, set, nil
+}
+
 func (h *Host) allProcsInit(alg core.Algorithm) {
 	all := make([]core.ProcID, h.n)
 	for p := 0; p < h.n; p++ {
 		all[p] = core.ProcID(p)
 	}
-	for p := 0; p < h.n; p++ {
+	for _, p := range h.hosted {
 		ps := h.procs[p]
 		body := alg.ProcessFor(ps.id)
 		env := &rtEnv{h: h, ps: ps, all: all}
@@ -177,39 +312,81 @@ func (h *Host) Start() {
 		h.startGate = make(chan struct{})
 	}
 	gate := h.startGate
+	h.startedAt = time.Now()
 	h.mu.Unlock()
 	close(gate)
 }
 
-// Stop asks every still-running process to unwind at its next operation
-// and waits for all goroutines to exit. Safe to call multiple times.
-func (h *Host) Stop() {
+// finish stamps the elapsed time once, when the last goroutine has exited.
+func (h *Host) finish() {
+	h.finishOnce.Do(func() {
+		h.mu.Lock()
+		h.elapsed = time.Since(h.startedAt)
+		h.mu.Unlock()
+	})
+}
+
+// Stop asks every still-running process to unwind at its next operation,
+// waits for all goroutines to exit, then closes the transport — which for
+// socket backends drains unacknowledged frames before tearing down
+// connections. Safe to call multiple times.
+func (h *Host) Stop() *Result {
 	h.stopped.Store(true)
+	h.stopOnce.Do(func() { close(h.stopCh) })
 	if !h.started.Load() {
 		h.Start()
 	}
 	h.wg.Wait()
+	h.finish()
+	h.closeOnce.Do(func() {
+		if err := h.tr.Close(); err != nil && h.logf != nil {
+			h.logf("rt: transport close: %v", err)
+		}
+	})
+	return h.result()
 }
 
-// Wait blocks until every process goroutine has exited on its own
-// (returned from its body) and reports their errors. Most long-running
-// algorithms never halt; use Stop for those.
+// Wait blocks until every hosted process goroutine has exited on its own
+// (returned from its body) and reports the structured run result. Most
+// long-running algorithms never halt; use Stop for those.
+//
+// Wait does not close the transport: with a distributed transport this
+// host may still be serving remote register reads for nodes that have not
+// finished. Call Stop to release it.
 //
 // If the host was never started, Wait releases the start gate first, the
 // same way Stop does: otherwise every process goroutine would still be
 // parked on the gate and Wait would block forever with nothing running.
-func (h *Host) Wait() map[core.ProcID]error {
+func (h *Host) Wait() *Result {
 	if !h.started.Load() {
 		h.Start()
 	}
 	h.wg.Wait()
+	h.finish()
+	return h.result()
+}
+
+// result snapshots the run outcome.
+func (h *Host) result() *Result {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	out := make(map[core.ProcID]error, len(h.errs))
+	errs := make(map[core.ProcID]error, len(h.errs))
 	for p, e := range h.errs {
-		out[p] = e
+		errs[p] = e
 	}
-	return out
+	var steps uint64
+	for _, ps := range h.procs {
+		if ps != nil {
+			steps += ps.steps.Load()
+		}
+	}
+	return &Result{
+		Errors:   errs,
+		Elapsed:  h.elapsed,
+		Steps:    steps,
+		Hosted:   append([]core.ProcID(nil), h.hosted...),
+		Counters: h.counters,
+	}
 }
 
 // Errors returns the process errors recorded so far.
@@ -224,17 +401,18 @@ func (h *Host) Errors() map[core.ProcID]error {
 }
 
 // Crash crash-stops process p: it unwinds at its next operation, its
-// registers survive.
+// registers survive. Crashing a process hosted elsewhere is a no-op.
 func (h *Host) Crash(p core.ProcID) {
-	if int(p) < 0 || int(p) >= h.n {
+	if int(p) < 0 || int(p) >= h.n || h.procs[p] == nil {
 		return
 	}
 	h.procs[p].crashed.Store(true)
 }
 
 // Exposed returns the value process p last published under name, or nil.
+// Processes hosted elsewhere expose nothing here.
 func (h *Host) Exposed(p core.ProcID, name string) core.Value {
-	if int(p) < 0 || int(p) >= h.n {
+	if int(p) < 0 || int(p) >= h.n || h.procs[p] == nil {
 		return nil
 	}
 	ps := h.procs[p]
@@ -243,14 +421,33 @@ func (h *Host) Exposed(p core.ProcID, name string) core.Value {
 	return ps.exposed[name]
 }
 
-// Memory returns the shared register store for observer-level inspection.
+// Memory returns the local shared register store for observer-level
+// inspection. With a distributed transport it holds only the registers
+// owned by processes hosted here.
 func (h *Host) Memory() *shm.Memory { return h.mem }
+
+// Transport returns the message transport the host runs over (after any
+// adversary wrapping).
+func (h *Host) Transport() transport.Transport { return h.tr }
+
+// Network returns the underlying in-process msgnet.Network when the host
+// runs over the channel backend, for observer-level inspection; it returns
+// nil over any other transport.
+func (h *Host) Network() *msgnet.Network {
+	if c, ok := h.tr.(*transport.Chan); ok {
+		return c.Network()
+	}
+	return nil
+}
 
 // Counters returns the live metrics counters.
 func (h *Host) Counters() *metrics.Counters { return h.counters }
 
 // N returns the system size.
 func (h *Host) N() int { return h.n }
+
+// Hosted returns the processes this host runs.
+func (h *Host) Hosted() []core.ProcID { return append([]core.ProcID(nil), h.hosted...) }
 
 // stopPanic unwinds a process goroutine on stop/crash.
 type stopPanic struct{}
@@ -289,13 +486,13 @@ func (e *rtEnv) Neighbors() []core.ProcID { return e.ps.neighbors }
 // Send implements core.Env.
 func (e *rtEnv) Send(to core.ProcID, payload core.Value) error {
 	e.step()
-	return e.h.net.Send(e.ps.id, to, payload, 0)
+	return e.h.tr.Send(e.ps.id, to, payload)
 }
 
 // Broadcast implements core.Env.
 func (e *rtEnv) Broadcast(payload core.Value) error {
 	e.step()
-	return e.h.net.Broadcast(e.ps.id, payload, 0)
+	return e.h.tr.Broadcast(e.ps.id, payload)
 }
 
 // TryRecv implements core.Env.
@@ -303,25 +500,25 @@ func (e *rtEnv) TryRecv() (core.Message, bool) {
 	if e.h.stopped.Load() || e.ps.crashed.Load() {
 		panic(stopPanic{})
 	}
-	return e.h.net.Recv(e.ps.id)
+	return e.h.tr.TryRecv(e.ps.id)
 }
 
 // Read implements core.Env.
 func (e *rtEnv) Read(ref core.Ref) (core.Value, error) {
 	e.step()
-	return e.h.mem.Read(e.ps.id, ref)
+	return e.h.readReg(e.ps.id, ref)
 }
 
 // Write implements core.Env.
 func (e *rtEnv) Write(ref core.Ref, v core.Value) error {
 	e.step()
-	return e.h.mem.Write(e.ps.id, ref, v)
+	return e.h.writeReg(e.ps.id, ref, v)
 }
 
 // CompareAndSwap implements core.Env.
 func (e *rtEnv) CompareAndSwap(ref core.Ref, expected, desired core.Value) (bool, core.Value, error) {
 	e.step()
-	return e.h.mem.CompareAndSwap(e.ps.id, ref, expected, desired)
+	return e.h.casReg(e.ps.id, ref, expected, desired)
 }
 
 // Yield implements core.Env: one step plus a scheduling hint so that
@@ -345,5 +542,23 @@ func (e *rtEnv) Expose(name string, v core.Value) {
 // goroutine.
 func (e *rtEnv) Rand() *rand.Rand { return e.ps.rng }
 
-// Logf implements core.Env as a no-op on the real-time host.
-func (e *rtEnv) Logf(string, ...any) {}
+// Logf implements core.Env: the event goes to the run trace (if any) and
+// to Config.Logf (if any), prefixed with the process id and its local step
+// count — the real-time analogue of the simulator's global step prefix.
+func (e *rtEnv) Logf(format string, args ...any) {
+	h := e.h
+	if h.traceRec == nil && h.logf == nil {
+		return
+	}
+	note := fmt.Sprintf(format, args...)
+	h.traceRec.Record(trace.Event{
+		Step: e.ps.steps.Load(),
+		Proc: e.ps.id,
+		Kind: trace.Log,
+		To:   core.NoProc,
+		Note: note,
+	})
+	if h.logf != nil {
+		h.logf("[local %d] %v: %s", e.ps.steps.Load(), e.ps.id, note)
+	}
+}

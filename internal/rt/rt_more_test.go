@@ -16,13 +16,13 @@ import (
 // and agreement must hold for whatever interleaving occurs.
 func TestPaxosRealtime(t *testing.T) {
 	inputs := []core.Value{"a", "b", "c", "d"}
-	h, err := New(Config{GSM: graph.Complete(4), Seed: 3},
+	h, err := New(Config{RunConfig: RunConfig{GSM: graph.Complete(4), Seed: 3}},
 		paxos.New(paxos.Config{Inputs: inputs, HaltAfterDecide: true}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	h.Start()
-	errs := h.Wait()
+	errs := h.Wait().Errors
 	for p, e := range errs {
 		t.Fatalf("process %v: %v", p, e)
 	}
@@ -73,12 +73,12 @@ func TestBakeryRealtime(t *testing.T) {
 			return nil
 		}
 	})
-	h, err := New(Config{GSM: graph.Complete(4), Seed: 9}, alg)
+	h, err := New(Config{RunConfig: RunConfig{GSM: graph.Complete(4), Seed: 9}}, alg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	h.Start()
-	errs := h.Wait()
+	errs := h.Wait().Errors
 	for p, e := range errs {
 		t.Fatalf("process %v: %v", p, e)
 	}
@@ -120,12 +120,12 @@ func TestMnMLockRealtime(t *testing.T) {
 			return nil
 		}
 	})
-	h, err := New(Config{GSM: graph.Complete(4), Seed: 2}, alg)
+	h, err := New(Config{RunConfig: RunConfig{GSM: graph.Complete(4), Seed: 2}}, alg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	h.Start()
-	errs := h.Wait()
+	errs := h.Wait().Errors
 	for p, e := range errs {
 		t.Fatalf("process %v: %v", p, e)
 	}
@@ -138,7 +138,7 @@ func TestMnMLockRealtime(t *testing.T) {
 // TestMsgOmegaRealtime runs the classic heartbeat Ω on the real-time host
 // (in-process channels are timely links, so it should stabilize).
 func TestMsgOmegaRealtime(t *testing.T) {
-	h, err := New(Config{GSM: graph.Edgeless(4), Seed: 4},
+	h, err := New(Config{RunConfig: RunConfig{GSM: graph.Edgeless(4), Seed: 4}},
 		leader.NewMsgOmega(leader.MsgOmegaConfig{}))
 	if err != nil {
 		t.Fatal(err)

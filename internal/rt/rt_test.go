@@ -22,12 +22,12 @@ func TestHaltingAlgorithmWaits(t *testing.T) {
 			return nil
 		}
 	})
-	h, err := New(Config{GSM: graph.Complete(4)}, alg)
+	h, err := New(Config{RunConfig: RunConfig{GSM: graph.Complete(4)}}, alg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	h.Start()
-	errs := h.Wait()
+	errs := h.Wait().Errors
 	for p, e := range errs {
 		t.Errorf("process %v: %v", p, e)
 	}
@@ -52,12 +52,12 @@ func TestWaitWithoutStartReleasesGate(t *testing.T) {
 			return nil
 		}
 	})
-	h, err := New(Config{GSM: graph.Complete(3)}, alg)
+	h, err := New(Config{RunConfig: RunConfig{GSM: graph.Complete(3)}}, alg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan map[core.ProcID]error, 1)
-	go func() { done <- h.Wait() }()
+	go func() { done <- h.Wait().Errors }()
 	select {
 	case errs := <-done:
 		for p, e := range errs {
@@ -81,7 +81,7 @@ func TestStopUnwindsInfiniteLoops(t *testing.T) {
 			}
 		}
 	})
-	h, err := New(Config{GSM: graph.Complete(8)}, alg)
+	h, err := New(Config{RunConfig: RunConfig{GSM: graph.Complete(8)}}, alg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestCrashStopsOneProcess(t *testing.T) {
 			}
 		}
 	})
-	h, err := New(Config{GSM: graph.Complete(2)}, alg)
+	h, err := New(Config{RunConfig: RunConfig{GSM: graph.Complete(2)}}, alg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,12 +136,12 @@ func TestPanicContainment(t *testing.T) {
 			return nil
 		}
 	})
-	h, err := New(Config{GSM: graph.Complete(2)}, alg)
+	h, err := New(Config{RunConfig: RunConfig{GSM: graph.Complete(2)}}, alg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	h.Start()
-	errs := h.Wait()
+	errs := h.Wait().Errors
 	if errs[1] == nil {
 		t.Error("panic not recorded")
 	}
@@ -152,13 +152,13 @@ func TestPanicContainment(t *testing.T) {
 
 func TestBenOrRealtime(t *testing.T) {
 	inputs := []benor.Val{benor.V0, benor.V1, benor.V0, benor.V1, benor.V0}
-	h, err := New(Config{GSM: graph.Edgeless(5), Seed: 3},
+	h, err := New(Config{RunConfig: RunConfig{GSM: graph.Edgeless(5), Seed: 3}},
 		benor.New(benor.Config{F: 2, Inputs: inputs, HaltAfterDecide: true}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	h.Start()
-	errs := h.Wait()
+	errs := h.Wait().Errors
 	for p, e := range errs {
 		t.Fatalf("process %v: %v", p, e)
 	}
@@ -179,13 +179,13 @@ func TestBenOrRealtime(t *testing.T) {
 
 func TestHBORealtime(t *testing.T) {
 	inputs := []benor.Val{benor.V1, benor.V0, benor.V1, benor.V0, benor.V1}
-	h, err := New(Config{GSM: graph.Cycle(5), Seed: 8},
+	h, err := New(Config{RunConfig: RunConfig{GSM: graph.Cycle(5), Seed: 8}},
 		hbo.New(hbo.Config{Inputs: inputs, HaltAfterDecide: true}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	h.Start()
-	errs := h.Wait()
+	errs := h.Wait().Errors
 	for p, e := range errs {
 		t.Fatalf("process %v: %v", p, e)
 	}
@@ -204,7 +204,7 @@ func TestHBORealtime(t *testing.T) {
 }
 
 func TestLeaderElectionRealtime(t *testing.T) {
-	h, err := New(Config{GSM: graph.Complete(4), Seed: 5},
+	h, err := New(Config{RunConfig: RunConfig{GSM: graph.Complete(4), Seed: 5}},
 		leader.New(leader.Config{Notifier: SharedKind()}))
 	if err != nil {
 		t.Fatal(err)
@@ -261,12 +261,12 @@ func TestConsensusObjectsRealtime(t *testing.T) {
 			return nil
 		}
 	})
-	h, err := New(Config{GSM: graph.Complete(8), Seed: 2}, alg)
+	h, err := New(Config{RunConfig: RunConfig{GSM: graph.Complete(8), Seed: 2}}, alg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	h.Start()
-	errs := h.Wait()
+	errs := h.Wait().Errors
 	for p, e := range errs {
 		t.Fatalf("process %v: %v", p, e)
 	}
@@ -298,7 +298,7 @@ func BenchmarkRTRegisterWrite(b *testing.B) {
 			return err
 		}
 	})
-	h, err := New(Config{GSM: graph.Complete(1)}, alg)
+	h, err := New(Config{RunConfig: RunConfig{GSM: graph.Complete(1)}}, alg)
 	if err != nil {
 		b.Fatal(err)
 	}

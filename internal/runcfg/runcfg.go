@@ -1,0 +1,45 @@
+// Package runcfg holds the host-independent half of a run's
+// configuration: the fields that mean the same thing whether an algorithm
+// executes under the deterministic simulator (internal/sim) or the
+// real-time host (internal/rt).
+//
+// Both sim.Config and rt.Config embed RunConfig, so the shared knobs are
+// declared once and promoted field access (cfg.GSM, cfg.Seed, ...) keeps
+// working at every call site. Composite literals name the embedded struct
+// explicitly:
+//
+//	sim.Config{RunConfig: sim.RunConfig{GSM: g, Seed: 1}, MaxSteps: 100}
+//
+// (Each host package re-exports the type under an alias — sim.RunConfig,
+// rt.RunConfig, mnm.RunConfig — so callers never import runcfg directly.)
+package runcfg
+
+import (
+	"github.com/mnm-model/mnm/internal/graph"
+	"github.com/mnm-model/mnm/internal/metrics"
+	"github.com/mnm-model/mnm/internal/msgnet"
+	"github.com/mnm-model/mnm/internal/trace"
+)
+
+// RunConfig is the configuration shared by every m&m host.
+type RunConfig struct {
+	// GSM is the shared-memory graph; its vertex count is the system
+	// size n. Required.
+	GSM *graph.Graph
+	// Links selects reliable or fair-lossy links. Defaults to reliable.
+	Links msgnet.LinkKind
+	// Drop is the fair-loss drop policy (fair-lossy links only).
+	Drop msgnet.DropPolicy
+	// Seed derives all per-process randomness. Simulated runs with equal
+	// configurations and seeds are identical; real-time runs reuse the
+	// same per-process sources but interleave nondeterministically.
+	Seed int64
+	// Counters receives all metrics; one is created if nil.
+	Counters *metrics.Counters
+	// Trace, if non-nil, records a structured event log of the run
+	// (bounded ring; see internal/trace). The simulator records every
+	// operation; the real-time host records Logf events only.
+	Trace *trace.Recorder
+	// Logf, if non-nil, receives core.Env.Logf trace lines.
+	Logf func(format string, args ...any)
+}

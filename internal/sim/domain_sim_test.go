@@ -32,7 +32,8 @@ func TestGeneralDomainOverride(t *testing.T) {
 		}
 	})
 	r, err := New(Config{
-		GSM:    graph.Path(3), // 0-1-2: 0 and 2 are NOT G_SM neighbors
+		RunConfig: RunConfig{GSM: graph.Path(3)},
+		// 0-1-2: 0 and 2 are NOT G_SM neighbors
 		Domain: dom,
 	}, alg)
 	if err != nil {
@@ -66,9 +67,9 @@ func TestErrNoProgressWhenAllHaltEarly(t *testing.T) {
 		return func(env core.Env) error { return nil } // halt immediately
 	})
 	r, err := New(Config{
-		GSM:      graph.Complete(2),
-		MaxSteps: 10_000,
-		StopWhen: func(r *Runner) bool { return false },
+		RunConfig: RunConfig{GSM: graph.Complete(2)},
+		MaxSteps:  10_000,
+		StopWhen:  func(r *Runner) bool { return false },
 	}, alg)
 	if err != nil {
 		t.Fatal(err)
@@ -90,10 +91,9 @@ func TestLogfTracing(t *testing.T) {
 		}
 	})
 	r, err := New(Config{
-		GSM: graph.Complete(1),
-		Logf: func(format string, args ...any) {
+		RunConfig: RunConfig{GSM: graph.Complete(1), Logf: func(format string, args ...any) {
 			lines = append(lines, sprintfWrap(format, args...))
-		},
+		}},
 	}, alg)
 	if err != nil {
 		t.Fatal(err)

@@ -25,9 +25,9 @@ import (
 	"sort"
 
 	"github.com/mnm-model/mnm/internal/core"
-	"github.com/mnm-model/mnm/internal/graph"
 	"github.com/mnm-model/mnm/internal/metrics"
 	"github.com/mnm-model/mnm/internal/msgnet"
+	"github.com/mnm-model/mnm/internal/runcfg"
 	"github.com/mnm-model/mnm/internal/sched"
 	"github.com/mnm-model/mnm/internal/shm"
 	"github.com/mnm-model/mnm/internal/trace"
@@ -43,29 +43,30 @@ type Crash struct {
 	AtStep uint64
 }
 
+// RunConfig is the host-independent half of Config, shared with the
+// real-time host (see internal/runcfg). Deprecated field note: the GSM,
+// Links, Drop, Seed, Counters, Trace and Logf fields that used to be
+// declared directly on Config now live here; selector access (cfg.GSM,
+// cfg.Seed, ...) is unchanged via promotion, but composite literals must
+// name the embedded struct: sim.Config{RunConfig: sim.RunConfig{...}}.
+type RunConfig = runcfg.RunConfig
+
 // Config describes a simulated m&m system.
 type Config struct {
-	// GSM is the shared-memory graph; its vertex count is the system
-	// size n. Required.
-	GSM *graph.Graph
+	// RunConfig holds the host-independent knobs: GSM, Links, Drop,
+	// Seed, Counters, Trace, Logf.
+	runcfg.RunConfig
 	// Domain overrides the shared-memory domain. By default the uniform
 	// domain induced by GSM is used (the paper's setting); supplying a
 	// shm.SetDomain here runs the general model of §3 instead. GSM still
 	// defines n and the Neighbors sets.
 	Domain shm.Domain
-	// Links selects reliable or fair-lossy links. Defaults to reliable.
-	Links msgnet.LinkKind
-	// Drop is the fair-loss drop policy (fair-lossy links only).
-	Drop msgnet.DropPolicy
 	// Delivery is the message asynchrony adversary. Defaults to
 	// immediate delivery.
 	Delivery msgnet.DeliveryPolicy
 	// Scheduler picks the next process each step. Defaults to round
 	// robin.
 	Scheduler sched.Scheduler
-	// Seed derives all per-process randomness. Runs with equal
-	// configurations and seeds are identical.
-	Seed int64
 	// MaxSteps bounds the run; exceeding it sets Result.TimedOut.
 	// Defaults to 1,000,000.
 	MaxSteps uint64
@@ -80,16 +81,9 @@ type Config struct {
 	// StopWhen, if non-nil, ends the run successfully as soon as it
 	// returns true. It runs between steps, while no process executes.
 	StopWhen func(r *Runner) bool
-	// Counters receives all metrics; one is created if nil.
-	Counters *metrics.Counters
 	// SnapshotEvery, if > 0, records a metrics snapshot every that many
 	// global steps (plus one final snapshot) into Result.Series.
 	SnapshotEvery uint64
-	// Logf, if non-nil, receives core.Env.Logf trace lines.
-	Logf func(format string, args ...any)
-	// Trace, if non-nil, records a structured event log of the run
-	// (bounded ring; see internal/trace).
-	Trace *trace.Recorder
 }
 
 // Result summarizes a finished run.

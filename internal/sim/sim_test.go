@@ -42,7 +42,7 @@ func echoAlg() core.Algorithm {
 }
 
 func TestEchoRun(t *testing.T) {
-	r, err := New(Config{GSM: graph.Complete(4), Seed: 1}, echoAlg())
+	r, err := New(Config{RunConfig: RunConfig{GSM: graph.Complete(4), Seed: 1}}, echoAlg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,8 +70,7 @@ func TestEchoRun(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	run := func() (uint64, int64, int64) {
 		r, err := New(Config{
-			GSM:       graph.Cycle(5),
-			Seed:      77,
+			RunConfig: RunConfig{GSM: graph.Cycle(5), Seed: 77},
 			Scheduler: sched.NewRandom(5),
 			Delivery:  msgnet.RandomDelay{Max: 3, Seed: 9},
 		}, echoAlg())
@@ -103,10 +102,9 @@ func TestCrashStopsProcessRegistersSurvive(t *testing.T) {
 		}
 	})
 	r, err := New(Config{
-		GSM:      graph.Complete(3),
-		Seed:     1,
-		MaxSteps: 500,
-		Crashes:  []Crash{{Proc: 1, AtStep: 50}},
+		RunConfig: RunConfig{GSM: graph.Complete(3), Seed: 1},
+		MaxSteps:  500,
+		Crashes:   []Crash{{Proc: 1, AtStep: 50}},
 	}, alg)
 	if err != nil {
 		t.Fatal(err)
@@ -148,7 +146,7 @@ func TestPanicContainment(t *testing.T) {
 			return nil
 		}
 	})
-	r, err := New(Config{GSM: graph.Complete(3), Seed: 1, MaxSteps: 1000}, alg)
+	r, err := New(Config{RunConfig: RunConfig{GSM: graph.Complete(3), Seed: 1}, MaxSteps: 1000}, alg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,9 +174,8 @@ func TestStopWhen(t *testing.T) {
 		}
 	})
 	r, err := New(Config{
-		GSM:      graph.Complete(2),
-		Seed:     1,
-		MaxSteps: 100000,
+		RunConfig: RunConfig{GSM: graph.Complete(2), Seed: 1},
+		MaxSteps:  100000,
 		StopWhen: func(r *Runner) bool {
 			return r.Exposed(0, "ready") == true && r.Exposed(1, "ready") == true
 		},
@@ -206,7 +203,7 @@ func TestMaxStepsTimeout(t *testing.T) {
 			}
 		}
 	})
-	r, err := New(Config{GSM: graph.Complete(2), MaxSteps: 123}, alg)
+	r, err := New(Config{RunConfig: RunConfig{GSM: graph.Complete(2)}, MaxSteps: 123}, alg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +229,7 @@ func TestSharedMemoryDomainEnforcedInRun(t *testing.T) {
 			return nil
 		}
 	})
-	r, err := New(Config{GSM: graph.Path(3), Seed: 1}, alg)
+	r, err := New(Config{RunConfig: RunConfig{GSM: graph.Path(3), Seed: 1}}, alg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +251,7 @@ func TestNeighborsMatchGraph(t *testing.T) {
 			return nil
 		}
 	})
-	r, err := New(Config{GSM: graph.Figure1(), Seed: 1}, alg)
+	r, err := New(Config{RunConfig: RunConfig{GSM: graph.Figure1(), Seed: 1}}, alg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +284,7 @@ func TestTimelySchedulerEnforcesTimeliness(t *testing.T) {
 			}
 		}
 	})
-	r, err := New(Config{GSM: graph.Complete(4), Scheduler: recorder, MaxSteps: 5000}, alg)
+	r, err := New(Config{RunConfig: RunConfig{GSM: graph.Complete(4)}, Scheduler: recorder, MaxSteps: 5000}, alg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +316,7 @@ func TestSchedulerPickingCrashedIsAnError(t *testing.T) {
 	})
 	bad := sched.Func(func(v sched.View) core.ProcID { return 0 })
 	r, err := New(Config{
-		GSM:       graph.Complete(2),
+		RunConfig: RunConfig{GSM: graph.Complete(2)},
 		Scheduler: bad,
 		Crashes:   []Crash{{Proc: 0, AtStep: 10}},
 		MaxSteps:  100,
@@ -336,7 +333,7 @@ func TestRunTwiceFails(t *testing.T) {
 	alg := core.AlgorithmFunc(func(id core.ProcID) core.Process {
 		return func(env core.Env) error { return nil }
 	})
-	r, err := New(Config{GSM: graph.Complete(2)}, alg)
+	r, err := New(Config{RunConfig: RunConfig{GSM: graph.Complete(2)}}, alg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -358,7 +355,7 @@ func TestSnapshotSeries(t *testing.T) {
 			}
 		}
 	})
-	r, err := New(Config{GSM: graph.Complete(2), MaxSteps: 100, SnapshotEvery: 25}, alg)
+	r, err := New(Config{RunConfig: RunConfig{GSM: graph.Complete(2)}, MaxSteps: 100, SnapshotEvery: 25}, alg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -387,7 +384,7 @@ func TestNoGoroutineLeaks(t *testing.T) {
 	})
 	before := runtime.NumGoroutine()
 	for i := 0; i < 20; i++ {
-		r, err := New(Config{GSM: graph.Complete(8), MaxSteps: 200, Seed: int64(i)}, alg)
+		r, err := New(Config{RunConfig: RunConfig{GSM: graph.Complete(8), Seed: int64(i)}, MaxSteps: 200}, alg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -441,11 +438,9 @@ func TestFairLossyLinksInRun(t *testing.T) {
 		}
 	})
 	r, err := New(Config{
-		GSM:      graph.Complete(2),
-		Links:    msgnet.FairLossy,
-		Drop:     &msgnet.DropFirstK{K: 5},
-		MaxSteps: 10000,
-		StopWhen: func(r *Runner) bool { return r.Exposed(0, "acked") == true },
+		RunConfig: RunConfig{GSM: graph.Complete(2), Links: msgnet.FairLossy, Drop: &msgnet.DropFirstK{K: 5}},
+		MaxSteps:  10000,
+		StopWhen:  func(r *Runner) bool { return r.Exposed(0, "acked") == true },
 	}, alg)
 	if err != nil {
 		t.Fatal(err)
@@ -470,7 +465,7 @@ func BenchmarkSimStepYield(b *testing.B) {
 			}
 		}
 	})
-	r, err := New(Config{GSM: graph.Complete(8), MaxSteps: uint64(b.N) + 1}, alg)
+	r, err := New(Config{RunConfig: RunConfig{GSM: graph.Complete(8)}, MaxSteps: uint64(b.N) + 1}, alg)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,0 +1,120 @@
+package tcp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/mnm-model/mnm/internal/core"
+)
+
+// frameKind tags the role of a frame on the wire.
+type frameKind int
+
+const (
+	// frameHello is the first frame of every outbound connection: it
+	// carries the sender node's canonical address so the receiver can
+	// attribute subsequent frames (and route acks back).
+	frameHello frameKind = iota + 1
+	// frameData carries one algorithm message (core.Message payload).
+	frameData
+	// frameAck cumulatively acknowledges received sequence numbers.
+	frameAck
+	// frameReq carries one RPC request (remote register access).
+	frameReq
+	// frameResp carries one RPC response.
+	frameResp
+)
+
+// frame is the unit of the wire protocol. Data, request and response
+// frames carry a per-(sender node → receiver node) sequence number; the
+// receiver deduplicates on it, which preserves the Integrity axiom across
+// retransmissions, and the sender retransmits unacknowledged frames after
+// a reconnect, which preserves No-loss across connection faults.
+type frame struct {
+	Kind frameKind
+	// Addr is the sender node's canonical listen address (hello only).
+	Addr string
+	// Seq is the node-pair sequence number (data/req/resp).
+	Seq uint64
+	// AckTo cumulatively acknowledges all Seq ≤ AckTo (ack only).
+	AckTo uint64
+	// From and To are the endpoint processes (data/req/resp).
+	From, To core.ProcID
+	// CallID matches a response to its request (req/resp).
+	CallID uint64
+	// Payload is the message body or RPC body.
+	Payload core.Value
+	// ErrMsg carries a response error, "" meaning nil (resp only).
+	ErrMsg string
+}
+
+// maxFrameSize bounds a decoded frame body; anything larger is treated as
+// a corrupt stream.
+const maxFrameSize = 16 << 20
+
+// errEncode marks frames that can never be written — an unregistered gob
+// type or an oversized body. The send loop drops such frames instead of
+// treating them as connection faults, because retransmitting them would
+// fail identically forever.
+var errEncode = errors.New("tcp: frame not encodable")
+
+// writeFrame encodes f as a length-prefixed gob body. A fresh encoder per
+// frame re-sends type metadata, which costs a little bandwidth but keeps
+// every frame self-contained — decoding never depends on stream history,
+// so reconnects cannot desynchronize the codec.
+func writeFrame(w io.Writer, f *frame) error {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(f); err != nil {
+		return fmt.Errorf("%w: %v (register the payload type with encoding/gob)", errEncode, err)
+	}
+	if body.Len() > maxFrameSize {
+		return fmt.Errorf("%w: frame too large (%d bytes)", errEncode, body.Len())
+	}
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(body.Len()))
+	if _, err := w.Write(prefix[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body.Bytes())
+	return err
+}
+
+// readFrame decodes one length-prefixed gob frame.
+func readFrame(r io.Reader) (*frame, error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(prefix[:])
+	if n > maxFrameSize {
+		return nil, fmt.Errorf("tcp: frame length %d exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	var f frame
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&f); err != nil {
+		return nil, fmt.Errorf("tcp: decode frame: %w", err)
+	}
+	return &f, nil
+}
+
+func init() {
+	// Concrete types commonly sent as core.Value payloads. Algorithm
+	// packages register their own message types in their wire.go files;
+	// anything else must be registered by the caller via encoding/gob.
+	gob.Register(int(0))
+	gob.Register(int64(0))
+	gob.Register(uint64(0))
+	gob.Register(float64(0))
+	gob.Register(false)
+	gob.Register("")
+	gob.Register(core.ProcID(0))
+	gob.Register(core.Ref{})
+	gob.Register([]core.Value(nil))
+}

@@ -1,0 +1,321 @@
+package tcp
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/transport"
+)
+
+// peer manages this node's outbound link to one remote node: a single TCP
+// connection, the queue of unacknowledged sequenced frames, and the
+// reconnect loop.
+//
+// Reliability protocol: sequenced frames (data/req/resp) stay in pending
+// until the remote's cumulative ack covers them. nextSend marks the first
+// frame not yet written to the *current* connection; a reconnect rewinds
+// it to 0, retransmitting the whole unacknowledged suffix. The receiver's
+// duplicate filter (Transport.accept) makes the retransmission idempotent.
+type peer struct {
+	t    *Transport
+	addr string
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	nextSeq  uint64
+	pending  []frame // unacked sequenced frames, in seq order
+	nextSend int     // index into pending of first frame unsent on conn
+	ctrl     []frame // unsequenced control frames (acks)
+	conn     net.Conn
+	up       bool
+	closed   bool
+}
+
+func newPeer(t *Transport, addr string) *peer {
+	p := &peer{t: t, addr: addr}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// enqueue assigns the next sequence number to f and queues it for
+// (re)transmission until acked.
+func (p *peer) enqueue(f frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.nextSeq++
+	f.Seq = p.nextSeq
+	p.pending = append(p.pending, f)
+	p.cond.Broadcast()
+}
+
+// enqueueCtrl queues an unsequenced control frame.
+func (p *peer) enqueueCtrl(f frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.ctrl = append(p.ctrl, f)
+	p.cond.Broadcast()
+}
+
+// ack drops every pending frame with Seq ≤ upTo.
+func (p *peer) ack(upTo uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	drop := 0
+	for drop < len(p.pending) && p.pending[drop].Seq <= upTo {
+		drop++
+	}
+	if drop == 0 {
+		return
+	}
+	p.pending = append(p.pending[:0], p.pending[drop:]...)
+	p.nextSend -= drop
+	if p.nextSend < 0 {
+		p.nextSend = 0
+	}
+	p.cond.Broadcast()
+}
+
+// state reports the link state for LinkState.
+func (p *peer) state() transport.LinkState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return transport.LinkClosed
+	}
+	if p.up {
+		return transport.LinkUp
+	}
+	return transport.LinkConnecting
+}
+
+// killConn breaks the current connection without closing the peer — the
+// send loop will reconnect and retransmit (fault-injection hook).
+func (p *peer) killConn() {
+	p.mu.Lock()
+	conn := p.conn
+	p.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// waitDrained blocks until every sequenced frame has been acked or the
+// deadline passes.
+func (p *peer) waitDrained(deadline time.Time) {
+	for {
+		p.mu.Lock()
+		empty := len(p.pending) == 0 && len(p.ctrl) == 0
+		p.mu.Unlock()
+		if empty || !time.Now().Before(deadline) {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// shutdown stops the send loop and closes the connection.
+func (p *peer) shutdown() {
+	p.mu.Lock()
+	p.closed = true
+	conn := p.conn
+	p.conn = nil
+	p.up = false
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// sendLoop owns the outbound connection: it dials (with per-attempt
+// ConnectTimeout and bounded exponential backoff between attempts),
+// writes queued frames, and on any write error tears the connection down
+// and starts over, rewinding nextSend so the unacknowledged suffix is
+// retransmitted.
+func (p *peer) sendLoop() {
+	defer p.t.wg.Done()
+	backoff := p.t.cfg.BackoffBase
+	for {
+		// Ensure a live connection.
+		p.mu.Lock()
+		for p.conn == nil && !p.closed {
+			p.mu.Unlock()
+			conn, err := net.DialTimeout("tcp", p.addr, p.t.cfg.ConnectTimeout)
+			if err == nil {
+				err = p.handshake(conn)
+			}
+			if err != nil {
+				p.t.log("connect %s failed: %v (retrying in %v)", p.addr, err, backoff)
+				if !p.sleep(backoff) {
+					return
+				}
+				backoff *= 2
+				if backoff > p.t.cfg.BackoffMax {
+					backoff = p.t.cfg.BackoffMax
+				}
+				p.mu.Lock()
+				continue
+			}
+			p.mu.Lock()
+			if p.closed {
+				p.mu.Unlock()
+				conn.Close()
+				return
+			}
+			p.conn = conn
+			p.up = true
+			p.nextSend = 0 // retransmit the unacked suffix
+			backoff = p.t.cfg.BackoffBase
+			p.t.wg.Add(1)
+			go p.watch(conn)
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		// Wait for work.
+		for len(p.ctrl) == 0 && p.nextSend >= len(p.pending) && p.conn != nil && !p.closed {
+			p.cond.Wait()
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		conn := p.conn
+		if conn == nil {
+			p.mu.Unlock()
+			continue
+		}
+		var f frame
+		var isCtrl bool
+		if len(p.ctrl) > 0 {
+			f = p.ctrl[0]
+			p.ctrl = append(p.ctrl[:0], p.ctrl[1:]...)
+			isCtrl = true
+		} else {
+			f = p.pending[p.nextSend]
+			p.nextSend++
+		}
+		p.mu.Unlock()
+
+		conn.SetWriteDeadline(time.Now().Add(p.t.cfg.WriteTimeout))
+		if err := writeFrame(conn, &f); err != nil {
+			if errors.Is(err, errEncode) {
+				// The frame can never be sent; drop it rather than
+				// retransmitting a permanent failure forever.
+				p.t.log("dropping frame to %s: %v", p.addr, err)
+				if !isCtrl {
+					p.dropPending(f.Seq)
+				}
+				continue
+			}
+			p.t.log("write to %s failed: %v (reconnecting)", p.addr, err)
+			p.mu.Lock()
+			if p.conn == conn {
+				p.conn = nil
+				p.up = false
+			}
+			if isCtrl {
+				// Acks are idempotent but cheap to keep.
+				p.ctrl = append([]frame{f}, p.ctrl...)
+			}
+			p.mu.Unlock()
+			conn.Close()
+		}
+	}
+}
+
+// watch blocks on a read of the outbound connection. The remote never
+// writes on it (acks travel on the remote's own outbound link), so a
+// returning read means the connection died or was killed. Detecting death
+// here matters when this side has nothing left to write: unacknowledged
+// frames would otherwise sit waiting for a write failure that never
+// comes, and the remote would never receive them.
+func (p *peer) watch(conn net.Conn) {
+	defer p.t.wg.Done()
+	var buf [1]byte
+	conn.Read(buf[:])
+	p.mu.Lock()
+	if p.conn == conn {
+		p.conn = nil
+		p.up = false
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+	conn.Close()
+}
+
+// dropPending removes the sequenced frame with the given Seq from the
+// retransmission queue (used for frames that can never be encoded).
+// Sequence gaps are harmless: the receiver accepts any ascending sequence
+// and acks cumulatively.
+func (p *peer) dropPending(seq uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, f := range p.pending {
+		if f.Seq != seq {
+			continue
+		}
+		p.pending = append(p.pending[:i], p.pending[i+1:]...)
+		if i < p.nextSend {
+			p.nextSend--
+		}
+		return
+	}
+}
+
+// handshake sends the hello frame identifying this node.
+func (p *peer) handshake(conn net.Conn) error {
+	conn.SetWriteDeadline(time.Now().Add(p.t.cfg.WriteTimeout))
+	err := writeFrame(conn, &frame{Kind: frameHello, Addr: p.t.addr})
+	conn.SetWriteDeadline(time.Time{})
+	if err != nil {
+		conn.Close()
+	}
+	return err
+}
+
+// sleep waits d or until the transport closes; it reports whether the
+// send loop should keep running.
+func (p *peer) sleep(d time.Duration) bool {
+	select {
+	case <-time.After(d):
+		return true
+	case <-p.t.done:
+		return false
+	}
+}
+
+// encodeError flattens an error for the wire; decodeError restores the
+// model's sentinel errors so errors.Is keeps working across nodes.
+func encodeError(err error) string { return err.Error() }
+
+func decodeError(msg string) error {
+	for _, sentinel := range []error{
+		core.ErrAccessDenied,
+		core.ErrUnknownProc,
+		core.ErrCrashed,
+		core.ErrMemoryFailed,
+		core.ErrStopped,
+	} {
+		if strings.Contains(msg, sentinel.Error()) {
+			return sentinel
+		}
+	}
+	return &remoteError{msg: msg}
+}
+
+// remoteError is a non-sentinel error reported by a remote node.
+type remoteError struct{ msg string }
+
+func (e *remoteError) Error() string { return e.msg }

@@ -1,0 +1,652 @@
+// Package tcp is the socket backend of the transport layer: m&m messages
+// as length-prefixed gob frames over TCP connections, one listener per OS
+// process ("node"), one outbound connection per remote node.
+//
+// The backend preserves the link axioms of the paper (§3) over a real,
+// faulty wire:
+//
+//   - Integrity: every data/req/resp frame carries a per-node-pair
+//     sequence number and the receiver drops duplicates, so a message is
+//     delivered at most as many times as it was sent even when frames are
+//     retransmitted after a reconnect.
+//   - No-loss (reliable links): the sender buffers frames until they are
+//     cumulatively acknowledged and retransmits the unacknowledged suffix
+//     after every reconnect, so connection kills lose nothing.
+//   - Fair-loss: layer transport.Lossy over this backend.
+//
+// Connection lifecycle: Dial starts one send loop per remote node, which
+// connects with a per-link timeout and, on failure or a broken
+// connection, retries with bounded exponential backoff. Close drains
+// unacknowledged frames (bounded by DrainTimeout) before tearing down.
+package tcp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/metrics"
+	"github.com/mnm-model/mnm/internal/transport"
+)
+
+// Config describes one node of a TCP-backed m&m system.
+type Config struct {
+	// N is the system size (processes 0..N-1 across all nodes).
+	N int
+	// Hosted lists the processes running on this node. Empty means all
+	// of them (a single-node system, useful for loopback testing).
+	Hosted []core.ProcID
+	// Addrs maps every process to the canonical listen address of its
+	// node ("host:port"); processes on the same node share the address.
+	// It may be left nil at construction and supplied later via
+	// SetAddrs, which is how tests bind ephemeral ports first.
+	Addrs []string
+	// ListenAddr is this node's bind address. It defaults to the
+	// address of the first hosted process in Addrs. Use "127.0.0.1:0"
+	// plus SetAddrs to let the kernel pick a free port.
+	ListenAddr string
+	// Counters, if non-nil, meters MsgSent/MsgDelivered.
+	Counters *metrics.Counters
+	// Logf, if non-nil, receives connection lifecycle diagnostics.
+	Logf func(format string, args ...any)
+	// ConnectTimeout bounds each connection attempt. Default 2s.
+	ConnectTimeout time.Duration
+	// BackoffBase is the first reconnect delay. Default 20ms.
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential reconnect delay. Default 1s.
+	BackoffMax time.Duration
+	// WriteTimeout bounds a single frame write. Default 10s.
+	WriteTimeout time.Duration
+	// CallTimeout bounds an RPC round trip. Default 10s.
+	CallTimeout time.Duration
+	// DrainTimeout bounds how long Close waits for unacknowledged
+	// frames to be delivered. Default 5s.
+	DrainTimeout time.Duration
+}
+
+func (c *Config) fill() {
+	if c.ConnectTimeout <= 0 {
+		c.ConnectTimeout = 2 * time.Second
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 20 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 10 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+}
+
+// Transport is one node's endpoint of a TCP-backed m&m message network.
+type Transport struct {
+	cfg    Config
+	n      int
+	hosted map[core.ProcID]bool
+	addr   string
+	lis    net.Listener
+	logf   func(string, ...any)
+
+	mu        sync.Mutex
+	addrs     []string
+	peers     map[string]*peer
+	mailboxes map[core.ProcID][]core.Message
+	lastSeq   map[string]uint64
+	calls     map[uint64]chan callResult
+	callSeq   uint64
+	handler   func(from core.ProcID, req core.Value) (core.Value, error)
+	inbound   map[net.Conn]bool
+	dialed    bool
+	closed    bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+type callResult struct {
+	val core.Value
+	err error
+}
+
+var (
+	_ transport.Transport = (*Transport)(nil)
+	_ transport.RPC       = (*Transport)(nil)
+)
+
+// New binds the node's listener and starts accepting inbound connections.
+// Outbound links are established by Dial.
+func New(cfg Config) (*Transport, error) {
+	cfg.fill()
+	if cfg.N <= 0 {
+		return nil, errors.New("tcp: Config.N must be positive")
+	}
+	hosted := make(map[core.ProcID]bool, len(cfg.Hosted))
+	for _, p := range cfg.Hosted {
+		if int(p) < 0 || int(p) >= cfg.N {
+			return nil, fmt.Errorf("tcp: hosted process %v out of range", p)
+		}
+		hosted[p] = true
+	}
+	if len(hosted) == 0 {
+		for p := 0; p < cfg.N; p++ {
+			hosted[core.ProcID(p)] = true
+		}
+	}
+	listenAddr := cfg.ListenAddr
+	if listenAddr == "" {
+		if cfg.Addrs == nil {
+			return nil, errors.New("tcp: ListenAddr or Addrs required")
+		}
+		listenAddr = cfg.Addrs[minHosted(hosted)]
+	}
+	lis, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: listen %s: %w", listenAddr, err)
+	}
+	addr := listenAddr
+	if cfg.ListenAddr == "" || hasWildcardPort(listenAddr) {
+		addr = lis.Addr().String()
+	}
+	t := &Transport{
+		cfg:       cfg,
+		n:         cfg.N,
+		hosted:    hosted,
+		addr:      addr,
+		lis:       lis,
+		logf:      cfg.Logf,
+		peers:     make(map[string]*peer),
+		mailboxes: make(map[core.ProcID][]core.Message),
+		lastSeq:   make(map[string]uint64),
+		calls:     make(map[uint64]chan callResult),
+		inbound:   make(map[net.Conn]bool),
+		done:      make(chan struct{}),
+	}
+	if cfg.Addrs != nil {
+		if err := t.SetAddrs(cfg.Addrs); err != nil {
+			lis.Close()
+			return nil, err
+		}
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+func minHosted(hosted map[core.ProcID]bool) core.ProcID {
+	first := core.ProcID(-1)
+	for p := range hosted {
+		if first < 0 || p < first {
+			first = p
+		}
+	}
+	return first
+}
+
+func hasWildcardPort(addr string) bool {
+	_, port, err := net.SplitHostPort(addr)
+	return err == nil && port == "0"
+}
+
+// Addr returns this node's canonical listen address — the value other
+// nodes must put in their Addrs table for every process hosted here.
+func (t *Transport) Addr() string { return t.addr }
+
+// SetAddrs installs the process→node address table. It must be called
+// (here or via Config.Addrs) before Dial. Hosted processes must map to
+// this node's own address and remote processes must not.
+func (t *Transport) SetAddrs(addrs []string) error {
+	if len(addrs) != t.n {
+		return fmt.Errorf("tcp: need %d addresses, got %d", t.n, len(addrs))
+	}
+	for p, a := range addrs {
+		if t.hosted[core.ProcID(p)] != (a == t.addr) {
+			if t.hosted[core.ProcID(p)] {
+				return fmt.Errorf("tcp: hosted process %d mapped to %q, this node is %q", p, a, t.addr)
+			}
+			return fmt.Errorf("tcp: remote process %d mapped to this node's address %q", p, a)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addrs = append([]string(nil), addrs...)
+	return nil
+}
+
+// N implements transport.Transport.
+func (t *Transport) N() int { return t.n }
+
+// Dial implements transport.Transport: it starts one connection manager
+// per remote node. Connections are established asynchronously with
+// ConnectTimeout per attempt and bounded exponential backoff between
+// attempts, so Dial returns immediately; LinkState reports progress.
+func (t *Transport) Dial() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return transport.ErrClosed
+	}
+	if t.addrs == nil {
+		return errors.New("tcp: Dial before SetAddrs")
+	}
+	if t.dialed {
+		return nil
+	}
+	t.dialed = true
+	for _, a := range t.remoteAddrsLocked() {
+		t.peerLocked(a)
+	}
+	return nil
+}
+
+func (t *Transport) remoteAddrsLocked() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range t.addrs {
+		if a != t.addr && !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// peerLocked returns (creating if needed) the connection manager for a
+// remote node address. Caller holds t.mu.
+func (t *Transport) peerLocked(addr string) *peer {
+	if p, ok := t.peers[addr]; ok {
+		return p
+	}
+	p := newPeer(t, addr)
+	t.peers[addr] = p
+	t.wg.Add(1)
+	go p.sendLoop()
+	return p
+}
+
+func (t *Transport) log(format string, args ...any) {
+	if t.logf != nil {
+		t.logf("tcp[%s]: "+format, append([]any{t.addr}, args...)...)
+	}
+}
+
+// Send implements transport.Transport.
+func (t *Transport) Send(from, to core.ProcID, payload core.Value) error {
+	if int(to) < 0 || int(to) >= t.n {
+		return fmt.Errorf("%w: send to %v", core.ErrUnknownProc, to)
+	}
+	if int(from) < 0 || int(from) >= t.n {
+		return fmt.Errorf("%w: send from %v", core.ErrUnknownProc, from)
+	}
+	t.cfg.Counters.Record(from, metrics.MsgSent, 1)
+	if t.hosted[to] {
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			return transport.ErrClosed
+		}
+		t.deliverLocked(core.Message{From: from, Payload: payload}, to)
+		t.mu.Unlock()
+		return nil
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return transport.ErrClosed
+	}
+	if !t.dialed {
+		t.mu.Unlock()
+		return errors.New("tcp: Send before Dial")
+	}
+	p := t.peerLocked(t.addrs[to])
+	t.mu.Unlock()
+	p.enqueue(frame{Kind: frameData, From: from, To: to, Payload: payload})
+	return nil
+}
+
+// Broadcast implements transport.Transport ("send to all", self link
+// included, as in Ben-Or).
+func (t *Transport) Broadcast(from core.ProcID, payload core.Value) error {
+	for to := 0; to < t.n; to++ {
+		if err := t.Send(from, core.ProcID(to), payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deliverLocked appends m to the mailbox of hosted process to.
+func (t *Transport) deliverLocked(m core.Message, to core.ProcID) {
+	t.mailboxes[to] = append(t.mailboxes[to], m)
+	t.cfg.Counters.Record(to, metrics.MsgDelivered, 1)
+}
+
+// TryRecv implements transport.Transport.
+func (t *Transport) TryRecv(p core.ProcID) (core.Message, bool) {
+	if !t.hosted[p] {
+		return core.Message{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	box := t.mailboxes[p]
+	if len(box) == 0 {
+		return core.Message{}, false
+	}
+	m := box[0]
+	copy(box, box[1:])
+	t.mailboxes[p] = box[:len(box)-1]
+	return m, true
+}
+
+// LinkState implements transport.Transport.
+func (t *Transport) LinkState(from, to core.ProcID) transport.LinkState {
+	if int(from) < 0 || int(from) >= t.n || int(to) < 0 || int(to) >= t.n {
+		return transport.LinkUnknown
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return transport.LinkClosed
+	}
+	if t.hosted[to] {
+		return transport.LinkUp
+	}
+	if t.addrs == nil {
+		return transport.LinkConnecting
+	}
+	if p, ok := t.peers[t.addrs[to]]; ok {
+		return p.state()
+	}
+	return transport.LinkConnecting
+}
+
+// SetHandler implements transport.RPC.
+func (t *Transport) SetHandler(fn func(from core.ProcID, req core.Value) (core.Value, error)) {
+	t.mu.Lock()
+	t.handler = fn
+	t.mu.Unlock()
+}
+
+// Call implements transport.RPC: a synchronous request to the node
+// hosting process to. Requests and responses ride the same sequenced,
+// retransmitted frame stream as data messages, so they survive
+// reconnects; the round trip is bounded by CallTimeout.
+func (t *Transport) Call(from, to core.ProcID, req core.Value) (core.Value, error) {
+	if int(to) < 0 || int(to) >= t.n {
+		return nil, fmt.Errorf("%w: call to %v", core.ErrUnknownProc, to)
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, transport.ErrClosed
+	}
+	handler := t.handler
+	if t.hosted[to] {
+		t.mu.Unlock()
+		if handler == nil {
+			return nil, errors.New("tcp: no RPC handler installed")
+		}
+		return handler(from, req)
+	}
+	if !t.dialed {
+		t.mu.Unlock()
+		return nil, errors.New("tcp: Call before Dial")
+	}
+	t.callSeq++
+	id := t.callSeq
+	ch := make(chan callResult, 1)
+	t.calls[id] = ch
+	p := t.peerLocked(t.addrs[to])
+	t.mu.Unlock()
+
+	p.enqueue(frame{Kind: frameReq, From: from, To: to, CallID: id, Payload: req})
+	select {
+	case res := <-ch:
+		return res.val, res.err
+	case <-t.done:
+		t.dropCall(id)
+		return nil, transport.ErrClosed
+	case <-time.After(t.cfg.CallTimeout):
+		t.dropCall(id)
+		return nil, fmt.Errorf("tcp: call to %v timed out after %v", to, t.cfg.CallTimeout)
+	}
+}
+
+func (t *Transport) dropCall(id uint64) {
+	t.mu.Lock()
+	delete(t.calls, id)
+	t.mu.Unlock()
+}
+
+// acceptLoop accepts inbound connections until the listener closes.
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.lis.Accept()
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.inbound[conn] = true
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.recvLoop(conn)
+	}
+}
+
+// recvLoop reads frames off one inbound connection. The first frame must
+// be a hello identifying the sender node; everything after is dispatched
+// through the sequence filter.
+func (t *Transport) recvLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	hello, err := readFrame(conn)
+	if err != nil || hello.Kind != frameHello || hello.Addr == "" {
+		t.log("inbound connection without hello from %v: %v", conn.RemoteAddr(), err)
+		return
+	}
+	remote := hello.Addr
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		t.dispatch(remote, f)
+	}
+}
+
+// dispatch routes one inbound frame. Sequenced frames pass the per-node
+// duplicate filter exactly once, whatever connection they arrive on.
+func (t *Transport) dispatch(remote string, f *frame) {
+	switch f.Kind {
+	case frameAck:
+		t.mu.Lock()
+		p, ok := t.peers[remote]
+		t.mu.Unlock()
+		if ok {
+			p.ack(f.AckTo)
+		}
+	case frameData:
+		if t.accept(remote, f.Seq) {
+			t.mu.Lock()
+			if !t.closed && t.hosted[f.To] {
+				t.deliverLocked(core.Message{From: f.From, Payload: f.Payload}, f.To)
+			}
+			t.mu.Unlock()
+		}
+		t.sendAck(remote, f.Seq)
+	case frameReq:
+		if t.accept(remote, f.Seq) {
+			t.wg.Add(1)
+			go t.serve(remote, f)
+		}
+		t.sendAck(remote, f.Seq)
+	case frameResp:
+		if t.accept(remote, f.Seq) {
+			t.mu.Lock()
+			ch, ok := t.calls[f.CallID]
+			delete(t.calls, f.CallID)
+			t.mu.Unlock()
+			if ok {
+				var err error
+				if f.ErrMsg != "" {
+					err = decodeError(f.ErrMsg)
+				}
+				ch <- callResult{val: f.Payload, err: err}
+			}
+		}
+		t.sendAck(remote, f.Seq)
+	default:
+		t.log("dropping frame of unknown kind %d from %s", f.Kind, remote)
+	}
+}
+
+// accept passes a sequenced frame through the per-node duplicate filter:
+// it returns true exactly once per sequence number. Both ends number
+// their frames from 1 in send order and every connection (original or
+// reconnected) carries an ascending subsequence, so "greater than the
+// highest seen" accepts each frame once and drops retransmitted
+// duplicates — the Integrity axiom on a faulty wire.
+func (t *Transport) accept(remote string, seq uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if seq <= t.lastSeq[remote] {
+		return false
+	}
+	t.lastSeq[remote] = seq
+	return true
+}
+
+// sendAck cumulatively acknowledges seq to the remote node. Acks are
+// unsequenced control frames: losing one is harmless because the sender
+// retransmits and the duplicate filter re-acks. Acks keep flowing while
+// this node is draining its own Close (t.closed set, done not yet
+// closed), so two nodes closing concurrently can still drain each other.
+func (t *Transport) sendAck(remote string, seq uint64) {
+	select {
+	case <-t.done:
+		return
+	default:
+	}
+	t.mu.Lock()
+	p := t.peerLocked(remote)
+	t.mu.Unlock()
+	p.enqueueCtrl(frame{Kind: frameAck, AckTo: seq})
+}
+
+// serve runs the RPC handler for one request and queues the response.
+func (t *Transport) serve(remote string, f *frame) {
+	defer t.wg.Done()
+	t.mu.Lock()
+	handler := t.handler
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return
+	}
+	resp := frame{Kind: frameResp, From: f.To, To: f.From, CallID: f.CallID}
+	if handler == nil {
+		resp.ErrMsg = "tcp: no RPC handler installed"
+	} else {
+		v, err := handler(f.From, f.Payload)
+		resp.Payload = v
+		if err != nil {
+			resp.ErrMsg = encodeError(err)
+		}
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	p := t.peerLocked(remote)
+	t.mu.Unlock()
+	p.enqueue(resp)
+}
+
+// KillConnections forcibly closes every live connection — inbound and
+// outbound — without closing the transport. It models a network fault:
+// send loops notice the broken pipe, reconnect with backoff and
+// retransmit the unacknowledged suffix, so no message is lost or
+// duplicated. Intended for fault-injection tests.
+func (t *Transport) KillConnections() {
+	t.mu.Lock()
+	conns := make([]net.Conn, 0, len(t.inbound))
+	for c := range t.inbound {
+		conns = append(conns, c)
+	}
+	peers := make([]*peer, 0, len(t.peers))
+	for _, p := range t.peers {
+		peers = append(peers, p)
+	}
+	t.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, p := range peers {
+		p.killConn()
+	}
+}
+
+// Close implements transport.Transport: it stops accepting application
+// sends, waits up to DrainTimeout for every queued frame to be
+// acknowledged by its destination node, then tears down connections, the
+// listener and all background goroutines.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	peers := make([]*peer, 0, len(t.peers))
+	for _, p := range t.peers {
+		peers = append(peers, p)
+	}
+	t.mu.Unlock()
+
+	// Drain: keep the receive side alive so acks still arrive.
+	deadline := time.Now().Add(t.cfg.DrainTimeout)
+	for _, p := range peers {
+		p.waitDrained(deadline)
+	}
+
+	close(t.done)
+	for _, p := range peers {
+		p.shutdown()
+	}
+	t.lis.Close()
+	t.mu.Lock()
+	for c := range t.inbound {
+		c.Close()
+	}
+	calls := t.calls
+	t.calls = make(map[uint64]chan callResult)
+	t.mu.Unlock()
+	for _, ch := range calls {
+		ch <- callResult{err: transport.ErrClosed}
+	}
+	t.wg.Wait()
+	return nil
+}

@@ -1,0 +1,250 @@
+package tcp_test
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/mnm-model/mnm/internal/benor"
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/hbo"
+	"github.com/mnm-model/mnm/internal/leader"
+	"github.com/mnm-model/mnm/internal/mutex"
+	"github.com/mnm-model/mnm/internal/rsm"
+	"github.com/mnm-model/mnm/internal/transport"
+	"github.com/mnm-model/mnm/internal/transport/tcp"
+)
+
+// newCluster builds one tcp.Transport per node over loopback ephemeral
+// ports, each hosting the listed processes, with the address table wired
+// up and all nodes dialed.
+func newCluster(t *testing.T, n int, hosted [][]core.ProcID) []*tcp.Transport {
+	t.Helper()
+	nodes := make([]*tcp.Transport, len(hosted))
+	for i, hs := range hosted {
+		tr, err := tcp.New(tcp.Config{
+			N:          n,
+			Hosted:     hs,
+			ListenAddr: "127.0.0.1:0",
+		})
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		t.Cleanup(func() { tr.Close() })
+		nodes[i] = tr
+	}
+	addrs := make([]string, n)
+	for i, hs := range hosted {
+		for _, p := range hs {
+			addrs[p] = nodes[i].Addr()
+		}
+	}
+	for i, tr := range nodes {
+		if err := tr.SetAddrs(addrs); err != nil {
+			t.Fatalf("node %d SetAddrs: %v", i, err)
+		}
+		if err := tr.Dial(); err != nil {
+			t.Fatalf("node %d Dial: %v", i, err)
+		}
+	}
+	return nodes
+}
+
+// recvOne polls tr for the next message to p, failing after a deadline.
+func recvOne(t *testing.T, tr transport.Transport, p core.ProcID) core.Message {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m, ok := tr.TryRecv(p); ok {
+			return m
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("no message for %v within deadline", p)
+	return core.Message{}
+}
+
+// TestLoopbackPayloadRoundTrip pushes one of every algorithm payload type
+// through the gob wire and checks it arrives intact — the encoding
+// contract every algorithm package's wire.go promises.
+func TestLoopbackPayloadRoundTrip(t *testing.T) {
+	nodes := newCluster(t, 2, [][]core.ProcID{{0}, {1}})
+
+	var payloads []core.Value
+	payloads = append(payloads, benor.WirePayloads()...)
+	payloads = append(payloads, hbo.WirePayloads()...)
+	payloads = append(payloads, leader.WirePayloads()...)
+	payloads = append(payloads, rsm.WirePayloads()...)
+	payloads = append(payloads, mutex.WirePayloads()...)
+	payloads = append(payloads, 7, int64(-1), "text", true, core.ProcID(2), nil)
+
+	for _, want := range payloads {
+		if err := nodes[0].Send(0, 1, want); err != nil {
+			t.Fatalf("Send(%#v): %v", want, err)
+		}
+	}
+	for _, want := range payloads {
+		m := recvOne(t, nodes[1], 1)
+		if m.From != 0 {
+			t.Fatalf("From = %v, want p0", m.From)
+		}
+		if !reflect.DeepEqual(m.Payload, want) {
+			t.Fatalf("payload round trip: got %#v, want %#v", m.Payload, want)
+		}
+	}
+}
+
+// TestReconnectAfterKillRedelivers kills every live connection mid-stream
+// and checks that the sequence numbers + retransmission protocol delivers
+// every message exactly once, in order: No-loss and Integrity across a
+// connection fault.
+func TestReconnectAfterKillRedelivers(t *testing.T) {
+	nodes := newCluster(t, 2, [][]core.ProcID{{0}, {1}})
+	const total = 60
+	for i := 0; i < total; i++ {
+		if err := nodes[0].Send(0, 1, i); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+		if i == total/2 {
+			nodes[0].KillConnections()
+			nodes[1].KillConnections()
+		}
+	}
+	for i := 0; i < total; i++ {
+		m := recvOne(t, nodes[1], 1)
+		if m.Payload != i {
+			t.Fatalf("message %d arrived as %v (lost, duplicated or reordered)", i, m.Payload)
+		}
+	}
+	if m, ok := nodes[1].TryRecv(1); ok {
+		t.Fatalf("unexpected extra message %v: duplicate delivery violates Integrity", m.Payload)
+	}
+}
+
+// TestBackoffConnectsOnceListenerAppears dials toward an address nobody is
+// listening on yet; the exponential-backoff reconnect loop must pick the
+// link up once the peer binds, without losing the queued message.
+func TestBackoffConnectsOnceListenerAppears(t *testing.T) {
+	// Reserve a port for the future node 1, then free it.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	futureAddr := probe.Addr().String()
+	probe.Close()
+
+	n0, err := tcp.New(tcp.Config{
+		N:          2,
+		Hosted:     []core.ProcID{0},
+		ListenAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n0.Close() })
+	addrs := []string{n0.Addr(), futureAddr}
+	if err := n0.SetAddrs(addrs); err != nil {
+		t.Fatal(err)
+	}
+	if err := n0.Dial(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n0.Send(0, 1, "early"); err != nil {
+		t.Fatal(err)
+	}
+	if st := n0.LinkState(0, 1); st == transport.LinkUp {
+		t.Fatalf("link reported up with no listener bound")
+	}
+
+	time.Sleep(150 * time.Millisecond) // let several connect attempts fail
+	n1, err := tcp.New(tcp.Config{
+		N:          2,
+		Hosted:     []core.ProcID{1},
+		ListenAddr: futureAddr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n1.Close() })
+	if err := n1.SetAddrs(addrs); err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.Dial(); err != nil {
+		t.Fatal(err)
+	}
+
+	if m := recvOne(t, n1, 1); m.Payload != "early" {
+		t.Fatalf("got %v, want the pre-listener message", m.Payload)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for n0.LinkState(0, 1) != transport.LinkUp && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if st := n0.LinkState(0, 1); st != transport.LinkUp {
+		t.Fatalf("link state = %v after reconnect, want %v", st, transport.LinkUp)
+	}
+}
+
+// TestRPCRoundTripAndSentinelErrors exercises the Call plane used for
+// remote register access: values cross intact and model sentinel errors
+// survive the wire so errors.Is keeps working across nodes.
+func TestRPCRoundTripAndSentinelErrors(t *testing.T) {
+	nodes := newCluster(t, 2, [][]core.ProcID{{0}, {1}})
+	nodes[1].SetHandler(func(from core.ProcID, req core.Value) (core.Value, error) {
+		switch req {
+		case "ok":
+			return fmt.Sprintf("served %v", from), nil
+		case "denied":
+			return nil, fmt.Errorf("remote: %w", core.ErrAccessDenied)
+		}
+		return nil, errors.New("unexpected request")
+	})
+
+	v, err := nodes[0].Call(0, 1, "ok")
+	if err != nil || v != "served p0" {
+		t.Fatalf("Call = %v, %v; want served p0", v, err)
+	}
+	_, err = nodes[0].Call(0, 1, "denied")
+	if !errors.Is(err, core.ErrAccessDenied) {
+		t.Fatalf("Call error = %v, want ErrAccessDenied across the wire", err)
+	}
+}
+
+// TestCloseDrainsQueuedFrames queues messages and immediately closes the
+// sender: Close must wait for the acks, so the receiver still gets
+// everything.
+func TestCloseDrainsQueuedFrames(t *testing.T) {
+	nodes := newCluster(t, 2, [][]core.ProcID{{0}, {1}})
+	const total = 20
+	for i := 0; i < total; i++ {
+		if err := nodes[0].Send(0, 1, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := nodes[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < total; i++ {
+		if m := recvOne(t, nodes[1], 1); m.Payload != i {
+			t.Fatalf("message %d arrived as %v after sender close", i, m.Payload)
+		}
+	}
+}
+
+// TestHostedSameNodeShortCircuit checks that a message between two
+// processes hosted on the same node never touches a socket.
+func TestHostedSameNodeShortCircuit(t *testing.T) {
+	nodes := newCluster(t, 3, [][]core.ProcID{{0, 1}, {2}})
+	if err := nodes[0].Send(0, 1, "local"); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := nodes[0].TryRecv(1); !ok || m.Payload != "local" {
+		t.Fatalf("local delivery failed: %+v, %v", m, ok)
+	}
+	if st := nodes[0].LinkState(0, 1); st != transport.LinkUp {
+		t.Fatalf("intra-node link state = %v, want %v", st, transport.LinkUp)
+	}
+}

@@ -1,0 +1,105 @@
+// Package transport abstracts the message path of the m&m model behind a
+// backend-neutral interface.
+//
+// Historically the real-time host (internal/rt) delivered messages only
+// through in-process channels (msgnet.Network in auto-deliver mode). The
+// Transport interface extracts that message path — Send, Broadcast,
+// TryRecv plus link lifecycle — so the same algorithm code can run over
+// different wires: the in-process Chan backend (this package) or real
+// loopback/network TCP sockets (internal/transport/tcp).
+//
+// Whatever the backend, the link axioms of the paper (§3) must hold:
+//
+//   - Integrity: a message is delivered to q from p at most as many times
+//     as p sent it — backends never duplicate or forge messages.
+//   - No-loss (reliable links): every sent message is eventually
+//     delivered. The TCP backend preserves this across connection faults
+//     with sequence-numbered retransmission and receiver-side
+//     deduplication.
+//   - Fair-loss (fair-lossy links): a message sent infinitely often is
+//     delivered infinitely often. Fair-lossy behaviour is layered over
+//     any backend with the Lossy wrapper, which applies a msgnet
+//     DropPolicy at send time.
+//
+// The Delayed wrapper similarly layers a msgnet DeliveryPolicy (the
+// asynchrony adversary) over any backend's receive path.
+package transport
+
+import (
+	"fmt"
+
+	"github.com/mnm-model/mnm/internal/core"
+)
+
+// LinkState describes the liveness of one directed link.
+type LinkState int
+
+const (
+	// LinkUnknown reports a link outside the transport's system.
+	LinkUnknown LinkState = iota
+	// LinkUp means the link can carry messages now.
+	LinkUp
+	// LinkConnecting means the backend is (re)establishing the link;
+	// messages sent meanwhile are queued and retransmitted.
+	LinkConnecting
+	// LinkClosed means the transport has been closed.
+	LinkClosed
+)
+
+// String implements fmt.Stringer.
+func (s LinkState) String() string {
+	switch s {
+	case LinkUp:
+		return "up"
+	case LinkConnecting:
+		return "connecting"
+	case LinkClosed:
+		return "closed"
+	case LinkUnknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("linkstate(%d)", int(s))
+	}
+}
+
+// Transport is the message path of an m&m host: n processes exchanging
+// values over directed links. Implementations must be safe for concurrent
+// use and must uphold the Integrity axiom.
+type Transport interface {
+	// N returns the number of processes in the system.
+	N() int
+	// Dial establishes the transport's links. It is idempotent, returns
+	// once link setup has been initiated (backends may keep connecting
+	// and retrying in the background), and must be called before Send.
+	Dial() error
+	// Send transmits payload over the directed link from→to. Payloads
+	// must be treated as immutable.
+	Send(from, to core.ProcID, payload core.Value) error
+	// Broadcast sends payload from from to every process, including
+	// from itself ("send to all").
+	Broadcast(from core.ProcID, payload core.Value) error
+	// TryRecv pops the next delivered message addressed to p, if any.
+	TryRecv(p core.ProcID) (core.Message, bool)
+	// LinkState reports the liveness of the directed link from→to.
+	LinkState(from, to core.ProcID) LinkState
+	// Close drains queued outbound messages (bounded by the backend's
+	// drain timeout) and releases the transport's resources. Sends after
+	// Close fail with ErrClosed.
+	Close() error
+}
+
+// RPC is the optional synchronous request/response plane of a transport.
+// The real-time host uses it to reach shared registers homed on another
+// OS process (the RDMA verbs of the model); backends that host all
+// processes in one address space do not need it.
+type RPC interface {
+	// Call sends req from→to and blocks for the matching response.
+	Call(from, to core.ProcID, req core.Value) (core.Value, error)
+	// SetHandler installs the server side: fn is invoked for every
+	// incoming request and its return value is sent back to the caller.
+	// It must be installed before Dial.
+	SetHandler(fn func(from core.ProcID, req core.Value) (core.Value, error))
+}
+
+// ErrClosed reports an operation on a closed transport.
+var ErrClosed = fmt.Errorf("transport: closed")

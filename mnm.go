@@ -44,10 +44,13 @@ import (
 	"github.com/mnm-model/mnm/internal/regcons"
 	"github.com/mnm-model/mnm/internal/rsm"
 	"github.com/mnm-model/mnm/internal/rt"
+	"github.com/mnm-model/mnm/internal/runcfg"
 	"github.com/mnm-model/mnm/internal/sched"
 	"github.com/mnm-model/mnm/internal/shm"
 	"github.com/mnm-model/mnm/internal/sim"
 	"github.com/mnm-model/mnm/internal/trace"
+	"github.com/mnm-model/mnm/internal/transport"
+	"github.com/mnm-model/mnm/internal/transport/tcp"
 )
 
 // Model vocabulary.
@@ -87,6 +90,10 @@ type (
 
 // Simulation and real-time hosting.
 type (
+	// RunConfig is the host-independent part of a run description (GSM,
+	// links, drop policy, seed, counters, trace, log sink), embedded in
+	// both SimConfig and RTConfig.
+	RunConfig = runcfg.RunConfig
 	// SimConfig configures a deterministic simulated run.
 	SimConfig = sim.Config
 	// SimRunner executes a simulated run.
@@ -99,6 +106,15 @@ type (
 	RTConfig = rt.Config
 	// RTHost runs an algorithm with real goroutine concurrency.
 	RTHost = rt.Host
+	// RTResult summarizes a real-time run.
+	RTResult = rt.Result
+	// Transport carries messages between processes for the real-time
+	// host: in-process channels, TCP sockets, or adversary wrappers.
+	Transport = transport.Transport
+	// TCPTransport is one node's endpoint of a TCP-backed system.
+	TCPTransport = tcp.Transport
+	// TCPConfig configures one TCP transport node.
+	TCPConfig = tcp.Config
 	// Scheduler picks the next process each simulated step.
 	Scheduler = sched.Scheduler
 	// Counters is the communication-event metric store.
@@ -245,6 +261,21 @@ func NewSim(cfg SimConfig, alg Algorithm) (*SimRunner, error) { return sim.New(c
 // NewRT builds a real-time host.
 func NewRT(cfg RTConfig, alg Algorithm) (*RTHost, error) { return rt.New(cfg, alg) }
 
+// NewChanTransport returns the in-process channel transport among n
+// processes — the real-time host's default message path, made explicit.
+func NewChanTransport(n int, kind LinkKind) Transport { return transport.NewChan(n, kind) }
+
+// NewTCPTransport binds one node of a TCP-backed m&m system and starts
+// accepting connections; pass it as RTConfig.Transport (with RTConfig.Hosted
+// naming this node's processes) to run algorithms across OS processes.
+func NewTCPTransport(cfg TCPConfig) (*TCPTransport, error) { return tcp.New(cfg) }
+
+// NewLossyTransport layers the fair-loss adversary over any transport
+// backend; counters may be nil.
+func NewLossyTransport(inner Transport, policy DropPolicy, counters *Counters) Transport {
+	return transport.NewLossy(inner, policy, counters)
+}
+
 // NewHBO returns the Hybrid Ben-Or consensus algorithm (Figure 2).
 func NewHBO(cfg HBOConfig) Algorithm { return hbo.New(cfg) }
 
@@ -356,11 +387,10 @@ func FaultToleranceBound(n int, h Ratio) int { return graph.FaultToleranceBound(
 // crash plan, and returns the decided value.
 func SolveConsensus(gsm *Graph, inputs []ConsensusValue, seed int64, crashes ...Crash) (ConsensusValue, error) {
 	r, err := NewSim(SimConfig{
-		GSM:      gsm,
-		Seed:     seed,
-		Crashes:  crashes,
-		MaxSteps: 20_000_000,
-		StopWhen: AllDecided(HBODecisionKey),
+		RunConfig: RunConfig{GSM: gsm, Seed: seed},
+		Crashes:   crashes,
+		MaxSteps:  20_000_000,
+		StopWhen:  AllDecided(HBODecisionKey),
 	}, NewHBO(HBOConfig{Inputs: inputs}))
 	if err != nil {
 		return 0, err
@@ -389,8 +419,7 @@ func SolveConsensus(gsm *Graph, inputs []ConsensusValue, seed int64, crashes ...
 // elected leader.
 func ElectLeader(n int, kind NotifierKind, timely ProcID, seed int64) (ProcID, error) {
 	r, err := NewSim(SimConfig{
-		GSM:       CompleteGraph(n),
-		Seed:      seed,
+		RunConfig: RunConfig{GSM: CompleteGraph(n), Seed: seed},
 		Scheduler: TimelyScheduler(timely, 4, seed+1),
 		MaxSteps:  20_000_000,
 		StopWhen:  StableLeaderCondition(3_000),

@@ -44,11 +44,10 @@ func TestSolveConsensusReportsStall(t *testing.T) {
 	inputs := make([]mnm.ConsensusValue, 5)
 	crashes := []mnm.Crash{{Proc: 0}, {Proc: 1}, {Proc: 2}}
 	r, err := mnm.NewSim(mnm.SimConfig{
-		GSM:      g,
-		Seed:     1,
-		Crashes:  crashes,
-		MaxSteps: 50_000,
-		StopWhen: mnm.AllDecided(mnm.HBODecisionKey),
+		RunConfig: mnm.RunConfig{GSM: g, Seed: 1},
+		Crashes:   crashes,
+		MaxSteps:  50_000,
+		StopWhen:  mnm.AllDecided(mnm.HBODecisionKey),
 	}, mnm.NewHBO(mnm.HBOConfig{Inputs: inputs}))
 	if err != nil {
 		t.Fatal(err)
@@ -114,7 +113,7 @@ func TestCustomAlgorithmThroughFacade(t *testing.T) {
 			return nil
 		}
 	})
-	r, err := mnm.NewSim(mnm.SimConfig{GSM: mnm.CompleteGraph(3)}, alg)
+	r, err := mnm.NewSim(mnm.SimConfig{RunConfig: mnm.RunConfig{GSM: mnm.CompleteGraph(3)}}, alg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,13 +133,13 @@ func TestCustomAlgorithmThroughFacade(t *testing.T) {
 
 func TestRTHostThroughFacade(t *testing.T) {
 	inputs := []mnm.ConsensusValue{mnm.V0, mnm.V1, mnm.V0}
-	h, err := mnm.NewRT(mnm.RTConfig{GSM: mnm.CompleteGraph(3), Seed: 2},
+	h, err := mnm.NewRT(mnm.RTConfig{RunConfig: mnm.RunConfig{GSM: mnm.CompleteGraph(3), Seed: 2}},
 		mnm.NewHBO(mnm.HBOConfig{Inputs: inputs, HaltAfterDecide: true}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	h.Start()
-	errs := h.Wait()
+	errs := h.Wait().Errors
 	for p, e := range errs {
 		t.Fatalf("process %v: %v", p, e)
 	}
