@@ -42,6 +42,7 @@ func main() {
 type record struct {
 	ID        string   `json:"id"`
 	Rows      []string `json:"rows"`
+	StartedAt string   `json:"started_at"`
 	ElapsedMS int64    `json:"elapsed_ms"`
 	OK        bool     `json:"ok"`
 	Error     string   `json:"error,omitempty"`
@@ -83,6 +84,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	type outcome struct {
 		buf     bytes.Buffer
 		err     error
+		started time.Time
 		elapsed time.Duration
 	}
 	outcomes := make([]*outcome, len(selected))
@@ -107,9 +109,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			defer wg.Done()
 			for i := range idx {
 				o := outcomes[i]
-				start := time.Now()
+				o.started = time.Now()
 				o.err = selected[i].Run(&o.buf, params)
-				o.elapsed = time.Since(start)
+				o.elapsed = time.Since(o.started)
 				close(done[i])
 			}
 		}()
@@ -133,6 +135,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			rec := record{
 				ID:        e.ID,
 				Rows:      strings.Split(strings.TrimRight(o.buf.String(), "\n"), "\n"),
+				StartedAt: o.started.UTC().Format(time.RFC3339Nano),
 				ElapsedMS: o.elapsed.Milliseconds(),
 				OK:        o.err == nil,
 			}

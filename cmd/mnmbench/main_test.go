@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestSmokeQuickParallelJSON is the harness smoke test: a quick parallel
@@ -25,6 +26,7 @@ func TestSmokeQuickParallelJSON(t *testing.T) {
 		var rec struct {
 			ID        string   `json:"id"`
 			Rows      []string `json:"rows"`
+			StartedAt string   `json:"started_at"`
 			ElapsedMS int64    `json:"elapsed_ms"`
 			OK        bool     `json:"ok"`
 		}
@@ -42,6 +44,9 @@ func TestSmokeQuickParallelJSON(t *testing.T) {
 		}
 		if rec.ElapsedMS < 0 {
 			t.Errorf("record %d (%s) negative elapsed_ms", i, rec.ID)
+		}
+		if ts, err := time.Parse(time.RFC3339Nano, rec.StartedAt); err != nil || ts.IsZero() {
+			t.Errorf("record %d (%s) started_at = %q, want RFC3339: %v", i, rec.ID, rec.StartedAt, err)
 		}
 	}
 }

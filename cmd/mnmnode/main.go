@@ -15,11 +15,20 @@
 //
 //	decided 1        (consensus)
 //	leader p0        (leader election, once stable for -stable)
+//
+// With -metrics-addr each node additionally serves its observability
+// plane over HTTP (/metrics, /healthz, /status; see internal/obs), and
+// `mnmnode -watch -addrs <metrics endpoints>` turns the binary into a
+// read-only poller printing a cluster rate table — the steady state of
+// Theorem 5.1 reads as zeros in the MSG/S column while register
+// operations keep flowing. With -trace N the node retains the last N
+// structured events and dumps them as JSON Lines on exit.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strconv"
@@ -31,7 +40,10 @@ import (
 	"github.com/mnm-model/mnm/internal/graph"
 	"github.com/mnm-model/mnm/internal/hbo"
 	"github.com/mnm-model/mnm/internal/leader"
+	"github.com/mnm-model/mnm/internal/metrics"
+	"github.com/mnm-model/mnm/internal/obs"
 	"github.com/mnm-model/mnm/internal/rt"
+	"github.com/mnm-model/mnm/internal/trace"
 	"github.com/mnm-model/mnm/internal/transport"
 	"github.com/mnm-model/mnm/internal/transport/tcp"
 )
@@ -52,8 +64,24 @@ func run() int {
 		timeout = flag.Duration("timeout", 60*time.Second, "overall deadline")
 		linger  = flag.Duration("linger", time.Second, "how long to keep serving peers after finishing")
 		verbose = flag.Bool("v", false, "log connection lifecycle events to stderr")
+
+		metricsAddr = flag.String("metrics-addr", "", "host:port serving /metrics, /healthz and /status (empty disables)")
+		sampleEvery = flag.Duration("sample-interval", time.Second, "registry sampling interval behind /status rates")
+		traceN      = flag.Int("trace", 0, "retain the last N structured events and dump them as JSON Lines on exit")
+		traceOut    = flag.String("trace-out", "", "file for the -trace dump (default stderr)")
+		watch       = flag.Bool("watch", false, "watch mode: poll the /metrics endpoints in -addrs and print a cluster rate table")
+		watchEvery  = flag.Duration("watch-interval", time.Second, "polling interval in -watch mode")
+		watchCount  = flag.Int("watch-count", 0, "table refreshes in -watch mode (0 = until interrupted)")
 	)
 	flag.Parse()
+
+	if *watch {
+		if *addrs == "" {
+			fmt.Fprintln(os.Stderr, "mnmnode: -watch requires -addrs listing peer metrics endpoints")
+			return 2
+		}
+		return runWatch(strings.Split(*addrs, ","), *watchEvery, *watchCount, os.Stdout)
+	}
 
 	addrList := strings.Split(*addrs, ",")
 	if *addrs == "" || len(addrList) != *n {
@@ -84,10 +112,17 @@ func run() int {
 		return 1
 	}
 
+	reg := metrics.NewRegistry(*n)
 	cfg := rt.Config{
 		RunConfig: rt.RunConfig{GSM: graph.Complete(*n), Seed: *seed, Logf: logf},
 		Transport: tr,
 		Hosted:    []core.ProcID{self},
+		Registry:  reg,
+	}
+	var rec *trace.Recorder
+	if *traceN > 0 {
+		rec = trace.NewRecorder(*traceN)
+		cfg.Trace = rec
 	}
 
 	var algo core.Algorithm
@@ -132,6 +167,49 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "mnmnode: %v\n", err)
 		return 1
 	}
+	if rec != nil {
+		defer func() {
+			if err := dumpTrace(rec, *traceOut); err != nil {
+				fmt.Fprintf(os.Stderr, "mnmnode: trace dump: %v\n", err)
+			}
+		}()
+	}
+	isLE := strings.HasPrefix(*alg, "le-")
+	if *metricsAddr != "" {
+		sampler := metrics.NewSampler(reg, *sampleEvery, 600)
+		sampler.Start()
+		defer sampler.Stop()
+		srv, err := obs.Serve(*metricsAddr, obs.Config{
+			Registry:  reg,
+			Sampler:   sampler,
+			Transport: tr,
+			Hosted:    []core.ProcID{self},
+			Node:      addrList[*id],
+			Status: func() map[string]any {
+				st := map[string]any{"alg": *alg}
+				if isLE {
+					if v, ok := h.Exposed(self, leader.LeaderKey).(core.ProcID); ok && v != core.NoProc {
+						st["leader"] = fmt.Sprintf("%v", v)
+					}
+				}
+				return st
+			},
+		})
+		if err != nil {
+			h.Stop()
+			fmt.Fprintf(os.Stderr, "mnmnode: %v\n", err)
+			return 1
+		}
+		defer srv.Close()
+		if logf != nil {
+			logf("metrics plane on http://%s", srv.Addr())
+		}
+	}
+	if isLE {
+		stopMon := make(chan struct{})
+		defer close(stopMon)
+		go monitorLeader(h, self, reg.Counters(), stopMon)
+	}
 	deadline := time.Now().Add(*timeout)
 	if err := waitMesh(tr, self, *n, deadline); err != nil {
 		h.Stop()
@@ -158,6 +236,43 @@ func run() int {
 		logf("done: %d steps in %v", res.Steps, res.Elapsed.Round(time.Millisecond))
 	}
 	return 0
+}
+
+// monitorLeader polls the node's exposed leader output and meters every
+// adoption of a new leader as a LeaderChanges event, so election churn is
+// visible on the metrics plane (a clean run settles at 1).
+func monitorLeader(h *rt.Host, self core.ProcID, c *metrics.Counters, stop <-chan struct{}) {
+	cur := core.NoProc
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		v, ok := h.Exposed(self, leader.LeaderKey).(core.ProcID)
+		if !ok || v == core.NoProc || v == cur {
+			continue
+		}
+		cur = v
+		c.Record(self, metrics.LeaderChanges, 1)
+	}
+}
+
+// dumpTrace writes the retained trace ring as JSON Lines — to stderr by
+// default, so it never mixes with the result line on stdout.
+func dumpTrace(rec *trace.Recorder, path string) error {
+	w := io.Writer(os.Stderr)
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return rec.WriteJSONL(w)
 }
 
 // waitMesh blocks until this node's outbound link to every peer is up.

@@ -2,14 +2,22 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strconv"
 	"strings"
 	"sync"
 	"testing"
+	"time"
+
+	"github.com/mnm-model/mnm/internal/metrics"
 )
 
 // buildBinary compiles mnmnode into a temp dir so the cluster tests can
@@ -124,6 +132,135 @@ func TestProcessesAgreeOnLeaderOverLoopback(t *testing.T) {
 		}
 		if o != outs[0] {
 			t.Fatalf("agreement violated: node 0 printed %q, node %d printed %q", outs[0], i, o)
+		}
+	}
+}
+
+// TestMetricsPlaneOverLoopback runs a three-process consensus cluster with
+// the observability plane enabled and scrapes it while the nodes linger:
+// /metrics must serve both exposition formats, /healthz must report ok
+// once the mesh is up, watch mode must render a cluster table over the
+// same endpoints, and every node must dump a parseable JSONL trace on
+// exit.
+func TestMetricsPlaneOverLoopback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	bin := buildBinary(t)
+	addrs := reserveAddrs(t, 3)
+	maddrs := reserveAddrs(t, 3)
+	traceDir := t.TempDir()
+	traces := make([]string, 3)
+	outs := make([]string, 3)
+	var mu sync.Mutex
+	done := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		traces[i] = filepath.Join(traceDir, fmt.Sprintf("trace%d.jsonl", i))
+		i := i
+		go func() {
+			cmd := exec.Command(bin,
+				"-id", strconv.Itoa(i), "-n", "3",
+				"-addrs", strings.Join(addrs, ","),
+				"-alg", "hbo", "-inputs", "1,0,1", "-seed", "7",
+				"-timeout", "90s", "-linger", "15s",
+				"-metrics-addr", maddrs[i],
+				"-sample-interval", "200ms",
+				"-trace", "256", "-trace-out", traces[i],
+			)
+			var stdout, stderr bytes.Buffer
+			cmd.Stdout, cmd.Stderr = &stdout, &stderr
+			err := cmd.Run()
+			mu.Lock()
+			outs[i] = strings.TrimSpace(stdout.String())
+			mu.Unlock()
+			if err != nil {
+				done <- fmt.Errorf("node %d: %v\nstderr: %s", i, err, stderr.String())
+				return
+			}
+			done <- nil
+		}()
+	}
+
+	client := &http.Client{Timeout: 2 * time.Second}
+	deadline := time.Now().Add(60 * time.Second)
+	promRe := regexp.MustCompile(`(?m)^mnm_msg_sent_total\{proc="\d+"\} \d+$`)
+	for i, ma := range maddrs {
+		// JSON export, retried until the node's plane is listening.
+		var doc metrics.ExportJSON
+		for {
+			resp, err := client.Get("http://" + ma + "/metrics?format=json")
+			if err == nil && resp.StatusCode == http.StatusOK {
+				err = json.NewDecoder(resp.Body).Decode(&doc)
+				resp.Body.Close()
+				if err != nil {
+					t.Fatalf("node %d: json metrics do not parse: %v", i, err)
+				}
+				break
+			}
+			if resp != nil {
+				resp.Body.Close()
+			}
+			if !time.Now().Before(deadline) {
+				t.Fatalf("node %d: metrics endpoint %s never came up", i, ma)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		if _, ok := doc.Counters["msg_sent"]; !ok {
+			t.Errorf("node %d: json export lacks msg_sent", i)
+		}
+		// Prometheus text exposition.
+		resp, err := client.Get("http://" + ma + "/metrics")
+		if err != nil {
+			t.Fatalf("node %d: prom scrape: %v", i, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !promRe.Match(body) {
+			t.Errorf("node %d: prom exposition lacks mnm_msg_sent_total samples:\n%.400s", i, body)
+		}
+	}
+	// /healthz flips to ok once the node's outbound mesh is up.
+	for fetchHealth(client, maddrs[0]) != "ok" {
+		if !time.Now().Before(deadline) {
+			t.Fatal("node 0: /healthz never reported ok")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// Watch mode renders a table over the live endpoints (two refreshes:
+	// the second has a previous poll to difference against).
+	var table bytes.Buffer
+	if code := runWatch(maddrs, 200*time.Millisecond, 2, &table); code != 0 {
+		t.Fatalf("runWatch exit = %d", code)
+	}
+	if !strings.Contains(table.String(), "NODE") || !strings.Contains(table.String(), maddrs[0]) {
+		t.Errorf("watch table lacks header or node rows:\n%s", table.String())
+	}
+
+	for i := 0; i < 3; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, o := range outs {
+		if !strings.HasPrefix(o, "decided ") || o != outs[0] {
+			t.Fatalf("node %d printed %q (node 0: %q)", i, o, outs[0])
+		}
+	}
+	// Each node dumped a JSONL trace; every line must parse.
+	for i, p := range traces {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("node %d: trace dump: %v", i, err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) == 0 || lines[0] == "" {
+			t.Fatalf("node %d: empty trace dump", i)
+		}
+		for _, l := range lines {
+			var obj map[string]any
+			if err := json.Unmarshal([]byte(l), &obj); err != nil {
+				t.Fatalf("node %d: trace line %q does not parse: %v", i, l, err)
+			}
 		}
 	}
 }

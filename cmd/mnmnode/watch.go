@@ -1,0 +1,121 @@
+// Watch mode: `mnmnode -watch -addrs <metrics endpoints>` turns the
+// binary into a read-only cluster poller. Each refresh fetches every
+// node's /metrics?format=json and /healthz, differences the counter
+// totals against the previous poll, and prints one rate table. On a
+// converged leader election the table IS Theorem 5.1: MSG/S at zero on
+// every node while the leader's LOCAL_WR/S and the followers'
+// REMOTE_RD/S stay hot.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"text/tabwriter"
+	"time"
+
+	"github.com/mnm-model/mnm/internal/metrics"
+)
+
+// watchPrev is the last successful poll of one node.
+type watchPrev struct {
+	at  time.Time
+	doc metrics.ExportJSON
+	ok  bool
+}
+
+// runWatch polls every addr's metrics endpoint and prints one cluster
+// rate table per interval; count bounds the refreshes (0 = forever).
+func runWatch(addrs []string, interval time.Duration, count int, out io.Writer) int {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	client := &http.Client{Timeout: interval}
+	prev := make([]watchPrev, len(addrs))
+	for iter := 0; count <= 0 || iter < count; iter++ {
+		if iter > 0 {
+			time.Sleep(interval)
+		}
+		tw := tabwriter.NewWriter(out, 2, 8, 2, ' ', 0)
+		fmt.Fprintln(tw, "NODE\tHEALTH\tLEADER\tMSG/S\tFRAMES/S\tRPC/S\tREMOTE_RD/S\tLOCAL_WR/S\tRTT_P95")
+		for i, a := range addrs {
+			doc, err := fetchMetrics(client, a)
+			if err != nil {
+				fmt.Fprintf(tw, "%s\tunreachable\t-\t-\t-\t-\t-\t-\t-\n", a)
+				prev[i].ok = false
+				continue
+			}
+			now := time.Now()
+			rates := []string{"-", "-", "-", "-", "-"}
+			if secs := now.Sub(prev[i].at).Seconds(); prev[i].ok && secs > 0 {
+				rate := func(k string) string {
+					d := doc.Counters[k].Total - prev[i].doc.Counters[k].Total
+					return fmt.Sprintf("%.1f", float64(d)/secs)
+				}
+				rates = []string{
+					rate("msg_sent"), rate("frame_sent"), rate("rpc_issued"),
+					rate("reg_read_remote"), rate("reg_write_local"),
+				}
+			}
+			rtt := time.Duration(doc.Histograms[metrics.HistFrameRTT].P95NS).Round(time.Microsecond)
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%v\n",
+				a, fetchHealth(client, a), fetchLeader(client, a),
+				rates[0], rates[1], rates[2], rates[3], rates[4], rtt)
+			prev[i] = watchPrev{at: now, doc: doc, ok: true}
+		}
+		tw.Flush()
+		fmt.Fprintln(out)
+	}
+	return 0
+}
+
+// fetchMetrics fetches and decodes one node's JSON metrics export.
+func fetchMetrics(c *http.Client, addr string) (metrics.ExportJSON, error) {
+	var doc metrics.ExportJSON
+	resp, err := c.Get("http://" + addr + "/metrics?format=json")
+	if err != nil {
+		return doc, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return doc, fmt.Errorf("metrics: HTTP %d", resp.StatusCode)
+	}
+	return doc, json.NewDecoder(resp.Body).Decode(&doc)
+}
+
+// fetchLeader returns the leader the node's /status reports, or "-" when
+// the node runs no election (or has not adopted a leader yet).
+func fetchLeader(c *http.Client, addr string) string {
+	resp, err := c.Get("http://" + addr + "/status")
+	if err != nil {
+		return "-"
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Leader string `json:"leader"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil || st.Leader == "" {
+		return "-"
+	}
+	return st.Leader
+}
+
+// fetchHealth returns the node's /healthz status ("ok", "degraded"), or
+// "unknown" when the endpoint is unreachable or malformed. /healthz
+// answers 503 while degraded, so the body is decoded regardless of the
+// response code.
+func fetchHealth(c *http.Client, addr string) string {
+	resp, err := c.Get("http://" + addr + "/healthz")
+	if err != nil {
+		return "unknown"
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil || h.Status == "" {
+		return "unknown"
+	}
+	return h.Status
+}

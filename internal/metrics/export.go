@@ -1,0 +1,143 @@
+// Export encodings for a Registry: a JSON document for programmatic
+// consumers (the mnmnode -watch poller, tests) and the Prometheus text
+// exposition format for standard scrapers. Both render the same schema:
+// every counter Kind as a per-process counter family, every histogram as
+// count/sum/max plus conservative p50/p95/p99.
+
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"time"
+
+	"github.com/mnm-model/mnm/internal/core"
+)
+
+// CounterJSON is one counter family in the JSON export.
+type CounterJSON struct {
+	Total   int64   `json:"total"`
+	PerProc []int64 `json:"per_proc"`
+}
+
+// HistJSON is one histogram in the JSON export. Durations are in
+// nanoseconds; quantiles are the conservative bucket upper bounds.
+type HistJSON struct {
+	Count  int64 `json:"count"`
+	SumNS  int64 `json:"sum_ns"`
+	MeanNS int64 `json:"mean_ns"`
+	MaxNS  int64 `json:"max_ns"`
+	P50NS  int64 `json:"p50_ns"`
+	P95NS  int64 `json:"p95_ns"`
+	P99NS  int64 `json:"p99_ns"`
+}
+
+// ExportJSON is the full JSON document for one registry.
+type ExportJSON struct {
+	Counters   map[string]CounterJSON `json:"counters"`
+	Histograms map[string]HistJSON    `json:"histograms"`
+}
+
+// histJSON flattens a snapshot into its JSON form.
+func histJSON(s HistSnapshot) HistJSON {
+	return HistJSON{
+		Count:  s.Count,
+		SumNS:  s.SumNS,
+		MeanNS: int64(s.Mean()),
+		MaxNS:  s.MaxNS,
+		P50NS:  int64(s.Quantile(0.50)),
+		P95NS:  int64(s.Quantile(0.95)),
+		P99NS:  int64(s.Quantile(0.99)),
+	}
+}
+
+// Export builds the JSON document for reg.
+func Export(reg *Registry) ExportJSON {
+	out := ExportJSON{
+		Counters:   make(map[string]CounterJSON),
+		Histograms: make(map[string]HistJSON),
+	}
+	snap := reg.Counters().Snapshot(0)
+	for _, k := range Kinds() {
+		c := CounterJSON{Total: snap.Total(k), PerProc: make([]int64, snap.Procs())}
+		for p := 0; p < snap.Procs(); p++ {
+			c.PerProc[p] = snap.Of(core.ProcID(p), k)
+		}
+		out.Counters[k.String()] = c
+	}
+	for name, h := range reg.HistSnapshots() {
+		out.Histograms[name] = histJSON(h)
+	}
+	return out
+}
+
+// WriteJSON writes the registry as one indented JSON document.
+func WriteJSON(w io.Writer, reg *Registry) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Export(reg))
+}
+
+// promName restricts metric names to the Prometheus grammar.
+var promName = regexp.MustCompile(`[^a-zA-Z0-9_:]`)
+
+func sanitizeProm(name string) string {
+	return promName.ReplaceAllString(name, "_")
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): one `mnm_<kind>_total` counter family with a
+// `proc` label per counter Kind, and one `mnm_<name>_seconds` summary
+// (plus a `_max` gauge) per histogram.
+func WritePrometheus(w io.Writer, reg *Registry) error {
+	snap := reg.Counters().Snapshot(0)
+	for _, k := range Kinds() {
+		name := "mnm_" + sanitizeProm(k.String()) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", name); err != nil {
+			return err
+		}
+		if snap.Procs() == 0 {
+			if _, err := fmt.Fprintf(w, "%s 0\n", name); err != nil {
+				return err
+			}
+			continue
+		}
+		for p := 0; p < snap.Procs(); p++ {
+			if _, err := fmt.Fprintf(w, "%s{proc=\"%d\"} %d\n", name, p, snap.Of(core.ProcID(p), k)); err != nil {
+				return err
+			}
+		}
+	}
+	hists := reg.HistSnapshots()
+	for _, hname := range reg.HistNames() {
+		h := hists[hname]
+		name := "mnm_" + sanitizeProm(hname) + "_seconds"
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", name); err != nil {
+			return err
+		}
+		for _, q := range []struct {
+			label string
+			v     float64
+		}{
+			{"0.5", h.Quantile(0.50).Seconds()},
+			{"0.95", h.Quantile(0.95).Seconds()},
+			{"0.99", h.Quantile(0.99).Seconds()},
+		} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=\"%s\"} %g\n", name, q.label, q.v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n", name, time.Duration(h.SumNS).Seconds()); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s_max gauge\n%s_max %g\n", name, name, h.Max().Seconds()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func exportFixture() *Registry {
+	reg := NewRegistry(3)
+	reg.Record(0, MsgSent, 4)
+	reg.Record(2, MsgSent, 1)
+	reg.Record(1, RegReadRemote, 9)
+	reg.Record(0, FrameSent, 2)
+	reg.Histogram(HistFrameRTT).Observe(250 * time.Microsecond)
+	reg.Histogram(HistFrameRTT).Observe(1 * time.Millisecond)
+	reg.Histogram(HistRemoteRead).Observe(80 * time.Microsecond)
+	return reg
+}
+
+func TestExportJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, exportFixture()); err != nil {
+		t.Fatal(err)
+	}
+	var doc ExportJSON
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if got := doc.Counters["msg_sent"]; got.Total != 5 || len(got.PerProc) != 3 || got.PerProc[0] != 4 {
+		t.Errorf("msg_sent = %+v", got)
+	}
+	if _, ok := doc.Counters["frame_sent"]; !ok {
+		t.Error("frame_sent missing from JSON export")
+	}
+	h, ok := doc.Histograms[HistFrameRTT]
+	if !ok {
+		t.Fatal("frame_rtt histogram missing")
+	}
+	if h.Count != 2 || h.MaxNS != int64(time.Millisecond) || h.P50NS == 0 {
+		t.Errorf("frame_rtt = %+v", h)
+	}
+}
+
+// promLine is the shape every non-comment, non-blank exposition line must
+// have: NAME{labels} VALUE with a float-parseable value — the same check
+// the CI job applies to a live /metrics scrape.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z0-9_]+="[^"]*"(,[a-zA-Z0-9_]+="[^"]*")*\})? -?[0-9]+(\.[0-9]+)?([eE][-+]?[0-9]+)?$`)
+
+func TestExportPrometheusParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, exportFixture()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	sc := bufio.NewScanner(strings.NewReader(out))
+	lines := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		lines++
+		if !promLine.MatchString(line) {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+	if lines == 0 {
+		t.Fatal("no samples in exposition output")
+	}
+	for _, want := range []string{
+		`mnm_msg_sent_total{proc="0"} 4`,
+		`mnm_frame_sent_total{proc="0"} 2`,
+		"# TYPE mnm_frame_rtt_seconds summary",
+		"mnm_frame_rtt_seconds_count 2",
+		"# TYPE mnm_frame_rtt_seconds_max gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestExportEmptyRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, NewRegistryWith(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mnm_msg_sent_total 0") {
+		t.Errorf("counter-less registry should expose zero totals:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := WriteJSON(&buf, NewRegistryWith(nil)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSanitizeProm(t *testing.T) {
+	if got := sanitizeProm("rpc.call-9/x"); got != "rpc_call_9_x" {
+		t.Errorf("sanitizeProm = %q", got)
+	}
+}

@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmptyAndNil(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Millisecond) // must not panic
+	if h.Count() != 0 {
+		t.Error("nil histogram counted")
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || s.Quantile(0.5) != 0 || s.Mean() != 0 || s.Max() != 0 {
+		t.Errorf("nil snapshot nonzero: %+v", s)
+	}
+	s = (&Histogram{}).Snapshot()
+	if s.Quantile(0.99) != 0 {
+		t.Error("empty histogram quantile nonzero")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	// 90 fast observations (~10µs) and 10 slow ones (~10ms): p50 must be
+	// in the fast range, p99 in the slow range, and both conservative
+	// bounds must not exceed the recorded max.
+	for i := 0; i < 90; i++ {
+		h.Observe(10 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if p50 := s.Quantile(0.5); p50 < 10*time.Microsecond || p50 > 100*time.Microsecond {
+		t.Errorf("p50 = %v, want within the fast bucket's bound", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < 10*time.Millisecond || p99 > 20*time.Millisecond {
+		t.Errorf("p99 = %v, want within the slow bucket's bound", p99)
+	}
+	if s.Max() != 10*time.Millisecond {
+		t.Errorf("max = %v", s.Max())
+	}
+	if got := s.Quantile(1.0); got > s.Max() {
+		t.Errorf("p100 = %v exceeds max %v", got, s.Max())
+	}
+	if mean := s.Mean(); mean <= 10*time.Microsecond || mean >= 10*time.Millisecond {
+		t.Errorf("mean = %v, want between the two modes", mean)
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(-time.Second)      // clamped to 0
+	h.Observe(0)                 // sub-microsecond bucket
+	h.Observe(500 * time.Second) // beyond the last bucket bound
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Max() != 500*time.Second {
+		t.Errorf("max = %v", s.Max())
+	}
+	if got := s.Quantile(1.0); got != 500*time.Second {
+		t.Errorf("p100 = %v, want the overflow clamped to max", got)
+	}
+}
+
+func TestHistogramSub(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(time.Millisecond)
+	s1 := h.Snapshot()
+	h.Observe(time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	d := h.Snapshot().Sub(s1)
+	if d.Count != 2 {
+		t.Errorf("delta count = %d", d.Count)
+	}
+	if d.SumNS != int64(3*time.Millisecond) {
+		t.Errorf("delta sum = %d", d.SumNS)
+	}
+	if d.Max() != 2*time.Millisecond {
+		t.Errorf("delta max = %v", d.Max())
+	}
+}
+
+// TestHistogramConcurrentObserve proves the lock-free Observe path is
+// race-clean and lossless under contention (run with -race).
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := &Histogram{}
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d := time.Duration(w+1) * 10 * time.Microsecond
+			for i := 0; i < per; i++ {
+				h.Observe(d)
+				if i%100 == 0 {
+					h.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Errorf("count = %d, want %d", s.Count, workers*per)
+	}
+	if s.Max() != time.Duration(workers)*10*time.Microsecond {
+		t.Errorf("max = %v", s.Max())
+	}
+	var bucketTotal int64
+	for _, b := range s.Buckets {
+		bucketTotal += b
+	}
+	if bucketTotal != s.Count {
+		t.Errorf("buckets sum to %d, count is %d", bucketTotal, s.Count)
+	}
+}

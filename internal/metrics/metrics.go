@@ -31,6 +31,26 @@ const (
 	RegWriteLocal
 	RegWriteRemote
 	Steps
+	// Transport-plane kinds, recorded by socket backends
+	// (internal/transport/tcp). Frame counters cover sequenced frames
+	// (data, RPC request, RPC response); acks are unsequenced control
+	// traffic and are not counted. Node-level events that no single
+	// process caused (reconnects, dial failures) are attributed to the
+	// node's lowest hosted process.
+	FrameSent
+	FrameRetrans
+	FrameAcked
+	FrameDropEncode
+	Reconnects
+	DialFailures
+	// RPC-plane kinds: remote-register calls issued by a process and
+	// calls that returned an error (transport failures and owner-side
+	// rejections alike).
+	RPCIssued
+	RPCFailed
+	// LeaderChanges counts observed changes of a process's leader output,
+	// recorded by observers (cmd/mnmnode) rather than the algorithm.
+	LeaderChanges
 	numKinds
 )
 
@@ -53,6 +73,24 @@ func (k Kind) String() string {
 		return "reg_write_remote"
 	case Steps:
 		return "steps"
+	case FrameSent:
+		return "frame_sent"
+	case FrameRetrans:
+		return "frame_retrans"
+	case FrameAcked:
+		return "frame_acked"
+	case FrameDropEncode:
+		return "frame_drop_encode"
+	case Reconnects:
+		return "reconnects"
+	case DialFailures:
+		return "dial_failures"
+	case RPCIssued:
+		return "rpc_issued"
+	case RPCFailed:
+		return "rpc_failed"
+	case LeaderChanges:
+		return "leader_changes"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -150,6 +188,9 @@ func (c *Counters) Snapshot(step uint64) Snapshot {
 	}
 	return Snapshot{Step: step, perProc: cp}
 }
+
+// Procs returns the number of processes the snapshot covers.
+func (s Snapshot) Procs() int { return len(s.perProc) }
 
 // Of returns the value of the (p, k) counter in the snapshot.
 func (s Snapshot) Of(p core.ProcID, k Kind) int64 {

@@ -188,3 +188,46 @@ func TestConcurrentRecording(t *testing.T) {
 		t.Errorf("Total = %d, want 4000", got)
 	}
 }
+
+// TestSnapshotSubMismatchedProcs pins the Sub contract when the two
+// snapshots cover different process counts: the result always has the
+// later snapshot's width, missing earlier processes subtract zero, and
+// extra earlier processes are dropped.
+func TestSnapshotSubMismatchedProcs(t *testing.T) {
+	wide := NewCounters(3)
+	wide.Record(0, MsgSent, 5)
+	wide.Record(2, MsgSent, 7)
+	narrow := NewCounters(2)
+	narrow.Record(0, MsgSent, 2)
+	narrow.Record(1, RegReadLocal, 4)
+
+	// Later wider than earlier: the extra process subtracts zero.
+	d := wide.Snapshot(9).Sub(narrow.Snapshot(3))
+	if d.Procs() != 3 {
+		t.Fatalf("wide-minus-narrow covers %d procs, want 3", d.Procs())
+	}
+	if got := d.Of(0, MsgSent); got != 3 {
+		t.Errorf("p0 delta = %d, want 3", got)
+	}
+	if got := d.Of(1, RegReadLocal); got != -4 {
+		t.Errorf("p1 delta = %d, want -4 (earlier had events the later lacks)", got)
+	}
+	if got := d.Of(2, MsgSent); got != 7 {
+		t.Errorf("p2 delta = %d, want 7 (no earlier value to subtract)", got)
+	}
+
+	// Later narrower than earlier: extra earlier processes vanish.
+	d = narrow.Snapshot(4).Sub(wide.Snapshot(2))
+	if d.Procs() != 2 {
+		t.Fatalf("narrow-minus-wide covers %d procs, want 2", d.Procs())
+	}
+	if got := d.Of(0, MsgSent); got != -3 {
+		t.Errorf("p0 delta = %d, want -3", got)
+	}
+	if got := d.Of(2, MsgSent); got != 0 {
+		t.Errorf("dropped p2 reads %d, want 0", got)
+	}
+	if got := d.Total(MsgSent); got != -3 {
+		t.Errorf("Total after drop = %d, want -3", got)
+	}
+}

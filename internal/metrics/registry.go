@@ -1,0 +1,129 @@
+// Registry bundles one run's counters with its named latency histograms,
+// so every layer (transport backends, the real-time host, binaries)
+// reports into a single object with one schema, whatever the wire.
+
+package metrics
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/mnm-model/mnm/internal/core"
+)
+
+// Histogram names recorded by the built-in instrumentation. Backends and
+// hosts use these constants so dashboards see one schema everywhere.
+const (
+	// HistFrameRTT is the TCP frame round trip: sequenced frame enqueued
+	// at the sender until covered by the receiver node's cumulative ack.
+	HistFrameRTT = "frame_rtt"
+	// HistRPCCall is the transport-level RPC round trip (request enqueued
+	// until the response frame arrives), recorded by socket backends.
+	HistRPCCall = "rpc_call"
+	// HistRemoteRead/Write/CAS are the host-level remote-register
+	// operation latencies, recorded around the RPC by internal/rt.
+	HistRemoteRead  = "remote_read"
+	HistRemoteWrite = "remote_write"
+	HistRemoteCAS   = "remote_cas"
+)
+
+// Registry is a thread-safe bundle of one Counters plus named Histograms.
+// Histograms are created on first use; the counter set is fixed at
+// construction. A nil *Registry is inert: Counters returns nil (itself
+// inert) and Histogram returns nil (ditto), so instrumented code paths
+// never need guards.
+type Registry struct {
+	mu       sync.RWMutex
+	counters *Counters
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns a registry with fresh counters for n processes.
+func NewRegistry(n int) *Registry {
+	return NewRegistryWith(NewCounters(n))
+}
+
+// NewRegistryWith returns a registry reporting counter events into c,
+// which may be shared with other consumers (e.g. an rt.Host's Counters).
+func NewRegistryWith(c *Counters) *Registry {
+	return &Registry{counters: c, hists: make(map[string]*Histogram)}
+}
+
+// Counters returns the registry's counter set.
+func (r *Registry) Counters() *Counters {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.counters
+}
+
+// AdoptCounters installs c as the registry's counter set if none is set
+// yet; it reports whether the registry now uses c.
+func (r *Registry) AdoptCounters(c *Counters) bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = c
+	}
+	return r.counters == c
+}
+
+// Record forwards to the registry's counters (nil-safe).
+func (r *Registry) Record(p core.ProcID, k Kind, delta int64) {
+	r.Counters().Record(p, k, delta)
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h = &Histogram{}
+	r.hists[name] = h
+	return h
+}
+
+// HistNames returns the names of all histograms created so far, sorted.
+func (r *Registry) HistNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.hists))
+	for name := range r.hists {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HistSnapshots snapshots every histogram, keyed by name.
+func (r *Registry) HistSnapshots() map[string]HistSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]HistSnapshot, len(r.hists))
+	for name, h := range r.hists {
+		out[name] = h.Snapshot()
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+// Time-series sampling of a Registry.
+//
+// The paper's steady-state results are per-interval statements ("zero
+// messages per interval, one leader write per period"), so totals alone
+// cannot exhibit them on a live run: a counter that stopped moving looks
+// identical to one that never moved. The Sampler snapshots a Registry at a
+// fixed interval into a bounded ring — the same never-fail, drop-oldest
+// discipline as the trace.Recorder ring — and Delta/Rate views turn
+// adjacent samples into the per-interval communication the theorems are
+// about.
+
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// Sample is one timestamped snapshot of a registry.
+type Sample struct {
+	// At is the wall-clock instant the sample was taken.
+	At time.Time
+	// Counters is the counter snapshot.
+	Counters Snapshot
+	// Hists holds every histogram's snapshot, keyed by name.
+	Hists map[string]HistSnapshot
+}
+
+// Delta is the difference between two samples: per-interval event counts
+// and per-interval histogram observations.
+type Delta struct {
+	// From and To bound the interval.
+	From, To time.Time
+	// Counters holds the event-count deltas.
+	Counters Snapshot
+	// Hists holds the histogram deltas (counts and sums subtract; Max is
+	// the later window's running max).
+	Hists map[string]HistSnapshot
+}
+
+// Interval returns the wall-clock span of the delta.
+func (d Delta) Interval() time.Duration { return d.To.Sub(d.From) }
+
+// Rate returns the k events per second over the interval.
+func (d Delta) Rate(k Kind) float64 {
+	secs := d.Interval().Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(d.Counters.Total(k)) / secs
+}
+
+// DeltaOf computes later - earlier.
+func DeltaOf(earlier, later Sample) Delta {
+	out := Delta{
+		From:     earlier.At,
+		To:       later.At,
+		Counters: later.Counters.Sub(earlier.Counters),
+		Hists:    make(map[string]HistSnapshot, len(later.Hists)),
+	}
+	for name, h := range later.Hists {
+		out.Hists[name] = h.Sub(earlier.Hists[name])
+	}
+	return out
+}
+
+// Sampler periodically snapshots a Registry into a bounded ring. Start
+// launches the sampling goroutine; SampleNow takes manual samples (the
+// only mode when the interval is non-positive). All methods are safe for
+// concurrent use.
+type Sampler struct {
+	reg      *Registry
+	interval time.Duration
+
+	mu      sync.Mutex
+	buf     []Sample
+	start   int
+	count   int
+	dropped uint64
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewSampler returns a sampler over reg keeping the most recent capacity
+// samples (minimum 2, so a delta is always available once warm). An
+// interval <= 0 disables the background goroutine; the sampler is then
+// driven manually with SampleNow.
+func NewSampler(reg *Registry, interval time.Duration, capacity int) *Sampler {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &Sampler{
+		reg:      reg,
+		interval: interval,
+		buf:      make([]Sample, capacity),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the sampling goroutine (idempotent). It takes one sample
+// immediately so the first interval delta appears after one period.
+func (s *Sampler) Start() {
+	s.startOnce.Do(func() {
+		if s.interval <= 0 {
+			close(s.done)
+			return
+		}
+		s.SampleNow()
+		go func() {
+			defer close(s.done)
+			t := time.NewTicker(s.interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					s.SampleNow()
+				case <-s.stop:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the sampling goroutine and waits for it to exit. Safe to
+// call multiple times, and before Start (the goroutine then never runs).
+func (s *Sampler) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.startOnce.Do(func() { close(s.done) })
+	<-s.done
+}
+
+// SampleNow takes one sample immediately, appends it to the ring
+// (evicting the oldest when full) and returns it.
+func (s *Sampler) SampleNow() Sample {
+	sm := Sample{
+		At:       time.Now(),
+		Counters: s.reg.Counters().Snapshot(0),
+		Hists:    s.reg.HistSnapshots(),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count < len(s.buf) {
+		s.buf[(s.start+s.count)%len(s.buf)] = sm
+		s.count++
+	} else {
+		s.buf[s.start] = sm
+		s.start = (s.start + 1) % len(s.buf)
+		s.dropped++
+	}
+	return sm
+}
+
+// Samples returns the retained samples, oldest first.
+func (s *Sampler) Samples() []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Sample, s.count)
+	for i := 0; i < s.count; i++ {
+		out[i] = s.buf[(s.start+i)%len(s.buf)]
+	}
+	return out
+}
+
+// Dropped returns how many samples the ring has evicted.
+func (s *Sampler) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// LastDelta returns the delta between the two most recent samples; ok is
+// false until two samples exist.
+func (s *Sampler) LastDelta() (Delta, bool) {
+	s.mu.Lock()
+	if s.count < 2 {
+		s.mu.Unlock()
+		return Delta{}, false
+	}
+	earlier := s.buf[(s.start+s.count-2)%len(s.buf)]
+	later := s.buf[(s.start+s.count-1)%len(s.buf)]
+	s.mu.Unlock()
+	return DeltaOf(earlier, later), true
+}

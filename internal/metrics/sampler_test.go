@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSamplerManualDeltas(t *testing.T) {
+	reg := NewRegistry(2)
+	s := NewSampler(reg, 0, 8) // manual mode
+
+	if _, ok := s.LastDelta(); ok {
+		t.Fatal("LastDelta available before any sample")
+	}
+	reg.Record(0, MsgSent, 3)
+	reg.Histogram(HistRPCCall).Observe(time.Millisecond)
+	s.SampleNow()
+	if _, ok := s.LastDelta(); ok {
+		t.Fatal("LastDelta available after one sample")
+	}
+	reg.Record(0, MsgSent, 5)
+	reg.Record(1, RegReadRemote, 2)
+	reg.Histogram(HistRPCCall).Observe(2 * time.Millisecond)
+	s.SampleNow()
+
+	d, ok := s.LastDelta()
+	if !ok {
+		t.Fatal("no delta after two samples")
+	}
+	if got := d.Counters.Total(MsgSent); got != 5 {
+		t.Errorf("delta msg_sent = %d, want 5 (pre-sampling events excluded)", got)
+	}
+	if got := d.Counters.Of(1, RegReadRemote); got != 2 {
+		t.Errorf("delta reg_read_remote = %d", got)
+	}
+	if got := d.Hists[HistRPCCall].Count; got != 1 {
+		t.Errorf("delta histogram count = %d, want 1", got)
+	}
+	if d.Interval() < 0 {
+		t.Errorf("negative interval %v", d.Interval())
+	}
+}
+
+func TestSamplerRingBounds(t *testing.T) {
+	reg := NewRegistry(1)
+	s := NewSampler(reg, 0, 4)
+	for i := 0; i < 10; i++ {
+		reg.Record(0, Steps, 1)
+		s.SampleNow()
+	}
+	got := s.Samples()
+	if len(got) != 4 {
+		t.Fatalf("retained %d samples, want 4", len(got))
+	}
+	if s.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", s.Dropped())
+	}
+	// Oldest-first: steps totals must be the last four, ascending.
+	for i, sm := range got {
+		if want := int64(7 + i); sm.Counters.Total(Steps) != want {
+			t.Errorf("sample %d has steps=%d, want %d", i, sm.Counters.Total(Steps), want)
+		}
+	}
+}
+
+func TestSamplerBackgroundGoroutine(t *testing.T) {
+	reg := NewRegistry(1)
+	s := NewSampler(reg, 5*time.Millisecond, 64)
+	s.Start()
+	s.Start() // idempotent
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.Samples()) < 3 {
+		if !time.Now().Before(deadline) {
+			t.Fatal("sampler took no samples")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	n := len(s.Samples())
+	time.Sleep(20 * time.Millisecond)
+	if len(s.Samples()) != n {
+		t.Error("sampler kept sampling after Stop")
+	}
+}
+
+func TestSamplerStopBeforeStart(t *testing.T) {
+	s := NewSampler(NewRegistry(1), time.Hour, 4)
+	s.Stop() // must not hang or panic
+}
+
+func TestDeltaRate(t *testing.T) {
+	now := time.Now()
+	c := NewCounters(1)
+	earlier := Sample{At: now, Counters: c.Snapshot(0)}
+	c.Record(0, MsgSent, 10)
+	later := Sample{At: now.Add(2 * time.Second), Counters: c.Snapshot(0)}
+	d := DeltaOf(earlier, later)
+	if got := d.Rate(MsgSent); got != 5 {
+		t.Errorf("rate = %v msg/s, want 5", got)
+	}
+	if got := (Delta{}).Rate(MsgSent); got != 0 {
+		t.Errorf("zero-interval rate = %v, want 0", got)
+	}
+}

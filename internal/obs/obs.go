@@ -1,0 +1,181 @@
+// Package obs is the export plane of the observability layer: a small
+// HTTP server that publishes one node's metrics registry, link health and
+// sampled rates, so a distributed run can be watched from outside the
+// process (curl, Prometheus, the mnmnode -watch poller).
+//
+// Three endpoints, all read-only:
+//
+//   - /metrics  — the full registry; Prometheus text exposition by
+//     default, the JSON schema of metrics.Export with ?format=json.
+//   - /healthz  — liveness plus link states; 200 once every outbound
+//     link of every hosted process is up, 503 while any is not.
+//   - /status   — one JSON object for humans and pollers: node label,
+//     hosted processes, link states, rates over the sampler's last
+//     interval, and any app-level fields (e.g. the elected leader).
+//
+// The package depends only on the registry, the transport interface and
+// net/http; it does not know about hosts or algorithms. Callers wire it
+// up (see cmd/mnmnode) and inject app-level state through Config.Status.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/metrics"
+	"github.com/mnm-model/mnm/internal/transport"
+)
+
+// Config wires one node's observable state into a Handler.
+type Config struct {
+	// Registry is the node's metrics registry. Required.
+	Registry *metrics.Registry
+	// Sampler, if non-nil, contributes per-interval rates to /status.
+	Sampler *metrics.Sampler
+	// Transport, if non-nil, contributes link states to /healthz and
+	// /status. Hosted names the processes that live on this node: the
+	// health check covers every directed link from a hosted process to a
+	// non-hosted one (intra-node links have no wire to be down).
+	Transport transport.Transport
+	Hosted    []core.ProcID
+	// Node is a human-readable label for this node (typically its
+	// transport listen address).
+	Node string
+	// Status, if non-nil, is invoked per /status request; its entries are
+	// merged into the response (keys colliding with built-ins are
+	// dropped). Values must be JSON-encodable.
+	Status func() map[string]any
+}
+
+// Health is the /healthz response body.
+type Health struct {
+	// Status is "ok" when every checked link is up, "degraded" otherwise.
+	Status string `json:"status"`
+	// Node is the configured node label.
+	Node string `json:"node,omitempty"`
+	// Links maps "p<from>->p<to>" to the link state for every checked
+	// link. Empty when no transport is configured.
+	Links map[string]string `json:"links,omitempty"`
+}
+
+// linkHealth evaluates every inter-node link of the hosted processes.
+func linkHealth(cfg Config) Health {
+	h := Health{Status: "ok", Node: cfg.Node}
+	if cfg.Transport == nil {
+		return h
+	}
+	hosted := make(map[core.ProcID]bool, len(cfg.Hosted))
+	for _, p := range cfg.Hosted {
+		hosted[p] = true
+	}
+	h.Links = make(map[string]string)
+	n := cfg.Transport.N()
+	for _, p := range cfg.Hosted {
+		for q := 0; q < n; q++ {
+			to := core.ProcID(q)
+			if hosted[to] {
+				continue
+			}
+			st := cfg.Transport.LinkState(p, to)
+			h.Links[fmt.Sprintf("p%d->p%d", p, to)] = st.String()
+			if st != transport.LinkUp {
+				h.Status = "degraded"
+			}
+		}
+	}
+	return h
+}
+
+// NewHandler builds the HTTP handler serving /metrics, /healthz and
+// /status for cfg.
+func NewHandler(cfg Config) (http.Handler, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("obs: Config.Registry is required")
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = metrics.WriteJSON(w, cfg.Registry)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = metrics.WritePrometheus(w, cfg.Registry)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := linkHealth(cfg)
+		w.Header().Set("Content-Type", "application/json")
+		if h.Status != "ok" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(h)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		st := map[string]any{"node": cfg.Node, "health": linkHealth(cfg).Status}
+		if len(cfg.Hosted) > 0 {
+			hosted := append([]core.ProcID(nil), cfg.Hosted...)
+			sort.Slice(hosted, func(i, j int) bool { return hosted[i] < hosted[j] })
+			st["hosted"] = hosted
+		}
+		if h := linkHealth(cfg); len(h.Links) > 0 {
+			st["links"] = h.Links
+		}
+		if cfg.Sampler != nil {
+			if d, ok := cfg.Sampler.LastDelta(); ok {
+				rates := make(map[string]float64, len(metrics.Kinds()))
+				for _, k := range metrics.Kinds() {
+					rates[k.String()] = d.Rate(k)
+				}
+				st["interval_ms"] = d.Interval().Milliseconds()
+				st["rates_per_sec"] = rates
+			}
+		}
+		if cfg.Status != nil {
+			for k, v := range cfg.Status() {
+				if _, taken := st[k]; !taken {
+					st[k] = v
+				}
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
+	})
+	return mux, nil
+}
+
+// Server is a running metrics endpoint. Close releases the listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP server for cfg on addr (host:port; port 0 picks a
+// free one). It returns once the listener is bound — scrapes can begin
+// immediately — and serves until Close.
+func Serve(addr string, cfg Config) (*Server, error) {
+	handler, err := NewHandler(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: handler}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (with the resolved port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close immediately closes the listener and any active connections.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -15,8 +15,10 @@ package rt
 import (
 	"encoding/gob"
 	"fmt"
+	"time"
 
 	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/metrics"
 )
 
 // memReadReq asks the owner's node to read Ref on behalf of Caller.
@@ -90,7 +92,9 @@ func (h *Host) readReg(p core.ProcID, ref core.Ref) (core.Value, error) {
 	if h.rpc == nil || h.hostedSet[ref.Owner] {
 		return h.mem.Read(p, ref)
 	}
+	start := time.Now()
 	resp, err := h.callRemote(p, ref.Owner, memReadReq{Caller: p, Ref: ref})
+	h.registry.Histogram(metrics.HistRemoteRead).Observe(time.Since(start))
 	if err != nil {
 		return nil, err
 	}
@@ -106,7 +110,9 @@ func (h *Host) writeReg(p core.ProcID, ref core.Ref, v core.Value) error {
 	if h.rpc == nil || h.hostedSet[ref.Owner] {
 		return h.mem.Write(p, ref, v)
 	}
+	start := time.Now()
 	_, err := h.callRemote(p, ref.Owner, memWriteReq{Caller: p, Ref: ref, Val: v})
+	h.registry.Histogram(metrics.HistRemoteWrite).Observe(time.Since(start))
 	return err
 }
 
@@ -115,7 +121,9 @@ func (h *Host) casReg(p core.ProcID, ref core.Ref, expected, desired core.Value)
 	if h.rpc == nil || h.hostedSet[ref.Owner] {
 		return h.mem.CompareAndSwap(p, ref, expected, desired)
 	}
+	start := time.Now()
 	resp, err := h.callRemote(p, ref.Owner, memCASReq{Caller: p, Ref: ref, Expected: expected, Desired: desired})
+	h.registry.Histogram(metrics.HistRemoteCAS).Observe(time.Since(start))
 	if err != nil {
 		return false, nil, err
 	}

@@ -66,6 +66,15 @@ type Config struct {
 	// implements transport.RPC (e.g. transport/tcp.Transport), because
 	// registers owned by remote processes are accessed through it.
 	Hosted []core.ProcID
+
+	// Registry, if non-nil, is the unified observability plane of the run:
+	// counters plus latency histograms, handed to the transport (via
+	// transport.Instrumentable) so every backend reports the same schema,
+	// and fed by the host's remote-register RPC timing. If nil, one is
+	// created around the run's counters. When both Registry and Counters
+	// are set and the registry already carries counters, the registry's
+	// counters win.
+	Registry *metrics.Registry
 }
 
 // Result is the structured outcome of a real-time run, mirroring
@@ -113,6 +122,7 @@ type Host struct {
 	tr        transport.Transport
 	rpc       transport.RPC // nil when every register owner is hosted
 	counters  *metrics.Counters
+	registry  *metrics.Registry
 	traceRec  *trace.Recorder
 	logf      func(format string, args ...any)
 	procs     []*rtProc // nil entries for processes hosted elsewhere
@@ -157,9 +167,20 @@ func New(cfg Config, alg core.Algorithm) (*Host, error) {
 	if cfg.Links == 0 {
 		cfg.Links = msgnet.Reliable
 	}
-	counters := cfg.Counters
+	registry := cfg.Registry
+	if registry == nil {
+		if cfg.Counters != nil {
+			registry = metrics.NewRegistryWith(cfg.Counters)
+		} else {
+			registry = metrics.NewRegistry(n)
+		}
+	} else if cfg.Counters != nil {
+		registry.AdoptCounters(cfg.Counters)
+	}
+	counters := registry.Counters()
 	if counters == nil {
 		counters = metrics.NewCounters(n)
+		registry.AdoptCounters(counters)
 	}
 
 	hosted, hostedSet, err := hostedProcs(n, cfg.Hosted)
@@ -205,6 +226,7 @@ func New(cfg Config, alg core.Algorithm) (*Host, error) {
 		tr:        tr,
 		rpc:       rpc,
 		counters:  counters,
+		registry:  registry,
 		traceRec:  cfg.Trace,
 		logf:      cfg.Logf,
 		procs:     make([]*rtProc, n),
@@ -213,6 +235,12 @@ func New(cfg Config, alg core.Algorithm) (*Host, error) {
 	}
 	if rpc != nil {
 		rpc.SetHandler(h.serveMem)
+	}
+	// Instrument the transport (after any adversary wrapping, before Dial)
+	// so backends with wire events — frames, reconnects, RPCs — report into
+	// the same registry as the host's own counters.
+	if in, ok := tr.(transport.Instrumentable); ok {
+		in.Instrument(registry)
 	}
 	if err := tr.Dial(); err != nil {
 		return nil, fmt.Errorf("rt: transport dial: %w", err)
@@ -443,6 +471,11 @@ func (h *Host) Network() *msgnet.Network {
 // Counters returns the live metrics counters.
 func (h *Host) Counters() *metrics.Counters { return h.counters }
 
+// Registry returns the run's observability registry: the same counters as
+// Counters plus the latency histograms fed by the transport and the
+// remote-register RPC path. Never nil.
+func (h *Host) Registry() *metrics.Registry { return h.registry }
+
 // N returns the system size.
 func (h *Host) N() int { return h.n }
 
@@ -483,15 +516,38 @@ func (e *rtEnv) Procs() []core.ProcID { return e.all }
 // Neighbors implements core.Env.
 func (e *rtEnv) Neighbors() []core.ProcID { return e.ps.neighbors }
 
+// traceOp records one operation into the run trace. Step carries the
+// process's local step count — the real-time analogue of the simulator's
+// global step. Yields are deliberately not traced: real-time polling loops
+// would flood the bounded ring with them and evict the events worth
+// keeping. Call sites guard on h.traceRec != nil before rendering the note
+// so an untraced run pays nothing.
+func (e *rtEnv) traceOp(k trace.Kind, ref core.Ref, to core.ProcID, note string) {
+	e.h.traceRec.Record(trace.Event{
+		Step: e.ps.steps.Load(),
+		Proc: e.ps.id,
+		Kind: k,
+		Ref:  ref,
+		To:   to,
+		Note: note,
+	})
+}
+
 // Send implements core.Env.
 func (e *rtEnv) Send(to core.ProcID, payload core.Value) error {
 	e.step()
+	if e.h.traceRec != nil {
+		e.traceOp(trace.Send, core.Ref{}, to, fmt.Sprintf("%v", payload))
+	}
 	return e.h.tr.Send(e.ps.id, to, payload)
 }
 
 // Broadcast implements core.Env.
 func (e *rtEnv) Broadcast(payload core.Value) error {
 	e.step()
+	if e.h.traceRec != nil {
+		e.traceOp(trace.Broadcast, core.Ref{}, core.NoProc, fmt.Sprintf("%v", payload))
+	}
 	return e.h.tr.Broadcast(e.ps.id, payload)
 }
 
@@ -506,18 +562,27 @@ func (e *rtEnv) TryRecv() (core.Message, bool) {
 // Read implements core.Env.
 func (e *rtEnv) Read(ref core.Ref) (core.Value, error) {
 	e.step()
+	if e.h.traceRec != nil {
+		e.traceOp(trace.RegRead, ref, core.NoProc, "")
+	}
 	return e.h.readReg(e.ps.id, ref)
 }
 
 // Write implements core.Env.
 func (e *rtEnv) Write(ref core.Ref, v core.Value) error {
 	e.step()
+	if e.h.traceRec != nil {
+		e.traceOp(trace.RegWrite, ref, core.NoProc, fmt.Sprintf("%v", v))
+	}
 	return e.h.writeReg(e.ps.id, ref, v)
 }
 
 // CompareAndSwap implements core.Env.
 func (e *rtEnv) CompareAndSwap(ref core.Ref, expected, desired core.Value) (bool, core.Value, error) {
 	e.step()
+	if e.h.traceRec != nil {
+		e.traceOp(trace.CAS, ref, core.NoProc, fmt.Sprintf("%v→%v", expected, desired))
+	}
 	return e.h.casReg(e.ps.id, ref, expected, desired)
 }
 
@@ -533,6 +598,9 @@ func (e *rtEnv) LocalSteps() uint64 { return e.ps.steps.Load() }
 
 // Expose implements core.Env.
 func (e *rtEnv) Expose(name string, v core.Value) {
+	if e.h.traceRec != nil {
+		e.traceOp(trace.Expose, core.Ref{}, core.NoProc, fmt.Sprintf("%s=%v", name, v))
+	}
 	e.ps.mu.Lock()
 	e.ps.exposed[name] = v
 	e.ps.mu.Unlock()

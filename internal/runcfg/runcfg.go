@@ -38,7 +38,9 @@ type RunConfig struct {
 	Counters *metrics.Counters
 	// Trace, if non-nil, records a structured event log of the run
 	// (bounded ring; see internal/trace). The simulator records every
-	// operation; the real-time host records Logf events only.
+	// operation; the real-time host records message sends, broadcasts,
+	// register operations, exposes and Logf events (yields are not traced:
+	// real-time polling loops would flood the ring).
 	Trace *trace.Recorder
 	// Logf, if non-nil, receives core.Env.Logf trace lines.
 	Logf func(format string, args ...any)

@@ -10,6 +10,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sync"
@@ -183,6 +184,46 @@ func (r *Recorder) Filter(pred func(Event) bool) []Event {
 		}
 	}
 	return out
+}
+
+// EventJSON is the JSONL wire form of one Event (see WriteJSONL).
+type EventJSON struct {
+	Step uint64 `json:"step"`
+	Proc int    `json:"proc"`
+	Kind string `json:"kind"`
+	// Ref renders the register for register events, empty otherwise.
+	Ref string `json:"ref,omitempty"`
+	// To is the destination process (Send events only).
+	To *int `json:"to,omitempty"`
+	// Note is the event's free-form detail.
+	Note string `json:"note,omitempty"`
+}
+
+// WriteJSONL dumps the retained events to w as JSON Lines, oldest first:
+// one object per event, preceded by a {"dropped": N} header line when the
+// ring evicted events. The format is stable for scripting (mnmnode -trace
+// writes it on exit; jq consumes it).
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if d := r.Dropped(); d > 0 {
+		if err := enc.Encode(map[string]uint64{"dropped": d}); err != nil {
+			return err
+		}
+	}
+	for _, e := range r.Events() {
+		ej := EventJSON{Step: e.Step, Proc: int(e.Proc), Kind: e.Kind.String(), Note: e.Note}
+		switch e.Kind {
+		case RegRead, RegWrite, CAS:
+			ej.Ref = fmt.Sprintf("%v", e.Ref)
+		case Send:
+			to := int(e.To)
+			ej.To = &to
+		}
+		if err := enc.Encode(ej); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // WriteTo dumps the retained events to w, oldest first, and reports bytes

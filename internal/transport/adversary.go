@@ -66,6 +66,18 @@ func (l *Lossy) Broadcast(from core.ProcID, payload core.Value) error {
 // TryRecv implements Transport.
 func (l *Lossy) TryRecv(p core.ProcID) (core.Message, bool) { return l.Inner.TryRecv(p) }
 
+// Instrument implements Instrumentable: drop accounting adopts the
+// registry's counters when none were supplied, and the registry is
+// forwarded to the wrapped backend.
+func (l *Lossy) Instrument(reg *metrics.Registry) {
+	if l.Counters == nil {
+		l.Counters = reg.Counters()
+	}
+	if in, ok := l.Inner.(Instrumentable); ok {
+		in.Instrument(reg)
+	}
+}
+
 // LinkState implements Transport.
 func (l *Lossy) LinkState(from, to core.ProcID) LinkState { return l.Inner.LinkState(from, to) }
 
@@ -88,8 +100,8 @@ type Delayed struct {
 	policy msgnet.DeliveryPolicy
 
 	mu   sync.Mutex
-	now  []uint64      // per-destination poll tick
-	held [][]heldMsg   // per-destination hold buffer, FIFO
+	now  []uint64    // per-destination poll tick
+	held [][]heldMsg // per-destination hold buffer, FIFO
 }
 
 type heldMsg struct {
@@ -170,6 +182,14 @@ func (d *Delayed) TryRecv(p core.ProcID) (core.Message, bool) {
 
 // LinkState implements Transport.
 func (d *Delayed) LinkState(from, to core.ProcID) LinkState { return d.inner.LinkState(from, to) }
+
+// Instrument implements Instrumentable by forwarding to the wrapped
+// backend: delaying delivery adds no events of its own.
+func (d *Delayed) Instrument(reg *metrics.Registry) {
+	if in, ok := d.inner.(Instrumentable); ok {
+		in.Instrument(reg)
+	}
+}
 
 // Close implements Transport.
 func (d *Delayed) Close() error { return d.inner.Close() }

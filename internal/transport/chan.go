@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/metrics"
 	"github.com/mnm-model/mnm/internal/msgnet"
 )
 
@@ -16,9 +17,13 @@ import (
 type Chan struct {
 	net    *msgnet.Network
 	closed atomic.Bool
+	reg    atomic.Pointer[metrics.Registry]
 }
 
-var _ Transport = (*Chan)(nil)
+var (
+	_ Transport      = (*Chan)(nil)
+	_ Instrumentable = (*Chan)(nil)
+)
 
 // NewChan returns an in-process transport among n processes with links of
 // the given kind. The msgnet options (drop policy, counters) are applied
@@ -31,6 +36,15 @@ func NewChan(n int, kind msgnet.LinkKind, opts ...msgnet.NetOption) *Chan {
 // Network exposes the underlying msgnet.Network for observer-level
 // inspection (mailbox lengths, in-flight counts) by tests and experiments.
 func (c *Chan) Network() *msgnet.Network { return c.net }
+
+// Instrument implements Instrumentable. The channel backend has no wire
+// events of its own — message counters flow through the msgnet counters
+// installed at construction — so the registry is only retained for
+// Registry, keeping the observability schema uniform across backends.
+func (c *Chan) Instrument(reg *metrics.Registry) { c.reg.Store(reg) }
+
+// Registry returns the registry installed by Instrument, or nil.
+func (c *Chan) Registry() *metrics.Registry { return c.reg.Load() }
 
 // N implements Transport.
 func (c *Chan) N() int { return c.net.N() }

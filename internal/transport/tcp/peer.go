@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/metrics"
 	"github.com/mnm-model/mnm/internal/transport"
 )
 
@@ -27,12 +28,24 @@ type peer struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
 	nextSeq  uint64
-	pending  []frame // unacked sequenced frames, in seq order
-	nextSend int     // index into pending of first frame unsent on conn
-	ctrl     []frame // unsequenced control frames (acks)
+	pending  []pendingFrame // unacked sequenced frames, in seq order
+	nextSend int            // index into pending of first frame unsent on conn
+	ctrl     []frame        // unsequenced control frames (acks)
 	conn     net.Conn
 	up       bool
 	closed   bool
+
+	// sendLoop-only state (no lock needed).
+	maxSent uint64 // highest sequence number ever written: marks retransmissions
+	everUp  bool   // a connection has succeeded before: marks reconnects
+}
+
+// pendingFrame is one unacknowledged sequenced frame plus the time it
+// entered the queue — the start of its frame_rtt measurement (enqueue→ack,
+// so the round trip includes any reconnect the frame had to wait out).
+type pendingFrame struct {
+	f          frame
+	enqueuedAt time.Time
 }
 
 func newPeer(t *Transport, addr string) *peer {
@@ -51,7 +64,7 @@ func (p *peer) enqueue(f frame) {
 	}
 	p.nextSeq++
 	f.Seq = p.nextSeq
-	p.pending = append(p.pending, f)
+	p.pending = append(p.pending, pendingFrame{f: f, enqueuedAt: time.Now()})
 	p.cond.Broadcast()
 }
 
@@ -66,16 +79,23 @@ func (p *peer) enqueueCtrl(f frame) {
 	p.cond.Broadcast()
 }
 
-// ack drops every pending frame with Seq ≤ upTo.
+// ack drops every pending frame with Seq ≤ upTo, metering each as acked
+// and feeding its enqueue→ack round trip into the frame_rtt histogram.
 func (p *peer) ack(upTo uint64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	drop := 0
-	for drop < len(p.pending) && p.pending[drop].Seq <= upTo {
+	for drop < len(p.pending) && p.pending[drop].f.Seq <= upTo {
 		drop++
 	}
 	if drop == 0 {
 		return
+	}
+	now := time.Now()
+	hist := p.t.registry().Histogram(metrics.HistFrameRTT)
+	for i := 0; i < drop; i++ {
+		p.t.record(p.pending[i].f.From, metrics.FrameAcked, 1)
+		hist.Observe(now.Sub(p.pending[i].enqueuedAt))
 	}
 	p.pending = append(p.pending[:0], p.pending[drop:]...)
 	p.nextSend -= drop
@@ -155,6 +175,7 @@ func (p *peer) sendLoop() {
 				err = p.handshake(conn)
 			}
 			if err != nil {
+				p.t.record(p.t.self, metrics.DialFailures, 1)
 				p.t.log("connect %s failed: %v (retrying in %v)", p.addr, err, backoff)
 				if !p.sleep(backoff) {
 					return
@@ -176,6 +197,10 @@ func (p *peer) sendLoop() {
 			p.up = true
 			p.nextSend = 0 // retransmit the unacked suffix
 			backoff = p.t.cfg.BackoffBase
+			if p.everUp {
+				p.t.record(p.t.self, metrics.Reconnects, 1)
+			}
+			p.everUp = true
 			p.t.wg.Add(1)
 			go p.watch(conn)
 		}
@@ -203,18 +228,30 @@ func (p *peer) sendLoop() {
 			p.ctrl = append(p.ctrl[:0], p.ctrl[1:]...)
 			isCtrl = true
 		} else {
-			f = p.pending[p.nextSend]
+			f = p.pending[p.nextSend].f
 			p.nextSend++
 		}
 		p.mu.Unlock()
 
 		conn.SetWriteDeadline(time.Now().Add(p.t.cfg.WriteTimeout))
-		if err := writeFrame(conn, &f); err != nil {
+		if err := writeFrame(conn, &f); err == nil {
+			if !isCtrl {
+				// A sequence number at or below the high-water mark has
+				// been written before: this write is a retransmission.
+				if f.Seq <= p.maxSent {
+					p.t.record(f.From, metrics.FrameRetrans, 1)
+				} else {
+					p.maxSent = f.Seq
+					p.t.record(f.From, metrics.FrameSent, 1)
+				}
+			}
+		} else {
 			if errors.Is(err, errEncode) {
 				// The frame can never be sent; drop it rather than
 				// retransmitting a permanent failure forever.
 				p.t.log("dropping frame to %s: %v", p.addr, err)
 				if !isCtrl {
+					p.t.record(f.From, metrics.FrameDropEncode, 1)
 					p.dropPending(f.Seq)
 				}
 				continue
@@ -262,8 +299,8 @@ func (p *peer) watch(conn net.Conn) {
 func (p *peer) dropPending(seq uint64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for i, f := range p.pending {
-		if f.Seq != seq {
+	for i, pf := range p.pending {
+		if pf.f.Seq != seq {
 			continue
 		}
 		p.pending = append(p.pending[:i], p.pending[i+1:]...)

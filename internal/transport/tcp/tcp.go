@@ -26,6 +26,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/mnm-model/mnm/internal/core"
@@ -51,6 +52,14 @@ type Config struct {
 	ListenAddr string
 	// Counters, if non-nil, meters MsgSent/MsgDelivered.
 	Counters *metrics.Counters
+	// Registry, if non-nil, receives the transport-plane observability
+	// schema: frame counters (sent/retransmitted/acked/drop-encode),
+	// connection lifecycle counters (reconnects, dial failures), RPC
+	// counters, and the frame_rtt / rpc_call latency histograms. When
+	// Counters is nil the registry's counters are adopted for message
+	// metering too. A registry can also be attached later (even while
+	// frames are flowing) via Instrument.
+	Registry *metrics.Registry
 	// Logf, if non-nil, receives connection lifecycle diagnostics.
 	Logf func(format string, args ...any)
 	// ConnectTimeout bounds each connection attempt. Default 2s.
@@ -94,9 +103,16 @@ type Transport struct {
 	cfg    Config
 	n      int
 	hosted map[core.ProcID]bool
+	self   core.ProcID // lowest hosted process: attribution for node-level events
 	addr   string
 	lis    net.Listener
 	logf   func(string, ...any)
+
+	// reg and counters are atomic so Instrument can attach observability
+	// while connections are already live (the host instruments after the
+	// transport is constructed, and inbound frames may arrive first).
+	reg      atomic.Pointer[metrics.Registry]
+	counters atomic.Pointer[metrics.Counters]
 
 	mu        sync.Mutex
 	addrs     []string
@@ -120,8 +136,9 @@ type callResult struct {
 }
 
 var (
-	_ transport.Transport = (*Transport)(nil)
-	_ transport.RPC       = (*Transport)(nil)
+	_ transport.Transport      = (*Transport)(nil)
+	_ transport.RPC            = (*Transport)(nil)
+	_ transport.Instrumentable = (*Transport)(nil)
 )
 
 // New binds the node's listener and starts accepting inbound connections.
@@ -162,6 +179,7 @@ func New(cfg Config) (*Transport, error) {
 		cfg:       cfg,
 		n:         cfg.N,
 		hosted:    hosted,
+		self:      minHosted(hosted),
 		addr:      addr,
 		lis:       lis,
 		logf:      cfg.Logf,
@@ -171,6 +189,12 @@ func New(cfg Config) (*Transport, error) {
 		calls:     make(map[uint64]chan callResult),
 		inbound:   make(map[net.Conn]bool),
 		done:      make(chan struct{}),
+	}
+	if cfg.Counters != nil {
+		t.counters.Store(cfg.Counters)
+	}
+	if cfg.Registry != nil {
+		t.Instrument(cfg.Registry)
 	}
 	if cfg.Addrs != nil {
 		if err := t.SetAddrs(cfg.Addrs); err != nil {
@@ -225,6 +249,33 @@ func (t *Transport) SetAddrs(addrs []string) error {
 
 // N implements transport.Transport.
 func (t *Transport) N() int { return t.n }
+
+// Instrument implements transport.Instrumentable: the registry receives the
+// frame counters (sent/retransmitted/acked/drop-encode), the connection
+// lifecycle counters (reconnects, dial failures — attributed to this node's
+// lowest hosted process), the RPC counters, and the frame_rtt / rpc_call
+// histograms. When no Counters were configured, the registry's counters are
+// adopted so MsgSent/MsgDelivered are metered as well. Safe to call while
+// frames are already flowing.
+func (t *Transport) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	t.reg.Store(reg)
+	if c := reg.Counters(); c != nil && t.cfg.Counters == nil {
+		t.counters.Store(c)
+	}
+}
+
+// registry returns the attached registry. A nil result is fine: every
+// metrics call on a nil registry or histogram is a no-op.
+func (t *Transport) registry() *metrics.Registry { return t.reg.Load() }
+
+// record meters one counter event against the active counter set (the
+// configured Counters or the adopted registry counters).
+func (t *Transport) record(p core.ProcID, k metrics.Kind, delta int64) {
+	t.counters.Load().Record(p, k, delta)
+}
 
 // Dial implements transport.Transport: it starts one connection manager
 // per remote node. Connections are established asynchronously with
@@ -289,7 +340,7 @@ func (t *Transport) Send(from, to core.ProcID, payload core.Value) error {
 	if int(from) < 0 || int(from) >= t.n {
 		return fmt.Errorf("%w: send from %v", core.ErrUnknownProc, from)
 	}
-	t.cfg.Counters.Record(from, metrics.MsgSent, 1)
+	t.record(from, metrics.MsgSent, 1)
 	if t.hosted[to] {
 		t.mu.Lock()
 		if t.closed {
@@ -329,7 +380,7 @@ func (t *Transport) Broadcast(from core.ProcID, payload core.Value) error {
 // deliverLocked appends m to the mailbox of hosted process to.
 func (t *Transport) deliverLocked(m core.Message, to core.ProcID) {
 	t.mailboxes[to] = append(t.mailboxes[to], m)
-	t.cfg.Counters.Record(to, metrics.MsgDelivered, 1)
+	t.record(to, metrics.MsgDelivered, 1)
 }
 
 // TryRecv implements transport.Transport.
@@ -410,17 +461,24 @@ func (t *Transport) Call(from, to core.ProcID, req core.Value) (core.Value, erro
 	p := t.peerLocked(t.addrs[to])
 	t.mu.Unlock()
 
+	t.record(from, metrics.RPCIssued, 1)
+	start := time.Now()
 	p.enqueue(frame{Kind: frameReq, From: from, To: to, CallID: id, Payload: req})
+	var res callResult
 	select {
-	case res := <-ch:
-		return res.val, res.err
+	case res = <-ch:
 	case <-t.done:
 		t.dropCall(id)
-		return nil, transport.ErrClosed
+		res = callResult{err: transport.ErrClosed}
 	case <-time.After(t.cfg.CallTimeout):
 		t.dropCall(id)
-		return nil, fmt.Errorf("tcp: call to %v timed out after %v", to, t.cfg.CallTimeout)
+		res = callResult{err: fmt.Errorf("tcp: call to %v timed out after %v", to, t.cfg.CallTimeout)}
 	}
+	t.registry().Histogram(metrics.HistRPCCall).Observe(time.Since(start))
+	if res.err != nil {
+		t.record(from, metrics.RPCFailed, 1)
+	}
+	return res.val, res.err
 }
 
 func (t *Transport) dropCall(id uint64) {

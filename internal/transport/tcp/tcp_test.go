@@ -12,6 +12,7 @@ import (
 	"github.com/mnm-model/mnm/internal/core"
 	"github.com/mnm-model/mnm/internal/hbo"
 	"github.com/mnm-model/mnm/internal/leader"
+	"github.com/mnm-model/mnm/internal/metrics"
 	"github.com/mnm-model/mnm/internal/mutex"
 	"github.com/mnm-model/mnm/internal/rsm"
 	"github.com/mnm-model/mnm/internal/transport"
@@ -246,5 +247,133 @@ func TestHostedSameNodeShortCircuit(t *testing.T) {
 	}
 	if st := nodes[0].LinkState(0, 1); st != transport.LinkUp {
 		t.Fatalf("intra-node link state = %v, want %v", st, transport.LinkUp)
+	}
+}
+
+// awaitTotal polls a counter kind's total until it reaches want, failing
+// after a deadline. Frame acks arrive asynchronously, so assertions on
+// frame counters must be "eventually" assertions.
+func awaitTotal(t *testing.T, c *metrics.Counters, k metrics.Kind, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Total(k) >= want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("counter %v total = %d, want >= %d", k, c.Total(k), want)
+}
+
+// TestInstrumentationMetersFramesAndRPC attaches a metrics.Registry to a
+// live two-node cluster and checks the full transport observability schema:
+// adopted message counters, frame sent/acked accounting, reconnect events
+// after a connection kill, the frame_rtt histogram, and the RPC counters
+// with the rpc_call histogram — including the failure path.
+func TestInstrumentationMetersFramesAndRPC(t *testing.T) {
+	nodes := newCluster(t, 2, [][]core.ProcID{{0}, {1}})
+	regs := []*metrics.Registry{metrics.NewRegistry(2), metrics.NewRegistry(2)}
+	nodes[0].Instrument(regs[0])
+	nodes[1].Instrument(regs[1])
+
+	// First half: establish the link and confirm delivery, so the kill
+	// below hits a live connection (not a dial still in flight).
+	const total = 40
+	for i := 0; i < total/2; i++ {
+		if err := nodes[0].Send(0, 1, i); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	for i := 0; i < total/2; i++ {
+		recvOne(t, nodes[1], 1)
+	}
+	nodes[0].KillConnections()
+	nodes[1].KillConnections()
+	for i := total / 2; i < total; i++ {
+		if err := nodes[0].Send(0, 1, i); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	for i := total / 2; i < total; i++ {
+		recvOne(t, nodes[1], 1)
+	}
+
+	c0, c1 := regs[0].Counters(), regs[1].Counters()
+	if got := c0.Of(0, metrics.MsgSent); got != total {
+		t.Errorf("adopted counters: MsgSent = %d, want %d", got, total)
+	}
+	if got := c1.Of(1, metrics.MsgDelivered); got != total {
+		t.Errorf("adopted counters: MsgDelivered = %d, want %d", got, total)
+	}
+	// Every data frame is written fresh exactly once and acked exactly once.
+	awaitTotal(t, c0, metrics.FrameSent, total)
+	awaitTotal(t, c0, metrics.FrameAcked, total)
+	if got := c0.Of(0, metrics.FrameSent); got != total {
+		t.Errorf("FrameSent = %d, want %d", got, total)
+	}
+	// The kill must have produced at least one reconnect on the sender.
+	awaitTotal(t, c0, metrics.Reconnects, 1)
+	h := regs[0].Histogram(metrics.HistFrameRTT).Snapshot()
+	if h.Count != total {
+		t.Errorf("frame_rtt count = %d, want %d (one observation per acked frame)", h.Count, total)
+	}
+	if h.Max() <= 0 {
+		t.Errorf("frame_rtt max = %v, want > 0", h.Max())
+	}
+
+	nodes[1].SetHandler(func(from core.ProcID, req core.Value) (core.Value, error) {
+		if req == "boom" {
+			return nil, core.ErrAccessDenied
+		}
+		return req, nil
+	})
+	if v, err := nodes[0].Call(0, 1, "ping"); err != nil || v != "ping" {
+		t.Fatalf("Call = %v, %v", v, err)
+	}
+	if _, err := nodes[0].Call(0, 1, "boom"); !errors.Is(err, core.ErrAccessDenied) {
+		t.Fatalf("Call(boom) err = %v, want ErrAccessDenied", err)
+	}
+	if got := c0.Of(0, metrics.RPCIssued); got != 2 {
+		t.Errorf("RPCIssued = %d, want 2", got)
+	}
+	if got := c0.Of(0, metrics.RPCFailed); got != 1 {
+		t.Errorf("RPCFailed = %d, want 1", got)
+	}
+	if hc := regs[0].Histogram(metrics.HistRPCCall).Count(); hc != 2 {
+		t.Errorf("rpc_call count = %d, want 2", hc)
+	}
+}
+
+// TestInstrumentationDialFailures points a node at an address nobody
+// listens on and checks dial failures are metered against the node's
+// lowest hosted process.
+func TestInstrumentationDialFailures(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := lis.Addr().String()
+	lis.Close() // free the port: connects will be refused
+
+	reg := metrics.NewRegistry(2)
+	tr, err := tcp.New(tcp.Config{
+		N:          2,
+		Hosted:     []core.ProcID{0},
+		ListenAddr: "127.0.0.1:0",
+		Registry:   reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if err := tr.SetAddrs([]string{tr.Addr(), dead}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Dial(); err != nil {
+		t.Fatal(err)
+	}
+	awaitTotal(t, reg.Counters(), metrics.DialFailures, 1)
+	if got := reg.Counters().Of(0, metrics.DialFailures); got < 1 {
+		t.Errorf("dial failures attributed to p0 = %d, want >= 1", got)
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/metrics"
 )
 
 // LinkState describes the liveness of one directed link.
@@ -99,6 +100,18 @@ type RPC interface {
 	// incoming request and its return value is sent back to the caller.
 	// It must be installed before Dial.
 	SetHandler(fn func(from core.ProcID, req core.Value) (core.Value, error))
+}
+
+// Instrumentable is the optional observability plane of a transport:
+// backends that implement it report into a metrics.Registry — message and
+// frame counters under the registry's Counters, round-trip latencies under
+// its named Histograms — so every backend exposes the same schema. The
+// real-time host instruments its transport (after any adversary wrapping)
+// with the run's registry; wrappers forward to their inner backend.
+// Instrument must be safe to call while the transport is live: frames can
+// already be flowing when the host attaches its registry.
+type Instrumentable interface {
+	Instrument(reg *metrics.Registry)
 }
 
 // ErrClosed reports an operation on a closed transport.

@@ -31,6 +31,7 @@ package mnm
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/mnm-model/mnm/internal/benor"
 	"github.com/mnm-model/mnm/internal/core"
@@ -40,6 +41,7 @@ import (
 	"github.com/mnm-model/mnm/internal/metrics"
 	"github.com/mnm-model/mnm/internal/msgnet"
 	"github.com/mnm-model/mnm/internal/mutex"
+	"github.com/mnm-model/mnm/internal/obs"
 	"github.com/mnm-model/mnm/internal/paxos"
 	"github.com/mnm-model/mnm/internal/regcons"
 	"github.com/mnm-model/mnm/internal/rsm"
@@ -121,6 +123,22 @@ type (
 	Counters = metrics.Counters
 	// Snapshot is a point-in-time copy of Counters.
 	Snapshot = metrics.Snapshot
+	// MetricsRegistry bundles one run's Counters with named latency
+	// histograms; set RTConfig.Registry (or read RTHost.Registry()) to
+	// observe a real-time run's transport and remote-register traffic.
+	MetricsRegistry = metrics.Registry
+	// MetricsSampler snapshots a registry into a bounded time-series
+	// ring with per-interval Delta/Rate views.
+	MetricsSampler = metrics.Sampler
+	// MetricsDelta is the difference between two sampler snapshots.
+	MetricsDelta = metrics.Delta
+	// Histogram is a lock-free fixed-bucket latency histogram.
+	Histogram = metrics.Histogram
+	// ObsConfig wires a registry (plus optional sampler and transport)
+	// into an HTTP observability handler.
+	ObsConfig = obs.Config
+	// ObsServer is a running /metrics /healthz /status endpoint.
+	ObsServer = obs.Server
 	// TraceRecorder is a bounded structured event log for simulated runs
 	// (install via SimConfig.Trace).
 	TraceRecorder = trace.Recorder
@@ -229,10 +247,37 @@ const (
 	RegWriteLocal  = metrics.RegWriteLocal
 	RegWriteRemote = metrics.RegWriteRemote
 	StepsMetric    = metrics.Steps
+
+	// Transport-layer kinds (socket backends; see internal/metrics).
+	FrameSent       = metrics.FrameSent
+	FrameRetrans    = metrics.FrameRetrans
+	FrameAcked      = metrics.FrameAcked
+	FrameDropEncode = metrics.FrameDropEncode
+	Reconnects      = metrics.Reconnects
+	DialFailures    = metrics.DialFailures
+	RPCIssued       = metrics.RPCIssued
+	RPCFailed       = metrics.RPCFailed
+	LeaderChanges   = metrics.LeaderChanges
 )
 
 // NewCounters returns a metric store for n processes.
 func NewCounters(n int) *Counters { return metrics.NewCounters(n) }
+
+// NewMetricsRegistry returns a registry with fresh counters for n
+// processes; histograms are created on first use.
+func NewMetricsRegistry(n int) *MetricsRegistry { return metrics.NewRegistry(n) }
+
+// NewMetricsSampler returns a sampler snapshotting reg every interval
+// into a ring of the given capacity (non-positive interval = manual
+// SampleNow only). Call Start to begin periodic sampling.
+func NewMetricsSampler(reg *MetricsRegistry, interval time.Duration, capacity int) *MetricsSampler {
+	return metrics.NewSampler(reg, interval, capacity)
+}
+
+// ServeMetrics starts an HTTP observability endpoint (/metrics in
+// Prometheus and JSON form, /healthz with link states, /status with
+// sampled rates) for cfg on addr; port 0 picks a free one.
+func ServeMetrics(addr string, cfg ObsConfig) (*ObsServer, error) { return obs.Serve(addr, cfg) }
 
 // NewTraceRecorder returns a bounded event recorder keeping the most
 // recent capacity events.
