@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWallClockExperimentsExcludedFromAll pins the selection contract
+// that keeps `-experiment all` byte-identical per seed: the wall-clock
+// TPUT experiment never rides along with "all" and must be named.
+func TestWallClockExperimentsExcludedFromAll(t *testing.T) {
+	all, err := selectExperiments("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range all {
+		if e.WallClock {
+			t.Errorf("wall-clock experiment %s selected by \"all\"", e.ID)
+		}
+	}
+	named, err := selectExperiments("TPUT")
+	if err != nil {
+		t.Fatalf("explicit TPUT selection failed: %v", err)
+	}
+	if len(named) != 1 || named[0].ID != "TPUT" {
+		t.Fatalf("explicit selection returned %v, want [TPUT]", named)
+	}
+}
+
+// TestBenchTransportTrajectory runs -bench-transport twice against the
+// same file and checks the append-only trajectory contract: runs
+// accumulate in order, the schema survives a round trip, and the measured
+// fields are sane. It also checks the refuse-to-overwrite guard for a
+// file that is not a trajectory.
+func TestBenchTransportTrajectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_transport.json")
+
+	for i, label := range []string{"first", "second"} {
+		var out, errOut bytes.Buffer
+		code := run([]string{"-quick", "-bench-transport", path, "-bench-label", label}, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("run %d exit code %d, stderr: %s", i, code, errOut.String())
+		}
+		if !strings.Contains(out.String(), "send throughput:") {
+			t.Errorf("run %d summary missing throughput line:\n%s", i, out.String())
+		}
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file benchFile
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatalf("trajectory not parseable: %v", err)
+	}
+	if file.Schema != benchSchema {
+		t.Errorf("schema = %q, want %q", file.Schema, benchSchema)
+	}
+	if len(file.Runs) != 2 {
+		t.Fatalf("got %d runs, want 2 (append-only)", len(file.Runs))
+	}
+	for i, want := range []string{"first", "second"} {
+		r := file.Runs[i]
+		if r.Label != want {
+			t.Errorf("run %d label = %q, want %q", i, r.Label, want)
+		}
+		if !r.Quick {
+			t.Errorf("run %d quick = false, want true", i)
+		}
+		if r.SendFramesPerSec <= 0 || r.BroadcastMsgsPerSec <= 0 || r.RPCMeanMicros <= 0 {
+			t.Errorf("run %d has non-positive measurements: %+v", i, r)
+		}
+		if r.FramesSent < int64(r.SendFrames) {
+			t.Errorf("run %d frames_sent = %d, want >= %d data frames", i, r.FramesSent, r.SendFrames)
+		}
+		if r.FrameBatches < 1 || r.FrameBatches > r.FramesSent {
+			t.Errorf("run %d frame_batches = %d outside [1, %d]", i, r.FrameBatches, r.FramesSent)
+		}
+		if r.AckFlushes < 1 || r.AckFlushes > r.FramesSent {
+			t.Errorf("run %d ack_flushes = %d outside [1, %d]", i, r.AckFlushes, r.FramesSent)
+		}
+	}
+
+	// A file with the wrong schema must be refused, not clobbered.
+	bogus := filepath.Join(t.TempDir(), "notes.json")
+	if err := os.WriteFile(bogus, []byte(`{"schema":"something-else"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-quick", "-bench-transport", bogus}, &out, &errOut); code == 0 {
+		t.Fatal("appending to a non-trajectory file succeeded, want refusal")
+	}
+	after, err := os.ReadFile(bogus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != `{"schema":"something-else"}` {
+		t.Errorf("refused file was modified:\n%s", after)
+	}
+}

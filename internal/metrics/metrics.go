@@ -41,6 +41,11 @@ const (
 	FrameRetrans
 	FrameAcked
 	FrameDropEncode
+	// FrameBatches counts send-loop flushes: each is one batch of frames
+	// written with a single syscall (see HistBatchFrames for the batch
+	// size distribution). FrameSent/FrameBatches is the average
+	// frames-per-syscall amortization of the batched wire.
+	FrameBatches
 	Reconnects
 	DialFailures
 	// RPC-plane kinds: remote-register calls issued by a process and
@@ -81,6 +86,8 @@ func (k Kind) String() string {
 		return "frame_acked"
 	case FrameDropEncode:
 		return "frame_drop_encode"
+	case FrameBatches:
+		return "frame_batches"
 	case Reconnects:
 		return "reconnects"
 	case DialFailures:

@@ -20,6 +20,11 @@ const (
 	// HistRPCCall is the transport-level RPC round trip (request enqueued
 	// until the response frame arrives), recorded by socket backends.
 	HistRPCCall = "rpc_call"
+	// HistBatchFrames is the frames-per-flush distribution of the batched
+	// send loop. It is a value histogram recorded via ObserveValue (one
+	// frame = 1µs in the exported duration schema); read it back with
+	// HistSnapshot.ValueQuantile/MeanValue.
+	HistBatchFrames = "batch_frames"
 	// HistRemoteRead/Write/CAS are the host-level remote-register
 	// operation latencies, recorded around the RPC by internal/rt.
 	HistRemoteRead  = "remote_read"

@@ -6,6 +6,7 @@ import (
 
 	"github.com/mnm-model/mnm/internal/core"
 	"github.com/mnm-model/mnm/internal/metrics"
+	"github.com/mnm-model/mnm/internal/queue"
 )
 
 // Network is a fully connected set of directed links among n processes,
@@ -30,7 +31,7 @@ type Network struct {
 
 	mu        sync.Mutex
 	inflight  []flight
-	mailboxes [][]core.Message
+	mailboxes []queue.Ring[core.Message]
 	sendSeq   uint64
 }
 
@@ -74,7 +75,7 @@ func NewNetwork(n int, kind LinkKind, opts ...NetOption) *Network {
 		kind:      kind,
 		drop:      NoDrop{},
 		delivery:  Immediate{},
-		mailboxes: make([][]core.Message, n),
+		mailboxes: make([]queue.Ring[core.Message], n),
 	}
 	for _, o := range opts {
 		o(net)
@@ -135,7 +136,7 @@ func (net *Network) Broadcast(from core.ProcID, payload core.Value, now uint64) 
 }
 
 func (net *Network) deliverLocked(f flight) {
-	net.mailboxes[f.to] = append(net.mailboxes[f.to], core.Message{From: f.from, Payload: f.pay})
+	net.mailboxes[f.to].Push(core.Message{From: f.from, Payload: f.pay})
 	net.counters.Record(f.to, metrics.MsgDelivered, 1)
 }
 
@@ -165,23 +166,16 @@ func (net *Network) Tick(now uint64) {
 	net.inflight = rest
 }
 
-// Recv pops the next message from p's mailbox.
+// Recv pops the next message from p's mailbox. Mailboxes are ring
+// buffers: the pop is O(1) whatever the queue depth, and the vacated slot
+// is zeroed so the buffer does not pin delivered payloads.
 func (net *Network) Recv(p core.ProcID) (core.Message, bool) {
 	if int(p) < 0 || int(p) >= net.n {
 		return core.Message{}, false
 	}
 	net.mu.Lock()
 	defer net.mu.Unlock()
-	box := net.mailboxes[p]
-	if len(box) == 0 {
-		return core.Message{}, false
-	}
-	m := box[0]
-	// Shift rather than re-slice so the backing array does not pin
-	// delivered payloads forever.
-	copy(box, box[1:])
-	net.mailboxes[p] = box[:len(box)-1]
-	return m, true
+	return net.mailboxes[p].Pop()
 }
 
 // InFlight returns the number of undelivered (queued) messages.
@@ -198,5 +192,5 @@ func (net *Network) MailboxLen(p core.ProcID) int {
 	}
 	net.mu.Lock()
 	defer net.mu.Unlock()
-	return len(net.mailboxes[p])
+	return net.mailboxes[p].Len()
 }

@@ -1,0 +1,72 @@
+// Package queue provides the growable ring buffer backing per-process
+// mailboxes in the message substrates (internal/msgnet, the TCP
+// transport).
+//
+// Mailboxes were previously plain slices popped with copy(box, box[1:]),
+// which shifts the whole queue on every receive — O(depth) per op, so a
+// reader catching up on a deep mailbox paid a quadratic total. A ring
+// pops in O(1) and still zeroes vacated slots so delivered payloads are
+// not pinned by the backing array.
+package queue
+
+// Ring is a FIFO queue over a growable circular buffer. Push and Pop are
+// amortized O(1). The zero value is an empty ring ready for use. Ring is
+// not safe for concurrent use; callers hold their own lock (mailbox rings
+// live under the substrate mutex).
+type Ring[T any] struct {
+	buf  []T
+	head int // index of the oldest element
+	n    int // number of queued elements
+}
+
+// minRingCap is the initial capacity of a ring's first allocation.
+const minRingCap = 8
+
+// Len returns the number of queued elements.
+func (r *Ring[T]) Len() int { return r.n }
+
+// Push appends v to the tail of the queue.
+func (r *Ring[T]) Push(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+// Pop removes and returns the oldest element. The vacated slot is zeroed
+// so the buffer does not keep the element's payload reachable.
+func (r *Ring[T]) Pop() (T, bool) {
+	var zero T
+	if r.n == 0 {
+		return zero, false
+	}
+	v := r.buf[r.head]
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return v, true
+}
+
+// Peek returns the oldest element without removing it.
+func (r *Ring[T]) Peek() (T, bool) {
+	var zero T
+	if r.n == 0 {
+		return zero, false
+	}
+	return r.buf[r.head], true
+}
+
+// grow doubles the buffer, unwrapping the queue to the front.
+func (r *Ring[T]) grow() {
+	capacity := len(r.buf) * 2
+	if capacity < minRingCap {
+		capacity = minRingCap
+	}
+	buf := make([]T, capacity)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = buf
+	r.head = 0
+}

@@ -1,0 +1,73 @@
+package queue
+
+import (
+	"testing"
+)
+
+func TestRingFIFOAcrossWraparound(t *testing.T) {
+	var r Ring[int]
+	if _, ok := r.Pop(); ok {
+		t.Fatal("Pop on empty ring reported a value")
+	}
+	// Interleave pushes and pops so head walks around the buffer several
+	// times while the ring grows through multiple capacities.
+	next, want := 0, 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < round; i++ {
+			r.Push(next)
+			next++
+		}
+		for i := 0; i < round/2; i++ {
+			v, ok := r.Pop()
+			if !ok || v != want {
+				t.Fatalf("Pop = %d,%v; want %d", v, ok, want)
+			}
+			want++
+		}
+	}
+	if r.Len() != next-want {
+		t.Fatalf("Len = %d, want %d", r.Len(), next-want)
+	}
+	if v, ok := r.Peek(); !ok || v != want {
+		t.Fatalf("Peek = %d,%v; want %d", v, ok, want)
+	}
+	for want < next {
+		v, ok := r.Pop()
+		if !ok || v != want {
+			t.Fatalf("drain Pop = %d,%v; want %d", v, ok, want)
+		}
+		want++
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len after drain = %d, want 0", r.Len())
+	}
+}
+
+func TestRingPopZeroesSlot(t *testing.T) {
+	var r Ring[*int]
+	x := new(int)
+	r.Push(x)
+	if v, ok := r.Pop(); !ok || v != x {
+		t.Fatal("Pop did not return the pushed pointer")
+	}
+	// The vacated slot must not keep the pointer reachable.
+	for i := range r.buf {
+		if r.buf[i] != nil {
+			t.Fatalf("slot %d still holds a pointer after Pop", i)
+		}
+	}
+}
+
+func TestRingSteadyStateDoesNotAllocate(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 1024; i++ {
+		r.Push(i)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Push(1)
+		r.Pop()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state push+pop allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -201,25 +201,38 @@ func TestLeaderElectionOverTCP(t *testing.T) {
 			want := awaitCommonLeader(t, []*Host{hChan, hChan, hChan})
 			hChan.Stop()
 
-			hosts, _ := newTCPHosts(t, g, 5, alg)
-			for _, h := range hosts {
-				h.Start()
+			// The TCP run is retried a few times: on a loaded
+			// single-CPU box (and under race instrumentation) a
+			// detector tick can stall long enough for a peer's
+			// step-counted heartbeat timer to lapse and legitimately
+			// accuse a correct leader during startup, permanently
+			// shifting the election to another correct process.
+			// Agreement on a common stable leader — Ω's actual
+			// guarantee — is asserted on every attempt; identity
+			// parity with the in-process run just needs one attempt
+			// without a spurious accusation.
+			const attempts = 3
+			var got core.ProcID
+			for a := 1; ; a++ {
+				hosts, _ := newTCPHosts(t, g, 5, alg)
+				for _, h := range hosts {
+					h.Start()
+				}
+				got = awaitCommonLeader(t, hosts)
+				for _, h := range hosts {
+					h.Stop()
+				}
+				if got == want || a == attempts {
+					break
+				}
+				t.Logf("attempt %d: TCP run elected %v, in-process run elected %v; retrying (startup accusation)", a, got, want)
 			}
-			got := awaitCommonLeader(t, hosts)
 			if raceEnabled {
-				// Race instrumentation slows a detector tick by an
-				// order of magnitude — enough for a peer's
-				// step-counted heartbeat timer to lapse and
-				// legitimately accuse a correct leader, shifting the
-				// election to another correct process. Agreement on a
-				// common stable leader (checked above) is Ω's
-				// guarantee and still holds; identity parity with the
-				// in-process run is asserted only without -race.
 				t.Logf("race build: common stable leader %v (in-process run elected %v)", got, want)
 				return
 			}
 			if got != want {
-				t.Fatalf("TCP run elected %v, in-process run elected %v", got, want)
+				t.Fatalf("TCP run elected %v, in-process run elected %v (%d attempts)", got, want, attempts)
 			}
 			if got != core.ProcID(0) {
 				t.Fatalf("elected %v with no crashes, want p0", got)

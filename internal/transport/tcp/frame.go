@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"github.com/mnm-model/mnm/internal/core"
 )
@@ -56,19 +57,37 @@ type frame struct {
 // a corrupt stream.
 const maxFrameSize = 16 << 20
 
+// batchBufSize sizes the per-connection bufio buffers: the send loop's
+// batch writer (one flush syscall per batch) and the receive loop's
+// reader (one read syscall typically yields a whole batch, whose frames
+// are then acked with a single cumulative ack). Frames larger than the
+// buffer still work — bufio spills to the socket mid-batch — they just
+// cost extra syscalls.
+const batchBufSize = 64 << 10
+
 // errEncode marks frames that can never be written — an unregistered gob
 // type or an oversized body. The send loop drops such frames instead of
 // treating them as connection faults, because retransmitting them would
 // fail identically forever.
 var errEncode = errors.New("tcp: frame not encodable")
 
+// bufPool recycles the scratch buffers of the frame codec. Encoding and
+// decoding each borrow one buffer per frame instead of allocating — gob
+// fully copies payload data into/out of the buffer, so a frame never
+// retains pool memory after the call returns.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // writeFrame encodes f as a length-prefixed gob body. A fresh encoder per
 // frame re-sends type metadata, which costs a little bandwidth but keeps
 // every frame self-contained — decoding never depends on stream history,
-// so reconnects cannot desynchronize the codec.
+// so reconnects (and partially flushed batches) cannot desynchronize the
+// codec. w is typically a *bufio.Writer: the prefix and body land in the
+// batch buffer and reach the socket in one flush.
 func writeFrame(w io.Writer, f *frame) error {
-	var body bytes.Buffer
-	if err := gob.NewEncoder(&body).Encode(f); err != nil {
+	body := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(body)
+	body.Reset()
+	if err := gob.NewEncoder(body).Encode(f); err != nil {
 		return fmt.Errorf("%w: %v (register the payload type with encoding/gob)", errEncode, err)
 	}
 	if body.Len() > maxFrameSize {
@@ -93,12 +112,17 @@ func readFrame(r io.Reader) (*frame, error) {
 	if n > maxFrameSize {
 		return nil, fmt.Errorf("tcp: frame length %d exceeds limit", n)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
+	body := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(body)
+	body.Reset()
+	if _, err := io.CopyN(body, r, int64(n)); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
 		return nil, err
 	}
 	var f frame
-	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&f); err != nil {
+	if err := gob.NewDecoder(body).Decode(&f); err != nil {
 		return nil, fmt.Errorf("tcp: decode frame: %w", err)
 	}
 	return &f, nil

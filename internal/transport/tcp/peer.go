@@ -1,6 +1,7 @@
 package tcp
 
 import (
+	"bufio"
 	"errors"
 	"net"
 	"strings"
@@ -21,6 +22,16 @@ import (
 // frame not yet written to the *current* connection; a reconnect rewinds
 // it to 0, retransmitting the whole unacknowledged suffix. The receiver's
 // duplicate filter (Transport.accept) makes the retransmission idempotent.
+//
+// The send loop is batched: each wakeup drains the whole backlog (queued
+// control frames plus the unsent pending suffix) into one bufio.Writer
+// and flushes once — one write syscall and one write deadline per batch
+// instead of two syscalls and a deadline per frame. Frames stay
+// individually length-prefixed and gob-self-contained, so a batch is just
+// a concatenation on the wire: a connection kill mid-flush leaves the
+// receiver with a prefix of whole frames (the TCP stream never tears a
+// frame into something decodable), and the usual rewind-and-retransmit
+// recovers the rest without loss or duplication.
 type peer struct {
 	t    *Transport
 	addr string
@@ -48,6 +59,12 @@ type pendingFrame struct {
 	enqueuedAt time.Time
 }
 
+// outFrame is one batch entry in the send loop's scratch buffer.
+type outFrame struct {
+	f      frame
+	isCtrl bool
+}
+
 func newPeer(t *Transport, addr string) *peer {
 	p := &peer{t: t, addr: addr}
 	p.cond = sync.NewCond(&p.mu)
@@ -68,41 +85,59 @@ func (p *peer) enqueue(f frame) {
 	p.cond.Broadcast()
 }
 
-// enqueueCtrl queues an unsequenced control frame.
+// enqueueCtrl queues an unsequenced control frame. Cumulative acks subsume
+// one another, so an ack folds into an already-queued ack instead of
+// growing the queue — the sender-side half of ack coalescing.
 func (p *peer) enqueueCtrl(f frame) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
 		return
 	}
+	if f.Kind == frameAck {
+		for i := range p.ctrl {
+			if p.ctrl[i].Kind == frameAck {
+				if f.AckTo > p.ctrl[i].AckTo {
+					p.ctrl[i].AckTo = f.AckTo
+				}
+				return
+			}
+		}
+	}
 	p.ctrl = append(p.ctrl, f)
 	p.cond.Broadcast()
 }
 
-// ack drops every pending frame with Seq ≤ upTo, metering each as acked
-// and feeding its enqueue→ack round trip into the frame_rtt histogram.
+// ack drops every pending frame with Seq ≤ upTo. The metrics work — one
+// FrameAcked count and one frame_rtt observation per covered frame —
+// happens after the lock is released, so a slow histogram never
+// serializes the send loop behind the receive path.
 func (p *peer) ack(upTo uint64) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	drop := 0
 	for drop < len(p.pending) && p.pending[drop].f.Seq <= upTo {
 		drop++
 	}
 	if drop == 0 {
+		p.mu.Unlock()
 		return
 	}
-	now := time.Now()
-	hist := p.t.registry().Histogram(metrics.HistFrameRTT)
-	for i := 0; i < drop; i++ {
-		p.t.record(p.pending[i].f.From, metrics.FrameAcked, 1)
-		hist.Observe(now.Sub(p.pending[i].enqueuedAt))
-	}
+	acked := make([]pendingFrame, drop)
+	copy(acked, p.pending[:drop])
 	p.pending = append(p.pending[:0], p.pending[drop:]...)
 	p.nextSend -= drop
 	if p.nextSend < 0 {
 		p.nextSend = 0
 	}
 	p.cond.Broadcast()
+	p.mu.Unlock()
+
+	now := time.Now()
+	hist := p.t.registry().Histogram(metrics.HistFrameRTT)
+	for i := range acked {
+		p.t.record(acked[i].f.From, metrics.FrameAcked, 1)
+		hist.Observe(now.Sub(acked[i].enqueuedAt))
+	}
 }
 
 // state reports the link state for LinkState.
@@ -129,17 +164,22 @@ func (p *peer) killConn() {
 	}
 }
 
-// waitDrained blocks until every sequenced frame has been acked or the
-// deadline passes.
+// waitDrained blocks until every sequenced frame has been acked (and every
+// queued control frame written) or the deadline passes. It waits on the
+// peer's condition variable — ack, the send loop and shutdown broadcast on
+// every queue transition — so the drain wakes exactly when pending
+// empties instead of polling.
 func (p *peer) waitDrained(deadline time.Time) {
-	for {
+	timer := time.AfterFunc(time.Until(deadline), func() {
 		p.mu.Lock()
-		empty := len(p.pending) == 0 && len(p.ctrl) == 0
+		p.cond.Broadcast()
 		p.mu.Unlock()
-		if empty || !time.Now().Before(deadline) {
-			return
-		}
-		time.Sleep(2 * time.Millisecond)
+	})
+	defer timer.Stop()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for (len(p.pending) > 0 || len(p.ctrl) > 0) && !p.closed && time.Now().Before(deadline) {
+		p.cond.Wait()
 	}
 }
 
@@ -159,12 +199,17 @@ func (p *peer) shutdown() {
 
 // sendLoop owns the outbound connection: it dials (with per-attempt
 // ConnectTimeout and bounded exponential backoff between attempts),
-// writes queued frames, and on any write error tears the connection down
-// and starts over, rewinding nextSend so the unacknowledged suffix is
-// retransmitted.
+// writes queued frames in batches, and on any write error tears the
+// connection down and starts over, rewinding nextSend so the
+// unacknowledged suffix is retransmitted.
 func (p *peer) sendLoop() {
 	defer p.t.wg.Done()
 	backoff := p.t.cfg.BackoffBase
+	var (
+		curConn net.Conn
+		bw      *bufio.Writer
+		batch   []outFrame
+	)
 	for {
 		// Ensure a live connection.
 		p.mu.Lock()
@@ -221,54 +266,82 @@ func (p *peer) sendLoop() {
 			p.mu.Unlock()
 			continue
 		}
-		var f frame
-		var isCtrl bool
-		if len(p.ctrl) > 0 {
-			f = p.ctrl[0]
-			p.ctrl = append(p.ctrl[:0], p.ctrl[1:]...)
-			isCtrl = true
-		} else {
-			f = p.pending[p.nextSend].f
-			p.nextSend++
+		// Take the whole backlog — control frames first (acks unblock the
+		// remote's drain), then the unsent pending suffix — as one batch.
+		batch = batch[:0]
+		for _, f := range p.ctrl {
+			batch = append(batch, outFrame{f: f, isCtrl: true})
 		}
+		p.ctrl = p.ctrl[:0]
+		for ; p.nextSend < len(p.pending); p.nextSend++ {
+			batch = append(batch, outFrame{f: p.pending[p.nextSend].f})
+		}
+		p.cond.Broadcast() // ctrl emptied: a drain may be waiting on it
 		p.mu.Unlock()
 
+		if conn != curConn {
+			curConn = conn
+			bw = bufio.NewWriterSize(conn, batchBufSize)
+		}
+		// One deadline and (via the single flush below) one syscall for
+		// the whole batch.
 		conn.SetWriteDeadline(time.Now().Add(p.t.cfg.WriteTimeout))
-		if err := writeFrame(conn, &f); err == nil {
-			if !isCtrl {
+		var werr error
+		wrote := 0
+		for i := range batch {
+			of := &batch[i]
+			if err := writeFrame(bw, &of.f); err != nil {
+				if errors.Is(err, errEncode) {
+					// The frame can never be sent; drop it rather than
+					// retransmitting a permanent failure forever.
+					p.t.log("dropping frame to %s: %v", p.addr, err)
+					if !of.isCtrl {
+						p.t.record(of.f.From, metrics.FrameDropEncode, 1)
+						p.dropPending(of.f.Seq)
+					}
+					continue
+				}
+				werr = err
+				break
+			}
+			wrote++
+			if !of.isCtrl {
 				// A sequence number at or below the high-water mark has
 				// been written before: this write is a retransmission.
-				if f.Seq <= p.maxSent {
-					p.t.record(f.From, metrics.FrameRetrans, 1)
+				if of.f.Seq <= p.maxSent {
+					p.t.record(of.f.From, metrics.FrameRetrans, 1)
 				} else {
-					p.maxSent = f.Seq
-					p.t.record(f.From, metrics.FrameSent, 1)
+					p.maxSent = of.f.Seq
+					p.t.record(of.f.From, metrics.FrameSent, 1)
 				}
 			}
-		} else {
-			if errors.Is(err, errEncode) {
-				// The frame can never be sent; drop it rather than
-				// retransmitting a permanent failure forever.
-				p.t.log("dropping frame to %s: %v", p.addr, err)
-				if !isCtrl {
-					p.t.record(f.From, metrics.FrameDropEncode, 1)
-					p.dropPending(f.Seq)
-				}
+		}
+		if werr == nil {
+			if wrote == 0 {
+				continue // whole batch dropped as unencodable
+			}
+			if werr = bw.Flush(); werr == nil {
+				p.t.record(p.t.self, metrics.FrameBatches, 1)
+				p.t.registry().Histogram(metrics.HistBatchFrames).ObserveValue(int64(wrote))
 				continue
 			}
-			p.t.log("write to %s failed: %v (reconnecting)", p.addr, err)
-			p.mu.Lock()
-			if p.conn == conn {
-				p.conn = nil
-				p.up = false
-			}
-			if isCtrl {
-				// Acks are idempotent but cheap to keep.
-				p.ctrl = append([]frame{f}, p.ctrl...)
-			}
-			p.mu.Unlock()
-			conn.Close()
 		}
+		p.t.log("write to %s failed: %v (reconnecting)", p.addr, werr)
+		p.mu.Lock()
+		if p.conn == conn {
+			p.conn = nil
+			p.up = false
+		}
+		// Requeue the batch's control frames: some may not have reached
+		// the wire, and re-sending an ack is harmless (acks are
+		// idempotent and cumulative, and enqueueCtrl folds them anyway).
+		for i := range batch {
+			if batch[i].isCtrl {
+				p.ctrl = append(p.ctrl, batch[i].f)
+			}
+		}
+		p.mu.Unlock()
+		conn.Close()
 	}
 }
 
@@ -307,6 +380,7 @@ func (p *peer) dropPending(seq uint64) {
 		if i < p.nextSend {
 			p.nextSend--
 		}
+		p.cond.Broadcast()
 		return
 	}
 }
@@ -325,8 +399,10 @@ func (p *peer) handshake(conn net.Conn) error {
 // sleep waits d or until the transport closes; it reports whether the
 // send loop should keep running.
 func (p *peer) sleep(d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
 	select {
-	case <-time.After(d):
+	case <-timer.C:
 		return true
 	case <-p.t.done:
 		return false

@@ -21,8 +21,8 @@ import (
 
 // newCluster builds one tcp.Transport per node over loopback ephemeral
 // ports, each hosting the listed processes, with the address table wired
-// up and all nodes dialed.
-func newCluster(t *testing.T, n int, hosted [][]core.ProcID) []*tcp.Transport {
+// up and all nodes dialed. It takes a testing.TB so benchmarks share it.
+func newCluster(t testing.TB, n int, hosted [][]core.ProcID) []*tcp.Transport {
 	t.Helper()
 	nodes := make([]*tcp.Transport, len(hosted))
 	for i, hs := range hosted {

@@ -253,6 +253,7 @@ const (
 	FrameRetrans    = metrics.FrameRetrans
 	FrameAcked      = metrics.FrameAcked
 	FrameDropEncode = metrics.FrameDropEncode
+	FrameBatches    = metrics.FrameBatches
 	Reconnects      = metrics.Reconnects
 	DialFailures    = metrics.DialFailures
 	RPCIssued       = metrics.RPCIssued
