@@ -1,0 +1,101 @@
+// Command mnmvet machine-checks the repo's own invariants: the rules the
+// compiler cannot see but the m&m protocols are only correct under.
+//
+//	go run ./cmd/mnmvet ./...          # whole repo (what CI's lint job runs)
+//	go run ./cmd/mnmvet -list          # describe the rules
+//	go run ./cmd/mnmvet -run wiregob,timerleak ./internal/...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+//
+// The five rules (see DESIGN.md "Machine-checked invariants"):
+//
+//	simdeterminism  no wall clock / global rand in deterministic packages
+//	wiregob         every wire-crossing type is gob-registered
+//	lockedblocking  no blocking work while a mutex is held
+//	timerleak       no time.After in loops, no time.Tick
+//	stopselect      channel waits in rt/transport are stop-interruptible
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/mnm-model/mnm/internal/analysis"
+	"github.com/mnm-model/mnm/internal/analysis/loader"
+	"github.com/mnm-model/mnm/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("mnmvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: mnmvet [-list] [-run rules] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := suite.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "mnmvet: unknown analyzer %q (use -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "mnmvet: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "mnmvet: %v\n", err)
+		return 2
+	}
+	broken := false
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			broken = true
+			fmt.Fprintf(stderr, "mnmvet: %s: %v\n", pkg.ImportPath, terr)
+		}
+	}
+	if broken {
+		return 2
+	}
+	diags := analysis.CheckAll(pkgs, analyzers...)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "mnmvet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

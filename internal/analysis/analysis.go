@@ -1,0 +1,259 @@
+// Package analysis is the mnmvet framework: a self-contained
+// reimplementation of the golang.org/x/tools/go/analysis pattern
+// (Analyzer / Pass / Diagnostic) on the standard library alone, so the
+// repo stays dependency-free while its invariants are machine-checked.
+//
+// The analyzers encode rules the compiler cannot see but the m&m
+// protocols die without: per-seed byte-identical simulation, gob
+// registration of every wire-crossing type, no blocking work under a
+// peer lock, no timer leaks in loops, and stop-interruptible channel
+// waits in the runtime layer. See DESIGN.md "Machine-checked
+// invariants" for the rule-to-theorem mapping.
+//
+// # Directives
+//
+// Three comment directives tune the rules, all greppable under the
+// common prefix //mnmvet::
+//
+//	//mnmvet:scope <rule>            (file level) opt the whole package
+//	                                 into a scoped rule — how fixture
+//	                                 packages activate simdeterminism
+//	                                 and stopselect.
+//	//mnmvet:exempt <rule> [reason]  (file level) opt one file out of a
+//	                                 rule; e.g. internal/expt's
+//	                                 wall-clock transport benchmark is
+//	                                 exempt from simdeterminism.
+//	//mnmvet:allow <rule> [reason]   (line level) suppress one finding on
+//	                                 this line or the next; the reason
+//	                                 should say why the invariant still
+//	                                 holds.
+//
+// File-level directives must appear before the package clause ends (in
+// practice: in the file header); line-level directives sit on or
+// immediately above the offending line.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"github.com/mnm-model/mnm/internal/analysis/loader"
+)
+
+// Analyzer is one mnmvet rule.
+type Analyzer struct {
+	// Name identifies the rule in output and directives.
+	Name string
+	// Doc is a one-paragraph description (shown by mnmvet -list).
+	Doc string
+	// Scope restricts the rule to packages whose import path ends in one
+	// of these suffixes (path-segment aligned). Empty means every
+	// package. A //mnmvet:scope directive opts additional packages in.
+	Scope []string
+	// Run reports the rule's findings on one package.
+	Run func(*Pass)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Rule is the reporting analyzer's name.
+	Rule string
+	// Message states the violation and the fix direction.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Rule, d.Message)
+}
+
+// Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *loader.Package
+
+	directives *directives
+	diags      []Diagnostic
+}
+
+// Reportf records a finding at pos unless an //mnmvet:allow or
+// //mnmvet:exempt directive suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.directives.suppressed(p.Analyzer.Name, position) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:     position,
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// FileExempt reports whether the file containing pos opted out of this
+// analyzer, for rules that want to skip whole files cheaply.
+func (p *Pass) FileExempt(pos token.Pos) bool {
+	return p.directives.fileExempt(p.Analyzer.Name, p.Pkg.Fset.Position(pos).Filename)
+}
+
+// active reports whether a runs on pkg: unscoped analyzers run
+// everywhere; scoped ones on matching import paths or packages carrying
+// a //mnmvet:scope directive.
+func active(a *Analyzer, pkg *loader.Package, dirs *directives) bool {
+	if len(a.Scope) == 0 {
+		return true
+	}
+	for _, suffix := range a.Scope {
+		if pkg.ImportPath == suffix || strings.HasSuffix(pkg.ImportPath, "/"+suffix) {
+			return true
+		}
+	}
+	return dirs.scoped(a.Name)
+}
+
+// Check runs the analyzers over one package and returns the surviving
+// diagnostics in position order.
+func Check(pkg *loader.Package, analyzers ...*Analyzer) []Diagnostic {
+	dirs := parseDirectives(pkg)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		if !active(a, pkg, dirs) {
+			continue
+		}
+		pass := &Pass{Analyzer: a, Pkg: pkg, directives: dirs}
+		a.Run(pass)
+		out = append(out, pass.diags...)
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// CheckAll runs the analyzers over every package and returns all
+// diagnostics, ordered by position.
+func CheckAll(pkgs []*loader.Package, analyzers ...*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		out = append(out, Check(pkg, analyzers...)...)
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i].Pos, ds[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+}
+
+// directives is the parsed //mnmvet: directive set of one package.
+type directives struct {
+	// scopes holds rules the package opted into via //mnmvet:scope.
+	scopes map[string]bool
+	// exempts maps rule → set of exempt filenames.
+	exempts map[string]map[string]bool
+	// allows maps rule → file → set of lines with an allow directive.
+	// A directive on line L suppresses findings on L and L+1, so both
+	// trailing and preceding-line placements work.
+	allows map[string]map[string]map[int]bool
+}
+
+const directivePrefix = "//mnmvet:"
+
+func parseDirectives(pkg *loader.Package) *directives {
+	d := &directives{
+		scopes:  map[string]bool{},
+		exempts: map[string]map[string]bool{},
+		allows:  map[string]map[string]map[int]bool{},
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					continue
+				}
+				verb, rule := fields[0], fields[1]
+				pos := pkg.Fset.Position(c.Pos())
+				switch verb {
+				case "scope":
+					d.scopes[rule] = true
+				case "exempt":
+					if d.exempts[rule] == nil {
+						d.exempts[rule] = map[string]bool{}
+					}
+					d.exempts[rule][pos.Filename] = true
+				case "allow":
+					if d.allows[rule] == nil {
+						d.allows[rule] = map[string]map[int]bool{}
+					}
+					if d.allows[rule][pos.Filename] == nil {
+						d.allows[rule][pos.Filename] = map[int]bool{}
+					}
+					d.allows[rule][pos.Filename][pos.Line] = true
+				}
+			}
+		}
+	}
+	return d
+}
+
+func (d *directives) scoped(rule string) bool { return d.scopes[rule] }
+
+func (d *directives) fileExempt(rule, filename string) bool {
+	return d.exempts[rule][filename]
+}
+
+func (d *directives) suppressed(rule string, pos token.Position) bool {
+	if d.fileExempt(rule, pos.Filename) {
+		return true
+	}
+	lines := d.allows[rule][pos.Filename]
+	return lines[pos.Line] || lines[pos.Line-1]
+}
+
+// --- shared AST/type helpers for the analyzers ---
+
+// CalleeFunc resolves the *types.Func a call expression invokes, through
+// either a plain identifier or a selector. It returns nil for calls of
+// function-typed values, conversions and built-ins.
+func CalleeFunc(pkg *loader.Package, call *ast.CallExpr) *ast.Ident {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun
+	case *ast.SelectorExpr:
+		return fun.Sel
+	}
+	return nil
+}
+
+// ExprString renders a canonical source-ish form of simple expressions
+// (identifiers and selector chains), used to key mutexes by their
+// syntactic path ("p.mu"). Unkeyable expressions render as "".
+func ExprString(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := ExprString(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,278 @@
+// Package loader turns Go source into type-checked packages for the
+// mnmvet analyzers without any dependency outside the standard library.
+//
+// The usual foundation for a vet-style tool is golang.org/x/tools
+// (go/packages for loading, go/analysis for the driver). This repo is
+// deliberately dependency-free, so the loader reimplements the small
+// slice of that machinery the analyzers actually need:
+//
+//   - `go list -deps -export -json` enumerates the target packages and
+//     hands us compiled export data for every dependency out of the
+//     build cache (works offline; the toolchain is the only requirement);
+//   - the targets themselves are parsed from source with full comments
+//     (the analyzers read //mnmvet: directives) and type-checked with
+//     go/types, resolving imports through go/importer's gc reader over
+//     that export data.
+//
+// The result is exactly what an analysis pass wants: syntax trees with
+// positions plus a fully populated types.Info, at a cost of one `go list`
+// invocation per Load.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	// ImportPath is the package's import path ("fixture/<dir>" for
+	// packages loaded from a bare directory outside the build graph).
+	ImportPath string
+	// Dir is the directory holding the package's sources.
+	Dir string
+	// Fset maps token positions for Files.
+	Fset *token.FileSet
+	// Files are the parsed sources, comments included.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info holds the use/def/type/selection tables for Files.
+	Info *types.Info
+	// TypeErrors collects type-checking problems. Analysis proceeds on a
+	// best-effort basis when non-empty; drivers should surface them.
+	TypeErrors []error
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -deps -export -json=...` for args in dir and
+// decodes the package stream.
+func goList(dir string, args []string) ([]listPkg, error) {
+	cmdArgs := append([]string{
+		"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,DepOnly,Error",
+	}, args...)
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ModuleRoot walks upward from dir to the enclosing go.mod directory.
+func ModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("loader: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// exportImporter resolves imports from compiled export data via the
+// stdlib gc importer. One instance is shared across all targets of a Load
+// so common dependencies are read once.
+type exportImporter struct {
+	imp     types.Importer
+	exports map[string]string
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	e := &exportImporter{exports: exports}
+	e.imp = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := e.exports[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("loader: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return e
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	return e.imp.Import(path)
+}
+
+// typecheck parses files in dir and type-checks them as importPath.
+func typecheck(importPath, dir string, goFiles []string, fset *token.FileSet, imp types.Importer) (*Package, error) {
+	pkg := &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		},
+	}
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("loader: parse %s: %v", filepath.Join(dir, name), err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("loader: no Go files in %s", dir)
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Types, _ = conf.Check(importPath, fset, pkg.Files, pkg.Info)
+	return pkg, nil
+}
+
+// Load expands patterns (e.g. "./...") relative to dir — which must sit
+// inside a module — and returns every matched package, parsed from source
+// and type-checked against the build cache's export data.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	root, err := ModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	var targets []listPkg
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && p.Name != "" {
+			if p.Error != nil {
+				return nil, fmt.Errorf("loader: %s: %s", p.ImportPath, p.Error.Err)
+			}
+			targets = append(targets, p)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		pkg, err := typecheck(t.ImportPath, t.Dir, t.GoFiles, fset, imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// LoadDir type-checks the single package in dir, which may live outside
+// the build graph (the analyzer fixtures under testdata do). Imports are
+// resolved by asking `go list` for the export data of exactly the paths
+// the sources mention.
+func LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	sort.Strings(goFiles)
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("loader: no Go files in %s", abs)
+	}
+	// Pre-parse imports-only to learn the dependency set.
+	depSet := map[string]bool{}
+	preFset := token.NewFileSet()
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(preFset, filepath.Join(abs, name), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, fmt.Errorf("loader: parse %s: %v", filepath.Join(abs, name), err)
+		}
+		for _, imp := range f.Imports {
+			depSet[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	exports := map[string]string{}
+	if len(depSet) > 0 {
+		deps := make([]string, 0, len(depSet))
+		for d := range depSet {
+			deps = append(deps, d)
+		}
+		sort.Strings(deps)
+		// Run from the module root when there is one so repo-internal
+		// imports resolve; fall back to the fixture dir otherwise.
+		listDir := abs
+		if root, err := ModuleRoot(abs); err == nil {
+			listDir = root
+		}
+		listed, err := goList(listDir, deps)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	return typecheck("fixture/"+filepath.Base(abs), abs, goFiles, fset, imp)
+}

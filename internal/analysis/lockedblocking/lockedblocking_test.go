@@ -1,0 +1,12 @@
+package lockedblocking_test
+
+import (
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/analysis/lockedblocking"
+	"github.com/mnm-model/mnm/internal/analysis/vettest"
+)
+
+func TestFixtures(t *testing.T) {
+	vettest.Run(t, "../testdata/lockedblocking", lockedblocking.Analyzer)
+}

@@ -1,0 +1,12 @@
+package simdeterminism_test
+
+import (
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/analysis/simdeterminism"
+	"github.com/mnm-model/mnm/internal/analysis/vettest"
+)
+
+func TestFixtures(t *testing.T) {
+	vettest.Run(t, "../testdata/simdeterminism", simdeterminism.Analyzer)
+}

@@ -1,0 +1,12 @@
+package stopselect_test
+
+import (
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/analysis/stopselect"
+	"github.com/mnm-model/mnm/internal/analysis/vettest"
+)
+
+func TestFixtures(t *testing.T) {
+	vettest.Run(t, "../testdata/stopselect", stopselect.Analyzer)
+}

@@ -1,0 +1,23 @@
+// Package suite registers the full mnmvet analyzer set, shared by the
+// cmd/mnmvet driver and the repo-cleanliness test.
+package suite
+
+import (
+	"github.com/mnm-model/mnm/internal/analysis"
+	"github.com/mnm-model/mnm/internal/analysis/lockedblocking"
+	"github.com/mnm-model/mnm/internal/analysis/simdeterminism"
+	"github.com/mnm-model/mnm/internal/analysis/stopselect"
+	"github.com/mnm-model/mnm/internal/analysis/timerleak"
+	"github.com/mnm-model/mnm/internal/analysis/wiregob"
+)
+
+// All returns every mnmvet analyzer, in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		simdeterminism.Analyzer,
+		wiregob.Analyzer,
+		lockedblocking.Analyzer,
+		timerleak.Analyzer,
+		stopselect.Analyzer,
+	}
+}

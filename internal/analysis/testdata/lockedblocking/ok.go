@@ -1,0 +1,62 @@
+// Negative fixture: the disciplined patterns the analyzer must accept —
+// snapshot-then-unlock, hand-over-hand, Cond.Wait, non-blocking selects,
+// and goroutines launched under a lock but not holding it.
+package lockfix
+
+import "log"
+
+func (s *state) snapshotThenLog() {
+	s.mu.Lock()
+	n := len(s.ch)
+	s.mu.Unlock()
+	log.Println(n) // lock released: fine
+	s.ch <- n
+}
+
+func (s *state) condWait() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.ch) == 0 {
+		s.cond.Wait() // releases s.mu while parked: fine
+	}
+}
+
+func (s *state) earlyUnlockBranch() {
+	s.mu.Lock()
+	if len(s.ch) == 0 {
+		s.mu.Unlock()
+		return
+	}
+	// A branch above released the lock: the region is no longer provably
+	// held, so the conservative walker stays silent from here on.
+	log.Println("not provably held")
+	s.mu.Unlock()
+}
+
+func (s *state) goroutineUnder() {
+	s.mu.Lock()
+	go func() {
+		s.ch <- 9 // separate goroutine: does not hold s.mu
+	}()
+	s.mu.Unlock()
+}
+
+func (s *state) nonBlockingSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		_ = v
+	default: // cannot park: fine
+	}
+}
+
+func (s *state) pureWorkUnder() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for i := 0; i < cap(s.ch); i++ {
+		total += i
+	}
+	return total
+}

@@ -1,0 +1,28 @@
+// Positive fixture: wall-clock and global-rand uses that must be
+// flagged in a deterministic package. The scope directive below stands
+// in for the import-path scoping the real packages get.
+//
+//mnmvet:scope simdeterminism
+package detfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Clocky(epoch time.Time) time.Time {
+	time.Sleep(time.Millisecond)      // want "wall clock"
+	_ = time.Since(epoch)             // want "wall clock"
+	_ = time.After(time.Millisecond)  // want "wall clock"
+	t := time.NewTimer(time.Second)   // want "wall clock"
+	defer t.Stop()
+	return time.Now() // want "wall clock"
+}
+
+func GlobalRand() int {
+	if rand.Intn(2) == 0 { // want "process-wide state"
+		return rand.Int() // want "process-wide state"
+	}
+	rand.Shuffle(3, func(i, j int) {}) // want "process-wide state"
+	return 0
+}

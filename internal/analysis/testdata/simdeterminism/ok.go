@@ -1,0 +1,24 @@
+// Negative fixture: the allowed surface — seeded sources, rand.Rand
+// methods, duration constants and arithmetic — reports nothing.
+package detfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+const pollEvery = 10 * time.Millisecond
+
+func SeededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+
+func DurationMath(d time.Duration) time.Duration {
+	return d.Round(pollEvery) + 2*time.Second
+}
+
+func suppressed() time.Time {
+	//mnmvet:allow simdeterminism exercising the line-level directive
+	return time.Now()
+}

@@ -1,0 +1,13 @@
+// Negative fixture for the file-level opt-out: a wall-clock-by-design
+// file (the transportbench.go pattern) reports nothing.
+//
+//mnmvet:exempt simdeterminism deliberate wall-clock benchmark fixture
+package detfix
+
+import "time"
+
+func WallClockBench() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}

@@ -1,0 +1,69 @@
+// Fixture for stopselect: long-lived runtime/transport goroutines must
+// never park on a channel op that a Stop/Close cannot interrupt. The
+// scope directive stands in for the internal/rt + internal/transport
+// import-path scoping the real packages get.
+//
+//mnmvet:scope stopselect
+package stopfix
+
+import "time"
+
+type node struct {
+	ch   chan int
+	stop chan struct{}
+}
+
+func (n *node) bareRecv() int {
+	return <-n.ch // want "blocking receive outside select"
+}
+
+func (n *node) bareSend(v int) {
+	n.ch <- v // want "channel send outside select"
+}
+
+func (n *node) stoplessSelect() {
+	select { // want "select with no stop/done, timer or default case"
+	case v := <-n.ch:
+		_ = v
+	case n.ch <- 1:
+	}
+}
+
+func (n *node) okStopCase() int {
+	select {
+	case v := <-n.ch:
+		return v
+	case <-n.stop:
+		return 0
+	}
+}
+
+func (n *node) okDefault() int {
+	select {
+	case v := <-n.ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+func (n *node) okTimerCase(t *time.Timer) int {
+	select {
+	case v := <-n.ch:
+		return v
+	case <-t.C:
+		return 0
+	}
+}
+
+func (n *node) okDoneField(done chan struct{}) {
+	select {
+	case n.ch <- 1:
+	case <-done:
+	}
+}
+
+func (n *node) allowedSend() {
+	// Never blocks: buffered(1), sole sender — the remote.go pattern.
+	n.ch <- 1 //mnmvet:allow stopselect buffered(1), sole sender
+}

@@ -1,0 +1,55 @@
+// Fixture for timerleak: time.After allocates a timer that is only
+// reclaimed when it fires, so calling it once per loop iteration leaks
+// a timer per tick; time.Tick leaks its ticker unconditionally.
+package timerfix
+
+import "time"
+
+func pollAfter(done chan struct{}) {
+	for {
+		select {
+		case <-time.After(time.Second): // want "leaks one live timer per iteration"
+		case <-done:
+			return
+		}
+	}
+}
+
+func rangeAfter(items []int, done chan struct{}) {
+	for range items {
+		select {
+		case <-time.After(time.Millisecond): // want "leaks one live timer per iteration"
+		case <-done:
+			return
+		}
+	}
+}
+
+func tickLeak() <-chan time.Time {
+	return time.Tick(time.Second) // want "can never be stopped and leaks"
+}
+
+func okOnce(d time.Duration, done chan struct{}) {
+	select {
+	case <-time.After(d): // outside a loop: one timer, fine
+	case <-done:
+	}
+}
+
+func okReusedTimer(d time.Duration, n int) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	for i := 0; i < n; i++ {
+		t.Reset(d)
+		<-t.C
+	}
+}
+
+func okFuncLitInLoop(n int) {
+	for i := 0; i < n; i++ {
+		// The literal is a separate context (called zero or many times):
+		// not treated as a per-iteration leak.
+		after := func() <-chan time.Time { return time.After(time.Millisecond) }
+		_ = after
+	}
+}

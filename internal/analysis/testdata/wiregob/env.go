@@ -1,0 +1,57 @@
+// Positive fixture: a package with a wire.go must register every local
+// type it hands to the wire surface (interface methods named Send /
+// Broadcast / Write / CompareAndSwap with interface-typed payload
+// parameters — the core.Env shape).
+package wirefix
+
+// Value mirrors core.Value.
+type Value any
+
+// Env mirrors the wire surface of core.Env.
+type Env interface {
+	Send(to int, payload Value) error
+	Broadcast(payload Value) error
+	Write(ref string, v Value) error
+	CompareAndSwap(ref string, expected, desired Value) (bool, Value, error)
+}
+
+type RegisteredMsg struct{ X int }
+
+type UnregisteredMsg struct{ Y int }
+
+type UnregisteredReg struct{ N int }
+
+type UnregisteredVal int
+
+func Use(env Env) error {
+	if err := env.Broadcast(RegisteredMsg{X: 1}); err != nil {
+		return err
+	}
+	if err := env.Send(1, UnregisteredMsg{Y: 2}); err != nil { // want "never gob.Register-ed"
+		return err
+	}
+	if err := env.Write("r", UnregisteredReg{N: 3}); err != nil { // want "never gob.Register-ed"
+		return err
+	}
+	// Both CAS payload positions count; one registration gap, one report.
+	_, _, err := env.CompareAndSwap("r", UnregisteredVal(0), UnregisteredVal(1)) // want "never gob.Register-ed"
+	if err != nil {
+		return err
+	}
+	// Foreign and basic types are the transport's (pre-registered)
+	// responsibility, not this package's.
+	if err := env.Broadcast(7); err != nil {
+		return err
+	}
+	return env.Write("r", "plain string")
+}
+
+// concrete is NOT the wire surface: a Write on a concrete receiver (the
+// hash.Hash / net.Conn shape) must not be collected.
+type concrete struct{}
+
+func (concrete) Write(ref string, v Value) error { return nil }
+
+func ConcreteUse() error {
+	return concrete{}.Write("r", UnregisteredMsg{})
+}

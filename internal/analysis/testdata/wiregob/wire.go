@@ -1,0 +1,7 @@
+package wirefix
+
+import "encoding/gob"
+
+func init() {
+	gob.Register(RegisteredMsg{})
+}

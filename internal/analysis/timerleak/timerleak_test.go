@@ -1,0 +1,12 @@
+package timerleak_test
+
+import (
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/analysis/timerleak"
+	"github.com/mnm-model/mnm/internal/analysis/vettest"
+)
+
+func TestFixtures(t *testing.T) {
+	vettest.Run(t, "../testdata/timerleak", timerleak.Analyzer)
+}

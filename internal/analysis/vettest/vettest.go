@@ -1,0 +1,113 @@
+// Package vettest is the fixture harness for the mnmvet analyzers — the
+// analysistest pattern from golang.org/x/tools, reimplemented on the
+// stdlib loader so the repo stays dependency-free.
+//
+// A fixture is a directory holding one package of deliberately seeded
+// violations under internal/analysis/testdata (the go tool ignores
+// testdata, so the fixtures never reach the build). Expected findings
+// are written as trailing comments on the offending line:
+//
+//	time.Sleep(d) // want "wall clock"
+//
+// The quoted string is a regular expression matched against the
+// diagnostic message; several `// want "…" "…"` patterns on one line
+// expect several findings there. Run fails the test if any diagnostic
+// lacks a matching want or any want goes unmatched — so a fixture file
+// with no want comments doubles as the rule's negative test.
+package vettest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/analysis"
+	"github.com/mnm-model/mnm/internal/analysis/loader"
+)
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run loads the fixture package in dir, applies the analyzers, and
+// verifies the diagnostics against the fixture's want comments.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture %s does not type-check: %v", dir, terr)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	wants := parseWants(pkg)
+	diags := analysis.CheckAll([]*loader.Package{pkg}, analyzers...)
+	for _, d := range diags {
+		if !consume(wants, d) {
+			t.Errorf("unexpected diagnostic at %s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("expected diagnostic not reported at %s:%d: want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// parseWants extracts every `// want "rx"` comment, keyed by line.
+func parseWants(pkg *loader.Package) []*want {
+	var out []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				out = append(out, parseWantComment(pkg.Fset, c)...)
+			}
+		}
+	}
+	return out
+}
+
+func parseWantComment(fset *token.FileSet, c *ast.Comment) []*want {
+	text, ok := strings.CutPrefix(c.Text, "// want ")
+	if !ok {
+		return nil
+	}
+	pos := fset.Position(c.Pos())
+	var out []*want
+	for _, m := range wantRE.FindAllStringSubmatch(text, -1) {
+		rx, err := regexp.Compile(m[1])
+		if err != nil {
+			// Surface the broken fixture as an unmatchable want.
+			rx = regexp.MustCompile(regexp.QuoteMeta(fmt.Sprintf("unparseable want %q: %v", m[1], err)))
+		}
+		out = append(out, &want{file: pos.Filename, line: pos.Line, rx: rx, raw: m[1]})
+	}
+	return out
+}
+
+// consume matches one diagnostic against the unmatched wants of its line.
+func consume(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.rx.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

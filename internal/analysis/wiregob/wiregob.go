@@ -1,0 +1,177 @@
+// Package wiregob checks that every package-local type handed to the
+// m&m message/register plane is gob-registered.
+//
+// The socket transport (internal/transport/tcp) carries payloads and
+// register values as core.Value — a Go interface — inside gob frames.
+// Gob can only encode an interface value whose concrete type was
+// gob.Register-ed; an unregistered type fails at encode time and the
+// frame is dropped (with a counter, but silently for the algorithm).
+// That failure mode is invisible under the in-process transports, which
+// never serialize — precisely how the leader.State / paxos.Block
+// omissions shipped before PR 2 caught them by hand.
+//
+// The repo's convention is that each algorithm package owns a wire.go
+// registering every type it sends or stores in shared registers. This
+// analyzer enforces the convention: in any package that has a wire.go,
+// every package-local named type passed as an interface-typed argument
+// to an interface method named Send, Broadcast, Write or CompareAndSwap
+// (the core.Env and transport.Transport wire surface) must appear in a
+// gob.Register call somewhere in the package. Types from other packages
+// are that package's responsibility (the transport pre-registers the
+// basic kinds: int, bool, string, core.ProcID, …).
+package wiregob
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+
+	"github.com/mnm-model/mnm/internal/analysis"
+)
+
+// Analyzer is the wiregob rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "wiregob",
+	Doc: "in packages with a wire.go, every package-local type sent via the " +
+		"transport/rt message or register plane must be gob.Register-ed",
+	Run: run,
+}
+
+// wireUse records the first place a type crossed the wire surface.
+type wireUse struct {
+	pos  token.Pos
+	via  string // the method carrying it, e.g. "Broadcast"
+	used bool
+}
+
+func run(pass *analysis.Pass) {
+	if !hasWireFile(pass) {
+		return
+	}
+	registered := map[*types.TypeName]bool{}
+	needed := map[*types.TypeName]*wireUse{}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if t := registeredType(pass, call); t != nil {
+				registered[t] = true
+				return true
+			}
+			collectWireArgs(pass, call, needed)
+			return true
+		})
+	}
+	for tn, use := range needed {
+		if !registered[tn] {
+			pass.Reportf(use.pos, "%s crosses the wire as a core.Value via %s but is never gob.Register-ed in this package; "+
+				"add gob.Register(%s{...}) to wire.go or the socket transport will drop it at encode time", tn.Name(), use.via, tn.Name())
+		}
+	}
+}
+
+func hasWireFile(pass *analysis.Pass) bool {
+	for _, f := range pass.Pkg.Files {
+		if filepath.Base(pass.Pkg.Fset.Position(f.Pos()).Filename) == "wire.go" {
+			return true
+		}
+	}
+	return false
+}
+
+// registeredType returns the local type a gob.Register call registers,
+// or nil if call is not one (or registers a foreign type).
+func registeredType(pass *analysis.Pass, call *ast.CallExpr) *types.TypeName {
+	id := analysis.CalleeFunc(pass.Pkg, call)
+	if id == nil || len(call.Args) != 1 {
+		return nil
+	}
+	fn, ok := pass.Pkg.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/gob" || fn.Name() != "Register" {
+		return nil
+	}
+	return localNamed(pass, call.Args[0])
+}
+
+// wireMethods maps the wire-surface method names to the indices of their
+// interface-typed payload parameters (negative = from the end).
+var wireMethods = map[string][]int{
+	"Send":           {-1},
+	"Broadcast":      {-1},
+	"Write":          {-1},
+	"CompareAndSwap": {1, 2},
+}
+
+// collectWireArgs records package-local named types passed in payload
+// position of a wire-surface interface method call.
+func collectWireArgs(pass *analysis.Pass, call *ast.CallExpr, needed map[*types.TypeName]*wireUse) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection := pass.Pkg.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return
+	}
+	// Only interface receivers: core.Env and transport.Transport are the
+	// wire surface; a concrete Write/Send (hash.Hash.Write, net.Conn) is
+	// not a gob boundary.
+	if !types.IsInterface(selection.Recv()) {
+		return
+	}
+	argIdx, ok := wireMethods[sel.Sel.Name]
+	if !ok {
+		return
+	}
+	sig, ok := selection.Type().(*types.Signature)
+	if !ok || sig.Variadic() {
+		return
+	}
+	for _, idx := range argIdx {
+		i := idx
+		if i < 0 {
+			i += sig.Params().Len()
+		}
+		if i < 0 || i >= sig.Params().Len() || i >= len(call.Args) {
+			continue
+		}
+		// The parameter must be interface-typed: that is where gob's
+		// concrete-type registration requirement kicks in.
+		if !types.IsInterface(sig.Params().At(i).Type()) {
+			continue
+		}
+		if tn := localNamed(pass, call.Args[i]); tn != nil {
+			if _, seen := needed[tn]; !seen {
+				needed[tn] = &wireUse{pos: call.Args[i].Pos(), via: sel.Sel.Name}
+			}
+		}
+	}
+}
+
+// localNamed resolves expr's type to a named, non-interface type defined
+// in the package under analysis, or nil.
+func localNamed(pass *analysis.Pass, expr ast.Expr) *types.TypeName {
+	tv, ok := pass.Pkg.Info.Types[ast.Unparen(expr)]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg() != pass.Pkg.Types {
+		return nil
+	}
+	if types.IsInterface(named) {
+		return nil
+	}
+	return obj
+}

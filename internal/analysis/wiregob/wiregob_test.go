@@ -1,0 +1,18 @@
+package wiregob_test
+
+import (
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/analysis/vettest"
+	"github.com/mnm-model/mnm/internal/analysis/wiregob"
+)
+
+func TestFixtures(t *testing.T) {
+	vettest.Run(t, "../testdata/wiregob", wiregob.Analyzer)
+}
+
+// TestNoWireFile: a package without a wire.go has opted out of the
+// registration convention and must report nothing.
+func TestNoWireFile(t *testing.T) {
+	vettest.Run(t, "../testdata/wiregobnowire", wiregob.Analyzer)
+}

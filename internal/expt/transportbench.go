@@ -7,6 +7,12 @@
 // the substrate's communication cost as a first-class artifact — so the
 // repo keeps a perf trajectory (BENCH_transport.json, appended by
 // `mnmbench -bench-transport`) alongside the reproduction tables.
+//
+// This file measures wall-clock behaviour of real sockets by design: it
+// is the one part of internal/expt that is not a seeded, reproducible
+// run, so it opts out of the determinism rule below.
+//
+//mnmvet:exempt simdeterminism wall-clock transport benchmark, not a seeded path
 
 package expt
 

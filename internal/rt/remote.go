@@ -76,7 +76,10 @@ func (h *Host) callRemote(p core.ProcID, owner core.ProcID, req core.Value) (cor
 	ch := make(chan outcome, 1)
 	go func() {
 		v, err := h.rpc.Call(p, owner, req)
-		ch <- outcome{v, err}
+		// Never blocks: cap-1 channel, and this goroutine is its only
+		// sender. A select/default would hide a broken invariant as a
+		// silently dropped reply; a visible block is the better failure.
+		ch <- outcome{v, err} //mnmvet:allow stopselect buffered(1), sole sender
 	}()
 	select {
 	case out := <-ch:

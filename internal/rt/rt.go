@@ -306,7 +306,14 @@ func (h *Host) allProcsInit(alg core.Algorithm) {
 					h.recordErr(ps.id, fmt.Errorf("rt: process %v panicked: %v\n%s", ps.id, rec, debug.Stack()))
 				}
 			}()
-			<-h.startCh()
+			// Park on the start gate, but let Stop interrupt the wait
+			// directly: a host stopped before Start should unwind its
+			// processes without depending on Stop's own Start call.
+			select {
+			case <-h.startCh():
+			case <-h.stopCh:
+				return
+			}
 			if err := body(env); err != nil {
 				h.recordErr(ps.id, err)
 			}

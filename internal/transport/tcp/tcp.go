@@ -609,7 +609,10 @@ func (t *Transport) dispatch(remote string, f *frame) uint64 {
 				if f.ErrMsg != "" {
 					err = decodeError(f.ErrMsg)
 				}
-				ch <- callResult{val: f.Payload, err: err}
+				// Never blocks: cap-1 channel, and removing the id from
+				// t.calls under the lock made this goroutine the sole
+				// sender (Call's timeout path deletes before abandoning).
+				ch <- callResult{val: f.Payload, err: err} //mnmvet:allow stopselect buffered(1), sole sender
 			}
 		}
 		return f.Seq
@@ -742,7 +745,9 @@ func (t *Transport) Close() error {
 	t.calls = make(map[uint64]chan callResult)
 	t.mu.Unlock()
 	for _, ch := range calls {
-		ch <- callResult{err: transport.ErrClosed}
+		// Never blocks: swapping t.calls under the lock transferred sole
+		// ownership of every remaining cap-1 reply channel to this loop.
+		ch <- callResult{err: transport.ErrClosed} //mnmvet:allow stopselect buffered(1), sole sender
 	}
 	t.wg.Wait()
 	return nil
