@@ -1,9 +1,11 @@
 // Command mnmnode runs ONE process of an m&m system as one OS process,
-// communicating with its peers over TCP: messages travel as gob frames
-// through internal/transport/tcp, and shared registers owned by remote
-// processes are reached through the same transport's RPC plane. Launching
-// n mnmnode processes with the same -addrs table yields the paper's model
-// over real sockets.
+// communicating with its peers over TCP: messages travel as compact
+// binary frames through internal/transport/tcp (gob remains the fallback
+// codec for unregistered payload types), and shared registers owned by
+// remote processes are reached through the same transport's RPC plane.
+// Launching n mnmnode processes with the same -addrs table yields the
+// paper's model over real sockets. With -tls-cert/-tls-key (and
+// optionally -tls-ca) every inter-node connection is wrapped in TLS.
 //
 // Usage (three shells, or one script):
 //
@@ -26,6 +28,8 @@
 package main
 
 import (
+	"crypto/tls"
+	"crypto/x509"
 	"flag"
 	"fmt"
 	"io"
@@ -72,6 +76,10 @@ func run() int {
 		watch       = flag.Bool("watch", false, "watch mode: poll the /metrics endpoints in -addrs and print a cluster rate table")
 		watchEvery  = flag.Duration("watch-interval", time.Second, "polling interval in -watch mode")
 		watchCount  = flag.Int("watch-count", 0, "table refreshes in -watch mode (0 = until interrupted)")
+
+		tlsCert = flag.String("tls-cert", "", "PEM certificate presented to peers (enables TLS; requires -tls-key)")
+		tlsKey  = flag.String("tls-key", "", "PEM private key for -tls-cert")
+		tlsCA   = flag.String("tls-ca", "", "PEM bundle of roots trusted when dialing peers (default: system roots)")
 	)
 	flag.Parse()
 
@@ -100,12 +108,19 @@ func run() int {
 		logf = l.Printf
 	}
 
+	tlsCfg, err := buildTLS(*tlsCert, *tlsKey, *tlsCA)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mnmnode: %v\n", err)
+		return 1
+	}
+
 	tr, err := tcp.New(tcp.Config{
 		N:          *n,
 		Hosted:     []core.ProcID{self},
 		Addrs:      addrList,
 		ListenAddr: addrList[*id],
 		Logf:       logf,
+		TLS:        tlsCfg,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mnmnode: %v\n", err)
@@ -346,4 +361,34 @@ func awaitStableLeader(h *rt.Host, p core.ProcID, window time.Duration, deadline
 		time.Sleep(5 * time.Millisecond)
 	}
 	return core.NoProc, fmt.Errorf("timed out waiting for a stable leader (last %v)", cur)
+}
+
+// buildTLS assembles the transport TLS configuration from the -tls-*
+// flags: nil when TLS is off, an error when the flag set is incoherent
+// (every node both serves and dials, so a certificate is mandatory the
+// moment TLS is on).
+func buildTLS(certFile, keyFile, caFile string) (*tls.Config, error) {
+	if certFile == "" && keyFile == "" && caFile == "" {
+		return nil, nil
+	}
+	if certFile == "" || keyFile == "" {
+		return nil, fmt.Errorf("TLS needs both -tls-cert and -tls-key (every node serves its peers)")
+	}
+	cert, err := tls.LoadX509KeyPair(certFile, keyFile)
+	if err != nil {
+		return nil, fmt.Errorf("loading TLS key pair: %w", err)
+	}
+	cfg := &tls.Config{Certificates: []tls.Certificate{cert}, MinVersion: tls.VersionTLS12}
+	if caFile != "" {
+		pem, err := os.ReadFile(caFile)
+		if err != nil {
+			return nil, fmt.Errorf("reading -tls-ca: %w", err)
+		}
+		pool := x509.NewCertPool()
+		if !pool.AppendCertsFromPEM(pem) {
+			return nil, fmt.Errorf("-tls-ca %s holds no usable PEM certificates", caFile)
+		}
+		cfg.RootCAs = pool
+	}
+	return cfg, nil
 }

@@ -7,10 +7,11 @@
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load failure.
 //
-// The five rules (see DESIGN.md "Machine-checked invariants"):
+// The six rules (see DESIGN.md "Machine-checked invariants"):
 //
 //	simdeterminism  no wall clock / global rand in deterministic packages
 //	wiregob         every wire-crossing type is gob-registered
+//	wirecodec       generated wire_codec.go matches the gob.Register set
 //	lockedblocking  no blocking work while a mutex is held
 //	timerleak       no time.After in loops, no time.Tick
 //	stopselect      channel waits in rt/transport are stop-interruptible

@@ -1,0 +1,105 @@
+// Command mnmwiregen generates the binary payload codecs the socket
+// transport's wire plane uses instead of per-frame gob.
+//
+//	go run ./cmd/mnmwiregen ./...          # (re)write wire_codec.go files
+//	go run ./cmd/mnmwiregen -check ./...   # verify they are current (CI)
+//
+// For every package with a wire.go, the gob.Register set there is the
+// source of truth (the same set mnmvet's wiregob rule enforces): one
+// wire_codec.go is emitted next to wire.go with a flat binary codec per
+// registered type, plus a fingerprint manifest that mnmvet's wirecodec
+// rule checks so the generated file cannot silently go stale.
+//
+// Exit status: 0 clean (or up to date with -check), 1 stale files under
+// -check, 2 usage or load failure.
+//
+// If a stale wire_codec.go no longer compiles (e.g. a field was renamed),
+// delete it and rerun — generation only needs wire.go and the type
+// definitions to type-check.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/mnm-model/mnm/internal/analysis/loader"
+	"github.com/mnm-model/mnm/internal/wiregen"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("mnmwiregen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	check := fs.Bool("check", false, "verify generated codecs are current instead of writing; exit 1 on drift")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: mnmwiregen [-check] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "mnmwiregen: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "mnmwiregen: %v\n", err)
+		return 2
+	}
+	stale := 0
+	for _, pkg := range pkgs {
+		if !wiregen.HasWireFile(pkg) {
+			continue
+		}
+		want, err := wiregen.Generate(pkg)
+		if err != nil {
+			fmt.Fprintf(stderr, "mnmwiregen: %v\n", err)
+			return 2
+		}
+		path := filepath.Join(pkg.Dir, wiregen.FileName)
+		got, readErr := os.ReadFile(path)
+		switch {
+		case want == nil:
+			// No registered wire types: no codec file belongs here.
+			if readErr == nil {
+				if *check {
+					fmt.Fprintf(stdout, "mnmwiregen: %s: stray %s (package registers no wire types)\n", pkg.ImportPath, wiregen.FileName)
+					stale++
+				} else if err := os.Remove(path); err != nil {
+					fmt.Fprintf(stderr, "mnmwiregen: %v\n", err)
+					return 2
+				} else {
+					fmt.Fprintf(stdout, "mnmwiregen: removed %s\n", path)
+				}
+			}
+		case readErr == nil && bytes.Equal(got, want):
+			// Up to date.
+		case *check:
+			fmt.Fprintf(stdout, "mnmwiregen: %s: %s is stale; rerun go run ./cmd/mnmwiregen ./...\n", pkg.ImportPath, wiregen.FileName)
+			stale++
+		default:
+			if err := os.WriteFile(path, want, 0o644); err != nil {
+				fmt.Fprintf(stderr, "mnmwiregen: %v\n", err)
+				return 2
+			}
+			fmt.Fprintf(stdout, "mnmwiregen: wrote %s\n", path)
+		}
+	}
+	if stale > 0 {
+		fmt.Fprintf(stderr, "mnmwiregen: %d stale file(s)\n", stale)
+		return 1
+	}
+	return 0
+}

@@ -8,6 +8,7 @@ import (
 	"github.com/mnm-model/mnm/internal/analysis/simdeterminism"
 	"github.com/mnm-model/mnm/internal/analysis/stopselect"
 	"github.com/mnm-model/mnm/internal/analysis/timerleak"
+	"github.com/mnm-model/mnm/internal/analysis/wirecodec"
 	"github.com/mnm-model/mnm/internal/analysis/wiregob"
 )
 
@@ -16,6 +17,7 @@ func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		simdeterminism.Analyzer,
 		wiregob.Analyzer,
+		wirecodec.Analyzer,
 		lockedblocking.Analyzer,
 		timerleak.Analyzer,
 		stopselect.Analyzer,

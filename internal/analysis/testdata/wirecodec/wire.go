@@ -1,0 +1,31 @@
+// Positive fixture: a package with a wire.go whose generated codec
+// manifest (wire_codec.go) has drifted from the gob.Register set in
+// three ways — a registered type with no codec, a codec whose
+// fingerprint no longer matches the type, and a codec for a type that
+// is no longer registered.
+package codecfix
+
+import "encoding/gob"
+
+func init() {
+	gob.Register(Good{})
+	gob.Register(Drifted{})
+	gob.Register(Missing{})
+}
+
+// Good has a manifest entry with the correct fingerprint.
+type Good struct {
+	A int
+	S string
+}
+
+// Drifted gained a field after its codec was generated.
+type Drifted struct { // want "stale codec for Drifted"
+	N     int
+	Added bool
+}
+
+// Missing is registered but was never run through the generator.
+type Missing struct { // want "missing from the wire_codec.go manifest"
+	Q uint64
+}

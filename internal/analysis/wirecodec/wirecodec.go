@@ -1,0 +1,98 @@
+// Package wirecodec checks that each package's generated binary payload
+// codecs (wire_codec.go, emitted by cmd/mnmwiregen) match its
+// gob.Register type set.
+//
+// The socket transport's binary protocol encodes payloads through codecs
+// generated from the same gob.Register calls that wiregob enforces. The
+// generator stamps a fingerprint manifest into wire_codec.go — one
+// comment per type describing the wire shape the codec was derived from.
+// If a type is added, removed, or its fields change without re-running
+// the generator, the payload silently falls back to the gob codec (or,
+// worse, ships a stale layout), and the performance and compatibility
+// story of the binary protocol quietly erodes. This analyzer makes that
+// drift a vet failure: in any package with a wire.go, the registered
+// type set and the manifest must agree name-for-name and
+// fingerprint-for-fingerprint.
+package wirecodec
+
+import (
+	"go/ast"
+	"path/filepath"
+	"sort"
+
+	"github.com/mnm-model/mnm/internal/analysis"
+	"github.com/mnm-model/mnm/internal/wiregen"
+)
+
+// Analyzer is the wirecodec rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "wirecodec",
+	Doc: "in packages with a wire.go, the generated wire_codec.go manifest must " +
+		"match the gob.Register type set (run mnmwiregen to regenerate)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) {
+	if !wiregen.HasWireFile(pass.Pkg) {
+		return
+	}
+	registered := wiregen.RegisteredTypes(pass.Pkg)
+
+	codecFile := findCodecFile(pass)
+	if codecFile == nil {
+		if len(registered) > 0 {
+			pass.Reportf(registered[0].Pos(), "package registers %d wire type(s) but has no %s; run mnmwiregen to generate the binary payload codecs",
+				len(registered), wiregen.FileName)
+		}
+		return
+	}
+	if len(registered) == 0 {
+		pass.Reportf(codecFile.Pos(), "%s exists but the package gob.Registers no wire types; run mnmwiregen to remove it", wiregen.FileName)
+		return
+	}
+
+	// The manifest: one fingerprint comment per generated codec.
+	manifest := map[string]string{} // type name -> fingerprint
+	for _, cg := range codecFile.Comments {
+		for _, c := range cg.List {
+			if name, fp, ok := wiregen.ParseFingerprint(c.Text); ok {
+				manifest[name] = fp
+			}
+		}
+	}
+
+	seen := map[string]bool{}
+	for _, tn := range registered {
+		seen[tn.Name()] = true
+		fp, ok := manifest[tn.Name()]
+		if !ok {
+			pass.Reportf(tn.Pos(), "%s is gob.Register-ed but missing from the %s manifest; re-run mnmwiregen so the binary protocol gets its codec",
+				tn.Name(), wiregen.FileName)
+			continue
+		}
+		if want := wiregen.Fingerprint(tn.Type()); fp != want {
+			pass.Reportf(tn.Pos(), "stale codec for %s: manifest fingerprint %q but the type now encodes as %q; re-run mnmwiregen",
+				tn.Name(), fp, want)
+		}
+	}
+	var dead []string
+	for name := range manifest {
+		if !seen[name] {
+			dead = append(dead, name)
+		}
+	}
+	sort.Strings(dead)
+	for _, name := range dead {
+		pass.Reportf(codecFile.Pos(), "manifest entry for %s has no matching gob.Register in this package; re-run mnmwiregen to drop the dead codec", name)
+	}
+}
+
+// findCodecFile returns the package's wire_codec.go AST, or nil.
+func findCodecFile(pass *analysis.Pass) *ast.File {
+	for _, f := range pass.Pkg.Files {
+		if filepath.Base(pass.Pkg.Fset.Position(f.Pos()).Filename) == wiregen.FileName {
+			return f
+		}
+	}
+	return nil
+}

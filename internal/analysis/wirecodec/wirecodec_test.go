@@ -1,0 +1,23 @@
+package wirecodec_test
+
+import (
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/analysis/vettest"
+	"github.com/mnm-model/mnm/internal/analysis/wirecodec"
+)
+
+func TestWirecodec(t *testing.T) {
+	vettest.Run(t, "../testdata/wirecodec", wirecodec.Analyzer)
+}
+
+func TestWirecodecMissingFile(t *testing.T) {
+	vettest.Run(t, "../testdata/wirecodecmissing", wirecodec.Analyzer)
+}
+
+// The rule is scoped to packages that opt into the wire.go convention;
+// a package without one (even a gob-registering one) is not its
+// business. The wiregobnowire fixture is exactly that shape.
+func TestWirecodecNoWireFile(t *testing.T) {
+	vettest.Run(t, "../testdata/wiregobnowire", wirecodec.Analyzer)
+}

@@ -25,6 +25,10 @@ const (
 	// frame = 1µs in the exported duration schema); read it back with
 	// HistSnapshot.ValueQuantile/MeanValue.
 	HistBatchFrames = "batch_frames"
+	// HistFrameEncode is the time the batched send loop spends encoding
+	// one whole batch into its write buffer (codec cost only — the flush
+	// syscall is excluded), recorded by socket backends per batch.
+	HistFrameEncode = "frame_encode"
 	// HistRemoteRead/Write/CAS are the host-level remote-register
 	// operation latencies, recorded around the RPC by internal/rt.
 	HistRemoteRead  = "remote_read"

@@ -13,7 +13,6 @@
 package rt
 
 import (
-	"encoding/gob"
 	"fmt"
 	"time"
 
@@ -53,14 +52,6 @@ type memCASReq struct {
 type memCASResp struct {
 	Swapped bool
 	Current core.Value
-}
-
-func init() {
-	gob.Register(memReadReq{})
-	gob.Register(memReadResp{})
-	gob.Register(memWriteReq{})
-	gob.Register(memCASReq{})
-	gob.Register(memCASResp{})
 }
 
 // callRemote performs one register RPC, unwinding the calling process

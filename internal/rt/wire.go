@@ -1,0 +1,31 @@
+package rt
+
+import (
+	"encoding/gob"
+
+	"github.com/mnm-model/mnm/internal/core"
+)
+
+// Wire-type registration for the socket transport; see the comment in
+// internal/benor/wire.go. The remote-register RPC envelopes cross the
+// wire as core.Value on the transport's call plane, so they follow the
+// same convention as the algorithm packages' message types.
+func init() {
+	gob.Register(memReadReq{})
+	gob.Register(memReadResp{})
+	gob.Register(memWriteReq{})
+	gob.Register(memCASReq{})
+	gob.Register(memCASResp{})
+}
+
+// WirePayloads returns one representative of every RPC envelope this
+// package sends, for transport round-trip tests.
+func WirePayloads() []core.Value {
+	return []core.Value{
+		memReadReq{Caller: 1, Ref: core.Ref{Owner: 0, Name: "r", I: 1, J: -1}},
+		memReadResp{Val: 7},
+		memWriteReq{Caller: 2, Ref: core.Ref{Owner: 1, Name: "w"}, Val: "v"},
+		memCASReq{Caller: 0, Ref: core.Ref{Owner: 2, Name: "c"}, Expected: 1, Desired: 2},
+		memCASResp{Swapped: true, Current: 2},
+	}
+}

@@ -1,6 +1,7 @@
 package tcp
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
@@ -10,6 +11,7 @@ import (
 	"sync"
 
 	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/wire"
 )
 
 // frameKind tags the role of a frame on the wire.
@@ -17,8 +19,8 @@ type frameKind int
 
 const (
 	// frameHello is the first frame of every outbound connection: it
-	// carries the sender node's canonical address so the receiver can
-	// attribute subsequent frames (and route acks back).
+	// carries the sender node's canonical address and protocol version so
+	// the receiver can attribute subsequent frames (and route acks back).
 	frameHello frameKind = iota + 1
 	// frameData carries one algorithm message (core.Message payload).
 	frameData
@@ -28,7 +30,35 @@ const (
 	frameReq
 	// frameResp carries one RPC response.
 	frameResp
+	// frameReject is the acceptor's refusal of a connection (protocol
+	// version mismatch): ErrMsg explains why. It is the only frame an
+	// acceptor ever writes back on an inbound connection, and it is
+	// written in the dialer's protocol so the dialer can always decode
+	// it. A dialer receiving one stops redialing — the mismatch is
+	// permanent, not a transient network fault.
+	frameReject
 )
+
+// Wire protocol versions. The version travels twice: framed streams open
+// with a preamble that selects the stream codec, and the hello frame
+// repeats it so a mismatch produces a descriptive rejection instead of a
+// desynchronized stream.
+const (
+	// ProtoGob is the legacy self-contained-gob frame stream, exactly the
+	// bytes the pre-binary protocol produced: no preamble (a gob stream's
+	// first byte is always 0x00, the high byte of a <16MiB length prefix),
+	// every frame a fresh gob encoding.
+	ProtoGob = 1
+	// ProtoBinary is the flat little-endian frame codec with
+	// internal/wire payload codecs; streams open with the 4-byte preamble
+	// preambleTag + version byte.
+	ProtoBinary = 2
+)
+
+// preambleTag starts every ProtoBinary stream; the fourth preamble byte
+// is the version. 'M' ≠ 0x00 makes the two protocols distinguishable on
+// the first byte.
+var preambleTag = [3]byte{'M', 'N', 'M'}
 
 // frame is the unit of the wire protocol. Data, request and response
 // frames carry a per-(sender node → receiver node) sequence number; the
@@ -37,6 +67,8 @@ const (
 // a reconnect, which preserves No-loss across connection faults.
 type frame struct {
 	Kind frameKind
+	// Version is the sender's wire protocol (hello/reject only).
+	Version uint8
 	// Addr is the sender node's canonical listen address (hello only).
 	Addr string
 	// Seq is the node-pair sequence number (data/req/resp).
@@ -49,12 +81,12 @@ type frame struct {
 	CallID uint64
 	// Payload is the message body or RPC body.
 	Payload core.Value
-	// ErrMsg carries a response error, "" meaning nil (resp only).
+	// ErrMsg carries a response or rejection error, "" meaning nil.
 	ErrMsg string
 }
 
-// maxFrameSize bounds a decoded frame body; anything larger is treated as
-// a corrupt stream.
+// maxFrameSize bounds a frame body in either protocol; anything larger is
+// treated as a corrupt stream on read and refused at encode time on write.
 const maxFrameSize = 16 << 20
 
 // batchBufSize sizes the per-connection bufio buffers: the send loop's
@@ -65,33 +97,234 @@ const maxFrameSize = 16 << 20
 // cost extra syscalls.
 const batchBufSize = 64 << 10
 
+// maxPooledBuf caps the capacity of buffers returned to the codec pools.
+// One maxFrameSize frame used to pin 16 MiB per pooled buffer for the
+// process lifetime; buffers that grew beyond this cap are dropped for the
+// GC instead of pooled.
+const maxPooledBuf = 64 << 10
+
 // errEncode marks frames that can never be written — an unregistered gob
 // type or an oversized body. The send loop drops such frames instead of
 // treating them as connection faults, because retransmitting them would
 // fail identically forever.
 var errEncode = errors.New("tcp: frame not encodable")
 
-// bufPool recycles the scratch buffers of the frame codec. Encoding and
-// decoding each borrow one buffer per frame instead of allocating — gob
-// fully copies payload data into/out of the buffer, so a frame never
-// retains pool memory after the call returns.
-var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+// bufPool recycles the byte-slice scratch buffers of the binary frame
+// codec (pointer-to-slice, so Put stores no slice header on the heap).
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
 
-// writeFrame encodes f as a length-prefixed gob body. A fresh encoder per
-// frame re-sends type metadata, which costs a little bandwidth but keeps
-// every frame self-contained — decoding never depends on stream history,
-// so reconnects (and partially flushed batches) cannot desynchronize the
-// codec. w is typically a *bufio.Writer: the prefix and body land in the
-// batch buffer and reach the socket in one flush.
-func writeFrame(w io.Writer, f *frame) error {
-	body := bufPool.Get().(*bytes.Buffer)
-	defer bufPool.Put(body)
-	body.Reset()
-	if err := gob.NewEncoder(body).Encode(f); err != nil {
-		return fmt.Errorf("%w: %v (register the payload type with encoding/gob)", errEncode, err)
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+func putBuf(b *[]byte) {
+	if cap(*b) > maxPooledBuf {
+		return // let the GC take oversized buffers instead of pinning them
 	}
-	if body.Len() > maxFrameSize {
-		return fmt.Errorf("%w: frame too large (%d bytes)", errEncode, body.Len())
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+// gobBufPool recycles the bytes.Buffers of the legacy gob codec, with the
+// same retention cap as bufPool.
+var gobBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func getGobBuf() *bytes.Buffer { return gobBufPool.Get().(*bytes.Buffer) }
+
+func putGobBuf(b *bytes.Buffer) {
+	if b.Cap() > maxPooledBuf {
+		return
+	}
+	b.Reset()
+	gobBufPool.Put(b)
+}
+
+// --- ProtoBinary codec ---
+//
+// A binary frame is a 4-byte big-endian body length followed by the body:
+//
+//	[0]     Kind     uint8
+//	[1]     Version  uint8
+//	[2:10]  Seq      uint64 LE
+//	[10:18] AckTo    uint64 LE
+//	[18:22] From     int32 LE
+//	[22:26] To       int32 LE
+//	[26:34] CallID   uint64 LE
+//	[34:]   Addr     uvarint length + bytes
+//	        ErrMsg   uvarint length + bytes
+//	        Payload  uvarint codec-name length + name + codec body
+//	                 (see internal/wire; name "" = nil payload, name
+//	                 "gob" = uvarint-length-prefixed gob fallback)
+//
+// The fixed header is flat little-endian; only the three trailing
+// variable fields pay for their length bytes. The golden vectors in
+// testdata/frames.txt pin this layout.
+
+// binaryHeaderSize is the fixed-width prefix of a binary frame body.
+const binaryHeaderSize = 34
+
+// appendFrame appends f's complete wire encoding (length prefix + body)
+// to b. Payload encode failures are errEncode-wrapped: such a frame can
+// never be sent and must be dropped, not retried.
+func appendFrame(b []byte, f *frame) ([]byte, error) {
+	start := len(b)
+	b = append(b, 0, 0, 0, 0) // length prefix, patched below
+	var hdr [binaryHeaderSize]byte
+	hdr[0] = uint8(f.Kind)
+	hdr[1] = f.Version
+	binary.LittleEndian.PutUint64(hdr[2:10], f.Seq)
+	binary.LittleEndian.PutUint64(hdr[10:18], f.AckTo)
+	binary.LittleEndian.PutUint32(hdr[18:22], uint32(int32(f.From)))
+	binary.LittleEndian.PutUint32(hdr[22:26], uint32(int32(f.To)))
+	binary.LittleEndian.PutUint64(hdr[26:34], f.CallID)
+	b = append(b, hdr[:]...)
+	b = wire.AppendString(b, f.Addr)
+	b = wire.AppendString(b, f.ErrMsg)
+	b, err := wire.AppendValue(b, f.Payload)
+	if err != nil {
+		return b[:start], fmt.Errorf("%w: %v", errEncode, err)
+	}
+	n := len(b) - start - 4
+	if n > maxFrameSize {
+		return b[:start], fmt.Errorf("%w: frame too large (%d bytes)", errEncode, n)
+	}
+	binary.BigEndian.PutUint32(b[start:start+4], uint32(n))
+	return b, nil
+}
+
+// decodeFrame decodes one binary frame body (the bytes after the length
+// prefix) into f. The body must be fully consumed: trailing bytes mean a
+// corrupt or incompatible stream.
+func decodeFrame(body []byte, f *frame) error {
+	if len(body) < binaryHeaderSize {
+		return fmt.Errorf("tcp: frame body %d bytes, below header size", len(body))
+	}
+	*f = frame{
+		Kind:    frameKind(body[0]),
+		Version: body[1],
+		Seq:     binary.LittleEndian.Uint64(body[2:10]),
+		AckTo:   binary.LittleEndian.Uint64(body[10:18]),
+		From:    core.ProcID(int32(binary.LittleEndian.Uint32(body[18:22]))),
+		To:      core.ProcID(int32(binary.LittleEndian.Uint32(body[22:26]))),
+		CallID:  binary.LittleEndian.Uint64(body[26:34]),
+	}
+	d := wire.NewDecoder(body[binaryHeaderSize:])
+	f.Addr = d.String()
+	f.ErrMsg = d.String()
+	f.Payload = d.Value()
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("tcp: decode frame: %w", err)
+	}
+	if d.Remaining() != 0 {
+		return fmt.Errorf("tcp: decode frame: %d trailing bytes", d.Remaining())
+	}
+	return nil
+}
+
+// frameWriter encodes frames for one protocol onto one connection's batch
+// writer, reusing a scratch buffer across frames.
+type frameWriter struct {
+	proto   int
+	scratch *[]byte
+}
+
+func newFrameWriter(proto int) *frameWriter {
+	return &frameWriter{proto: proto, scratch: getBuf()}
+}
+
+func (fw *frameWriter) close() {
+	if fw.scratch != nil {
+		putBuf(fw.scratch)
+		fw.scratch = nil
+	}
+}
+
+func (fw *frameWriter) write(w io.Writer, f *frame) error {
+	if fw.proto == ProtoGob {
+		return writeFrameGob(w, f)
+	}
+	b, err := appendFrame((*fw.scratch)[:0], f)
+	if cap(b) > maxPooledBuf {
+		// Don't let one oversized frame pin a huge scratch buffer for the
+		// connection's lifetime (the same retention hazard putBuf guards
+		// the pool against).
+		*fw.scratch = make([]byte, 0, 512)
+	} else {
+		*fw.scratch = b[:0]
+	}
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// frameReader decodes frames for one protocol off one connection,
+// reusing a scratch buffer across frames.
+type frameReader struct {
+	proto   int
+	scratch *[]byte
+}
+
+func newFrameReader(proto int) *frameReader {
+	return &frameReader{proto: proto, scratch: getBuf()}
+}
+
+func (fr *frameReader) close() {
+	if fr.scratch != nil {
+		putBuf(fr.scratch)
+		fr.scratch = nil
+	}
+}
+
+func (fr *frameReader) read(r io.Reader, f *frame) error {
+	if fr.proto == ProtoGob {
+		return readFrameGob(r, f)
+	}
+	var prefix [4]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		return err
+	}
+	n := int(binary.BigEndian.Uint32(prefix[:]))
+	if n > maxFrameSize {
+		return fmt.Errorf("tcp: frame length %d exceeds limit", n)
+	}
+	if cap(*fr.scratch) < n {
+		*fr.scratch = make([]byte, n)
+	}
+	body := (*fr.scratch)[:n]
+	if cap(*fr.scratch) > maxPooledBuf {
+		// As in frameWriter.write: one huge frame must not pin its buffer
+		// for the connection's lifetime.
+		*fr.scratch = make([]byte, 0, 512)
+	}
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	// decodeFrame aliases body for strings only transiently (String
+	// copies); Payload bytes from the gob fallback are copied by gob.
+	return decodeFrame(body, f)
+}
+
+// --- ProtoGob codec (legacy) ---
+
+// writeFrameGob encodes f as a length-prefixed gob body. A fresh encoder
+// per frame re-sends type metadata, which costs bandwidth but keeps every
+// frame self-contained — decoding never depends on stream history, so
+// reconnects (and partially flushed batches) cannot desynchronize the
+// codec. The encoder writes through a limit writer, so an oversized frame
+// is abandoned the moment it crosses maxFrameSize instead of after
+// materializing all of it.
+func writeFrameGob(w io.Writer, f *frame) error {
+	body := getGobBuf()
+	defer putGobBuf(body)
+	body.Reset()
+	if err := gob.NewEncoder(wire.NewLimitWriter(body, maxFrameSize)).Encode(f); err != nil {
+		if errors.Is(err, wire.ErrTooLarge) {
+			return fmt.Errorf("%w: frame exceeds %d bytes", errEncode, maxFrameSize)
+		}
+		return fmt.Errorf("%w: %v (register the payload type with encoding/gob)", errEncode, err)
 	}
 	var prefix [4]byte
 	binary.BigEndian.PutUint32(prefix[:], uint32(body.Len()))
@@ -102,36 +335,73 @@ func writeFrame(w io.Writer, f *frame) error {
 	return err
 }
 
-// readFrame decodes one length-prefixed gob frame.
-func readFrame(r io.Reader) (*frame, error) {
+// readFrameGob decodes one length-prefixed gob frame into f.
+func readFrameGob(r io.Reader, f *frame) error {
 	var prefix [4]byte
 	if _, err := io.ReadFull(r, prefix[:]); err != nil {
-		return nil, err
+		return err
 	}
 	n := binary.BigEndian.Uint32(prefix[:])
 	if n > maxFrameSize {
-		return nil, fmt.Errorf("tcp: frame length %d exceeds limit", n)
+		return fmt.Errorf("tcp: frame length %d exceeds limit", n)
 	}
-	body := bufPool.Get().(*bytes.Buffer)
-	defer bufPool.Put(body)
+	body := getGobBuf()
+	defer putGobBuf(body)
 	body.Reset()
 	if _, err := io.CopyN(body, r, int64(n)); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
-		return nil, err
+		return err
 	}
-	var f frame
-	if err := gob.NewDecoder(body).Decode(&f); err != nil {
-		return nil, fmt.Errorf("tcp: decode frame: %w", err)
+	*f = frame{}
+	if err := gob.NewDecoder(body).Decode(f); err != nil {
+		return fmt.Errorf("tcp: decode frame: %w", err)
 	}
-	return &f, nil
+	return nil
+}
+
+// writePreamble opens a ProtoBinary stream: tag + version byte. ProtoGob
+// streams have no preamble (byte compatibility with the legacy protocol).
+func writePreamble(w io.Writer, proto int) error {
+	if proto == ProtoGob {
+		return nil
+	}
+	_, err := w.Write([]byte{preambleTag[0], preambleTag[1], preambleTag[2], byte(proto)})
+	return err
+}
+
+// sniffProto determines an inbound stream's protocol from its opening
+// bytes, consuming the preamble if present. A gob length prefix below
+// maxFrameSize always starts 0x00, the binary preamble starts 'M';
+// anything else is not this wire protocol at all.
+func sniffProto(br *bufio.Reader) (int, error) {
+	first, err := br.Peek(1)
+	if err != nil {
+		return 0, err
+	}
+	switch first[0] {
+	case 0x00:
+		return ProtoGob, nil
+	case preambleTag[0]:
+		var pre [4]byte
+		if _, err := io.ReadFull(br, pre[:]); err != nil {
+			return 0, err
+		}
+		if pre[1] != preambleTag[1] || pre[2] != preambleTag[2] {
+			return 0, fmt.Errorf("tcp: bad stream preamble %q", pre[:3])
+		}
+		return int(pre[3]), nil
+	default:
+		return 0, fmt.Errorf("tcp: unrecognized stream start byte 0x%02x", first[0])
+	}
 }
 
 func init() {
-	// Concrete types commonly sent as core.Value payloads. Algorithm
-	// packages register their own message types in their wire.go files;
-	// anything else must be registered by the caller via encoding/gob.
+	// Concrete types commonly sent as core.Value payloads, for the gob
+	// fallback and the legacy protocol. Algorithm packages register their
+	// own message types in their wire.go files; anything else must be
+	// registered by the caller via encoding/gob.
 	gob.Register(int(0))
 	gob.Register(int64(0))
 	gob.Register(uint64(0))

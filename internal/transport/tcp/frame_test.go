@@ -1,0 +1,316 @@
+package tcp
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"io"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/benor"
+	"github.com/mnm-model/mnm/internal/core"
+)
+
+// goldenTable is the frame set pinned by testdata/frames.txt: one frame
+// per kind plus payload-shape variety (builtin codecs, a generated
+// algorithm codec, nil). Changing the wire layout changes these bytes and
+// the test fails — the layout cannot drift silently.
+func goldenTable() []struct {
+	name string
+	f    frame
+} {
+	return []struct {
+		name string
+		f    frame
+	}{
+		{"hello", frame{Kind: frameHello, Version: 2, Addr: "127.0.0.1:9000"}},
+		{"ack", frame{Kind: frameAck, AckTo: 513}},
+		{"data-int", frame{Kind: frameData, Seq: 7, From: 0, To: 3, Payload: 42}},
+		{"data-string", frame{Kind: frameData, Seq: 8, From: 1, To: 2, Payload: "hi"}},
+		{"data-slice", frame{Kind: frameData, Seq: 9, From: 1, To: 0, Payload: []core.Value{1, "two", nil}}},
+		{"data-benor-msg", frame{Kind: frameData, Seq: 10, From: 2, To: 1, Payload: benor.Msg{Phase: benor.PhaseP, Round: 4, Val: benor.V1}}},
+		{"req-ref", frame{Kind: frameReq, Seq: 11, From: 1, To: 0, CallID: 77, Payload: core.Ref{Owner: 0, Name: "reg", I: 2, J: -1}}},
+		{"resp-err", frame{Kind: frameResp, Seq: 12, From: 0, To: 1, CallID: 77, ErrMsg: "remote: boom"}},
+		{"reject", frame{Kind: frameReject, Version: 2, ErrMsg: "tcp: protocol version mismatch"}},
+	}
+}
+
+func TestGoldenWireVectors(t *testing.T) {
+	data, err := os.ReadFile("testdata/frames.txt")
+	if err != nil {
+		t.Fatalf("golden vectors missing: %v", err)
+	}
+	golden := map[string]string{}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, hexBytes, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		golden[name] = hexBytes
+	}
+	seen := map[string]bool{}
+	for _, tc := range goldenTable() {
+		seen[tc.name] = true
+		b, err := appendFrame(nil, &tc.f)
+		if err != nil {
+			t.Errorf("%s: encode: %v", tc.name, err)
+			continue
+		}
+		got := hex.EncodeToString(b)
+		want, ok := golden[tc.name]
+		if !ok {
+			t.Errorf("no golden vector %q; add this line to testdata/frames.txt:\n%s %s", tc.name, tc.name, got)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s: wire bytes changed\n got  %s\n want %s\n(if the layout change is intentional, update testdata/frames.txt)", tc.name, got, want)
+		}
+		// The pinned bytes must also decode back to the source frame —
+		// both directions of the layout contract.
+		raw, err := hex.DecodeString(want)
+		if err != nil || len(raw) < 4 {
+			t.Errorf("%s: bad golden bytes: %v", tc.name, err)
+			continue
+		}
+		var f frame
+		if err := decodeFrame(raw[4:], &f); err != nil {
+			t.Errorf("%s: decode golden: %v", tc.name, err)
+			continue
+		}
+		if !reflect.DeepEqual(f, tc.f) {
+			t.Errorf("%s: golden decode mismatch\n got  %#v\n want %#v", tc.name, f, tc.f)
+		}
+	}
+	for name := range golden {
+		if !seen[name] {
+			t.Errorf("stale golden vector %q has no frame in goldenTable", name)
+		}
+	}
+}
+
+func TestFrameRoundTripAllKinds(t *testing.T) {
+	for _, tc := range goldenTable() {
+		b, err := appendFrame(nil, &tc.f)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		var f frame
+		if err := decodeFrame(b[4:], &f); err != nil {
+			t.Fatalf("%s: decode: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(f, tc.f) {
+			t.Fatalf("%s: round trip: got %#v, want %#v", tc.name, f, tc.f)
+		}
+	}
+}
+
+// TestDecodeTruncatedBody feeds every strict prefix of a valid body to
+// the decoder: all must fail cleanly (no panic, no silent success — the
+// trailing-bytes check means a frame has no slack to hide truncation in).
+func TestDecodeTruncatedBody(t *testing.T) {
+	src := frame{Kind: frameData, Seq: 3, From: 1, To: 2, Payload: []core.Value{7, "x", core.Ref{Owner: 1, Name: "r"}}}
+	b, err := appendFrame(nil, &src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := b[4:]
+	for n := 0; n < len(body); n++ {
+		var f frame
+		if err := decodeFrame(body[:n], &f); err == nil {
+			t.Fatalf("truncated body %d/%d decoded without error", n, len(body))
+		}
+	}
+}
+
+func TestReadFrameCorruptPrefix(t *testing.T) {
+	fr := newFrameReader(ProtoBinary)
+	defer fr.close()
+	var f frame
+
+	// Length prefix beyond the frame limit.
+	huge := []byte{0xff, 0xff, 0xff, 0xff}
+	if err := fr.read(bytes.NewReader(huge), &f); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized length prefix: err = %v", err)
+	}
+	// Length prefix promising more bytes than the stream has.
+	short := []byte{0x00, 0x00, 0x01, 0x00, 0xab}
+	if err := fr.read(bytes.NewReader(short), &f); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated stream: err = %v, want ErrUnexpectedEOF", err)
+	}
+	// Same checks for the legacy codec.
+	fg := newFrameReader(ProtoGob)
+	defer fg.close()
+	if err := fg.read(bytes.NewReader(huge), &f); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("gob oversized length prefix: err = %v", err)
+	}
+	if err := fg.read(bytes.NewReader(short), &f); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("gob truncated stream: err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestSniffProto(t *testing.T) {
+	bin := bufio.NewReader(bytes.NewReader([]byte{'M', 'N', 'M', 2, 0x00}))
+	if p, err := sniffProto(bin); err != nil || p != ProtoBinary {
+		t.Fatalf("binary preamble: proto %d, err %v", p, err)
+	}
+	gob := bufio.NewReader(bytes.NewReader([]byte{0x00, 0x00, 0x00, 0x05}))
+	if p, err := sniffProto(gob); err != nil || p != ProtoGob {
+		t.Fatalf("gob stream: proto %d, err %v", p, err)
+	}
+	junk := bufio.NewReader(bytes.NewReader([]byte("GET / HTTP/1.1")))
+	if _, err := sniffProto(junk); err == nil {
+		t.Fatal("junk stream sniffed as a known protocol")
+	}
+	torn := bufio.NewReader(bytes.NewReader([]byte{'M', 'X'}))
+	if _, err := sniffProto(torn); err == nil {
+		t.Fatal("bad preamble accepted")
+	}
+}
+
+// TestOversizedFrameRefusedAtEncode covers the drop path in both
+// protocols: a frame beyond maxFrameSize must come back errEncode (the
+// send loop drops it and counts FrameDropEncode) — and in the gob path
+// the limit writer aborts the encoder at the cap instead of after
+// materializing the whole oversized body.
+func TestOversizedFrameRefusedAtEncode(t *testing.T) {
+	f := frame{Kind: frameData, Seq: 1, Payload: strings.Repeat("x", maxFrameSize+1)}
+	if _, err := appendFrame(nil, &f); !errors.Is(err, errEncode) {
+		t.Fatalf("binary oversized: err = %v, want errEncode", err)
+	}
+	var sink countingWriter
+	if err := writeFrameGob(&sink, &f); !errors.Is(err, errEncode) {
+		t.Fatalf("gob oversized: err = %v, want errEncode", err)
+	}
+	if sink.n != 0 {
+		t.Fatalf("gob oversized frame leaked %d bytes to the connection", sink.n)
+	}
+}
+
+type countingWriter struct{ n int }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+
+// TestBufPoolBoundedRetention is the regression test for the pool
+// pinning bug: a buffer grown by one huge frame must not live in the
+// pool forever. After pushing a large frame through writer and reader,
+// no pooled buffer may exceed the retention cap.
+func TestBufPoolBoundedRetention(t *testing.T) {
+	big := frame{Kind: frameData, Seq: 1, Payload: strings.Repeat("x", 4*maxPooledBuf)}
+
+	fw := newFrameWriter(ProtoBinary)
+	var buf bytes.Buffer
+	if err := fw.write(&buf, &big); err != nil {
+		t.Fatal(err)
+	}
+	fw.close()
+
+	fr := newFrameReader(ProtoBinary)
+	var f frame
+	if err := fr.read(bytes.NewReader(buf.Bytes()), &f); err != nil {
+		t.Fatal(err)
+	}
+	fr.close()
+
+	// Direct over-cap returns must be refused too.
+	huge := make([]byte, 0, 4*maxPooledBuf)
+	putBuf(&huge)
+	hugeGob := bytes.NewBuffer(make([]byte, 0, 4*maxPooledBuf))
+	putGobBuf(hugeGob)
+
+	for i := 0; i < 256; i++ {
+		b := getBuf()
+		if cap(*b) > maxPooledBuf {
+			t.Fatalf("pool returned a %d-byte buffer (cap %d): oversized buffers are being retained", cap(*b), maxPooledBuf)
+		}
+		putBuf(b)
+		g := getGobBuf()
+		if g.Cap() > maxPooledBuf {
+			t.Fatalf("gob pool returned a %d-byte buffer (cap %d)", g.Cap(), maxPooledBuf)
+		}
+		putGobBuf(g)
+	}
+}
+
+// FuzzFrameDecode hammers the binary decoder with arbitrary bodies: it
+// must never panic, and anything it accepts must re-encode to a frame
+// that decodes identically (the codec has one meaning per byte string).
+func FuzzFrameDecode(f *testing.F) {
+	for _, tc := range goldenTable() {
+		b, err := appendFrame(nil, &tc.f)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b[4:])
+	}
+	f.Add([]byte{})
+	f.Add(make([]byte, binaryHeaderSize))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var fr frame
+		if err := decodeFrame(body, &fr); err != nil {
+			return
+		}
+		b2, err := appendFrame(nil, &fr)
+		if err != nil {
+			// A decoded payload always has a codec (that's how it was
+			// decoded), so re-encoding may only fail for size.
+			if !errors.Is(err, errEncode) {
+				t.Fatalf("re-encode of decoded frame: %v", err)
+			}
+			return
+		}
+		var fr2 frame
+		if err := decodeFrame(b2[4:], &fr2); err != nil {
+			t.Fatalf("decode(encode(decode(body))) failed: %v\nbody:   %x\nreenc:  %x", err, body, b2)
+		}
+		if !reflect.DeepEqual(fr, fr2) {
+			t.Fatalf("frame not stable under re-encode:\n first  %#v\n second %#v", fr, fr2)
+		}
+	})
+}
+
+// FuzzFrameRoundTrip drives the encoder from structured inputs and
+// requires exact field-level round trips.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(uint8(2), uint8(2), uint64(1), uint64(0), int32(0), int32(1), "127.0.0.1:1", "", "payload", int64(7), true)
+	f.Add(uint8(3), uint8(0), uint64(1<<40), uint64(1<<30), int32(-1), int32(1<<20), "", "remote: boom", "", int64(-1), false)
+	f.Fuzz(func(t *testing.T, kind, ver uint8, seq, ack uint64, from, to int32, addr, errMsg, sPay string, iPay int64, useS bool) {
+		src := frame{
+			Kind:    frameKind(kind),
+			Version: ver,
+			Seq:     seq,
+			AckTo:   ack,
+			From:    core.ProcID(from),
+			To:      core.ProcID(to),
+			CallID:  seq ^ ack,
+			Addr:    addr,
+			ErrMsg:  errMsg,
+		}
+		if useS {
+			src.Payload = sPay
+		} else {
+			src.Payload = iPay
+		}
+		b, err := appendFrame(nil, &src)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		var got frame
+		if err := decodeFrame(b[4:], &got); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(got, src) {
+			t.Fatalf("round trip: got %#v, want %#v", got, src)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package tcp
 
 import (
 	"bufio"
+	"crypto/tls"
 	"errors"
 	"net"
 	"strings"
@@ -27,8 +28,10 @@ import (
 // control frames plus the unsent pending suffix) into one bufio.Writer
 // and flushes once — one write syscall and one write deadline per batch
 // instead of two syscalls and a deadline per frame. Frames stay
-// individually length-prefixed and gob-self-contained, so a batch is just
-// a concatenation on the wire: a connection kill mid-flush leaves the
+// individually length-prefixed and self-contained (in both protocols —
+// binary frames carry no stream state, gob frames re-send their type
+// metadata), so a batch is just a concatenation on the wire: a connection
+// kill mid-flush leaves the
 // receiver with a prefix of whole frames (the TCP stream never tears a
 // frame into something decodable), and the usual rewind-and-retransmit
 // recovers the rest without loss or duplication.
@@ -45,6 +48,11 @@ type peer struct {
 	conn     net.Conn
 	up       bool
 	closed   bool
+	// fatal, when non-empty, records why this link can never come up
+	// (the remote rejected the connection — protocol version mismatch).
+	// Unlike a broken connection it is terminal: the send loop stops
+	// redialing instead of retrying a permanent failure forever.
+	fatal string
 
 	// sendLoop-only state (no lock needed).
 	maxSent uint64 // highest sequence number ever written: marks retransmissions
@@ -71,12 +79,27 @@ func newPeer(t *Transport, addr string) *peer {
 	return p
 }
 
+// stopped reports whether the peer will never send again (shut down or
+// terminally rejected). Caller holds p.mu.
+func (p *peer) stopped() bool { return p.closed || p.fatal != "" }
+
+// setFatal marks the link permanently unusable (the first reason wins)
+// and wakes everything blocked on the peer.
+func (p *peer) setFatal(msg string) {
+	p.mu.Lock()
+	if p.fatal == "" {
+		p.fatal = msg
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
 // enqueue assigns the next sequence number to f and queues it for
 // (re)transmission until acked.
 func (p *peer) enqueue(f frame) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.closed {
+	if p.stopped() {
 		return
 	}
 	p.nextSeq++
@@ -91,7 +114,7 @@ func (p *peer) enqueue(f frame) {
 func (p *peer) enqueueCtrl(f frame) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.closed {
+	if p.stopped() {
 		return
 	}
 	if f.Kind == frameAck {
@@ -144,7 +167,7 @@ func (p *peer) ack(upTo uint64) {
 func (p *peer) state() transport.LinkState {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.closed {
+	if p.stopped() {
 		return transport.LinkClosed
 	}
 	if p.up {
@@ -178,7 +201,7 @@ func (p *peer) waitDrained(deadline time.Time) {
 	defer timer.Stop()
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for (len(p.pending) > 0 || len(p.ctrl) > 0) && !p.closed && time.Now().Before(deadline) {
+	for (len(p.pending) > 0 || len(p.ctrl) > 0) && !p.stopped() && time.Now().Before(deadline) {
 		p.cond.Wait()
 	}
 }
@@ -205,6 +228,8 @@ func (p *peer) shutdown() {
 func (p *peer) sendLoop() {
 	defer p.t.wg.Done()
 	backoff := p.t.cfg.BackoffBase
+	fw := newFrameWriter(p.t.proto())
+	defer fw.close()
 	var (
 		curConn net.Conn
 		bw      *bufio.Writer
@@ -213,11 +238,11 @@ func (p *peer) sendLoop() {
 	for {
 		// Ensure a live connection.
 		p.mu.Lock()
-		for p.conn == nil && !p.closed {
+		for p.conn == nil && !p.stopped() {
 			p.mu.Unlock()
-			conn, err := net.DialTimeout("tcp", p.addr, p.t.cfg.ConnectTimeout)
+			conn, err := p.dialConn()
 			if err == nil {
-				err = p.handshake(conn)
+				err = p.handshake(conn, fw)
 			}
 			if err != nil {
 				p.t.record(p.t.self, metrics.DialFailures, 1)
@@ -233,7 +258,7 @@ func (p *peer) sendLoop() {
 				continue
 			}
 			p.mu.Lock()
-			if p.closed {
+			if p.stopped() {
 				p.mu.Unlock()
 				conn.Close()
 				return
@@ -249,15 +274,15 @@ func (p *peer) sendLoop() {
 			p.t.wg.Add(1)
 			go p.watch(conn)
 		}
-		if p.closed {
+		if p.stopped() {
 			p.mu.Unlock()
 			return
 		}
 		// Wait for work.
-		for len(p.ctrl) == 0 && p.nextSend >= len(p.pending) && p.conn != nil && !p.closed {
+		for len(p.ctrl) == 0 && p.nextSend >= len(p.pending) && p.conn != nil && !p.stopped() {
 			p.cond.Wait()
 		}
-		if p.closed {
+		if p.stopped() {
 			p.mu.Unlock()
 			return
 		}
@@ -288,9 +313,10 @@ func (p *peer) sendLoop() {
 		conn.SetWriteDeadline(time.Now().Add(p.t.cfg.WriteTimeout))
 		var werr error
 		wrote := 0
+		encStart := time.Now()
 		for i := range batch {
 			of := &batch[i]
-			if err := writeFrame(bw, &of.f); err != nil {
+			if err := fw.write(bw, &of.f); err != nil {
 				if errors.Is(err, errEncode) {
 					// The frame can never be sent; drop it rather than
 					// retransmitting a permanent failure forever.
@@ -316,6 +342,10 @@ func (p *peer) sendLoop() {
 				}
 			}
 		}
+		// Encode cost of the batch: frames land in the bufio buffer here
+		// (memory writes; the flush below does the syscall), so this is
+		// the codec's share of the send path.
+		p.t.registry().Histogram(metrics.HistFrameEncode).Observe(time.Since(encStart))
 		if werr == nil {
 			if wrote == 0 {
 				continue // whole batch dropped as unencodable
@@ -345,16 +375,35 @@ func (p *peer) sendLoop() {
 	}
 }
 
-// watch blocks on a read of the outbound connection. The remote never
-// writes on it (acks travel on the remote's own outbound link), so a
-// returning read means the connection died or was killed. Detecting death
-// here matters when this side has nothing left to write: unacknowledged
-// frames would otherwise sit waiting for a write failure that never
-// comes, and the remote would never receive them.
+// watch blocks reading the outbound connection. The remote writes at
+// most one thing on it — a reject frame refusing the connection — so a
+// decoded reject marks the link permanently down (no redial: a protocol
+// mismatch doesn't heal), and any read failure means the connection died
+// or was killed. Detecting death here matters when this side has nothing
+// left to write: unacknowledged frames would otherwise sit waiting for a
+// write failure that never comes, and the remote would never receive
+// them.
 func (p *peer) watch(conn net.Conn) {
 	defer p.t.wg.Done()
-	var buf [1]byte
-	conn.Read(buf[:])
+	fr := newFrameReader(p.t.proto())
+	defer fr.close()
+	br := bufio.NewReaderSize(conn, 512)
+	var f frame
+	for {
+		if err := fr.read(br, &f); err != nil {
+			break
+		}
+		if f.Kind == frameReject {
+			msg := f.ErrMsg
+			if msg == "" {
+				msg = "tcp: connection rejected by peer"
+			}
+			p.t.log("link to %s rejected: %s (not retrying)", p.addr, msg)
+			p.setFatal(msg)
+			break
+		}
+		// Anything else on this direction is unexpected; keep watching.
+	}
 	p.mu.Lock()
 	if p.conn == conn {
 		p.conn = nil
@@ -385,10 +434,25 @@ func (p *peer) dropPending(seq uint64) {
 	}
 }
 
-// handshake sends the hello frame identifying this node.
-func (p *peer) handshake(conn net.Conn) error {
+// dialConn opens one outbound connection, plain TCP or TLS per the
+// transport's configuration. tls.DialWithDialer performs the full
+// handshake within ConnectTimeout and derives ServerName from the
+// address when the config doesn't pin one.
+func (p *peer) dialConn() (net.Conn, error) {
+	if cfg := p.t.cfg.TLS; cfg != nil {
+		return tls.DialWithDialer(&net.Dialer{Timeout: p.t.cfg.ConnectTimeout}, "tcp", p.addr, cfg)
+	}
+	return net.DialTimeout("tcp", p.addr, p.t.cfg.ConnectTimeout)
+}
+
+// handshake opens the stream (protocol preamble for ProtoBinary) and
+// sends the hello frame identifying this node and its wire protocol.
+func (p *peer) handshake(conn net.Conn, fw *frameWriter) error {
 	conn.SetWriteDeadline(time.Now().Add(p.t.cfg.WriteTimeout))
-	err := writeFrame(conn, &frame{Kind: frameHello, Addr: p.t.addr})
+	err := writePreamble(conn, p.t.proto())
+	if err == nil {
+		err = fw.write(conn, &frame{Kind: frameHello, Version: uint8(p.t.proto()), Addr: p.t.addr})
+	}
 	conn.SetWriteDeadline(time.Time{})
 	if err != nil {
 		conn.Close()

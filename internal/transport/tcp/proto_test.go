@@ -1,0 +1,196 @@
+package tcp_test
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"fmt"
+	"math/big"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/mnm-model/mnm/internal/benor"
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/transport"
+	"github.com/mnm-model/mnm/internal/transport/tcp"
+)
+
+// logCapture collects Logf output from a transport under test.
+type logCapture struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (lc *logCapture) logf(format string, args ...any) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	lc.lines = append(lc.lines, fmt.Sprintf(format, args...))
+}
+
+func (lc *logCapture) contains(substr string) bool {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	for _, l := range lc.lines {
+		if strings.Contains(l, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestGobProtocolLoopback proves the legacy protocol still carries a
+// full round trip when both nodes opt into it.
+func TestGobProtocolLoopback(t *testing.T) {
+	nodes := newClusterWith(t, 2, [][]core.ProcID{{0}, {1}}, func(i int, cfg *tcp.Config) {
+		cfg.Protocol = tcp.ProtoGob
+	})
+	payloads := []core.Value{7, "legacy", benor.Msg{Phase: benor.PhaseP, Round: 2, Val: benor.V0}, nil}
+	for _, p := range payloads {
+		if err := nodes[0].Send(0, 1, p); err != nil {
+			t.Fatalf("send %v: %v", p, err)
+		}
+	}
+	for _, want := range payloads {
+		m := recvOne(t, nodes[1], 1)
+		if !reflect.DeepEqual(m.Payload, want) {
+			t.Fatalf("got payload %#v, want %#v", m.Payload, want)
+		}
+	}
+}
+
+// awaitLinkState polls until LinkState(from,to) on tr reaches want.
+func awaitLinkState(t *testing.T, tr *tcp.Transport, from, to core.ProcID, want transport.LinkState) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if tr.LinkState(from, to) == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("link %v->%v stuck at %v, want %v", from, to, tr.LinkState(from, to), want)
+}
+
+// TestVersionMismatchClosesLink runs a two-node system whose nodes speak
+// different wire protocols, in both age orders. The handshake must fail
+// with a descriptive rejection and the dialer must stop — LinkClosed,
+// terminally — rather than burn CPU in a reconnect loop against a peer
+// that can never accept it.
+func TestVersionMismatchClosesLink(t *testing.T) {
+	cases := []struct {
+		name   string
+		protos [2]int
+	}{
+		{"old-dials-new", [2]int{tcp.ProtoGob, tcp.ProtoBinary}},
+		{"new-dials-old", [2]int{tcp.ProtoBinary, tcp.ProtoGob}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			logs := [2]*logCapture{{}, {}}
+			nodes := newClusterWith(t, 2, [][]core.ProcID{{0}, {1}}, func(i int, cfg *tcp.Config) {
+				cfg.Protocol = tc.protos[i]
+				cfg.Logf = logs[i].logf
+			})
+			// A queued message must not make the transport hang on close.
+			if err := nodes[0].Send(0, 1, "never delivered"); err != nil {
+				t.Fatalf("send: %v", err)
+			}
+			awaitLinkState(t, nodes[0], 0, 1, transport.LinkClosed)
+			awaitLinkState(t, nodes[1], 1, 0, transport.LinkClosed)
+
+			// Terminal means terminal: no background redial may revive or
+			// flap the link after the rejection.
+			time.Sleep(250 * time.Millisecond)
+			if st := nodes[0].LinkState(0, 1); st != transport.LinkClosed {
+				t.Fatalf("link 0->1 left LinkClosed: now %v (reconnect loop after version reject)", st)
+			}
+			if st := nodes[1].LinkState(1, 0); st != transport.LinkClosed {
+				t.Fatalf("link 1->0 left LinkClosed: now %v", st)
+			}
+			for i, lc := range logs {
+				if !lc.contains("protocol version mismatch") {
+					t.Errorf("node %d logs never mention the version mismatch", i)
+				}
+			}
+			if !logs[0].contains("not retrying") && !logs[1].contains("not retrying") {
+				t.Error("no node logged that it stopped retrying")
+			}
+		})
+	}
+}
+
+// selfSignedTLS builds a throwaway CA-less server certificate for
+// 127.0.0.1 and returns a tls.Config usable for both roles, as the
+// transport requires.
+func selfSignedTLS(t *testing.T) *tls.Config {
+	t.Helper()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "mnm-test"},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(time.Hour),
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		IPAddresses:           []net.IP{net.IPv4(127, 0, 0, 1)},
+		IsCA:                  true,
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(cert)
+	return &tls.Config{
+		Certificates: []tls.Certificate{{Certificate: [][]byte{der}, PrivateKey: key}},
+		RootCAs:      pool,
+		MinVersion:   tls.VersionTLS13,
+	}
+}
+
+// TestTLSLoopback runs a two-node system entirely over TLS: handshake,
+// sequenced data, acks, and an RPC round trip.
+func TestTLSLoopback(t *testing.T) {
+	tlsCfg := selfSignedTLS(t)
+	nodes := newClusterWith(t, 2, [][]core.ProcID{{0}, {1}}, func(i int, cfg *tcp.Config) {
+		cfg.TLS = tlsCfg
+	})
+	nodes[1].SetHandler(func(from core.ProcID, req core.Value) (core.Value, error) {
+		return req, nil
+	})
+
+	payloads := []core.Value{42, "over tls", benor.Msg{Phase: benor.PhaseP, Round: 9, Val: benor.V1}}
+	for _, p := range payloads {
+		if err := nodes[0].Send(0, 1, p); err != nil {
+			t.Fatalf("send %v: %v", p, err)
+		}
+	}
+	for _, want := range payloads {
+		m := recvOne(t, nodes[1], 1)
+		if !reflect.DeepEqual(m.Payload, want) {
+			t.Fatalf("got payload %#v, want %#v", m.Payload, want)
+		}
+	}
+	resp, err := nodes[0].Call(0, 1, "echo over tls")
+	if err != nil {
+		t.Fatalf("rpc over tls: %v", err)
+	}
+	if resp != "echo over tls" {
+		t.Fatalf("rpc echo: got %#v", resp)
+	}
+}

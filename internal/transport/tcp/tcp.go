@@ -1,6 +1,15 @@
 // Package tcp is the socket backend of the transport layer: m&m messages
-// as length-prefixed gob frames over TCP connections, one listener per OS
-// process ("node"), one outbound connection per remote node.
+// as length-prefixed binary frames over TCP (optionally TLS) connections,
+// one listener per OS process ("node"), one outbound connection per
+// remote node.
+//
+// Frames use a flat little-endian header plus pluggable payload codecs
+// (internal/wire, generated per algorithm package by cmd/mnmwiregen),
+// with gob as the registered fallback for payload types without a codec.
+// The legacy all-gob framing remains available as Config.Protocol =
+// ProtoGob; the handshake carries the version and mismatched connections
+// are rejected with a descriptive error so the two framings never
+// interleave on one stream.
 //
 // The backend preserves the link axioms of the paper (§3) over a real,
 // faulty wire:
@@ -19,7 +28,7 @@
 // syscall and one deadline per batch), and the receiver answers each
 // batch of sequenced frames with a single cumulative ack instead of one
 // ack per frame. Frames remain individually length-prefixed and
-// gob-self-contained, so batching changes only syscall and ack counts —
+// self-contained, so batching changes only syscall and ack counts —
 // never what a reconnect can observe on the wire.
 //
 // Connection lifecycle: Dial starts one send loop per remote node, which
@@ -30,6 +39,7 @@ package tcp
 
 import (
 	"bufio"
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"net"
@@ -85,6 +95,19 @@ type Config struct {
 	// DrainTimeout bounds how long Close waits for unacknowledged
 	// frames to be delivered. Default 5s.
 	DrainTimeout time.Duration
+	// Protocol selects the wire protocol version: ProtoBinary (the
+	// default, flat binary frames with generated payload codecs) or
+	// ProtoGob (the legacy self-contained-gob stream). All nodes of one
+	// system must agree; the handshake rejects mismatched connections
+	// with a descriptive error rather than letting two framings
+	// interleave on one stream.
+	Protocol int
+	// TLS, if non-nil, serves the listener and dials every outbound
+	// connection over TLS with this configuration. Both sides of a
+	// system must agree (a TLS dial into a plaintext listener fails, and
+	// vice versa). The config must be usable for both roles: server
+	// certificate on the listening side, trust roots on the dialing side.
+	TLS *tls.Config
 }
 
 func (c *Config) fill() {
@@ -105,6 +128,9 @@ func (c *Config) fill() {
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 5 * time.Second
+	}
+	if c.Protocol == 0 {
+		c.Protocol = ProtoBinary
 	}
 }
 
@@ -158,6 +184,10 @@ func New(cfg Config) (*Transport, error) {
 	if cfg.N <= 0 {
 		return nil, errors.New("tcp: Config.N must be positive")
 	}
+	if cfg.Protocol != ProtoGob && cfg.Protocol != ProtoBinary {
+		return nil, fmt.Errorf("tcp: unknown Config.Protocol %d (want ProtoBinary=%d or ProtoGob=%d)",
+			cfg.Protocol, ProtoBinary, ProtoGob)
+	}
 	hosted := make(map[core.ProcID]bool, len(cfg.Hosted))
 	for _, p := range cfg.Hosted {
 		if int(p) < 0 || int(p) >= cfg.N {
@@ -184,6 +214,9 @@ func New(cfg Config) (*Transport, error) {
 	addr := listenAddr
 	if cfg.ListenAddr == "" || hasWildcardPort(listenAddr) {
 		addr = lis.Addr().String()
+	}
+	if cfg.TLS != nil {
+		lis = tls.NewListener(lis, cfg.TLS)
 	}
 	t := &Transport{
 		cfg:       cfg,
@@ -522,9 +555,15 @@ func (t *Transport) acceptLoop() {
 	}
 }
 
-// recvLoop reads frames off one inbound connection. The first frame must
-// be a hello identifying the sender node; everything after is dispatched
-// through the sequence filter.
+// recvLoop reads frames off one inbound connection. The stream's opening
+// bytes select its protocol (binary streams carry a preamble, gob
+// streams are recognized by their length prefix); a protocol other than
+// this node's own is refused with a descriptive reject frame — written
+// in the dialer's protocol, so the dialer can always decode it and stop
+// redialing — rather than letting two framings interleave. The first
+// frame must then be a hello identifying the sender node and repeating
+// the version; everything after is dispatched through the sequence
+// filter.
 //
 // Acks are coalesced per read batch: after dispatching the first frame,
 // the loop keeps dispatching as long as more bytes are already buffered,
@@ -542,23 +581,43 @@ func (t *Transport) recvLoop(conn net.Conn) {
 		t.mu.Unlock()
 	}()
 	br := bufio.NewReaderSize(conn, batchBufSize)
-	hello, err := readFrame(br)
-	if err != nil || hello.Kind != frameHello || hello.Addr == "" {
+	proto, err := sniffProto(br)
+	if err != nil {
+		t.log("inbound connection from %v: %v", conn.RemoteAddr(), err)
+		return
+	}
+	if proto != t.proto() {
+		t.reject(conn, proto, fmt.Sprintf(
+			"tcp: protocol version mismatch: node %s speaks wire protocol %d, connection offered %d; run all nodes at the same version",
+			t.addr, t.proto(), proto))
+		return
+	}
+	fr := newFrameReader(proto)
+	defer fr.close()
+	var f frame
+	if err := fr.read(br, &f); err != nil || f.Kind != frameHello || f.Addr == "" {
 		t.log("inbound connection without hello from %v: %v", conn.RemoteAddr(), err)
 		return
 	}
-	remote := hello.Addr
+	// A hello from a pre-versioning gob peer carries Version 0; the
+	// stream is ProtoGob either way, so only a contradiction between a
+	// declared version and the stream framing is an error.
+	if f.Version != 0 && int(f.Version) != proto {
+		t.reject(conn, proto, fmt.Sprintf(
+			"tcp: hello declares wire protocol %d but the stream is framed as protocol %d", f.Version, proto))
+		return
+	}
+	remote := f.Addr
 	for {
-		f, err := readFrame(br)
-		if err != nil {
+		if err := fr.read(br, &f); err != nil {
 			return
 		}
-		ackTo := t.dispatch(remote, f)
+		ackTo := t.dispatch(remote, &f)
 		for br.Buffered() > 0 {
-			if f, err = readFrame(br); err != nil {
+			if err := fr.read(br, &f); err != nil {
 				return
 			}
-			if a := t.dispatch(remote, f); a > ackTo {
+			if a := t.dispatch(remote, &f); a > ackTo {
 				ackTo = a
 			}
 		}
@@ -566,6 +625,24 @@ func (t *Transport) recvLoop(conn net.Conn) {
 			t.sendAck(remote, ackTo)
 		}
 	}
+}
+
+// proto returns this node's configured wire protocol version.
+func (t *Transport) proto() int { return t.cfg.Protocol }
+
+// reject refuses an inbound connection by writing one reject frame — in
+// the dialer's protocol, the one decoder the far side is guaranteed to
+// have — then closing. The dialer's watch loop decodes it and marks the
+// link permanently down instead of reconnecting forever.
+func (t *Transport) reject(conn net.Conn, dialerProto int, msg string) {
+	t.log("%s (rejecting %v)", msg, conn.RemoteAddr())
+	if dialerProto != ProtoGob && dialerProto != ProtoBinary {
+		return // no decoder we can count on; just close
+	}
+	fw := newFrameWriter(dialerProto)
+	defer fw.close()
+	conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
+	fw.write(conn, &frame{Kind: frameReject, Version: uint8(t.proto()), ErrMsg: msg})
 }
 
 // dispatch routes one inbound frame and returns the sequence number the
@@ -594,8 +671,11 @@ func (t *Transport) dispatch(remote string, f *frame) uint64 {
 		return f.Seq
 	case frameReq:
 		if t.accept(remote, f.Seq) {
+			// Copy the frame: the recv loop reuses *f for the next read
+			// while the handler goroutine is still running.
+			req := *f
 			t.wg.Add(1)
-			go t.serve(remote, f)
+			go t.serve(remote, &req)
 		}
 		return f.Seq
 	case frameResp:

@@ -14,7 +14,9 @@ import (
 	"github.com/mnm-model/mnm/internal/leader"
 	"github.com/mnm-model/mnm/internal/metrics"
 	"github.com/mnm-model/mnm/internal/mutex"
+	"github.com/mnm-model/mnm/internal/paxos"
 	"github.com/mnm-model/mnm/internal/rsm"
+	"github.com/mnm-model/mnm/internal/rt"
 	"github.com/mnm-model/mnm/internal/transport"
 	"github.com/mnm-model/mnm/internal/transport/tcp"
 )
@@ -23,14 +25,24 @@ import (
 // ports, each hosting the listed processes, with the address table wired
 // up and all nodes dialed. It takes a testing.TB so benchmarks share it.
 func newCluster(t testing.TB, n int, hosted [][]core.ProcID) []*tcp.Transport {
+	return newClusterWith(t, n, hosted, nil)
+}
+
+// newClusterWith is newCluster with a per-node config hook, for tests
+// that need a non-default protocol, TLS, or log capture.
+func newClusterWith(t testing.TB, n int, hosted [][]core.ProcID, mutate func(i int, cfg *tcp.Config)) []*tcp.Transport {
 	t.Helper()
 	nodes := make([]*tcp.Transport, len(hosted))
 	for i, hs := range hosted {
-		tr, err := tcp.New(tcp.Config{
+		cfg := tcp.Config{
 			N:          n,
 			Hosted:     hs,
 			ListenAddr: "127.0.0.1:0",
-		})
+		}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		tr, err := tcp.New(cfg)
 		if err != nil {
 			t.Fatalf("node %d: %v", i, err)
 		}
@@ -80,6 +92,8 @@ func TestLoopbackPayloadRoundTrip(t *testing.T) {
 	payloads = append(payloads, leader.WirePayloads()...)
 	payloads = append(payloads, rsm.WirePayloads()...)
 	payloads = append(payloads, mutex.WirePayloads()...)
+	payloads = append(payloads, paxos.WirePayloads()...)
+	payloads = append(payloads, rt.WirePayloads()...)
 	payloads = append(payloads, 7, int64(-1), "text", true, core.ProcID(2), nil)
 
 	for _, want := range payloads {

@@ -1,0 +1,427 @@
+// Package wire is the binary payload-codec plane of the socket transport.
+//
+// The TCP backend (internal/transport/tcp) frames every message with a
+// hand-rolled binary header, but the payload is a core.Value — an
+// arbitrary Go interface. This package maps concrete payload types to
+// named codecs so a payload crosses the wire as a short codec name plus a
+// flat binary body instead of a per-frame gob stream (which re-sends type
+// metadata on every frame and allocates on both ends).
+//
+// Codecs come from three places:
+//
+//   - builtin codecs for the model vocabulary (int, int64, uint64,
+//     float64, bool, string, core.ProcID, core.Ref, []core.Value),
+//     registered by this package;
+//   - generated codecs: each algorithm package's wire_codec.go (emitted by
+//     cmd/mnmwiregen from the gob.Register set in its wire.go) registers
+//     one codec per wire-crossing type;
+//   - the gob fallback: a value whose concrete type has no codec is sent
+//     under the reserved name "gob" as a length-prefixed gob stream, so
+//     unknown payload types keep working exactly as before — slower, but
+//     never dropped.
+//
+// The encode side is append-style ([]byte grows in place, no Writer
+// interface on the hot path); the decode side is a bounds-checked Decoder
+// over one frame body. Both are allocation-free for registered types
+// (boxing the decoded value aside).
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"reflect"
+	"sync"
+
+	"github.com/mnm-model/mnm/internal/core"
+)
+
+// MaxValue bounds one encoded payload body. It matches the transport's
+// frame-size limit: a payload that cannot fit in a frame is refused at
+// encode time (incrementally, for the gob fallback — see LimitWriter)
+// instead of after a multi-megabyte detour.
+const MaxValue = 16 << 20
+
+// GobName is the reserved codec name of the gob fallback. The empty name
+// is reserved for nil payloads.
+const GobName = "gob"
+
+// ErrTooLarge marks values that exceed MaxValue mid-encode.
+var ErrTooLarge = errors.New("wire: encoded value exceeds size limit")
+
+// AppendFunc encodes the concrete value v (asserted by the codec) onto b.
+type AppendFunc func(b []byte, v any) ([]byte, error)
+
+// ReadFunc decodes one value from d, consuming exactly the bytes Append
+// produced.
+type ReadFunc func(d *Decoder) (any, error)
+
+// Codec encodes and decodes one concrete payload type.
+type Codec struct {
+	// Name travels on the wire before every body; both ends must agree.
+	// Generated codecs use "pkg.Type"; builtins use terse names ("i",
+	// "s", ...). "" and "gob" are reserved.
+	Name string
+	// Type is the concrete Go type the codec handles.
+	Type reflect.Type
+	// Append and Read are the codec's two directions.
+	Append AppendFunc
+	Read   ReadFunc
+}
+
+var (
+	regMu  sync.RWMutex
+	byName = map[string]*Codec{}
+	byType = map[reflect.Type]*Codec{}
+)
+
+// Register installs a codec. It panics on a nil function, a reserved or
+// duplicate name, or a duplicate type — codec registration happens in
+// package init functions, so a collision is a build-time bug, not a
+// runtime condition to tolerate.
+func Register(c Codec) {
+	if c.Name == "" || c.Name == GobName {
+		panic(fmt.Sprintf("wire: codec name %q is reserved", c.Name))
+	}
+	if c.Type == nil || c.Append == nil || c.Read == nil {
+		panic(fmt.Sprintf("wire: codec %q is incomplete", c.Name))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, ok := byName[c.Name]; ok {
+		panic(fmt.Sprintf("wire: duplicate codec name %q", c.Name))
+	}
+	if prev, ok := byType[c.Type]; ok {
+		panic(fmt.Sprintf("wire: type %v already has codec %q", c.Type, prev.Name))
+	}
+	cp := c
+	byName[c.Name] = &cp
+	byType[c.Type] = &cp
+}
+
+// Lookup returns the codec registered under name, or nil.
+func Lookup(name string) *Codec {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return byName[name]
+}
+
+// ForType returns the codec handling concrete type t, or nil.
+func ForType(t reflect.Type) *Codec {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return byType[t]
+}
+
+// --- append-style encode helpers ---
+
+// AppendUvarint appends x in unsigned LEB128.
+func AppendUvarint(b []byte, x uint64) []byte { return binary.AppendUvarint(b, x) }
+
+// AppendVarint appends x in zig-zag LEB128.
+func AppendVarint(b []byte, x int64) []byte { return binary.AppendVarint(b, x) }
+
+// AppendBool appends one byte, 0 or 1.
+func AppendBool(b []byte, x bool) []byte {
+	if x {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// AppendFloat64 appends the IEEE-754 bits, little-endian.
+func AppendFloat64(b []byte, x float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(x))
+}
+
+// AppendString appends a uvarint byte length followed by the bytes.
+func AppendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// AppendBytes appends a uvarint length followed by the raw bytes.
+func AppendBytes(b []byte, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+// AppendValue appends one interface value: a codec name (varint string)
+// followed by the codec's body. nil travels as the empty name;
+// codec-less types fall back to a length-prefixed gob stream under the
+// reserved name "gob".
+func AppendValue(b []byte, v any) ([]byte, error) {
+	if v == nil {
+		return AppendString(b, ""), nil
+	}
+	if c := ForType(reflect.TypeOf(v)); c != nil {
+		b = AppendString(b, c.Name)
+		return c.Append(b, v)
+	}
+	body, err := encodeGob(v)
+	if err != nil {
+		return nil, err
+	}
+	b = AppendString(b, GobName)
+	return AppendBytes(b, body), nil
+}
+
+// encodeGob encodes v through the gob fallback, aborting incrementally —
+// not after the fact — once the stream passes MaxValue.
+func encodeGob(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(NewLimitWriter(&buf, MaxValue)).Encode(&v); err != nil {
+		if errors.Is(err, ErrTooLarge) {
+			return nil, fmt.Errorf("%w (gob fallback for %T)", ErrTooLarge, v)
+		}
+		return nil, fmt.Errorf("wire: gob fallback for %T: %w (register a codec or encoding/gob type)", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// LimitWriter wraps w and fails with ErrTooLarge once more than max bytes
+// have been written, so incremental encoders (gob) stop producing output
+// the moment a value is hopeless instead of materializing all of it.
+type LimitWriter struct {
+	w   io.Writer
+	max int
+	n   int
+}
+
+// NewLimitWriter returns a LimitWriter allowing max bytes through to w.
+func NewLimitWriter(w io.Writer, max int) *LimitWriter {
+	return &LimitWriter{w: w, max: max}
+}
+
+// Write implements io.Writer.
+func (lw *LimitWriter) Write(p []byte) (int, error) {
+	if lw.n+len(p) > lw.max {
+		return 0, ErrTooLarge
+	}
+	n, err := lw.w.Write(p)
+	lw.n += n
+	return n, err
+}
+
+// --- bounds-checked decode ---
+
+// Decoder consumes one encoded body. All reads are bounds-checked: the
+// first malformed read latches an error, subsequent reads return zero
+// values, and Err reports the failure — so generated decode functions
+// read straight through and check once at the end.
+type Decoder struct {
+	b   []byte
+	err error
+}
+
+// NewDecoder returns a Decoder over b. The Decoder aliases b; the caller
+// must not recycle b until decoding (including of any Bytes results) is
+// done.
+func NewDecoder(b []byte) *Decoder { return &Decoder{b: b} }
+
+// Remaining reports how many bytes are left.
+func (d *Decoder) Remaining() int { return len(d.b) }
+
+// Err returns the first decode failure, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Failf latches a decode error (the first one wins).
+func (d *Decoder) Failf(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: "+format, args...)
+	}
+}
+
+// Uvarint reads an unsigned LEB128 value.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	x, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.Failf("truncated or overlong uvarint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return x
+}
+
+// Varint reads a zig-zag LEB128 value.
+func (d *Decoder) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	x, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.Failf("truncated or overlong varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return x
+}
+
+// Bool reads one byte as a bool (any non-zero byte is true).
+func (d *Decoder) Bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.b) < 1 {
+		d.Failf("truncated bool")
+		return false
+	}
+	x := d.b[0] != 0
+	d.b = d.b[1:]
+	return x
+}
+
+// Float64 reads 8 little-endian IEEE-754 bytes.
+func (d *Decoder) Float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 8 {
+		d.Failf("truncated float64")
+		return 0
+	}
+	x := math.Float64frombits(binary.LittleEndian.Uint64(d.b))
+	d.b = d.b[8:]
+	return x
+}
+
+// String reads a uvarint-length-prefixed string.
+func (d *Decoder) String() string {
+	return string(d.Bytes())
+}
+
+// Bytes reads a uvarint-length-prefixed byte slice. The result aliases
+// the Decoder's buffer — copy it if it outlives the frame.
+func (d *Decoder) Bytes() []byte {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)) {
+		d.Failf("length %d exceeds remaining %d bytes", n, len(d.b))
+		return nil
+	}
+	p := d.b[:n]
+	d.b = d.b[n:]
+	return p
+}
+
+// Value reads one interface value encoded by AppendValue. Unknown codec
+// names latch an error naming the codec, so a node that never imported
+// the sending algorithm's package fails loudly instead of desynchronizing.
+func (d *Decoder) Value() any {
+	name := d.String()
+	if d.err != nil {
+		return nil
+	}
+	switch name {
+	case "":
+		return nil
+	case GobName:
+		body := d.Bytes()
+		if d.err != nil {
+			return nil
+		}
+		var v any
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&v); err != nil {
+			d.Failf("gob fallback payload: %v", err)
+			return nil
+		}
+		return v
+	}
+	c := Lookup(name)
+	if c == nil {
+		d.Failf("unknown payload codec %q (import the package that registers it)", name)
+		return nil
+	}
+	v, err := c.Read(d)
+	if err != nil {
+		d.Failf("codec %q: %v", name, err)
+		return nil
+	}
+	return v
+}
+
+// --- builtin codecs: the model vocabulary the transport pre-registers
+// for gob is mirrored here so plain payloads never hit the fallback. ---
+
+// simple registers a codec whose append/read cannot fail structurally.
+func simple[T any](name string, app func(b []byte, x T) []byte, read func(d *Decoder) T) {
+	Register(Codec{
+		Name: name,
+		Type: reflect.TypeOf(*new(T)),
+		Append: func(b []byte, v any) ([]byte, error) {
+			return app(b, v.(T)), nil
+		},
+		Read: func(d *Decoder) (any, error) {
+			x := read(d)
+			return x, d.Err()
+		},
+	})
+}
+
+func init() {
+	simple("i", func(b []byte, x int) []byte { return AppendVarint(b, int64(x)) },
+		func(d *Decoder) int { return int(d.Varint()) })
+	simple("i64", func(b []byte, x int64) []byte { return AppendVarint(b, x) },
+		func(d *Decoder) int64 { return d.Varint() })
+	simple("u64", func(b []byte, x uint64) []byte { return AppendUvarint(b, x) },
+		func(d *Decoder) uint64 { return d.Uvarint() })
+	simple("f64", AppendFloat64, (*Decoder).Float64)
+	simple("b", AppendBool, (*Decoder).Bool)
+	simple("s", AppendString, (*Decoder).String)
+	simple("pid", func(b []byte, x core.ProcID) []byte { return AppendVarint(b, int64(x)) },
+		func(d *Decoder) core.ProcID { return core.ProcID(d.Varint()) })
+	simple("ref", func(b []byte, x core.Ref) []byte {
+		b = AppendVarint(b, int64(x.Owner))
+		b = AppendString(b, x.Name)
+		b = AppendVarint(b, int64(x.I))
+		return AppendVarint(b, int64(x.J))
+	}, func(d *Decoder) core.Ref {
+		var x core.Ref
+		x.Owner = core.ProcID(d.Varint())
+		x.Name = d.String()
+		x.I = int(d.Varint())
+		x.J = int(d.Varint())
+		return x
+	})
+	Register(Codec{
+		Name: "vs",
+		Type: reflect.TypeOf([]core.Value(nil)),
+		Append: func(b []byte, v any) ([]byte, error) {
+			xs := v.([]core.Value)
+			b = AppendUvarint(b, uint64(len(xs)))
+			var err error
+			for _, x := range xs {
+				if b, err = AppendValue(b, x); err != nil {
+					return nil, err
+				}
+			}
+			return b, nil
+		},
+		Read: func(d *Decoder) (any, error) {
+			n := d.Uvarint()
+			if n == 0 {
+				return []core.Value(nil), d.Err()
+			}
+			// Every element costs at least one name-length byte, so a
+			// count past Remaining is corrupt — refuse before allocating.
+			if n > uint64(d.Remaining()) {
+				d.Failf("value-slice length %d exceeds remaining %d bytes", n, d.Remaining())
+				return nil, d.Err()
+			}
+			xs := make([]core.Value, n)
+			for i := range xs {
+				xs[i] = d.Value()
+			}
+			return xs, d.Err()
+		},
+	})
+}

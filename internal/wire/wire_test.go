@@ -1,0 +1,195 @@
+package wire
+
+import (
+	"encoding/gob"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/core"
+)
+
+// fallbackPayload has no registered wire codec, so it rides the gob
+// fallback — which keeps gob's own contract: the concrete type must be
+// gob.Registered, exactly as the wire.go convention already requires.
+type fallbackPayload struct {
+	N int
+	S string
+}
+
+// blob exists to overflow the fallback's size limit.
+type blob struct{ B []byte }
+
+func init() {
+	gob.Register(fallbackPayload{})
+	gob.Register(blob{})
+}
+
+func roundTrip(t *testing.T, v any) any {
+	t.Helper()
+	b, err := AppendValue(nil, v)
+	if err != nil {
+		t.Fatalf("AppendValue(%#v): %v", v, err)
+	}
+	d := NewDecoder(b)
+	got := d.Value()
+	if err := d.Err(); err != nil {
+		t.Fatalf("decode %#v: %v", v, err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("decode %#v left %d bytes", v, d.Remaining())
+	}
+	return got
+}
+
+func TestBuiltinRoundTrip(t *testing.T) {
+	vals := []any{
+		nil,
+		0, 7, -7, math.MaxInt64, math.MinInt64,
+		int64(-1), int64(1 << 40),
+		uint64(0), uint64(math.MaxUint64),
+		float64(0), 3.25, math.Inf(-1),
+		true, false,
+		"", "hello", strings.Repeat("x", 300),
+		core.ProcID(0), core.ProcID(41), core.NoProc,
+		core.Ref{Owner: 2, Name: "reg", I: 3, J: -1},
+		[]core.Value(nil),
+		[]core.Value{1, "two", core.Ref{Owner: 1, Name: "r"}, nil},
+	}
+	for _, v := range vals {
+		got := roundTrip(t, v)
+		if !reflect.DeepEqual(got, v) {
+			t.Errorf("round trip %#v: got %#v", v, got)
+		}
+	}
+}
+
+func TestNestedValueSlice(t *testing.T) {
+	v := []core.Value{[]core.Value{1, 2}, []core.Value(nil)}
+	got := roundTrip(t, v)
+	if !reflect.DeepEqual(got, v) {
+		t.Errorf("round trip %#v: got %#v", v, got)
+	}
+}
+
+func TestGobFallbackRoundTrip(t *testing.T) {
+	v := fallbackPayload{N: 9, S: "fallback"}
+	b, err := AppendValue(nil, v)
+	if err != nil {
+		t.Fatalf("AppendValue: %v", err)
+	}
+	// The fallback must be tagged with the reserved name.
+	d := NewDecoder(b)
+	if name := d.String(); name != GobName {
+		t.Fatalf("fallback codec name = %q, want %q", name, GobName)
+	}
+	got := roundTrip(t, v)
+	if !reflect.DeepEqual(got, v) {
+		t.Errorf("round trip %#v: got %#v", v, got)
+	}
+}
+
+func TestGobFallbackTooLarge(t *testing.T) {
+	_, err := AppendValue(nil, blob{B: make([]byte, MaxValue+1)})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized fallback: err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestUnknownCodecName(t *testing.T) {
+	b := AppendString(nil, "no-such-codec")
+	d := NewDecoder(b)
+	if v := d.Value(); v != nil {
+		t.Fatalf("Value() = %#v, want nil", v)
+	}
+	if err := d.Err(); err == nil || !strings.Contains(err.Error(), "no-such-codec") {
+		t.Fatalf("err = %v, want unknown-codec error naming the codec", err)
+	}
+}
+
+func TestTruncatedDecode(t *testing.T) {
+	full, err := AppendValue(nil, []core.Value{1, "two", core.Ref{Owner: 3, Name: "r"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every strict prefix must fail cleanly (latched error, no panic),
+	// never succeed: the encoding has no trailing slack to hide in.
+	for n := 0; n < len(full); n++ {
+		d := NewDecoder(full[:n])
+		d.Value()
+		if d.Err() == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", n, len(full))
+		}
+	}
+}
+
+func TestCorruptLengthPrefix(t *testing.T) {
+	// A string claiming to be far longer than the buffer must be refused
+	// before allocation.
+	b := AppendUvarint(nil, 1<<40)
+	d := NewDecoder(b)
+	_ = d.String()
+	if d.Err() == nil {
+		t.Fatal("oversized length prefix accepted")
+	}
+}
+
+func TestDecoderErrorLatches(t *testing.T) {
+	d := NewDecoder(nil)
+	d.Uvarint()
+	first := d.Err()
+	if first == nil {
+		t.Fatal("expected error on empty buffer")
+	}
+	d.Failf("second error")
+	if d.Err() != first {
+		t.Fatal("later failure displaced the first latched error")
+	}
+	// Post-error reads are inert zero values.
+	if d.Varint() != 0 || d.Bool() || d.Float64() != 0 || d.String() != "" {
+		t.Fatal("post-error reads returned non-zero values")
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	for name, c := range map[string]Codec{
+		"reserved-empty": {Name: ""},
+		"reserved-gob":   {Name: GobName},
+		"incomplete":     {Name: "t-incomplete"},
+		"dup-name": {
+			Name: "i", Type: reflect.TypeOf(struct{}{}),
+			Append: func(b []byte, v any) ([]byte, error) { return b, nil },
+			Read:   func(d *Decoder) (any, error) { return nil, nil },
+		},
+		"dup-type": {
+			Name: "t-dup-type", Type: reflect.TypeOf(0),
+			Append: func(b []byte, v any) ([]byte, error) { return b, nil },
+			Read:   func(d *Decoder) (any, error) { return nil, nil },
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(%s) did not panic", name)
+				}
+			}()
+			Register(c)
+		}()
+	}
+}
+
+func TestLimitWriter(t *testing.T) {
+	var sink strings.Builder
+	lw := NewLimitWriter(&sink, 4)
+	if _, err := lw.Write([]byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lw.Write([]byte("cd")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lw.Write([]byte("e")); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("over-limit write: err = %v, want ErrTooLarge", err)
+	}
+}

@@ -1,0 +1,108 @@
+package wiregen
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/analysis/loader"
+	"github.com/mnm-model/mnm/internal/benor"
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/hbo"
+	"github.com/mnm-model/mnm/internal/leader"
+	"github.com/mnm-model/mnm/internal/mutex"
+	"github.com/mnm-model/mnm/internal/paxos"
+	"github.com/mnm-model/mnm/internal/rsm"
+	"github.com/mnm-model/mnm/internal/rt"
+	"github.com/mnm-model/mnm/internal/wire"
+)
+
+// TestGeneratedUpToDate regenerates every wire_codec.go in memory and
+// compares it with the checked-in file — the same check CI runs via
+// mnmwiregen -check, kept in the test suite so plain `go test ./...`
+// catches drift too.
+func TestGeneratedUpToDate(t *testing.T) {
+	root, err := loader.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	generated := 0
+	for _, pkg := range pkgs {
+		if !HasWireFile(pkg) {
+			continue
+		}
+		want, err := Generate(pkg)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.ImportPath, err)
+		}
+		path := filepath.Join(pkg.Dir, FileName)
+		got, readErr := os.ReadFile(path)
+		if want == nil {
+			if readErr == nil {
+				t.Errorf("%s: stray %s (package registers no wire types)", pkg.ImportPath, FileName)
+			}
+			continue
+		}
+		generated++
+		if readErr != nil {
+			t.Errorf("%s: missing %s; run go run ./cmd/mnmwiregen ./...", pkg.ImportPath, FileName)
+			continue
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s: %s is stale; run go run ./cmd/mnmwiregen ./...", pkg.ImportPath, FileName)
+		}
+	}
+	if generated < 7 {
+		t.Errorf("found %d generated codec files, want at least 7 (benor hbo leader mutex paxos rsm rt)", generated)
+	}
+}
+
+// TestPayloadsRoundTripGenerated pushes every representative payload of
+// every wire.go package through the codec plane and requires (a) a
+// generated codec — not the gob fallback — to carry it, and (b) exact
+// structural round-trip.
+func TestPayloadsRoundTripGenerated(t *testing.T) {
+	payloads := map[string][]core.Value{
+		"benor":  benor.WirePayloads(),
+		"hbo":    hbo.WirePayloads(),
+		"leader": leader.WirePayloads(),
+		"mutex":  mutex.WirePayloads(),
+		"paxos":  paxos.WirePayloads(),
+		"rsm":    rsm.WirePayloads(),
+		"rt":     rt.WirePayloads(),
+	}
+	for pkg, vals := range payloads {
+		if len(vals) == 0 {
+			t.Errorf("%s: no wire payloads", pkg)
+		}
+		for _, v := range vals {
+			c := wire.ForType(reflect.TypeOf(v))
+			if c == nil {
+				t.Errorf("%s: %T has no generated codec (would ride the gob fallback)", pkg, v)
+				continue
+			}
+			b, err := wire.AppendValue(nil, v)
+			if err != nil {
+				t.Errorf("%s: encode %#v: %v", pkg, v, err)
+				continue
+			}
+			d := wire.NewDecoder(b)
+			got := d.Value()
+			if err := d.Err(); err != nil {
+				t.Errorf("%s: decode %#v: %v", pkg, v, err)
+				continue
+			}
+			if d.Remaining() != 0 {
+				t.Errorf("%s: decode %#v left %d trailing bytes", pkg, v, d.Remaining())
+			}
+			if !reflect.DeepEqual(got, v) {
+				t.Errorf("%s: round trip %#v via codec %q: got %#v", pkg, v, c.Name, got)
+			}
+		}
+	}
+}
