@@ -87,6 +87,10 @@ func runTransportBench(path, label string, quick bool, stdout, stderr io.Writer)
 		res.BroadcastMsgsPerSec, res.BroadcastNodes)
 	fmt.Fprintf(stdout, "  ack coalescing:    %.1f data frames per ack flush\n",
 		float64(res.FramesSent)/float64(maxInt64(res.AckFlushes, 1)))
+	if res.MultiGroupGroups > 0 {
+		fmt.Fprintf(stdout, "  multi-group:       %.0f frames/s aggregate over %d groups, one shared connection\n",
+			res.MultiGroupFramesPerSec, res.MultiGroupGroups)
+	}
 	return 0
 }
 

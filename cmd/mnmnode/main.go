@@ -25,6 +25,17 @@
 // Theorem 5.1 reads as zeros in the MSG/S column while register
 // operations keep flowing. With -trace N the node retains the last N
 // structured events and dumps them as JSON Lines on exit.
+//
+// With -groups N the node is multi-tenant: besides the base run it
+// opens N additional leader-election groups (shards 1..N), all
+// multiplexed over the same TCP connections through the sharded
+// transport (see DESIGN.md §4.3.3). Each group elects independently;
+// /status grows a "groups" map with one entry per shard and /metrics
+// renders each shard's counters with a group label.
+//
+// The transport's timing knobs are exposed as flags (-connect-timeout,
+// -backoff-base, -backoff-max, -write-timeout, -call-timeout,
+// -drain-timeout); zero keeps the tcp.Timeouts default.
 package main
 
 import (
@@ -41,6 +52,7 @@ import (
 
 	"github.com/mnm-model/mnm/internal/benor"
 	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/directory"
 	"github.com/mnm-model/mnm/internal/graph"
 	"github.com/mnm-model/mnm/internal/hbo"
 	"github.com/mnm-model/mnm/internal/leader"
@@ -68,6 +80,14 @@ func run() int {
 		timeout = flag.Duration("timeout", 60*time.Second, "overall deadline")
 		linger  = flag.Duration("linger", time.Second, "how long to keep serving peers after finishing")
 		verbose = flag.Bool("v", false, "log connection lifecycle events to stderr")
+		groups  = flag.Int("groups", 0, "additional leader-election groups (shards 1..N) multiplexed over the same mesh")
+
+		connectT = flag.Duration("connect-timeout", 0, "TCP dial timeout per connection attempt (0 = transport default)")
+		backoffB = flag.Duration("backoff-base", 0, "initial reconnect backoff (0 = transport default)")
+		backoffM = flag.Duration("backoff-max", 0, "reconnect backoff ceiling (0 = transport default)")
+		writeT   = flag.Duration("write-timeout", 0, "per-flush socket write deadline (0 = transport default)")
+		callT    = flag.Duration("call-timeout", 0, "remote-register RPC deadline (0 = transport default)")
+		drainT   = flag.Duration("drain-timeout", 0, "unacked-frame drain budget on shutdown (0 = transport default)")
 
 		metricsAddr = flag.String("metrics-addr", "", "host:port serving /metrics, /healthz and /status (empty disables)")
 		sampleEvery = flag.Duration("sample-interval", time.Second, "registry sampling interval behind /status rates")
@@ -121,6 +141,14 @@ func run() int {
 		ListenAddr: addrList[*id],
 		Logf:       logf,
 		TLS:        tlsCfg,
+		Timeouts: tcp.Timeouts{
+			Connect:     *connectT,
+			BackoffBase: *backoffB,
+			BackoffMax:  *backoffM,
+			Write:       *writeT,
+			Call:        *callT,
+			Drain:       *drainT,
+		},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mnmnode: %v\n", err)
@@ -182,6 +210,23 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "mnmnode: %v\n", err)
 		return 1
 	}
+	// Multi-tenant plane: shards 1..*groups share tr's connections. The
+	// node is built up front (so /status can render it) but the groups are
+	// opened only once the mesh is up.
+	var node *rt.Node
+	if *groups > 0 {
+		node, err = rt.NewNode(rt.NodeConfig{
+			Transport: tr,
+			Directory: directory.Uniform{Addrs: addrList},
+			Registry:  reg,
+			Logf:      logf,
+		})
+		if err != nil {
+			h.Stop()
+			fmt.Fprintf(os.Stderr, "mnmnode: %v\n", err)
+			return 1
+		}
+	}
 	if rec != nil {
 		defer func() {
 			if err := dumpTrace(rec, *traceOut); err != nil {
@@ -206,6 +251,9 @@ func run() int {
 					if v, ok := h.Exposed(self, leader.LeaderKey).(core.ProcID); ok && v != core.NoProc {
 						st["leader"] = fmt.Sprintf("%v", v)
 					}
+				}
+				if node != nil {
+					st["groups"] = groupStatus(node, self)
 				}
 				return st
 			},
@@ -232,16 +280,43 @@ func run() int {
 		return 1
 	}
 	h.Start()
+	var shards []*rt.Group
+	stopShards := func() {
+		for _, g := range shards {
+			g.Stop()
+		}
+	}
+	if node != nil {
+		for gid := 1; gid <= *groups; gid++ {
+			g, err := node.OpenGroup(transport.GroupID(gid), rt.GroupConfig{
+				RunConfig: rt.RunConfig{GSM: graph.Complete(*n), Seed: *seed ^ int64(gid)<<16, Logf: logf},
+			}, leader.New(leader.Config{Notifier: leader.SharedMemoryNotifier}))
+			if err != nil {
+				stopShards()
+				h.Stop()
+				fmt.Fprintf(os.Stderr, "mnmnode: group %d: %v\n", gid, err)
+				return 1
+			}
+			g.Start()
+			shards = append(shards, g)
+		}
+		if logf != nil {
+			logf("opened %d groups over the shared mesh", *groups)
+		}
+	}
 	line, err := finish(h, deadline)
 	if err != nil {
+		stopShards()
 		h.Stop()
 		fmt.Fprintf(os.Stderr, "mnmnode: %v\n", err)
 		return 1
 	}
 	fmt.Println(line)
 	// Keep serving register reads and retransmissions for peers that have
-	// not finished yet, then drain and tear down.
+	// not finished yet, then drain and tear down (groups detach first; the
+	// base host's Stop is the one that closes the shared transport).
 	time.Sleep(*linger)
+	stopShards()
 	res := h.Stop()
 	for p, e := range res.Errors {
 		fmt.Fprintf(os.Stderr, "mnmnode: process %v: %v\n", p, e)
@@ -251,6 +326,29 @@ func run() int {
 		logf("done: %d steps in %v", res.Steps, res.Elapsed.Round(time.Millisecond))
 	}
 	return 0
+}
+
+// groupStatus renders one /status entry per open group: the leader this
+// node's process has adopted (once there is one) and the group's message
+// totals, so a scrape shows every shard settling into the Theorem 5.1
+// steady state (leader present, msgs_sent flat).
+func groupStatus(node *rt.Node, self core.ProcID) map[string]any {
+	out := make(map[string]any)
+	for _, gid := range node.Groups() {
+		g := node.Group(gid)
+		if g == nil {
+			continue
+		}
+		ent := map[string]any{}
+		if v, ok := g.Exposed(self, leader.LeaderKey).(core.ProcID); ok && v != core.NoProc {
+			ent["leader"] = fmt.Sprintf("%v", v)
+		}
+		snap := g.Counters().Snapshot(0)
+		ent["msgs_sent"] = snap.Total(metrics.MsgSent)
+		ent["msgs_delivered"] = snap.Total(metrics.MsgDelivered)
+		out[fmt.Sprintf("%d", gid)] = ent
+	}
+	return out
 }
 
 // monitorLeader polls the node's exposed leader output and meters every

@@ -13,6 +13,13 @@
 // drift a vet failure: in any package with a wire.go, the registered
 // type set and the manifest must agree name-for-name and
 // fingerprint-for-fingerprint.
+//
+// The manifest also carries a //mnmwiregen:wireversion stamp — the
+// frame-header version (wire.FrameVersion) the codecs were generated
+// against. A header redesign (such as v3's Group shard-routing field)
+// bumps that constant, and every codec file generated before the bump
+// fails vet until mnmwiregen is re-run, so payload codecs can never
+// outlive the frame format they were audited against.
 package wirecodec
 
 import (
@@ -21,6 +28,7 @@ import (
 	"sort"
 
 	"github.com/mnm-model/mnm/internal/analysis"
+	"github.com/mnm-model/mnm/internal/wire"
 	"github.com/mnm-model/mnm/internal/wiregen"
 )
 
@@ -28,7 +36,8 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "wirecodec",
 	Doc: "in packages with a wire.go, the generated wire_codec.go manifest must " +
-		"match the gob.Register type set (run mnmwiregen to regenerate)",
+		"match the gob.Register type set and the current frame-header version " +
+		"(run mnmwiregen to regenerate)",
 	Run: run,
 }
 
@@ -51,14 +60,27 @@ func run(pass *analysis.Pass) {
 		return
 	}
 
-	// The manifest: one fingerprint comment per generated codec.
+	// The manifest: a frame-header version stamp plus one fingerprint
+	// comment per generated codec.
 	manifest := map[string]string{} // type name -> fingerprint
+	version, haveVersion := 0, false
 	for _, cg := range codecFile.Comments {
 		for _, c := range cg.List {
 			if name, fp, ok := wiregen.ParseFingerprint(c.Text); ok {
 				manifest[name] = fp
 			}
+			if v, ok := wiregen.ParseWireVersion(c.Text); ok {
+				version, haveVersion = v, true
+			}
 		}
+	}
+	switch {
+	case !haveVersion:
+		pass.Reportf(codecFile.Pos(), "%s has no //mnmwiregen:wireversion stamp (generated before frame-header versioning); re-run mnmwiregen",
+			wiregen.FileName)
+	case version != wire.FrameVersion:
+		pass.Reportf(codecFile.Pos(), "%s was generated against frame-header version %d but the wire plane is now version %d; re-run mnmwiregen",
+			wiregen.FileName, version, wire.FrameVersion)
 	}
 
 	seen := map[string]bool{}

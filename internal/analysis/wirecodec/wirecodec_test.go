@@ -15,6 +15,13 @@ func TestWirecodecMissingFile(t *testing.T) {
 	vettest.Run(t, "../testdata/wirecodecmissing", wirecodec.Analyzer)
 }
 
+// A manifest whose fingerprints are all current but which predates the
+// //mnmwiregen:wireversion stamp must still demand regeneration: the
+// codecs were never audited against the current frame header.
+func TestWirecodecNoVersionStamp(t *testing.T) {
+	vettest.Run(t, "../testdata/wirecodecnostamp", wirecodec.Analyzer)
+}
+
 // The rule is scoped to packages that opt into the wire.go convention;
 // a package without one (even a gob-registering one) is not its
 // business. The wiregobnowire fixture is exactly that shape.

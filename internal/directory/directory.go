@@ -1,0 +1,84 @@
+// Package directory maps shard identifiers (transport.GroupID) to the
+// nodes that own their processes. It is the control-plane complement of
+// the sharded transport: the wire routes a frame to a (node, group,
+// proc) triple, and the directory answers which node that is. rt.Node
+// consults it when opening a group — to compute the group's address
+// table and the subset of processes hosted locally — and the
+// remote-register RPC plane inherits the answer through the group's
+// transport view.
+//
+// The package ships static resolvers (a fixed table, a uniform layout,
+// all-local); the Directory interface is the seam where a dynamic
+// service — a membership view, a rebalancer — plugs in later without
+// touching the runtime.
+package directory
+
+import (
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/transport"
+)
+
+// Assignment describes where one group's processes live. Addrs[p] is the
+// listen address of the node hosting process p, exactly the address
+// table a socket transport routes by. A nil Addrs means the group is
+// entirely local to whichever node asks — the degenerate (but common)
+// single-node layout.
+type Assignment struct {
+	Addrs []string
+}
+
+// Local reports whether the assignment places every process on the
+// asking node.
+func (a Assignment) Local() bool { return len(a.Addrs) == 0 }
+
+// HostedAt returns the processes the assignment places on the node
+// listening at addr, in ascending order.
+func (a Assignment) HostedAt(addr string) []core.ProcID {
+	var out []core.ProcID
+	for p, nodeAddr := range a.Addrs {
+		if nodeAddr == addr {
+			out = append(out, core.ProcID(p))
+		}
+	}
+	return out
+}
+
+// Directory resolves a group to its assignment. Lookup reports false
+// when the directory has no entry for the group — the caller treats
+// that as "group does not exist here", not as local. Implementations
+// must be safe for concurrent use.
+type Directory interface {
+	Lookup(g transport.GroupID) (Assignment, bool)
+}
+
+// Static is a fixed group → assignment table, the simplest Directory:
+// the operator (or a test) writes the layout down and nothing moves.
+type Static map[transport.GroupID]Assignment
+
+// Lookup implements Directory.
+func (s Static) Lookup(g transport.GroupID) (Assignment, bool) {
+	a, ok := s[g]
+	return a, ok
+}
+
+// Uniform assigns every group the same address table — the mnmnode
+// cluster layout, where each of the n processes of every group lives on
+// the same n nodes.
+type Uniform struct {
+	Addrs []string
+}
+
+// Lookup implements Directory.
+func (u Uniform) Lookup(transport.GroupID) (Assignment, bool) {
+	return Assignment{Addrs: u.Addrs}, true
+}
+
+// AllLocal resolves every group to an all-local assignment: each group
+// runs entirely on the asking node. It is the directory of a
+// single-node multi-tenant process.
+type AllLocal struct{}
+
+// Lookup implements Directory.
+func (AllLocal) Lookup(transport.GroupID) (Assignment, bool) {
+	return Assignment{}, true
+}

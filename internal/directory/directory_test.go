@@ -1,0 +1,56 @@
+package directory
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/transport"
+)
+
+func TestAssignmentLocalAndHostedAt(t *testing.T) {
+	local := Assignment{}
+	if !local.Local() {
+		t.Error("empty assignment should be local")
+	}
+	asn := Assignment{Addrs: []string{"a:1", "b:2", "a:1"}}
+	if asn.Local() {
+		t.Error("addressed assignment should not be local")
+	}
+	if got := asn.HostedAt("a:1"); !reflect.DeepEqual(got, []core.ProcID{0, 2}) {
+		t.Errorf("HostedAt(a:1) = %v, want [0 2]", got)
+	}
+	if got := asn.HostedAt("c:3"); len(got) != 0 {
+		t.Errorf("HostedAt(c:3) = %v, want none", got)
+	}
+}
+
+func TestStaticLookup(t *testing.T) {
+	d := Static{
+		7: {Addrs: []string{"a:1", "b:2"}},
+	}
+	asn, ok := d.Lookup(7)
+	if !ok || !reflect.DeepEqual(asn.Addrs, []string{"a:1", "b:2"}) {
+		t.Errorf("Lookup(7) = %+v, %v", asn, ok)
+	}
+	if _, ok := d.Lookup(8); ok {
+		t.Error("Lookup(8) should miss")
+	}
+}
+
+func TestUniformLookupCoversEveryGroup(t *testing.T) {
+	d := Uniform{Addrs: []string{"a:1", "b:2"}}
+	for _, g := range []transport.GroupID{1, 4096, 1 << 31} {
+		asn, ok := d.Lookup(g)
+		if !ok || !reflect.DeepEqual(asn.Addrs, d.Addrs) {
+			t.Errorf("Lookup(%d) = %+v, %v", g, asn, ok)
+		}
+	}
+}
+
+func TestAllLocalLookup(t *testing.T) {
+	asn, ok := AllLocal{}.Lookup(99)
+	if !ok || !asn.Local() {
+		t.Errorf("AllLocal Lookup = %+v, %v; want local hit", asn, ok)
+	}
+}

@@ -61,6 +61,16 @@ type TransportBenchResult struct {
 	// main numbers above always use the default binary protocol.
 	GobSendFrames       int     `json:"gob_send_frames"`
 	GobSendFramesPerSec float64 `json:"gob_send_frames_per_sec"`
+
+	// Multi-group fan-out: MultiGroupGroups shards multiplexed over ONE
+	// loopback node pair — one shared connection per direction — every
+	// shard sending concurrently. MultiGroupFrames is the aggregate data
+	// frame count across all shards; the per-sec figure is the sharded
+	// mesh's aggregate throughput to compare against the single-group
+	// send_frames_per_sec row.
+	MultiGroupGroups       int     `json:"multi_group_groups,omitempty"`
+	MultiGroupFrames       int     `json:"multi_group_frames,omitempty"`
+	MultiGroupFramesPerSec float64 `json:"multi_group_frames_per_sec,omitempty"`
 }
 
 // transportBenchExperiment is the TPUT entry in the mnmbench catalog.
@@ -90,6 +100,8 @@ func transportBenchExperiment() Experiment {
 			fmt.Sprintf("%.0f", r.BroadcastMsgsPerSec))
 		tb.row("mean frames per flush", fmt.Sprintf("%.1f", r.MeanBatchFrames))
 		tb.row("data frames per ack flush", fmt.Sprintf("%.1f", float64(r.FramesSent)/float64(max64(r.AckFlushes, 1))))
+		tb.row(fmt.Sprintf("multi-group fan-out, %d groups (frames/s)", r.MultiGroupGroups),
+			fmt.Sprintf("%.0f", r.MultiGroupFramesPerSec))
 		tb.flush()
 		fmt.Fprintln(w, "\nexpected: frames per flush and frames per ack flush well above 1 —")
 		fmt.Fprintln(w, "the send loop drains its whole backlog per syscall and the receiver")
@@ -282,5 +294,62 @@ func RunTransportBench(p Params) (TransportBenchResult, error) {
 	}
 	r.GobSendFramesPerSec = float64(r.GobSendFrames) / time.Since(start).Seconds()
 	closeAll(gobPair)
+
+	// Phase 5: multi-group fan-out — the sharded mesh. G groups opened
+	// over one fresh node pair (one shared connection per direction), all
+	// sending concurrently; the receiver drains every shard's mailbox.
+	r.MultiGroupGroups = 32
+	perGroup := 1000
+	if p.Quick {
+		r.MultiGroupGroups, perGroup = 8, 250
+	}
+	r.MultiGroupFrames = r.MultiGroupGroups * perGroup
+	shardPair, err := benchMesh(2, nil, 0)
+	if err != nil {
+		return r, err
+	}
+	addrs := []string{shardPair[0].Addr(), shardPair[1].Addr()}
+	senders := make([]transport.Transport, r.MultiGroupGroups)
+	receivers := make([]transport.Transport, r.MultiGroupGroups)
+	for g := 0; g < r.MultiGroupGroups; g++ {
+		id := transport.GroupID(g + 1)
+		sv, err := shardPair[0].OpenGroup(id, transport.GroupConfig{N: 2, Hosted: []core.ProcID{0}, Addrs: addrs})
+		if err != nil {
+			closeAll(shardPair)
+			return r, fmt.Errorf("transportbench: open group %d: %w", id, err)
+		}
+		rv, err := shardPair[1].OpenGroup(id, transport.GroupConfig{N: 2, Hosted: []core.ProcID{1}, Addrs: addrs})
+		if err != nil {
+			closeAll(shardPair)
+			return r, fmt.Errorf("transportbench: open group %d: %w", id, err)
+		}
+		if err := sv.Dial(); err != nil {
+			closeAll(shardPair)
+			return r, fmt.Errorf("transportbench: dial group %d: %w", id, err)
+		}
+		senders[g], receivers[g] = sv, rv
+	}
+	start = time.Now()
+	for g := 0; g < r.MultiGroupGroups; g++ {
+		go func(v transport.Transport) {
+			for i := 0; i < perGroup; i++ {
+				v.Send(0, 1, i)
+			}
+		}(senders[g])
+	}
+	for received := 0; received < r.MultiGroupFrames; {
+		progressed := false
+		for g := 0; g < r.MultiGroupGroups; g++ {
+			if _, ok := receivers[g].TryRecv(1); ok {
+				received++
+				progressed = true
+			}
+		}
+		if !progressed {
+			runtime.Gosched()
+		}
+	}
+	r.MultiGroupFramesPerSec = float64(r.MultiGroupFrames) / time.Since(start).Seconds()
+	closeAll(shardPair)
 	return r, nil
 }

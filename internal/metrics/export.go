@@ -34,10 +34,13 @@ type HistJSON struct {
 	P99NS  int64 `json:"p99_ns"`
 }
 
-// ExportJSON is the full JSON document for one registry.
+// ExportJSON is the full JSON document for one registry. Groups holds
+// one nested document per labeled sub-registry (multi-tenant shards);
+// it is omitted when the registry has none.
 type ExportJSON struct {
 	Counters   map[string]CounterJSON `json:"counters"`
 	Histograms map[string]HistJSON    `json:"histograms"`
+	Groups     map[string]ExportJSON  `json:"groups,omitempty"`
 }
 
 // histJSON flattens a snapshot into its JSON form.
@@ -70,6 +73,12 @@ func Export(reg *Registry) ExportJSON {
 	for name, h := range reg.HistSnapshots() {
 		out.Histograms[name] = histJSON(h)
 	}
+	for _, label := range reg.SubLabels() {
+		if out.Groups == nil {
+			out.Groups = make(map[string]ExportJSON)
+		}
+		out.Groups[label] = Export(reg.SubRegistry(label))
+	}
 	return out
 }
 
@@ -90,25 +99,67 @@ func sanitizeProm(name string) string {
 // WritePrometheus writes the registry in the Prometheus text exposition
 // format (version 0.0.4): one `mnm_<kind>_total` counter family with a
 // `proc` label per counter Kind, and one `mnm_<name>_seconds` summary
-// (plus a `_max` gauge) per histogram.
+// (plus a `_max` gauge) per histogram. Labeled sub-registries render in
+// the same families with an extra `group` label, so a shard's counters
+// sit next to the node-level rows under one TYPE header.
 func WritePrometheus(w io.Writer, reg *Registry) error {
-	snap := reg.Counters().Snapshot(0)
+	labels := reg.SubLabels()
 	for _, k := range Kinds() {
 		name := "mnm_" + sanitizeProm(k.String()) + "_total"
 		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", name); err != nil {
 			return err
 		}
-		if snap.Procs() == 0 {
-			if _, err := fmt.Fprintf(w, "%s 0\n", name); err != nil {
-				return err
-			}
-			continue
+		if err := writePromCounter(w, name, k, "", reg); err != nil {
+			return err
 		}
-		for p := 0; p < snap.Procs(); p++ {
-			if _, err := fmt.Fprintf(w, "%s{proc=\"%d\"} %d\n", name, p, snap.Of(core.ProcID(p), k)); err != nil {
+		for _, label := range labels {
+			if err := writePromCounter(w, name, k, label, reg.SubRegistry(label)); err != nil {
 				return err
 			}
 		}
+	}
+	if err := writePromHists(w, "", reg); err != nil {
+		return err
+	}
+	for _, label := range labels {
+		if err := writePromHists(w, label, reg.SubRegistry(label)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromCounter renders one counter family's rows for one registry,
+// tagging each row with group=label when label is non-empty. The TYPE
+// header is the caller's: every group's rows share one family.
+func writePromCounter(w io.Writer, name string, k Kind, label string, reg *Registry) error {
+	group := ""
+	if label != "" {
+		group = fmt.Sprintf("group=%q,", label)
+	}
+	snap := reg.Counters().Snapshot(0)
+	if snap.Procs() == 0 {
+		if label != "" {
+			return nil // an empty sub-registry adds no rows
+		}
+		_, err := fmt.Fprintf(w, "%s 0\n", name)
+		return err
+	}
+	for p := 0; p < snap.Procs(); p++ {
+		if _, err := fmt.Fprintf(w, "%s{%sproc=\"%d\"} %d\n", name, group, p, snap.Of(core.ProcID(p), k)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHists renders one registry's histograms, tagged with
+// group=label when label is non-empty.
+func writePromHists(w io.Writer, label string, reg *Registry) error {
+	group, sep := "", ""
+	if label != "" {
+		group = fmt.Sprintf("{group=%q}", label)
+		sep = fmt.Sprintf("group=%q,", label)
 	}
 	hists := reg.HistSnapshots()
 	for _, hname := range reg.HistNames() {
@@ -125,17 +176,17 @@ func WritePrometheus(w io.Writer, reg *Registry) error {
 			{"0.95", h.Quantile(0.95).Seconds()},
 			{"0.99", h.Quantile(0.99).Seconds()},
 		} {
-			if _, err := fmt.Fprintf(w, "%s{quantile=\"%s\"} %g\n", name, q.label, q.v); err != nil {
+			if _, err := fmt.Fprintf(w, "%s{%squantile=\"%s\"} %g\n", name, sep, q.label, q.v); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %g\n", name, time.Duration(h.SumNS).Seconds()); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", name, group, time.Duration(h.SumNS).Seconds()); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", name, group, h.Count); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s_max gauge\n%s_max %g\n", name, name, h.Max().Seconds()); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s_max gauge\n%s_max%s %g\n", name, name, group, h.Max().Seconds()); err != nil {
 			return err
 		}
 	}

@@ -85,6 +85,76 @@ func TestExportPrometheusParses(t *testing.T) {
 	}
 }
 
+// Sharded nodes hang one sub-registry per group off the root; both
+// exporters must render those shards without disturbing the base rows
+// (CI greps the exposition for the unlabeled base format).
+func TestExportGroupSubRegistries(t *testing.T) {
+	reg := exportFixture()
+	g1 := reg.Sub("group-1", 2)
+	g1.Record(0, MsgSent, 7)
+	g1.Record(1, RegReadRemote, 3)
+	g1.Histogram(HistRemoteRead).Observe(40 * time.Microsecond)
+	reg.Sub("group-2", 2) // opened but idle
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	var doc ExportJSON
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("JSON does not parse: %v\n%s", err, buf.String())
+	}
+	g1doc, ok := doc.Groups["group-1"]
+	if !ok {
+		t.Fatalf("groups map missing group-1: %v", doc.Groups)
+	}
+	if got := g1doc.Counters["msg_sent"]; got.Total != 7 || got.PerProc[0] != 7 {
+		t.Errorf("group-1 msg_sent = %+v", got)
+	}
+	if _, ok := doc.Groups["group-2"]; !ok {
+		t.Error("idle group-2 missing from groups map")
+	}
+	// Shard traffic must not leak into the root totals.
+	if got := doc.Counters["msg_sent"]; got.Total != 5 {
+		t.Errorf("root msg_sent = %+v, want total 5", got)
+	}
+
+	buf.Reset()
+	if err := WritePrometheus(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+	for _, want := range []string{
+		`mnm_msg_sent_total{proc="0"} 4`, // base row, byte-identical to unsharded
+		`mnm_msg_sent_total{group="group-1",proc="0"} 7`,
+		`mnm_reg_read_remote_total{group="group-1",proc="1"} 3`,
+		`mnm_remote_read_seconds_count{group="group-1"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition output missing %q\n%s", want, out)
+		}
+	}
+	// Group rows ride under the shared TYPE header: one header per name.
+	if got := strings.Count(out, "# TYPE mnm_msg_sent_total counter"); got != 1 {
+		t.Errorf("%d TYPE headers for mnm_msg_sent_total, want 1", got)
+	}
+	// The idle shard is still visible in the scrape — zero-valued rows,
+	// so dashboards see every open group, active or not.
+	if !strings.Contains(out, `mnm_msg_sent_total{group="group-2",proc="0"} 0`) {
+		t.Errorf("idle group-2 should expose zero-valued rows:\n%s", out)
+	}
+}
+
 func TestExportEmptyRegistry(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WritePrometheus(&buf, NewRegistryWith(nil)); err != nil {

@@ -45,6 +45,7 @@ type Registry struct {
 	mu       sync.RWMutex
 	counters *Counters
 	hists    map[string]*Histogram
+	subs     map[string]*Registry
 }
 
 // NewRegistry returns a registry with fresh counters for n processes.
@@ -106,6 +107,63 @@ func (r *Registry) Histogram(name string) *Histogram {
 	h = &Histogram{}
 	r.hists[name] = h
 	return h
+}
+
+// Sub returns the sub-registry with the given label, creating it (with
+// fresh counters for n processes) on first use. Sub-registries are the
+// multi-tenant plane of the schema: one label per shard ("group-7"), each
+// with its own counters and histograms, all reachable from the node's
+// root registry — the exporters render them with a `group` label next to
+// the node-level families. A sub-registry is a full Registry (nesting is
+// possible but the exporters render one level).
+func (r *Registry) Sub(label string, n int) *Registry {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	s, ok := r.subs[label]
+	r.mu.RUnlock()
+	if ok {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.subs[label]; ok {
+		return s
+	}
+	if r.subs == nil {
+		r.subs = make(map[string]*Registry)
+	}
+	s = NewRegistry(n)
+	r.subs[label] = s
+	return s
+}
+
+// SubLabels returns the labels of all sub-registries created so far,
+// sorted.
+func (r *Registry) SubLabels() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.subs))
+	for label := range r.subs {
+		out = append(out, label)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SubRegistry returns the sub-registry with the given label, or nil if it
+// was never created.
+func (r *Registry) SubRegistry(label string) *Registry {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.subs[label]
 }
 
 // HistNames returns the names of all histograms created so far, sorted.

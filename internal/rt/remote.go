@@ -59,7 +59,7 @@ type memCASResp struct {
 // would otherwise hold the caller inside the transport until its call
 // timeout, stalling Stop for seconds. The abandoned Call completes (or
 // times out) in the background; its buffered channel lets it exit.
-func (h *Host) callRemote(p core.ProcID, owner core.ProcID, req core.Value) (core.Value, error) {
+func (h *Group) callRemote(p core.ProcID, owner core.ProcID, req core.Value) (core.Value, error) {
 	type outcome struct {
 		v   core.Value
 		err error
@@ -82,7 +82,7 @@ func (h *Host) callRemote(p core.ProcID, owner core.ProcID, req core.Value) (cor
 
 // readReg reads ref for process p, locally when the owner is hosted here
 // and over RPC otherwise.
-func (h *Host) readReg(p core.ProcID, ref core.Ref) (core.Value, error) {
+func (h *Group) readReg(p core.ProcID, ref core.Ref) (core.Value, error) {
 	if h.rpc == nil || h.hostedSet[ref.Owner] {
 		return h.mem.Read(p, ref)
 	}
@@ -100,7 +100,7 @@ func (h *Host) readReg(p core.ProcID, ref core.Ref) (core.Value, error) {
 }
 
 // writeReg writes ref for process p, locally or over RPC.
-func (h *Host) writeReg(p core.ProcID, ref core.Ref, v core.Value) error {
+func (h *Group) writeReg(p core.ProcID, ref core.Ref, v core.Value) error {
 	if h.rpc == nil || h.hostedSet[ref.Owner] {
 		return h.mem.Write(p, ref, v)
 	}
@@ -111,7 +111,7 @@ func (h *Host) writeReg(p core.ProcID, ref core.Ref, v core.Value) error {
 }
 
 // casReg compare-and-swaps ref for process p, locally or over RPC.
-func (h *Host) casReg(p core.ProcID, ref core.Ref, expected, desired core.Value) (bool, core.Value, error) {
+func (h *Group) casReg(p core.ProcID, ref core.Ref, expected, desired core.Value) (bool, core.Value, error) {
 	if h.rpc == nil || h.hostedSet[ref.Owner] {
 		return h.mem.CompareAndSwap(p, ref, expected, desired)
 	}
@@ -132,7 +132,7 @@ func (h *Host) casReg(p core.ProcID, ref core.Ref, expected, desired core.Value)
 // register operations for registers owned by processes hosted here, out of
 // the local shm.Memory (which enforces the shared-memory domain against
 // the calling process id carried in the request).
-func (h *Host) serveMem(_ core.ProcID, req core.Value) (core.Value, error) {
+func (h *Group) serveMem(_ core.ProcID, req core.Value) (core.Value, error) {
 	switch r := req.(type) {
 	case memReadReq:
 		if !h.hostedSet[r.Ref.Owner] {

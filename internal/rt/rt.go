@@ -31,6 +31,7 @@ import (
 	"math/rand"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -71,9 +72,9 @@ type Config struct {
 	// counters plus latency histograms, handed to the transport (via
 	// transport.Instrumentable) so every backend reports the same schema,
 	// and fed by the host's remote-register RPC timing. If nil, one is
-	// created around the run's counters. When both Registry and Counters
-	// are set and the registry already carries counters, the registry's
-	// counters win.
+	// synthesized — around RunConfig.Counters when that deprecated shim is
+	// set, around fresh counters otherwise. When Registry is set it is the
+	// single metering object and RunConfig.Counters is ignored.
 	Registry *metrics.Registry
 }
 
@@ -96,25 +97,47 @@ type Result struct {
 	Counters *metrics.Counters
 }
 
-// Err returns the first process error by process id, or nil.
+// Err flattens the run's process errors into one error: nil when every
+// process succeeded, the error itself when exactly one failed, and a
+// joined multi-error — one branch per failed process, in ascending
+// ProcID order, each wrapped so errors.Is/As see through it — when
+// several did. The order is sorted once per call (not the map's random
+// iteration order), so the result is stable and no failure is silently
+// dropped in favor of the lowest ProcID.
 func (r *Result) Err() error {
-	if r == nil {
+	if r == nil || len(r.Errors) == 0 {
 		return nil
 	}
-	var first core.ProcID = -1
+	procs := make([]core.ProcID, 0, len(r.Errors))
 	for p := range r.Errors {
-		if first < 0 || p < first {
-			first = p
-		}
+		procs = append(procs, p)
 	}
-	if first < 0 {
-		return nil
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	if len(procs) == 1 {
+		return r.Errors[procs[0]]
 	}
-	return r.Errors[first]
+	errs := make([]error, len(procs))
+	for i, p := range procs {
+		errs[i] = fmt.Errorf("proc %v: %w", p, r.Errors[p])
+	}
+	return errors.Join(errs...)
 }
 
-// Host runs an algorithm with real concurrency.
-type Host struct {
+// Host is the single-group special case of Group, kept as a thin
+// compatibility alias: a Host built by New owns its transport outright
+// (Stop closes and drains it), which is exactly a Group whose transport
+// is not shared with any other shard. Multi-tenant callers use Node /
+// Node.OpenGroup instead and get Groups whose Stop detaches only their
+// own shard.
+type Host = Group
+
+// Group runs one m&m system (one shard) with real concurrency: its own
+// GSM, hosted set, shard-scoped register namespace (a private shm.Memory)
+// and process goroutines. A Group owns the transport.Transport it was
+// built over; when that transport is a group view of a sharded backend
+// (see Node.OpenGroup), many Groups multiplex over one node's shared
+// connections and Stop releases only this group's slice.
+type Group struct {
 	n         int
 	hosted    []core.ProcID
 	hostedSet map[core.ProcID]bool
@@ -140,6 +163,10 @@ type Host struct {
 
 	finishOnce sync.Once
 	closeOnce  sync.Once
+
+	// onStop, when set (by Node.OpenGroup), runs once after Stop has
+	// closed the group's transport — the node's deregistration hook.
+	onStop func()
 }
 
 type rtProc struct {
@@ -156,7 +183,7 @@ type rtProc struct {
 
 // New builds a host for alg over the system described by cfg. Processes do
 // not run until Start is called.
-func New(cfg Config, alg core.Algorithm) (*Host, error) {
+func New(cfg Config, alg core.Algorithm) (*Group, error) {
 	if cfg.GSM == nil {
 		return nil, errors.New("rt: Config.GSM is required")
 	}
@@ -167,6 +194,9 @@ func New(cfg Config, alg core.Algorithm) (*Host, error) {
 	if cfg.Links == 0 {
 		cfg.Links = msgnet.Reliable
 	}
+	// Registry-only observability config, mirroring tcp.Config: the
+	// deprecated Counters shim is only consulted when no Registry is
+	// given, so there is one metering object and no precedence footnote.
 	registry := cfg.Registry
 	if registry == nil {
 		if cfg.Counters != nil {
@@ -174,8 +204,6 @@ func New(cfg Config, alg core.Algorithm) (*Host, error) {
 		} else {
 			registry = metrics.NewRegistry(n)
 		}
-	} else if cfg.Counters != nil {
-		registry.AdoptCounters(cfg.Counters)
 	}
 	counters := registry.Counters()
 	if counters == nil {
@@ -218,7 +246,7 @@ func New(cfg Config, alg core.Algorithm) (*Host, error) {
 		rpc = nil // every owner is local; never leave the process
 	}
 
-	h := &Host{
+	h := &Group{
 		n:         n,
 		hosted:    hosted,
 		hostedSet: hostedSet,
@@ -286,7 +314,7 @@ func hostedProcs(n int, req []core.ProcID) ([]core.ProcID, map[core.ProcID]bool,
 	return out, set, nil
 }
 
-func (h *Host) allProcsInit(alg core.Algorithm) {
+func (h *Group) allProcsInit(alg core.Algorithm) {
 	all := make([]core.ProcID, h.n)
 	for p := 0; p < h.n; p++ {
 		all[p] = core.ProcID(p)
@@ -322,7 +350,7 @@ func (h *Host) allProcsInit(alg core.Algorithm) {
 }
 
 // startCh lazily builds the start gate.
-func (h *Host) startCh() <-chan struct{} {
+func (h *Group) startCh() <-chan struct{} {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.startGate == nil {
@@ -331,14 +359,14 @@ func (h *Host) startCh() <-chan struct{} {
 	return h.startGate
 }
 
-func (h *Host) recordErr(p core.ProcID, err error) {
+func (h *Group) recordErr(p core.ProcID, err error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.errs[p] = err
 }
 
 // Start releases all process goroutines. It may be called once.
-func (h *Host) Start() {
+func (h *Group) Start() {
 	if h.started.Swap(true) {
 		return
 	}
@@ -353,7 +381,7 @@ func (h *Host) Start() {
 }
 
 // finish stamps the elapsed time once, when the last goroutine has exited.
-func (h *Host) finish() {
+func (h *Group) finish() {
 	h.finishOnce.Do(func() {
 		h.mu.Lock()
 		h.elapsed = time.Since(h.startedAt)
@@ -365,7 +393,7 @@ func (h *Host) finish() {
 // waits for all goroutines to exit, then closes the transport — which for
 // socket backends drains unacknowledged frames before tearing down
 // connections. Safe to call multiple times.
-func (h *Host) Stop() *Result {
+func (h *Group) Stop() *Result {
 	h.stopped.Store(true)
 	h.stopOnce.Do(func() { close(h.stopCh) })
 	if !h.started.Load() {
@@ -376,6 +404,9 @@ func (h *Host) Stop() *Result {
 	h.closeOnce.Do(func() {
 		if err := h.tr.Close(); err != nil && h.logf != nil {
 			h.logf("rt: transport close: %v", err)
+		}
+		if h.onStop != nil {
+			h.onStop()
 		}
 	})
 	return h.result()
@@ -392,7 +423,7 @@ func (h *Host) Stop() *Result {
 // If the host was never started, Wait releases the start gate first, the
 // same way Stop does: otherwise every process goroutine would still be
 // parked on the gate and Wait would block forever with nothing running.
-func (h *Host) Wait() *Result {
+func (h *Group) Wait() *Result {
 	if !h.started.Load() {
 		h.Start()
 	}
@@ -402,7 +433,7 @@ func (h *Host) Wait() *Result {
 }
 
 // result snapshots the run outcome.
-func (h *Host) result() *Result {
+func (h *Group) result() *Result {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	errs := make(map[core.ProcID]error, len(h.errs))
@@ -425,7 +456,7 @@ func (h *Host) result() *Result {
 }
 
 // Errors returns the process errors recorded so far.
-func (h *Host) Errors() map[core.ProcID]error {
+func (h *Group) Errors() map[core.ProcID]error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	out := make(map[core.ProcID]error, len(h.errs))
@@ -437,7 +468,7 @@ func (h *Host) Errors() map[core.ProcID]error {
 
 // Crash crash-stops process p: it unwinds at its next operation, its
 // registers survive. Crashing a process hosted elsewhere is a no-op.
-func (h *Host) Crash(p core.ProcID) {
+func (h *Group) Crash(p core.ProcID) {
 	if int(p) < 0 || int(p) >= h.n || h.procs[p] == nil {
 		return
 	}
@@ -446,7 +477,7 @@ func (h *Host) Crash(p core.ProcID) {
 
 // Exposed returns the value process p last published under name, or nil.
 // Processes hosted elsewhere expose nothing here.
-func (h *Host) Exposed(p core.ProcID, name string) core.Value {
+func (h *Group) Exposed(p core.ProcID, name string) core.Value {
 	if int(p) < 0 || int(p) >= h.n || h.procs[p] == nil {
 		return nil
 	}
@@ -459,16 +490,16 @@ func (h *Host) Exposed(p core.ProcID, name string) core.Value {
 // Memory returns the local shared register store for observer-level
 // inspection. With a distributed transport it holds only the registers
 // owned by processes hosted here.
-func (h *Host) Memory() *shm.Memory { return h.mem }
+func (h *Group) Memory() *shm.Memory { return h.mem }
 
 // Transport returns the message transport the host runs over (after any
 // adversary wrapping).
-func (h *Host) Transport() transport.Transport { return h.tr }
+func (h *Group) Transport() transport.Transport { return h.tr }
 
 // Network returns the underlying in-process msgnet.Network when the host
 // runs over the channel backend, for observer-level inspection; it returns
 // nil over any other transport.
-func (h *Host) Network() *msgnet.Network {
+func (h *Group) Network() *msgnet.Network {
 	if c, ok := h.tr.(*transport.Chan); ok {
 		return c.Network()
 	}
@@ -476,25 +507,25 @@ func (h *Host) Network() *msgnet.Network {
 }
 
 // Counters returns the live metrics counters.
-func (h *Host) Counters() *metrics.Counters { return h.counters }
+func (h *Group) Counters() *metrics.Counters { return h.counters }
 
 // Registry returns the run's observability registry: the same counters as
 // Counters plus the latency histograms fed by the transport and the
 // remote-register RPC path. Never nil.
-func (h *Host) Registry() *metrics.Registry { return h.registry }
+func (h *Group) Registry() *metrics.Registry { return h.registry }
 
 // N returns the system size.
-func (h *Host) N() int { return h.n }
+func (h *Group) N() int { return h.n }
 
 // Hosted returns the processes this host runs.
-func (h *Host) Hosted() []core.ProcID { return append([]core.ProcID(nil), h.hosted...) }
+func (h *Group) Hosted() []core.ProcID { return append([]core.ProcID(nil), h.hosted...) }
 
 // stopPanic unwinds a process goroutine on stop/crash.
 type stopPanic struct{}
 
 // rtEnv implements core.Env on the real-time host.
 type rtEnv struct {
-	h   *Host
+	h   *Group
 	ps  *rtProc
 	all []core.ProcID
 }

@@ -1,0 +1,49 @@
+package transport
+
+import (
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/metrics"
+)
+
+// GroupID identifies one m&m group (shard) multiplexed over a shared
+// transport. Each group is an independent paper-faithful system — its own
+// process numbering 0..N-1, its own register namespace, its own leader —
+// but all groups between the same pair of OS processes share one TCP
+// connection, one sequence-number space and one cumulative-ack stream.
+// Group 0 is the default group: a transport used directly (without
+// OpenGroup) carries group 0, which is how every single-group caller
+// worked before sharding existed.
+type GroupID uint32
+
+// GroupConfig describes one group's slice of a sharded transport.
+type GroupConfig struct {
+	// N is the number of processes in the group.
+	N int
+	// Hosted lists the group's processes resident on this node. Empty
+	// means all N are local (single-node groups).
+	Hosted []core.ProcID
+	// Addrs maps the group's ProcIDs to node listen addresses (socket
+	// backends only; in-process backends ignore it). Addresses are
+	// node-level: many groups share the node's one listener.
+	Addrs []string
+	// Registry optionally receives the group's message/RPC metrics. When
+	// nil the group is uninstrumented until Instrument is called on the
+	// returned view (if the backend supports it).
+	Registry *metrics.Registry
+}
+
+// Sharded is the optional multi-tenant plane of a transport: backends
+// that implement it can multiplex many independent groups over the same
+// underlying links. OpenGroup returns a group-scoped Transport view —
+// Send/Broadcast/TryRecv/Call on the view route only within that group,
+// and Close on the view closes only the group (the shared transport and
+// its connections stay up for the remaining groups).
+//
+// The base transport itself is the view of GroupID 0, so existing
+// single-group callers need no changes.
+type Sharded interface {
+	// OpenGroup registers group g and returns its scoped view. Opening a
+	// group that is already open (including group 0, which the base
+	// transport owns) is an error.
+	OpenGroup(g GroupID, cfg GroupConfig) (Transport, error)
+}

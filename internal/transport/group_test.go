@@ -1,0 +1,103 @@
+package transport
+
+import (
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/metrics"
+	"github.com/mnm-model/mnm/internal/msgnet"
+)
+
+// The in-process backend is Sharded too, so the sim/TCP symmetry holds
+// for multi-tenant nodes: groups opened on a Chan are fully independent
+// networks that cannot see each other's traffic.
+func TestChanOpenGroupIsolation(t *testing.T) {
+	c := NewChan(2, msgnet.Reliable)
+	defer c.Close()
+
+	g1, err := c.OpenGroup(1, GroupConfig{N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := c.OpenGroup(2, GroupConfig{N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := g1.Send(0, 1, "one"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Send(0, 1, "two"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(0, 1, "base"); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := g1.TryRecv(1); !ok || m.Payload != "one" {
+		t.Fatalf("group 1 TryRecv = %+v, %v", m, ok)
+	}
+	if m, ok := g2.TryRecv(1); !ok || m.Payload != "two" {
+		t.Fatalf("group 2 TryRecv = %+v, %v", m, ok)
+	}
+	if m, ok := c.TryRecv(1); !ok || m.Payload != "base" {
+		t.Fatalf("base TryRecv = %+v, %v", m, ok)
+	}
+	for name, tr := range map[string]Transport{"group 1": g1, "group 2": g2, "base": c} {
+		if _, ok := tr.TryRecv(1); ok {
+			t.Errorf("%s mailbox should be empty after its one delivery", name)
+		}
+	}
+}
+
+func TestChanOpenGroupValidation(t *testing.T) {
+	c := NewChan(2, msgnet.Reliable)
+	defer c.Close()
+
+	if _, err := c.OpenGroup(0, GroupConfig{N: 2}); err == nil {
+		t.Error("group 0 should be rejected (it is the base transport)")
+	}
+	if _, err := c.OpenGroup(3, GroupConfig{N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.OpenGroup(3, GroupConfig{N: 2}); err == nil {
+		t.Error("duplicate open should be rejected")
+	}
+}
+
+func TestChanGroupCloseDetachesAndFreesID(t *testing.T) {
+	c := NewChan(2, msgnet.Reliable)
+	defer c.Close()
+
+	g, err := c.OpenGroup(5, GroupConfig{N: 2, Registry: metrics.NewRegistry(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Send(0, 1, "late"); err == nil {
+		t.Error("send on a closed group view should fail")
+	}
+	if err := c.Send(0, 1, "still up"); err != nil {
+		t.Fatalf("base transport should survive a group close: %v", err)
+	}
+	if _, err := c.OpenGroup(5, GroupConfig{N: 2}); err != nil {
+		t.Fatalf("closed group id should be reusable: %v", err)
+	}
+}
+
+func TestChanCloseClosesGroupViews(t *testing.T) {
+	c := NewChan(2, msgnet.Reliable)
+	g, err := c.OpenGroup(1, GroupConfig{N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Send(0, 1, "x"); err == nil {
+		t.Error("group view should be closed with its parent")
+	}
+	if _, err := c.OpenGroup(2, GroupConfig{N: 2}); err == nil {
+		t.Error("OpenGroup on a closed transport should fail")
+	}
+}

@@ -51,8 +51,10 @@ const (
 	ProtoGob = 1
 	// ProtoBinary is the flat little-endian frame codec with
 	// internal/wire payload codecs; streams open with the 4-byte preamble
-	// preambleTag + version byte.
-	ProtoBinary = 2
+	// preambleTag + version byte. The version lives in internal/wire so
+	// the codec generator can stamp it into every wire_codec.go: bumping
+	// it here without regenerating fails `mnmwiregen -check`.
+	ProtoBinary = wire.FrameVersion
 )
 
 // preambleTag starts every ProtoBinary stream; the fourth preamble byte
@@ -79,6 +81,10 @@ type frame struct {
 	From, To core.ProcID
 	// CallID matches a response to its request (req/resp).
 	CallID uint64
+	// Group routes the frame to one shard's mailboxes and RPC handler
+	// (data/req/resp). Acks and hellos are per node pair, shared by every
+	// group on the connection, and carry group 0.
+	Group uint32
 	// Payload is the message body or RPC body.
 	Payload core.Value
 	// ErrMsg carries a response or rejection error, "" meaning nil.
@@ -148,7 +154,8 @@ func putGobBuf(b *bytes.Buffer) {
 //	[18:22] From     int32 LE
 //	[22:26] To       int32 LE
 //	[26:34] CallID   uint64 LE
-//	[34:]   Addr     uvarint length + bytes
+//	[34:38] Group    uint32 LE
+//	[38:]   Addr     uvarint length + bytes
 //	        ErrMsg   uvarint length + bytes
 //	        Payload  uvarint codec-name length + name + codec body
 //	                 (see internal/wire; name "" = nil payload, name
@@ -159,7 +166,7 @@ func putGobBuf(b *bytes.Buffer) {
 // testdata/frames.txt pin this layout.
 
 // binaryHeaderSize is the fixed-width prefix of a binary frame body.
-const binaryHeaderSize = 34
+const binaryHeaderSize = 38
 
 // appendFrame appends f's complete wire encoding (length prefix + body)
 // to b. Payload encode failures are errEncode-wrapped: such a frame can
@@ -175,6 +182,7 @@ func appendFrame(b []byte, f *frame) ([]byte, error) {
 	binary.LittleEndian.PutUint32(hdr[18:22], uint32(int32(f.From)))
 	binary.LittleEndian.PutUint32(hdr[22:26], uint32(int32(f.To)))
 	binary.LittleEndian.PutUint64(hdr[26:34], f.CallID)
+	binary.LittleEndian.PutUint32(hdr[34:38], f.Group)
 	b = append(b, hdr[:]...)
 	b = wire.AppendString(b, f.Addr)
 	b = wire.AppendString(b, f.ErrMsg)
@@ -205,6 +213,7 @@ func decodeFrame(body []byte, f *frame) error {
 		From:    core.ProcID(int32(binary.LittleEndian.Uint32(body[18:22]))),
 		To:      core.ProcID(int32(binary.LittleEndian.Uint32(body[22:26]))),
 		CallID:  binary.LittleEndian.Uint64(body[26:34]),
+		Group:   binary.LittleEndian.Uint32(body[34:38]),
 	}
 	d := wire.NewDecoder(body[binaryHeaderSize:])
 	f.Addr = d.String()

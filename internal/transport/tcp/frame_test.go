@@ -27,15 +27,18 @@ func goldenTable() []struct {
 		name string
 		f    frame
 	}{
-		{"hello", frame{Kind: frameHello, Version: 2, Addr: "127.0.0.1:9000"}},
+		{"hello", frame{Kind: frameHello, Version: 3, Addr: "127.0.0.1:9000"}},
 		{"ack", frame{Kind: frameAck, AckTo: 513}},
 		{"data-int", frame{Kind: frameData, Seq: 7, From: 0, To: 3, Payload: 42}},
 		{"data-string", frame{Kind: frameData, Seq: 8, From: 1, To: 2, Payload: "hi"}},
 		{"data-slice", frame{Kind: frameData, Seq: 9, From: 1, To: 0, Payload: []core.Value{1, "two", nil}}},
 		{"data-benor-msg", frame{Kind: frameData, Seq: 10, From: 2, To: 1, Payload: benor.Msg{Phase: benor.PhaseP, Round: 4, Val: benor.V1}}},
+		{"data-group", frame{Kind: frameData, Seq: 13, From: 0, To: 1, Group: 4096, Payload: "shard"}},
 		{"req-ref", frame{Kind: frameReq, Seq: 11, From: 1, To: 0, CallID: 77, Payload: core.Ref{Owner: 0, Name: "reg", I: 2, J: -1}}},
+		{"req-group", frame{Kind: frameReq, Seq: 14, From: 2, To: 0, CallID: 78, Group: 9, Payload: core.Ref{Owner: 0, Name: "reg", I: 0, J: 0}}},
 		{"resp-err", frame{Kind: frameResp, Seq: 12, From: 0, To: 1, CallID: 77, ErrMsg: "remote: boom"}},
-		{"reject", frame{Kind: frameReject, Version: 2, ErrMsg: "tcp: protocol version mismatch"}},
+		{"resp-group", frame{Kind: frameResp, Seq: 15, From: 0, To: 2, CallID: 78, Group: 9, Payload: 1}},
+		{"reject", frame{Kind: frameReject, Version: 3, ErrMsg: "tcp: protocol version mismatch"}},
 	}
 }
 
@@ -157,7 +160,7 @@ func TestReadFrameCorruptPrefix(t *testing.T) {
 }
 
 func TestSniffProto(t *testing.T) {
-	bin := bufio.NewReader(bytes.NewReader([]byte{'M', 'N', 'M', 2, 0x00}))
+	bin := bufio.NewReader(bytes.NewReader([]byte{'M', 'N', 'M', 3, 0x00}))
 	if p, err := sniffProto(bin); err != nil || p != ProtoBinary {
 		t.Fatalf("binary preamble: proto %d, err %v", p, err)
 	}
@@ -282,9 +285,9 @@ func FuzzFrameDecode(f *testing.F) {
 // FuzzFrameRoundTrip drives the encoder from structured inputs and
 // requires exact field-level round trips.
 func FuzzFrameRoundTrip(f *testing.F) {
-	f.Add(uint8(2), uint8(2), uint64(1), uint64(0), int32(0), int32(1), "127.0.0.1:1", "", "payload", int64(7), true)
-	f.Add(uint8(3), uint8(0), uint64(1<<40), uint64(1<<30), int32(-1), int32(1<<20), "", "remote: boom", "", int64(-1), false)
-	f.Fuzz(func(t *testing.T, kind, ver uint8, seq, ack uint64, from, to int32, addr, errMsg, sPay string, iPay int64, useS bool) {
+	f.Add(uint8(2), uint8(2), uint64(1), uint64(0), int32(0), int32(1), uint32(0), "127.0.0.1:1", "", "payload", int64(7), true)
+	f.Add(uint8(3), uint8(0), uint64(1<<40), uint64(1<<30), int32(-1), int32(1<<20), uint32(1<<31), "", "remote: boom", "", int64(-1), false)
+	f.Fuzz(func(t *testing.T, kind, ver uint8, seq, ack uint64, from, to int32, group uint32, addr, errMsg, sPay string, iPay int64, useS bool) {
 		src := frame{
 			Kind:    frameKind(kind),
 			Version: ver,
@@ -292,6 +295,7 @@ func FuzzFrameRoundTrip(f *testing.F) {
 			AckTo:   ack,
 			From:    core.ProcID(from),
 			To:      core.ProcID(to),
+			Group:   group,
 			CallID:  seq ^ ack,
 			Addr:    addr,
 			ErrMsg:  errMsg,

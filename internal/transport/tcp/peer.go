@@ -227,7 +227,7 @@ func (p *peer) shutdown() {
 // unacknowledged suffix is retransmitted.
 func (p *peer) sendLoop() {
 	defer p.t.wg.Done()
-	backoff := p.t.cfg.BackoffBase
+	backoff := p.t.cfg.Timeouts.BackoffBase
 	fw := newFrameWriter(p.t.proto())
 	defer fw.close()
 	var (
@@ -251,8 +251,8 @@ func (p *peer) sendLoop() {
 					return
 				}
 				backoff *= 2
-				if backoff > p.t.cfg.BackoffMax {
-					backoff = p.t.cfg.BackoffMax
+				if backoff > p.t.cfg.Timeouts.BackoffMax {
+					backoff = p.t.cfg.Timeouts.BackoffMax
 				}
 				p.mu.Lock()
 				continue
@@ -266,7 +266,7 @@ func (p *peer) sendLoop() {
 			p.conn = conn
 			p.up = true
 			p.nextSend = 0 // retransmit the unacked suffix
-			backoff = p.t.cfg.BackoffBase
+			backoff = p.t.cfg.Timeouts.BackoffBase
 			if p.everUp {
 				p.t.record(p.t.self, metrics.Reconnects, 1)
 			}
@@ -310,7 +310,7 @@ func (p *peer) sendLoop() {
 		}
 		// One deadline and (via the single flush below) one syscall for
 		// the whole batch.
-		conn.SetWriteDeadline(time.Now().Add(p.t.cfg.WriteTimeout))
+		conn.SetWriteDeadline(time.Now().Add(p.t.cfg.Timeouts.Write))
 		var werr error
 		wrote := 0
 		encStart := time.Now()
@@ -440,15 +440,15 @@ func (p *peer) dropPending(seq uint64) {
 // address when the config doesn't pin one.
 func (p *peer) dialConn() (net.Conn, error) {
 	if cfg := p.t.cfg.TLS; cfg != nil {
-		return tls.DialWithDialer(&net.Dialer{Timeout: p.t.cfg.ConnectTimeout}, "tcp", p.addr, cfg)
+		return tls.DialWithDialer(&net.Dialer{Timeout: p.t.cfg.Timeouts.Connect}, "tcp", p.addr, cfg)
 	}
-	return net.DialTimeout("tcp", p.addr, p.t.cfg.ConnectTimeout)
+	return net.DialTimeout("tcp", p.addr, p.t.cfg.Timeouts.Connect)
 }
 
 // handshake opens the stream (protocol preamble for ProtoBinary) and
 // sends the hello frame identifying this node and its wire protocol.
 func (p *peer) handshake(conn net.Conn, fw *frameWriter) error {
-	conn.SetWriteDeadline(time.Now().Add(p.t.cfg.WriteTimeout))
+	conn.SetWriteDeadline(time.Now().Add(p.t.cfg.Timeouts.Write))
 	err := writePreamble(conn, p.t.proto())
 	if err == nil {
 		err = fw.write(conn, &frame{Kind: frameHello, Version: uint8(p.t.proto()), Addr: p.t.addr})

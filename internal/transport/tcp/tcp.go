@@ -31,10 +31,17 @@
 // self-contained, so batching changes only syscall and ack counts —
 // never what a reconnect can observe on the wire.
 //
+// Multi-tenancy: one Transport can carry many independent m&m groups
+// (shards) at once — see OpenGroup. Every frame carries a GroupID and the
+// receiver demultiplexes into per-group mailboxes and RPC handlers, while
+// all groups between the same pair of nodes share one connection, one
+// sequence-number space and one cumulative-ack stream. The Transport
+// itself is the view of group 0, so single-group callers are unchanged.
+//
 // Connection lifecycle: Dial starts one send loop per remote node, which
 // connects with a per-link timeout and, on failure or a broken
 // connection, retries with bounded exponential backoff. Close drains
-// unacknowledged frames (bounded by DrainTimeout) before tearing down.
+// unacknowledged frames (bounded by Timeouts.Drain) before tearing down.
 package tcp
 
 import (
@@ -43,58 +50,98 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/mnm-model/mnm/internal/core"
 	"github.com/mnm-model/mnm/internal/metrics"
-	"github.com/mnm-model/mnm/internal/queue"
 	"github.com/mnm-model/mnm/internal/transport"
 )
 
-// Config describes one node of a TCP-backed m&m system.
+// Timeouts groups the transport's duration knobs. The zero value of any
+// field means "use the default"; withDefaults fills them in one place.
+type Timeouts struct {
+	// Connect bounds each connection attempt. Default 2s.
+	Connect time.Duration
+	// BackoffBase is the first reconnect delay. Default 20ms.
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential reconnect delay. Default 1s.
+	BackoffMax time.Duration
+	// Write bounds a single batch write. Default 10s.
+	Write time.Duration
+	// Call bounds an RPC round trip. Default 10s.
+	Call time.Duration
+	// Drain bounds how long Close waits for unacknowledged frames to be
+	// delivered. Default 5s.
+	Drain time.Duration
+}
+
+// withDefaults returns t with every unset (non-positive) field replaced
+// by its default.
+func (t Timeouts) withDefaults() Timeouts {
+	if t.Connect <= 0 {
+		t.Connect = 2 * time.Second
+	}
+	if t.BackoffBase <= 0 {
+		t.BackoffBase = 20 * time.Millisecond
+	}
+	if t.BackoffMax <= 0 {
+		t.BackoffMax = time.Second
+	}
+	if t.Write <= 0 {
+		t.Write = 10 * time.Second
+	}
+	if t.Call <= 0 {
+		t.Call = 10 * time.Second
+	}
+	if t.Drain <= 0 {
+		t.Drain = 5 * time.Second
+	}
+	return t
+}
+
+// Config describes one node of a TCP-backed m&m system. N, Hosted and
+// Addrs describe the node's default group (group 0); additional groups
+// are opened over the same node with OpenGroup. A pure multi-tenant node
+// may set N = 0 (no group 0) and supply ListenAddr, opening every group
+// explicitly.
 type Config struct {
-	// N is the system size (processes 0..N-1 across all nodes).
+	// N is the size of group 0 (processes 0..N-1 across all nodes), or 0
+	// for a node that only carries explicitly opened groups.
 	N int
-	// Hosted lists the processes running on this node. Empty means all
-	// of them (a single-node system, useful for loopback testing).
+	// Hosted lists the group-0 processes running on this node. Empty
+	// means all of them (a single-node system, useful for loopback
+	// testing).
 	Hosted []core.ProcID
-	// Addrs maps every process to the canonical listen address of its
-	// node ("host:port"); processes on the same node share the address.
-	// It may be left nil at construction and supplied later via
+	// Addrs maps every group-0 process to the canonical listen address of
+	// its node ("host:port"); processes on the same node share the
+	// address. It may be left nil at construction and supplied later via
 	// SetAddrs, which is how tests bind ephemeral ports first.
 	Addrs []string
 	// ListenAddr is this node's bind address. It defaults to the
 	// address of the first hosted process in Addrs. Use "127.0.0.1:0"
 	// plus SetAddrs to let the kernel pick a free port.
 	ListenAddr string
-	// Counters, if non-nil, meters MsgSent/MsgDelivered.
-	Counters *metrics.Counters
-	// Registry, if non-nil, receives the transport-plane observability
-	// schema: frame counters (sent/retransmitted/acked/drop-encode),
-	// connection lifecycle counters (reconnects, dial failures), RPC
-	// counters, and the frame_rtt / rpc_call latency histograms. When
-	// Counters is nil the registry's counters are adopted for message
-	// metering too. A registry can also be attached later (even while
-	// frames are flowing) via Instrument.
+	// Registry, if non-nil, receives the node's observability schema:
+	// message counters (sent/delivered) for group 0, frame counters
+	// (sent/retransmitted/acked/drop-encode), connection lifecycle
+	// counters (reconnects, dial failures), RPC counters, and the
+	// frame_rtt / rpc_call latency histograms. A registry can also be
+	// attached later (even while frames are flowing) via Instrument, and
+	// per-group registries via GroupConfig.Registry.
 	Registry *metrics.Registry
+	// Counters is a deprecated shim: when Registry is nil and Counters is
+	// not, the transport reports into a registry synthesized around it.
+	// When both are set, Counters is ignored.
+	//
+	// Deprecated: set Registry instead.
+	Counters *metrics.Counters
 	// Logf, if non-nil, receives connection lifecycle diagnostics.
 	Logf func(format string, args ...any)
-	// ConnectTimeout bounds each connection attempt. Default 2s.
-	ConnectTimeout time.Duration
-	// BackoffBase is the first reconnect delay. Default 20ms.
-	BackoffBase time.Duration
-	// BackoffMax caps the exponential reconnect delay. Default 1s.
-	BackoffMax time.Duration
-	// WriteTimeout bounds a single frame write. Default 10s.
-	WriteTimeout time.Duration
-	// CallTimeout bounds an RPC round trip. Default 10s.
-	CallTimeout time.Duration
-	// DrainTimeout bounds how long Close waits for unacknowledged
-	// frames to be delivered. Default 5s.
-	DrainTimeout time.Duration
+	// Timeouts bundles the connection and I/O deadlines; zero fields take
+	// defaults (see Timeouts).
+	Timeouts Timeouts
 	// Protocol selects the wire protocol version: ProtoBinary (the
 	// default, flat binary frames with generated payload codecs) or
 	// ProtoGob (the legacy self-contained-gob stream). All nodes of one
@@ -111,56 +158,39 @@ type Config struct {
 }
 
 func (c *Config) fill() {
-	if c.ConnectTimeout <= 0 {
-		c.ConnectTimeout = 2 * time.Second
-	}
-	if c.BackoffBase <= 0 {
-		c.BackoffBase = 20 * time.Millisecond
-	}
-	if c.BackoffMax <= 0 {
-		c.BackoffMax = time.Second
-	}
-	if c.WriteTimeout <= 0 {
-		c.WriteTimeout = 10 * time.Second
-	}
-	if c.CallTimeout <= 0 {
-		c.CallTimeout = 10 * time.Second
-	}
-	if c.DrainTimeout <= 0 {
-		c.DrainTimeout = 5 * time.Second
-	}
+	c.Timeouts = c.Timeouts.withDefaults()
 	if c.Protocol == 0 {
 		c.Protocol = ProtoBinary
 	}
 }
 
-// Transport is one node's endpoint of a TCP-backed m&m message network.
+// Transport is one node's endpoint of a TCP-backed m&m message network:
+// the listener, the per-remote-node connections, and the demux state of
+// every group multiplexed over them. Its own Transport/RPC methods are
+// the view of group 0.
 type Transport struct {
-	cfg    Config
-	n      int
-	hosted map[core.ProcID]bool
-	self   core.ProcID // lowest hosted process: attribution for node-level events
-	addr   string
-	lis    net.Listener
-	logf   func(string, ...any)
+	cfg  Config
+	addr string
+	lis  net.Listener
+	logf func(string, ...any)
+	self core.ProcID // lowest group-0 hosted process: attribution for node-level events
 
 	// reg and counters are atomic so Instrument can attach observability
 	// while connections are already live (the host instruments after the
 	// transport is constructed, and inbound frames may arrive first).
+	// They meter the node-level frame plane and group 0.
 	reg      atomic.Pointer[metrics.Registry]
 	counters atomic.Pointer[metrics.Counters]
 
-	mu        sync.Mutex
-	addrs     []string
-	peers     map[string]*peer
-	mailboxes map[core.ProcID]*queue.Ring[core.Message]
-	lastSeq   map[string]uint64
-	calls     map[uint64]chan callResult
-	callSeq   uint64
-	handler   func(from core.ProcID, req core.Value) (core.Value, error)
-	inbound   map[net.Conn]bool
-	dialed    bool
-	closed    bool
+	mu      sync.Mutex
+	g0      *group // nil when Config.N == 0
+	groups  map[uint32]*group
+	peers   map[string]*peer
+	lastSeq map[string]uint64
+	calls   map[uint64]chan callResult
+	callSeq uint64
+	inbound map[net.Conn]bool
+	closed  bool
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -175,30 +205,26 @@ var (
 	_ transport.Transport      = (*Transport)(nil)
 	_ transport.RPC            = (*Transport)(nil)
 	_ transport.Instrumentable = (*Transport)(nil)
+	_ transport.Sharded        = (*Transport)(nil)
 )
 
 // New binds the node's listener and starts accepting inbound connections.
 // Outbound links are established by Dial.
 func New(cfg Config) (*Transport, error) {
 	cfg.fill()
-	if cfg.N <= 0 {
-		return nil, errors.New("tcp: Config.N must be positive")
+	if cfg.N < 0 {
+		return nil, errors.New("tcp: Config.N must not be negative")
 	}
 	if cfg.Protocol != ProtoGob && cfg.Protocol != ProtoBinary {
 		return nil, fmt.Errorf("tcp: unknown Config.Protocol %d (want ProtoBinary=%d or ProtoGob=%d)",
 			cfg.Protocol, ProtoBinary, ProtoGob)
 	}
-	hosted := make(map[core.ProcID]bool, len(cfg.Hosted))
-	for _, p := range cfg.Hosted {
-		if int(p) < 0 || int(p) >= cfg.N {
-			return nil, fmt.Errorf("tcp: hosted process %v out of range", p)
-		}
-		hosted[p] = true
+	if cfg.N == 0 && (len(cfg.Hosted) > 0 || len(cfg.Addrs) > 0) {
+		return nil, errors.New("tcp: Hosted/Addrs given with N = 0 (no group 0)")
 	}
-	if len(hosted) == 0 {
-		for p := 0; p < cfg.N; p++ {
-			hosted[core.ProcID(p)] = true
-		}
+	hosted, err := hostedSet(cfg.N, cfg.Hosted)
+	if err != nil {
+		return nil, err
 	}
 	listenAddr := cfg.ListenAddr
 	if listenAddr == "" {
@@ -219,28 +245,31 @@ func New(cfg Config) (*Transport, error) {
 		lis = tls.NewListener(lis, cfg.TLS)
 	}
 	t := &Transport{
-		cfg:       cfg,
-		n:         cfg.N,
-		hosted:    hosted,
-		self:      minHosted(hosted),
-		addr:      addr,
-		lis:       lis,
-		logf:      cfg.Logf,
-		peers:     make(map[string]*peer),
-		mailboxes: make(map[core.ProcID]*queue.Ring[core.Message]),
-		lastSeq:   make(map[string]uint64),
-		calls:     make(map[uint64]chan callResult),
-		inbound:   make(map[net.Conn]bool),
-		done:      make(chan struct{}),
+		cfg:     cfg,
+		addr:    addr,
+		lis:     lis,
+		logf:    cfg.Logf,
+		groups:  make(map[uint32]*group),
+		peers:   make(map[string]*peer),
+		lastSeq: make(map[string]uint64),
+		calls:   make(map[uint64]chan callResult),
+		inbound: make(map[net.Conn]bool),
+		done:    make(chan struct{}),
 	}
-	for p := range hosted {
-		t.mailboxes[p] = new(queue.Ring[core.Message])
+	if cfg.N > 0 {
+		t.g0 = newGroup(t, 0, cfg.N, hosted)
+		t.groups[0] = t.g0
+		t.self = t.g0.self
 	}
-	if cfg.Counters != nil {
-		t.counters.Store(cfg.Counters)
+	// Registry-only observability config: the deprecated Counters shim is
+	// wrapped in a registry, so there is a single metering object and no
+	// precedence rules between the two fields.
+	reg := cfg.Registry
+	if reg == nil && cfg.Counters != nil {
+		reg = metrics.NewRegistryWith(cfg.Counters)
 	}
-	if cfg.Registry != nil {
-		t.Instrument(cfg.Registry)
+	if reg != nil {
+		t.Instrument(reg)
 	}
 	if cfg.Addrs != nil {
 		if err := t.SetAddrs(cfg.Addrs); err != nil {
@@ -251,6 +280,24 @@ func New(cfg Config) (*Transport, error) {
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
+}
+
+// hostedSet validates and materializes a hosted-process set for a group
+// of n processes; an empty list means all n are local.
+func hostedSet(n int, procs []core.ProcID) (map[core.ProcID]bool, error) {
+	hosted := make(map[core.ProcID]bool, len(procs))
+	for _, p := range procs {
+		if int(p) < 0 || int(p) >= n {
+			return nil, fmt.Errorf("tcp: hosted process %v out of range", p)
+		}
+		hosted[p] = true
+	}
+	if len(hosted) == 0 {
+		for p := 0; p < n; p++ {
+			hosted[core.ProcID(p)] = true
+		}
+	}
+	return hosted, nil
 }
 
 func minHosted(hosted map[core.ProcID]bool) core.ProcID {
@@ -272,44 +319,51 @@ func hasWildcardPort(addr string) bool {
 // nodes must put in their Addrs table for every process hosted here.
 func (t *Transport) Addr() string { return t.addr }
 
-// SetAddrs installs the process→node address table. It must be called
-// (here or via Config.Addrs) before Dial. Hosted processes must map to
-// this node's own address and remote processes must not.
-func (t *Transport) SetAddrs(addrs []string) error {
-	if len(addrs) != t.n {
-		return fmt.Errorf("tcp: need %d addresses, got %d", t.n, len(addrs))
-	}
-	for p, a := range addrs {
-		if t.hosted[core.ProcID(p)] != (a == t.addr) {
-			if t.hosted[core.ProcID(p)] {
-				return fmt.Errorf("tcp: hosted process %d mapped to %q, this node is %q", p, a, t.addr)
-			}
-			return fmt.Errorf("tcp: remote process %d mapped to this node's address %q", p, a)
-		}
-	}
+// NumPeers returns the number of outbound connection managers the node
+// runs — one per remote node address, shared by every group. A thousand
+// groups over the same node pair still report 1.
+func (t *Transport) NumPeers() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.addrs = append([]string(nil), addrs...)
-	return nil
+	return len(t.peers)
 }
 
-// N implements transport.Transport.
-func (t *Transport) N() int { return t.n }
+// SetAddrs installs the process→node address table of group 0. It must
+// be called (here or via Config.Addrs) before Dial. Hosted processes
+// must map to this node's own address and remote processes must not.
+func (t *Transport) SetAddrs(addrs []string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.g0 == nil {
+		return errors.New("tcp: no group 0 (Config.N = 0)")
+	}
+	return t.g0.setAddrsLocked(addrs)
+}
+
+// N implements transport.Transport (group 0's size).
+func (t *Transport) N() int {
+	if t.g0 == nil {
+		return 0
+	}
+	return t.g0.n
+}
 
 // Instrument implements transport.Instrumentable: the registry receives the
 // frame counters (sent/retransmitted/acked/drop-encode), the connection
 // lifecycle counters (reconnects, dial failures — attributed to this node's
 // lowest hosted process), the RPC counters, and the frame_rtt / rpc_call
-// histograms. When no Counters were configured, the registry's counters are
-// adopted so MsgSent/MsgDelivered are metered as well. Safe to call while
-// frames are already flowing.
+// histograms, plus group 0's MsgSent/MsgDelivered metering. Safe to call
+// while frames are already flowing. Other groups are instrumented via
+// GroupConfig.Registry or Instrument on their views.
 func (t *Transport) Instrument(reg *metrics.Registry) {
 	if reg == nil {
 		return
 	}
 	t.reg.Store(reg)
-	if c := reg.Counters(); c != nil && t.cfg.Counters == nil {
-		t.counters.Store(c)
+	t.counters.Store(reg.Counters())
+	if t.g0 != nil {
+		t.g0.reg.Store(reg)
+		t.g0.counters.Store(reg.Counters())
 	}
 }
 
@@ -317,46 +371,27 @@ func (t *Transport) Instrument(reg *metrics.Registry) {
 // metrics call on a nil registry or histogram is a no-op.
 func (t *Transport) registry() *metrics.Registry { return t.reg.Load() }
 
-// record meters one counter event against the active counter set (the
-// configured Counters or the adopted registry counters).
+// record meters one node-level counter event.
 func (t *Transport) record(p core.ProcID, k metrics.Kind, delta int64) {
 	t.counters.Load().Record(p, k, delta)
 }
 
 // Dial implements transport.Transport: it starts one connection manager
-// per remote node. Connections are established asynchronously with
-// ConnectTimeout per attempt and bounded exponential backoff between
-// attempts, so Dial returns immediately; LinkState reports progress.
+// per remote node of group 0. Connections are established asynchronously
+// with Timeouts.Connect per attempt and bounded exponential backoff
+// between attempts, so Dial returns immediately; LinkState reports
+// progress. On a pure multi-tenant node (N = 0) Dial is a no-op — each
+// group view dials its own remote set.
 func (t *Transport) Dial() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
 		return transport.ErrClosed
 	}
-	if t.addrs == nil {
-		return errors.New("tcp: Dial before SetAddrs")
-	}
-	if t.dialed {
+	if t.g0 == nil {
 		return nil
 	}
-	t.dialed = true
-	for _, a := range t.remoteAddrsLocked() {
-		t.peerLocked(a)
-	}
-	return nil
-}
-
-func (t *Transport) remoteAddrsLocked() []string {
-	seen := map[string]bool{}
-	var out []string
-	for _, a := range t.addrs {
-		if a != t.addr && !seen[a] {
-			seen[a] = true
-			out = append(out, a)
-		}
-	}
-	sort.Strings(out)
-	return out
+	return t.g0.dialLocked()
 }
 
 // peerLocked returns (creating if needed) the connection manager for a
@@ -378,154 +413,56 @@ func (t *Transport) log(format string, args ...any) {
 	}
 }
 
-// Send implements transport.Transport.
+// Send implements transport.Transport (group 0).
 func (t *Transport) Send(from, to core.ProcID, payload core.Value) error {
-	if int(to) < 0 || int(to) >= t.n {
-		return fmt.Errorf("%w: send to %v", core.ErrUnknownProc, to)
+	if t.g0 == nil {
+		return errors.New("tcp: no group 0 (Config.N = 0)")
 	}
-	if int(from) < 0 || int(from) >= t.n {
-		return fmt.Errorf("%w: send from %v", core.ErrUnknownProc, from)
-	}
-	t.record(from, metrics.MsgSent, 1)
-	if t.hosted[to] {
-		t.mu.Lock()
-		if t.closed {
-			t.mu.Unlock()
-			return transport.ErrClosed
-		}
-		t.deliverLocked(core.Message{From: from, Payload: payload}, to)
-		t.mu.Unlock()
-		return nil
-	}
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		return transport.ErrClosed
-	}
-	if !t.dialed {
-		t.mu.Unlock()
-		return errors.New("tcp: Send before Dial")
-	}
-	p := t.peerLocked(t.addrs[to])
-	t.mu.Unlock()
-	p.enqueue(frame{Kind: frameData, From: from, To: to, Payload: payload})
-	return nil
+	return t.g0.send(from, to, payload)
 }
 
 // Broadcast implements transport.Transport ("send to all", self link
-// included, as in Ben-Or).
+// included, as in Ben-Or; group 0).
 func (t *Transport) Broadcast(from core.ProcID, payload core.Value) error {
-	for to := 0; to < t.n; to++ {
-		if err := t.Send(from, core.ProcID(to), payload); err != nil {
-			return err
-		}
+	if t.g0 == nil {
+		return errors.New("tcp: no group 0 (Config.N = 0)")
 	}
-	return nil
+	return t.g0.broadcast(from, payload)
 }
 
-// deliverLocked appends m to the mailbox of hosted process to. Mailboxes
-// are ring buffers, so both delivery and TryRecv are O(1) whatever the
-// queue depth (the slice-backed mailbox shifted every queued message on
-// each receive — quadratic for a reader catching up on a burst).
-func (t *Transport) deliverLocked(m core.Message, to core.ProcID) {
-	t.mailboxes[to].Push(m)
-	t.record(to, metrics.MsgDelivered, 1)
-}
-
-// TryRecv implements transport.Transport.
+// TryRecv implements transport.Transport (group 0).
 func (t *Transport) TryRecv(p core.ProcID) (core.Message, bool) {
-	if !t.hosted[p] {
+	if t.g0 == nil {
 		return core.Message{}, false
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.mailboxes[p].Pop()
+	return t.g0.tryRecv(p)
 }
 
-// LinkState implements transport.Transport.
+// LinkState implements transport.Transport (group 0).
 func (t *Transport) LinkState(from, to core.ProcID) transport.LinkState {
-	if int(from) < 0 || int(from) >= t.n || int(to) < 0 || int(to) >= t.n {
+	if t.g0 == nil {
 		return transport.LinkUnknown
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed {
-		return transport.LinkClosed
-	}
-	if t.hosted[to] {
-		return transport.LinkUp
-	}
-	if t.addrs == nil {
-		return transport.LinkConnecting
-	}
-	if p, ok := t.peers[t.addrs[to]]; ok {
-		return p.state()
-	}
-	return transport.LinkConnecting
+	return t.g0.linkState(from, to)
 }
 
-// SetHandler implements transport.RPC.
+// SetHandler implements transport.RPC (group 0).
 func (t *Transport) SetHandler(fn func(from core.ProcID, req core.Value) (core.Value, error)) {
-	t.mu.Lock()
-	t.handler = fn
-	t.mu.Unlock()
+	if t.g0 == nil {
+		return
+	}
+	t.g0.setHandler(fn)
 }
 
 // Call implements transport.RPC: a synchronous request to the node
-// hosting process to. Requests and responses ride the same sequenced,
-// retransmitted frame stream as data messages, so they survive
-// reconnects; the round trip is bounded by CallTimeout.
+// hosting group 0's process to. Requests and responses ride the same
+// sequenced, retransmitted frame stream as data messages, so they survive
+// reconnects; the round trip is bounded by Timeouts.Call.
 func (t *Transport) Call(from, to core.ProcID, req core.Value) (core.Value, error) {
-	if int(to) < 0 || int(to) >= t.n {
-		return nil, fmt.Errorf("%w: call to %v", core.ErrUnknownProc, to)
+	if t.g0 == nil {
+		return nil, errors.New("tcp: no group 0 (Config.N = 0)")
 	}
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		return nil, transport.ErrClosed
-	}
-	handler := t.handler
-	if t.hosted[to] {
-		t.mu.Unlock()
-		if handler == nil {
-			return nil, errors.New("tcp: no RPC handler installed")
-		}
-		return handler(from, req)
-	}
-	if !t.dialed {
-		t.mu.Unlock()
-		return nil, errors.New("tcp: Call before Dial")
-	}
-	t.callSeq++
-	id := t.callSeq
-	ch := make(chan callResult, 1)
-	t.calls[id] = ch
-	p := t.peerLocked(t.addrs[to])
-	t.mu.Unlock()
-
-	t.record(from, metrics.RPCIssued, 1)
-	start := time.Now()
-	p.enqueue(frame{Kind: frameReq, From: from, To: to, CallID: id, Payload: req})
-	// An explicit timer, stopped on return: time.After would leak a live
-	// timer (and its channel) for the full CallTimeout after every fast
-	// call, which at RPC rates is tens of thousands of outstanding timers.
-	timer := time.NewTimer(t.cfg.CallTimeout)
-	defer timer.Stop()
-	var res callResult
-	select {
-	case res = <-ch:
-	case <-t.done:
-		t.dropCall(id)
-		res = callResult{err: transport.ErrClosed}
-	case <-timer.C:
-		t.dropCall(id)
-		res = callResult{err: fmt.Errorf("tcp: call to %v timed out after %v", to, t.cfg.CallTimeout)}
-	}
-	t.registry().Histogram(metrics.HistRPCCall).Observe(time.Since(start))
-	if res.err != nil {
-		t.record(from, metrics.RPCFailed, 1)
-	}
-	return res.val, res.err
+	return t.g0.call(from, to, req)
 }
 
 func (t *Transport) dropCall(id uint64) {
@@ -641,7 +578,7 @@ func (t *Transport) reject(conn net.Conn, dialerProto int, msg string) {
 	}
 	fw := newFrameWriter(dialerProto)
 	defer fw.close()
-	conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
+	conn.SetWriteDeadline(time.Now().Add(t.cfg.Timeouts.Write))
 	fw.write(conn, &frame{Kind: frameReject, Version: uint8(t.proto()), ErrMsg: msg})
 }
 
@@ -649,7 +586,11 @@ func (t *Transport) reject(conn net.Conn, dialerProto int, msg string) {
 // caller must (cumulatively) acknowledge, or 0 for unsequenced frames.
 // Sequenced frames pass the per-node duplicate filter exactly once,
 // whatever connection they arrive on; duplicates still report their Seq so
-// the remote learns its retransmission was redundant.
+// the remote learns its retransmission was redundant. Data and request
+// frames are demultiplexed to the group their header names; frames for
+// groups this node has not opened are dropped (still acked — the sender's
+// duty ends at delivery to the node), which is what a frame racing a
+// group close looks like.
 func (t *Transport) dispatch(remote string, f *frame) uint64 {
 	switch f.Kind {
 	case frameAck:
@@ -663,8 +604,14 @@ func (t *Transport) dispatch(remote string, f *frame) uint64 {
 	case frameData:
 		if t.accept(remote, f.Seq) {
 			t.mu.Lock()
-			if !t.closed && t.hosted[f.To] {
-				t.deliverLocked(core.Message{From: f.From, Payload: f.Payload}, f.To)
+			g := t.groups[f.Group]
+			if g == nil {
+				t.mu.Unlock()
+				t.log("dropping data frame for unopened group %d from %s", f.Group, remote)
+				return f.Seq
+			}
+			if !t.closed && !g.closed && g.hosted[f.To] {
+				g.deliverLocked(core.Message{From: f.From, Payload: f.Payload}, f.To)
 			}
 			t.mu.Unlock()
 		}
@@ -707,7 +654,8 @@ func (t *Transport) dispatch(remote string, f *frame) uint64 {
 // their frames from 1 in send order and every connection (original or
 // reconnected) carries an ascending subsequence, so "greater than the
 // highest seen" accepts each frame once and drops retransmitted
-// duplicates — the Integrity axiom on a faulty wire.
+// duplicates — the Integrity axiom on a faulty wire. The filter is per
+// node pair, not per group: all groups share one sequence space.
 func (t *Transport) accept(remote string, seq uint64) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -723,6 +671,8 @@ func (t *Transport) accept(remote string, seq uint64) bool {
 // retransmits and the duplicate filter re-acks. Acks keep flowing while
 // this node is draining its own Close (t.closed set, done not yet
 // closed), so two nodes closing concurrently can still drain each other.
+// Acks are per node pair and carry group 0 whatever groups the acked
+// frames belonged to.
 func (t *Transport) sendAck(remote string, seq uint64) {
 	select {
 	case <-t.done:
@@ -735,17 +685,22 @@ func (t *Transport) sendAck(remote string, seq uint64) {
 	p.enqueueCtrl(frame{Kind: frameAck, AckTo: seq})
 }
 
-// serve runs the RPC handler for one request and queues the response.
+// serve runs the RPC handler of the request's group and queues the
+// response (which carries the same group, so the caller's node routes the
+// metrics to the right shard).
 func (t *Transport) serve(remote string, f *frame) {
 	defer t.wg.Done()
 	t.mu.Lock()
-	handler := t.handler
+	var handler func(core.ProcID, core.Value) (core.Value, error)
+	if g := t.groups[f.Group]; g != nil && !g.closed {
+		handler = g.handler
+	}
 	closed := t.closed
 	t.mu.Unlock()
 	if closed {
 		return
 	}
-	resp := frame{Kind: frameResp, From: f.To, To: f.From, CallID: f.CallID}
+	resp := frame{Kind: frameResp, From: f.To, To: f.From, CallID: f.CallID, Group: f.Group}
 	if handler == nil {
 		resp.ErrMsg = "tcp: no RPC handler installed"
 	} else {
@@ -790,9 +745,9 @@ func (t *Transport) KillConnections() {
 }
 
 // Close implements transport.Transport: it stops accepting application
-// sends, waits up to DrainTimeout for every queued frame to be
-// acknowledged by its destination node, then tears down connections, the
-// listener and all background goroutines.
+// sends in every group, waits up to Timeouts.Drain for every queued frame
+// to be acknowledged by its destination node, then tears down
+// connections, the listener and all background goroutines.
 func (t *Transport) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -800,6 +755,9 @@ func (t *Transport) Close() error {
 		return nil
 	}
 	t.closed = true
+	for _, g := range t.groups {
+		g.closed = true
+	}
 	peers := make([]*peer, 0, len(t.peers))
 	for _, p := range t.peers {
 		peers = append(peers, p)
@@ -807,7 +765,7 @@ func (t *Transport) Close() error {
 	t.mu.Unlock()
 
 	// Drain: keep the receive side alive so acks still arrive.
-	deadline := time.Now().Add(t.cfg.DrainTimeout)
+	deadline := time.Now().Add(t.cfg.Timeouts.Drain)
 	for _, p := range peers {
 		p.waitDrained(deadline)
 	}

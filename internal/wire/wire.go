@@ -46,6 +46,17 @@ import (
 // instead of after a multi-megabyte detour.
 const MaxValue = 16 << 20
 
+// FrameVersion is the binary frame-header wire version. The TCP
+// transport's ProtoBinary constant, its stream preamble, and its hello
+// handshake all derive from it, and cmd/mnmwiregen stamps it into every
+// generated wire_codec.go (checked by mnmvet's wirecodec rule), so a
+// header-layout change that forgets to regenerate the codecs fails
+// `mnmwiregen -check`.
+//
+// Version history: 2 = flat LE header (34 bytes), 3 = v2 plus a Group
+// shard-routing field (38 bytes).
+const FrameVersion = 3
+
 // GobName is the reserved codec name of the gob fallback. The empty name
 // is reserved for nil payloads.
 const GobName = "gob"

@@ -35,6 +35,7 @@ import (
 
 	"github.com/mnm-model/mnm/internal/benor"
 	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/directory"
 	"github.com/mnm-model/mnm/internal/graph"
 	"github.com/mnm-model/mnm/internal/hbo"
 	"github.com/mnm-model/mnm/internal/leader"
@@ -117,6 +118,31 @@ type (
 	TCPTransport = tcp.Transport
 	// TCPConfig configures one TCP transport node.
 	TCPConfig = tcp.Config
+	// TCPTimeouts groups the transport's deadline/backoff knobs.
+	TCPTimeouts = tcp.Timeouts
+	// GroupID identifies one m&m group (shard) multiplexed over a
+	// shared transport; group 0 is the base group.
+	GroupID = transport.GroupID
+	// RTNode is the per-OS-process half of the sharded runtime: one
+	// shared transport and directory hosting many independent groups.
+	RTNode = rt.Node
+	// RTNodeConfig configures an RTNode.
+	RTNodeConfig = rt.NodeConfig
+	// RTGroup is one group (shard) running on an RTNode. RTHost is the
+	// same type: a single-group system built with NewRT.
+	RTGroup = rt.Group
+	// RTGroupConfig describes one group to open on an RTNode.
+	RTGroupConfig = rt.GroupConfig
+	// Directory maps groups to the nodes hosting their processes.
+	Directory = directory.Directory
+	// DirAssignment is one group's node placement.
+	DirAssignment = directory.Assignment
+	// StaticDirectory is an explicit group→assignment table.
+	StaticDirectory = directory.Static
+	// UniformDirectory places every group on the same node set.
+	UniformDirectory = directory.Uniform
+	// AllLocalDirectory places every group entirely on this node.
+	AllLocalDirectory = directory.AllLocal
 	// Scheduler picks the next process each simulated step.
 	Scheduler = sched.Scheduler
 	// Counters is the communication-event metric store.
@@ -306,6 +332,11 @@ func NewSim(cfg SimConfig, alg Algorithm) (*SimRunner, error) { return sim.New(c
 
 // NewRT builds a real-time host.
 func NewRT(cfg RTConfig, alg Algorithm) (*RTHost, error) { return rt.New(cfg, alg) }
+
+// NewRTNode builds the per-OS-process plane of a sharded (multi-tenant)
+// deployment: many independent m&m groups multiplexed over one shared
+// transport. Open each group with RTNode.OpenGroup; see DESIGN.md §4.3.3.
+func NewRTNode(cfg RTNodeConfig) (*RTNode, error) { return rt.NewNode(cfg) }
 
 // NewChanTransport returns the in-process channel transport among n
 // processes — the real-time host's default message path, made explicit.
