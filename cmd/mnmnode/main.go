@@ -19,12 +19,21 @@
 //	leader p0        (leader election, once stable for -stable)
 //
 // With -metrics-addr each node additionally serves its observability
-// plane over HTTP (/metrics, /healthz, /status; see internal/obs), and
-// `mnmnode -watch -addrs <metrics endpoints>` turns the binary into a
-// read-only poller printing a cluster rate table — the steady state of
-// Theorem 5.1 reads as zeros in the MSG/S column while register
-// operations keep flowing. With -trace N the node retains the last N
-// structured events and dumps them as JSON Lines on exit.
+// plane over HTTP (/metrics, /healthz, /status, /trace, /debug/pprof;
+// see internal/obs), and `mnmnode -watch -addrs <metrics endpoints>`
+// turns the binary into a read-only poller printing a cluster rate
+// table — the steady state of Theorem 5.1 reads as zeros in the MSG/S
+// column while register operations keep flowing. With -trace N the node
+// retains the last N structured events and dumps them as JSON Lines on
+// exit. With -trace-flight N the node records the last N spans of its
+// distributed operations (sends, remote register RPCs, serves) into a
+// flight recorder served at /trace; merge the per-node dumps with
+// cmd/mnmtrace into one causally ordered cluster timeline.
+//
+// Diagnostics go to stderr through log/slog: -log-level picks the
+// threshold (debug|info|warn|error; -v is shorthand for debug, which
+// includes connection lifecycle events), -log-json switches the text
+// handler for JSON lines.
 //
 // With -groups N the node is multi-tenant: besides the base run it
 // opens N additional leader-election groups (shards 1..N), all
@@ -44,7 +53,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -79,8 +88,11 @@ func run() int {
 		stable  = flag.Duration("stable", 2*time.Second, "how long a leader must hold before it is reported")
 		timeout = flag.Duration("timeout", 60*time.Second, "overall deadline")
 		linger  = flag.Duration("linger", time.Second, "how long to keep serving peers after finishing")
-		verbose = flag.Bool("v", false, "log connection lifecycle events to stderr")
+		verbose = flag.Bool("v", false, "shorthand for -log-level debug (connection lifecycle events)")
 		groups  = flag.Int("groups", 0, "additional leader-election groups (shards 1..N) multiplexed over the same mesh")
+
+		logLevel = flag.String("log-level", "info", "stderr log threshold: debug | info | warn | error")
+		logJSON  = flag.Bool("log-json", false, "emit stderr logs as JSON lines instead of text")
 
 		connectT = flag.Duration("connect-timeout", 0, "TCP dial timeout per connection attempt (0 = transport default)")
 		backoffB = flag.Duration("backoff-base", 0, "initial reconnect backoff (0 = transport default)")
@@ -93,6 +105,8 @@ func run() int {
 		sampleEvery = flag.Duration("sample-interval", time.Second, "registry sampling interval behind /status rates")
 		traceN      = flag.Int("trace", 0, "retain the last N structured events and dump them as JSON Lines on exit")
 		traceOut    = flag.String("trace-out", "", "file for the -trace dump (default stderr)")
+		flightN     = flag.Int("trace-flight", 0, "span flight recorder capacity (0 disables span tracing)")
+		flightS     = flag.Int("trace-sample", 1, "head-sample 1 of every M traces in the flight recorder")
 		watch       = flag.Bool("watch", false, "watch mode: poll the /metrics endpoints in -addrs and print a cluster rate table")
 		watchEvery  = flag.Duration("watch-interval", time.Second, "polling interval in -watch mode")
 		watchCount  = flag.Int("watch-count", 0, "table refreshes in -watch mode (0 = until interrupted)")
@@ -122,10 +136,16 @@ func run() int {
 	}
 	self := core.ProcID(*id)
 
-	var logf func(string, ...any)
-	if *verbose {
-		l := log.New(os.Stderr, fmt.Sprintf("node%d ", *id), log.Lmicroseconds)
-		logf = l.Printf
+	logger, err := buildLogger(*logLevel, *logJSON, *verbose, *id)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mnmnode: %v\n", err)
+		return 2
+	}
+	// The runtime and transport speak Logf; the shim routes their
+	// lifecycle diagnostics to slog at debug (they are chatty by design —
+	// raise to -log-level debug to see them).
+	logf := func(format string, args ...any) {
+		logger.Debug(fmt.Sprintf(format, args...))
 	}
 
 	tlsCfg, err := buildTLS(*tlsCert, *tlsKey, *tlsCA)
@@ -156,11 +176,16 @@ func run() int {
 	}
 
 	reg := metrics.NewRegistry(*n)
+	var flight *trace.Flight
+	if *flightN > 0 {
+		flight = trace.NewFlight(addrList[*id], *flightN, *flightS)
+	}
 	cfg := rt.Config{
 		RunConfig: rt.RunConfig{GSM: graph.Complete(*n), Seed: *seed, Logf: logf},
 		Transport: tr,
 		Hosted:    []core.ProcID{self},
 		Registry:  reg,
+		Flight:    flight,
 	}
 	var rec *trace.Recorder
 	if *traceN > 0 {
@@ -219,6 +244,7 @@ func run() int {
 			Transport: tr,
 			Directory: directory.Uniform{Addrs: addrList},
 			Registry:  reg,
+			Flight:    flight,
 			Logf:      logf,
 		})
 		if err != nil {
@@ -245,6 +271,7 @@ func run() int {
 			Transport: tr,
 			Hosted:    []core.ProcID{self},
 			Node:      addrList[*id],
+			Flight:    flight,
 			Status: func() map[string]any {
 				st := map[string]any{"alg": *alg}
 				if isLE {
@@ -264,9 +291,7 @@ func run() int {
 			return 1
 		}
 		defer srv.Close()
-		if logf != nil {
-			logf("metrics plane on http://%s", srv.Addr())
-		}
+		logger.Info("observability plane up", "url", "http://"+srv.Addr())
 	}
 	if isLE {
 		stopMon := make(chan struct{})
@@ -300,9 +325,7 @@ func run() int {
 			g.Start()
 			shards = append(shards, g)
 		}
-		if logf != nil {
-			logf("opened %d groups over the shared mesh", *groups)
-		}
+		logger.Info("opened groups over the shared mesh", "groups", *groups)
 	}
 	line, err := finish(h, deadline)
 	if err != nil {
@@ -322,10 +345,28 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "mnmnode: process %v: %v\n", p, e)
 		return 1
 	}
-	if *verbose {
-		logf("done: %d steps in %v", res.Steps, res.Elapsed.Round(time.Millisecond))
-	}
+	logger.Debug("done", "steps", res.Steps, "elapsed", res.Elapsed.Round(time.Millisecond))
 	return 0
+}
+
+// buildLogger assembles the stderr slog logger from the -log-level,
+// -log-json and -v flags; every record carries the node id.
+func buildLogger(level string, jsonOut, verbose bool, id int) (*slog.Logger, error) {
+	if verbose {
+		level = "debug"
+	}
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	if jsonOut {
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, opts)
+	}
+	return slog.New(h).With("node", id), nil
 }
 
 // groupStatus renders one /status entry per open group: the leader this

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"github.com/mnm-model/mnm/internal/metrics"
+	"github.com/mnm-model/mnm/internal/tracemerge"
 )
 
 // buildBinary compiles mnmnode into a temp dir so the cluster tests can
@@ -138,10 +139,12 @@ func TestProcessesAgreeOnLeaderOverLoopback(t *testing.T) {
 
 // TestShardedMeshOverLoopback boots the multi-tenant deployment: two OS
 // processes, each hosting the base leader-election group plus four
-// shards (-groups 4) multiplexed over the same connection pair. While
-// the nodes linger it polls /status until every shard reports a leader
-// on both nodes, then checks the root /metrics renders group-labeled
-// rows next to the unlabeled base rows.
+// shards (-groups 4) multiplexed over the same connection pair, with
+// the span flight recorder on. While the nodes linger it polls /status
+// until every shard reports a leader on both nodes, then checks the
+// root /metrics renders group-labeled rows (counters and span-latency
+// histograms) next to the unlabeled base rows, and merges both nodes'
+// /trace dumps into a cluster timeline that crosses the node boundary.
 func TestShardedMeshOverLoopback(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns OS processes")
@@ -161,6 +164,7 @@ func TestShardedMeshOverLoopback(t *testing.T) {
 				"-alg", "le-shm", "-stable", "500ms", "-groups", "4",
 				"-timeout", "90s", "-linger", "30s",
 				"-metrics-addr", maddrs[i],
+				"-trace-flight", "8192", "-log-json",
 			)
 			var stdout, stderr bytes.Buffer
 			cmd.Stdout, cmd.Stderr = &stdout, &stderr
@@ -220,10 +224,41 @@ func TestShardedMeshOverLoopback(t *testing.T) {
 	for _, re := range []string{
 		`(?m)^mnm_msg_sent_total\{proc="\d+"\} \d+$`,
 		`(?m)^mnm_msg_sent_total\{group="group-\d+",proc="\d+"\} \d+$`,
+		`(?m)^mnm_span_(read|write|cas|send|recv|serve)_seconds_count\{group="group-\d+"\} \d+$`,
 	} {
 		if !regexp.MustCompile(re).Match(body) {
 			t.Errorf("prom exposition lacks %s rows:\n%.400s", re, body)
 		}
+	}
+	// Both nodes' flight recorders scrape over /trace; merged, they must
+	// reconstruct at least one trace that crossed the node boundary (the
+	// shards' remote register ops guarantee a steady supply).
+	var dumps bytes.Buffer
+	for i, ma := range maddrs {
+		resp, err := client.Get("http://" + ma + "/trace")
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("node %d: /trace scrape: err=%v resp=%v", i, err, resp)
+		}
+		if _, err := io.Copy(&dumps, resp.Body); err != nil {
+			t.Fatalf("node %d: reading /trace: %v", i, err)
+		}
+		resp.Body.Close()
+	}
+	cluster, err := tracemerge.Read(&dumps)
+	if err != nil {
+		t.Fatalf("merging /trace dumps: %v", err)
+	}
+	if len(cluster.Metas) != 2 {
+		t.Fatalf("merged %d flight headers, want one per node", len(cluster.Metas))
+	}
+	crossNode := 0
+	for _, tr := range cluster.Traces {
+		if len(tr.Nodes()) == 2 {
+			crossNode++
+		}
+	}
+	if crossNode == 0 {
+		t.Errorf("no trace in the merged dumps crosses the node boundary (%d traces total)", len(cluster.Traces))
 	}
 
 	for i := 0; i < 2; i++ {

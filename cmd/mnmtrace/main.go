@@ -1,0 +1,125 @@
+// Command mnmtrace merges per-node span flight-recorder dumps into one
+// causally ordered cluster timeline.
+//
+// Each node of a distributed run records its own spans (rt ops, wire
+// sends, RPC serves) into a bounded flight recorder, dumped as JSON Lines
+// by the node's /trace endpoint. mnmtrace takes any number of those dumps
+// — files, "-" for stdin, or http URLs scraped live — concatenates them,
+// reassembles the traces by TraceID, and prints every trace as a span
+// tree in Lamport order, so a cross-node operation (say, a remote CAS
+// that survived a connection kill) reads as one story instead of two
+// interleaved logs.
+//
+//	mnmtrace node1.jsonl node2.jsonl             # merge two dumpfiles
+//	curl -s host:9090/trace | mnmtrace -         # one node from stdin
+//	mnmtrace http://h1:9090/trace http://h2:9090/trace
+//	mnmtrace -trace 01a2b3c4d5e6f708 dumps/*.jsonl
+//
+// Exit status: 0 ok, 1 no spans or a read failure, 2 usage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/mnm-model/mnm/internal/trace"
+	"github.com/mnm-model/mnm/internal/tracemerge"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mnmtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	traceID := fs.String("trace", "", "only render the trace with this id (hex, as printed in the timeline)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: mnmtrace [-trace <hexid>] <dump>...\n")
+		fmt.Fprintf(stderr, "each <dump> is a /trace JSONL file, \"-\" for stdin, or an http(s) URL\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+	var filterID uint64
+	if *traceID != "" {
+		id, err := strconv.ParseUint(strings.TrimPrefix(*traceID, "0x"), 16, 64)
+		if err != nil {
+			fmt.Fprintf(stderr, "mnmtrace: bad -trace id %q: %v\n", *traceID, err)
+			return 2
+		}
+		filterID = id
+	}
+
+	var spans []trace.Span
+	var metas []trace.FlightMeta
+	for _, arg := range fs.Args() {
+		s, m, err := readDump(arg)
+		if err != nil {
+			fmt.Fprintf(stderr, "mnmtrace: %s: %v\n", arg, err)
+			return 1
+		}
+		spans = append(spans, s...)
+		metas = append(metas, m...)
+	}
+
+	c := tracemerge.Merge(spans, metas)
+	if filterID != 0 {
+		kept := c.Traces[:0]
+		for _, t := range c.Traces {
+			if t.ID == filterID {
+				kept = append(kept, t)
+			}
+		}
+		c.Traces = kept
+		if len(c.Traces) == 0 {
+			fmt.Fprintf(stderr, "mnmtrace: no trace %016x in the dumps\n", filterID)
+			return 1
+		}
+	}
+	if len(c.Traces) == 0 && len(c.Metas) == 0 {
+		fmt.Fprintln(stderr, "mnmtrace: no spans in the dumps")
+		return 1
+	}
+	if err := c.WriteTimeline(stdout); err != nil {
+		fmt.Fprintf(stderr, "mnmtrace: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// readDump loads one dump source: an http(s) URL (a live /trace scrape),
+// "-" for stdin, or a file path.
+func readDump(arg string) ([]trace.Span, []trace.FlightMeta, error) {
+	if strings.HasPrefix(arg, "http://") || strings.HasPrefix(arg, "https://") {
+		resp, err := http.Get(arg)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+			return nil, nil, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+		}
+		return trace.ReadSpans(resp.Body)
+	}
+	if arg == "-" {
+		return trace.ReadSpans(os.Stdin)
+	}
+	f, err := os.Open(arg)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return trace.ReadSpans(f)
+}

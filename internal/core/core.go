@@ -41,6 +41,31 @@ func (p ProcID) String() string {
 // (ints, bools, short structs, arrays) rather than pointers to mutable data.
 type Value = any
 
+// SpanContext is the causal identity a message or RPC carries across a
+// hop: which trace it belongs to, which span emitted it, and the sender's
+// Lamport clock at the emit event. It lives in core — not internal/trace —
+// because it is model-level vocabulary: every transport backend must carry
+// it verbatim (wire v4 reserves header bytes for it) so a cross-node run
+// can be reassembled into one causally ordered timeline afterwards.
+//
+// The zero SpanContext means "untraced": TraceID 0 is never assigned by a
+// recorder, and a zero Clock never advances a receiver's Lamport clock.
+type SpanContext struct {
+	// TraceID identifies the end-to-end trace (one user-visible operation
+	// and everything it causes). 0 = untraced.
+	TraceID uint64
+	// SpanID identifies the span that emitted this message; the receiver
+	// records it as the parent of whatever span the delivery starts.
+	SpanID uint64
+	// Clock is the sender's Lamport clock at the emit event. Receivers
+	// merge it (clock = max(local, Clock) + 1) so cross-node order is
+	// reconstructible without synchronized wall clocks.
+	Clock uint64
+}
+
+// Traced reports whether the context identifies a sampled trace.
+func (sc SpanContext) Traced() bool { return sc.TraceID != 0 }
+
 // Message is a message delivered to a process. From records the sender, as
 // required by the Integrity link axiom ("if q receives m from p ...").
 type Message struct {
@@ -49,6 +74,9 @@ type Message struct {
 	// Payload is the message body. Like register Values, payloads are
 	// immutable once sent.
 	Payload Value
+	// Span is the trace context the message carried, zero when the send
+	// was untraced. Backends propagate it; they never interpret it.
+	Span SpanContext
 }
 
 // Process is an algorithm run by one process: straight-line code that

@@ -34,6 +34,11 @@ const (
 	HistRemoteRead  = "remote_read"
 	HistRemoteWrite = "remote_write"
 	HistRemoteCAS   = "remote_cas"
+	// HistSpanPrefix prefixes the per-op-kind span-latency histograms the
+	// trace flight recorder feeds on span end: "span_send", "span_cas",
+	// "span_serve", ... — one per trace.Kind that actually occurred, in
+	// the group's sub-registry so the rows carry the group label.
+	HistSpanPrefix = "span_"
 )
 
 // Registry is a thread-safe bundle of one Counters plus named Histograms.

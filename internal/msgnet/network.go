@@ -39,6 +39,7 @@ type flight struct {
 	from   core.ProcID
 	to     core.ProcID
 	pay    core.Value
+	span   core.SpanContext
 	sentAt uint64
 	seq    uint64
 }
@@ -95,6 +96,14 @@ func (net *Network) Kind() LinkKind { return net.kind }
 // Send sends payload from→to at tick now. In auto-deliver mode the message
 // is immediately placed in to's mailbox unless dropped.
 func (net *Network) Send(from, to core.ProcID, payload core.Value, now uint64) error {
+	return net.SendSpan(from, to, payload, core.SpanContext{}, now)
+}
+
+// SendSpan is Send carrying a trace context: the context rides the in-flight
+// entry and is surfaced on the delivered core.Message, exactly as the TCP
+// backend carries it in the wire v4 frame header. The network never
+// interprets the context.
+func (net *Network) SendSpan(from, to core.ProcID, payload core.Value, sc core.SpanContext, now uint64) error {
 	if int(to) < 0 || int(to) >= net.n {
 		return fmt.Errorf("%w: send to %v", core.ErrUnknownProc, to)
 	}
@@ -109,7 +118,7 @@ func (net *Network) Send(from, to core.ProcID, payload core.Value, now uint64) e
 	net.mu.Lock()
 	defer net.mu.Unlock()
 	if net.auto {
-		net.deliverLocked(flight{from: from, to: to, pay: payload})
+		net.deliverLocked(flight{from: from, to: to, pay: payload, span: sc})
 		return nil
 	}
 	net.sendSeq++
@@ -117,6 +126,7 @@ func (net *Network) Send(from, to core.ProcID, payload core.Value, now uint64) e
 		from:   from,
 		to:     to,
 		pay:    payload,
+		span:   sc,
 		sentAt: now,
 		seq:    net.sendSeq,
 	})
@@ -127,8 +137,14 @@ func (net *Network) Send(from, to core.ProcID, payload core.Value, now uint64) e
 // (Ben-Or style "send to all"). It counts as a single send operation of the
 // process but one message per link.
 func (net *Network) Broadcast(from core.ProcID, payload core.Value, now uint64) error {
+	return net.BroadcastSpan(from, payload, core.SpanContext{}, now)
+}
+
+// BroadcastSpan is Broadcast carrying one trace context shared by every
+// copy — the fan-out edges of a single send span.
+func (net *Network) BroadcastSpan(from core.ProcID, payload core.Value, sc core.SpanContext, now uint64) error {
 	for to := 0; to < net.n; to++ {
-		if err := net.Send(from, core.ProcID(to), payload, now); err != nil {
+		if err := net.SendSpan(from, core.ProcID(to), payload, sc, now); err != nil {
 			return err
 		}
 	}
@@ -136,7 +152,7 @@ func (net *Network) Broadcast(from core.ProcID, payload core.Value, now uint64) 
 }
 
 func (net *Network) deliverLocked(f flight) {
-	net.mailboxes[f.to].Push(core.Message{From: f.from, Payload: f.pay})
+	net.mailboxes[f.to].Push(core.Message{From: f.from, Payload: f.pay, Span: f.span})
 	net.counters.Record(f.to, metrics.MsgDelivered, 1)
 }
 

@@ -3,7 +3,7 @@
 // sampled rates, so a distributed run can be watched from outside the
 // process (curl, Prometheus, the mnmnode -watch poller).
 //
-// Three endpoints, all read-only:
+// The endpoints, all read-only:
 //
 //   - /metrics  — the full registry; Prometheus text exposition by
 //     default, the JSON schema of metrics.Export with ?format=json.
@@ -11,11 +11,19 @@
 //     link of every hosted process is up, 503 while any is not.
 //   - /status   — one JSON object for humans and pollers: node label,
 //     hosted processes, link states, rates over the sampler's last
-//     interval, and any app-level fields (e.g. the elected leader).
+//     interval, Go build/runtime info, and any app-level fields (e.g.
+//     the elected leader).
+//   - /trace    — the span flight recorder as JSON Lines (one header,
+//     the finished spans in Lamport merge order, then the in-flight
+//     table); the mnmtrace merger's input. 404 when tracing is off.
+//   - /debug/pprof/* — the standard Go profiling endpoints, mounted on
+//     the same listener so a live node can be profiled without a
+//     restart or an extra port.
 //
-// The package depends only on the registry, the transport interface and
-// net/http; it does not know about hosts or algorithms. Callers wire it
-// up (see cmd/mnmnode) and inject app-level state through Config.Status.
+// The package depends only on the registry, the transport interface, the
+// trace flight recorder and net/http; it does not know about hosts or
+// algorithms. Callers wire it up (see cmd/mnmnode) and inject app-level
+// state through Config.Status.
 package obs
 
 import (
@@ -23,10 +31,14 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
 	"sort"
 
 	"github.com/mnm-model/mnm/internal/core"
 	"github.com/mnm-model/mnm/internal/metrics"
+	"github.com/mnm-model/mnm/internal/trace"
 	"github.com/mnm-model/mnm/internal/transport"
 )
 
@@ -49,6 +61,9 @@ type Config struct {
 	// merged into the response (keys colliding with built-ins are
 	// dropped). Values must be JSON-encodable.
 	Status func() map[string]any
+	// Flight, if non-nil, is the node's span flight recorder, served at
+	// /trace and summarized in /status.
+	Flight *trace.Flight
 }
 
 // Health is the /healthz response body.
@@ -136,6 +151,16 @@ func NewHandler(cfg Config) (http.Handler, error) {
 				st["rates_per_sec"] = rates
 			}
 		}
+		st["go"] = goInfo()
+		if cfg.Flight != nil {
+			st["trace"] = map[string]any{
+				"sample":    cfg.Flight.Sample(),
+				"spans":     cfg.Flight.Len(),
+				"in_flight": len(cfg.Flight.InFlight()),
+				"dropped":   cfg.Flight.Dropped(),
+				"clock":     cfg.Flight.ClockNow(),
+			}
+		}
 		if cfg.Status != nil {
 			for k, v := range cfg.Status() {
 				if _, taken := st[k]; !taken {
@@ -148,7 +173,46 @@ func NewHandler(cfg Config) (http.Handler, error) {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(st)
 	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Flight == nil {
+			http.Error(w, "span tracing disabled (no flight recorder)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = cfg.Flight.WriteJSONL(w)
+	})
+	// The profiling plane rides the same listener: these handlers register
+	// on the net/http DefaultServeMux, which this mux does not serve, so
+	// they are mounted explicitly.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux, nil
+}
+
+// goInfo renders the Go build and runtime facts of the serving binary:
+// toolchain version, OS/arch, goroutine and GOMAXPROCS counts, and the
+// module version control revision when the build recorded one.
+func goInfo() map[string]any {
+	info := map[string]any{
+		"version":    runtime.Version(),
+		"os_arch":    runtime.GOOS + "/" + runtime.GOARCH,
+		"goroutines": runtime.NumGoroutine(),
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				info["vcs_revision"] = s.Value
+			case "vcs.modified":
+				info["vcs_modified"] = s.Value == "true"
+			}
+		}
+	}
+	return info
 }
 
 // Server is a running metrics endpoint. Close releases the listener.

@@ -18,6 +18,7 @@ import (
 	"github.com/mnm-model/mnm/internal/directory"
 	"github.com/mnm-model/mnm/internal/metrics"
 	"github.com/mnm-model/mnm/internal/runcfg"
+	"github.com/mnm-model/mnm/internal/trace"
 	"github.com/mnm-model/mnm/internal/transport"
 )
 
@@ -39,6 +40,12 @@ type NodeConfig struct {
 	// root renders the node-level frame counters plus every shard's rows.
 	// Nil synthesizes an empty root registry.
 	Registry *metrics.Registry
+
+	// Flight, if non-nil, is the node's span flight recorder, shared by
+	// every group the way the transport and root registry are: each group
+	// records into it under its "group-<id>" label, and one /trace scrape
+	// dumps the whole node. Nil disables span tracing.
+	Flight *trace.Flight
 
 	// Logf, if non-nil, receives node- and group-lifecycle diagnostics.
 	Logf func(format string, args ...any)
@@ -64,6 +71,7 @@ type Node struct {
 	sharded transport.Sharded // nil when tr is nil or not sharded
 	dir     directory.Directory
 	reg     *metrics.Registry
+	flight  *trace.Flight // nil when span tracing is off
 	logf    func(format string, args ...any)
 	addr    string // own listen address, "" when the transport has none
 
@@ -88,6 +96,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		tr:     cfg.Transport,
 		dir:    dir,
 		reg:    reg,
+		flight: cfg.Flight,
 		logf:   cfg.Logf,
 		groups: make(map[transport.GroupID]*Group),
 	}
@@ -190,6 +199,8 @@ func (nd *Node) OpenGroup(id transport.GroupID, cfg GroupConfig, alg core.Algori
 		Transport: gtr,
 		Hosted:    hosted,
 		Registry:  greg,
+		Flight:    nd.flight,
+		SpanGroup: fmt.Sprintf("group-%d", id),
 	}
 	hcfg.Counters = nil // groups always meter into their registry
 	if hcfg.Logf == nil {

@@ -18,6 +18,7 @@ import (
 
 	"github.com/mnm-model/mnm/internal/core"
 	"github.com/mnm-model/mnm/internal/metrics"
+	"github.com/mnm-model/mnm/internal/trace"
 )
 
 // memReadReq asks the owner's node to read Ref on behalf of Caller.
@@ -59,14 +60,28 @@ type memCASResp struct {
 // would otherwise hold the caller inside the transport until its call
 // timeout, stalling Stop for seconds. The abandoned Call completes (or
 // times out) in the background; its buffered channel lets it exit.
-func (h *Group) callRemote(p core.ProcID, owner core.ProcID, req core.Value) (core.Value, error) {
+//
+// sp is the caller's span for the operation (nil when unsampled or
+// tracing is off): its context rides the request frame over the span RPC
+// plane, and the server's response context merges back into the local
+// Lamport clock — the two wire edges of a traced remote register op.
+func (h *Group) callRemote(p core.ProcID, owner core.ProcID, req core.Value, sp *trace.Span) (core.Value, error) {
 	type outcome struct {
 		v   core.Value
 		err error
 	}
+	sc := h.spans.Outbound(sp)
 	ch := make(chan outcome, 1)
 	go func() {
-		v, err := h.rpc.Call(p, owner, req)
+		var v core.Value
+		var err error
+		if h.srpc != nil {
+			var rsc core.SpanContext
+			v, rsc, err = h.srpc.CallSpan(p, owner, req, sc)
+			h.spans.Observe(rsc.Clock)
+		} else {
+			v, err = h.rpc.Call(p, owner, req)
+		}
 		// Never blocks: cap-1 channel, and this goroutine is its only
 		// sender. A select/default would hide a broken invariant as a
 		// silently dropped reply; a visible block is the better failure.
@@ -82,12 +97,12 @@ func (h *Group) callRemote(p core.ProcID, owner core.ProcID, req core.Value) (co
 
 // readReg reads ref for process p, locally when the owner is hosted here
 // and over RPC otherwise.
-func (h *Group) readReg(p core.ProcID, ref core.Ref) (core.Value, error) {
+func (h *Group) readReg(p core.ProcID, ref core.Ref, sp *trace.Span) (core.Value, error) {
 	if h.rpc == nil || h.hostedSet[ref.Owner] {
 		return h.mem.Read(p, ref)
 	}
 	start := time.Now()
-	resp, err := h.callRemote(p, ref.Owner, memReadReq{Caller: p, Ref: ref})
+	resp, err := h.callRemote(p, ref.Owner, memReadReq{Caller: p, Ref: ref}, sp)
 	h.registry.Histogram(metrics.HistRemoteRead).Observe(time.Since(start))
 	if err != nil {
 		return nil, err
@@ -100,23 +115,23 @@ func (h *Group) readReg(p core.ProcID, ref core.Ref) (core.Value, error) {
 }
 
 // writeReg writes ref for process p, locally or over RPC.
-func (h *Group) writeReg(p core.ProcID, ref core.Ref, v core.Value) error {
+func (h *Group) writeReg(p core.ProcID, ref core.Ref, v core.Value, sp *trace.Span) error {
 	if h.rpc == nil || h.hostedSet[ref.Owner] {
 		return h.mem.Write(p, ref, v)
 	}
 	start := time.Now()
-	_, err := h.callRemote(p, ref.Owner, memWriteReq{Caller: p, Ref: ref, Val: v})
+	_, err := h.callRemote(p, ref.Owner, memWriteReq{Caller: p, Ref: ref, Val: v}, sp)
 	h.registry.Histogram(metrics.HistRemoteWrite).Observe(time.Since(start))
 	return err
 }
 
 // casReg compare-and-swaps ref for process p, locally or over RPC.
-func (h *Group) casReg(p core.ProcID, ref core.Ref, expected, desired core.Value) (bool, core.Value, error) {
+func (h *Group) casReg(p core.ProcID, ref core.Ref, expected, desired core.Value, sp *trace.Span) (bool, core.Value, error) {
 	if h.rpc == nil || h.hostedSet[ref.Owner] {
 		return h.mem.CompareAndSwap(p, ref, expected, desired)
 	}
 	start := time.Now()
-	resp, err := h.callRemote(p, ref.Owner, memCASReq{Caller: p, Ref: ref, Expected: expected, Desired: desired})
+	resp, err := h.callRemote(p, ref.Owner, memCASReq{Caller: p, Ref: ref, Expected: expected, Desired: desired}, sp)
 	h.registry.Histogram(metrics.HistRemoteCAS).Observe(time.Since(start))
 	if err != nil {
 		return false, nil, err
@@ -126,6 +141,36 @@ func (h *Group) casReg(p core.ProcID, ref core.Ref, expected, desired core.Value
 		return false, nil, fmt.Errorf("rt: remote CAS of %v returned %T", ref, resp)
 	}
 	return cr.Swapped, cr.Current, nil
+}
+
+// reqName renders a register request for span naming.
+func reqName(req core.Value) string {
+	switch r := req.(type) {
+	case memReadReq:
+		return fmt.Sprintf("read %v", r.Ref)
+	case memWriteReq:
+		return fmt.Sprintf("write %v", r.Ref)
+	case memCASReq:
+		return fmt.Sprintf("cas %v", r.Ref)
+	default:
+		return fmt.Sprintf("%T", req)
+	}
+}
+
+// serveMemSpan is the span-aware RPC handler, installed when the
+// transport has a span plane: a traced request records a Serve span
+// parented to the caller's span, and the response carries this node's
+// clock (plus the serve span's identity) back so the caller's timeline
+// orders the round trip. Untraced requests still merge the clock.
+func (h *Group) serveMemSpan(from core.ProcID, req core.Value, sc core.SpanContext) (core.Value, core.SpanContext, error) {
+	sp := h.spans.StartRemote(from, trace.Serve, reqName(req), sc)
+	if sp == nil {
+		h.spans.Observe(sc.Clock)
+	}
+	v, err := h.serveMem(from, req)
+	rsc := h.spans.Outbound(sp)
+	sp.Finish(err)
+	return v, rsc, err
 }
 
 // serveMem is the RPC handler installed on the transport: it serves

@@ -76,6 +76,16 @@ type Config struct {
 	// set, around fresh counters otherwise. When Registry is set it is the
 	// single metering object and RunConfig.Counters is ignored.
 	Registry *metrics.Registry
+
+	// Flight, if non-nil, is the node's span flight recorder: the group's
+	// op sites start spans in it, send/RPC edges carry their context over
+	// the transport's span plane (wire v4), and span latencies feed the
+	// Registry's "span_<kind>" histograms. Nil (the default) disables span
+	// tracing at zero cost on the hot path.
+	Flight *trace.Flight
+	// SpanGroup labels this group's spans, matching the group's metrics
+	// sub-registry label ("group-<id>"; "" for the base group).
+	SpanGroup string
 }
 
 // Result is the structured outcome of a real-time run, mirroring
@@ -143,10 +153,13 @@ type Group struct {
 	hostedSet map[core.ProcID]bool
 	mem       *shm.Memory
 	tr        transport.Transport
-	rpc       transport.RPC // nil when every register owner is hosted
+	spanTr    transport.SpanCarrier // tr's span plane; nil when unsupported
+	rpc       transport.RPC         // nil when every register owner is hosted
+	srpc      transport.SpanRPC     // rpc's span plane; nil when unsupported
 	counters  *metrics.Counters
 	registry  *metrics.Registry
 	traceRec  *trace.Recorder
+	spans     *trace.Scope // nil when span tracing is off
 	logf      func(format string, args ...any)
 	procs     []*rtProc // nil entries for processes hosted elsewhere
 	wg        sync.WaitGroup
@@ -256,13 +269,22 @@ func New(cfg Config, alg core.Algorithm) (*Group, error) {
 		counters:  counters,
 		registry:  registry,
 		traceRec:  cfg.Trace,
+		spans:     cfg.Flight.Scope(cfg.SpanGroup, registry),
 		logf:      cfg.Logf,
 		procs:     make([]*rtProc, n),
 		errs:      make(map[core.ProcID]error),
 		stopCh:    make(chan struct{}),
 	}
+	// Resolve the transport's span planes once, not per op. The adversary
+	// wrappers forward them, so wrapping does not lose the trace context.
+	h.spanTr, _ = tr.(transport.SpanCarrier)
 	if rpc != nil {
-		rpc.SetHandler(h.serveMem)
+		h.srpc, _ = rpc.(transport.SpanRPC)
+		if h.srpc != nil {
+			h.srpc.SetSpanHandler(h.serveMemSpan)
+		} else {
+			rpc.SetHandler(h.serveMem)
+		}
 	}
 	// Instrument the transport (after any adversary wrapping, before Dial)
 	// so backends with wire events — frames, reconnects, RPCs — report into
@@ -514,6 +536,10 @@ func (h *Group) Counters() *metrics.Counters { return h.counters }
 // remote-register RPC path. Never nil.
 func (h *Group) Registry() *metrics.Registry { return h.registry }
 
+// Flight returns the span flight recorder this group records into, or nil
+// when span tracing is off.
+func (h *Group) Flight() *trace.Flight { return h.spans.Flight() }
+
 // N returns the system size.
 func (h *Group) N() int { return h.n }
 
@@ -571,39 +597,87 @@ func (e *rtEnv) traceOp(k trace.Kind, ref core.Ref, to core.ProcID, note string)
 	})
 }
 
-// Send implements core.Env.
+// Send implements core.Env. With span tracing on, the send starts a span
+// (head-sampled) whose context rides the wire frame to the receiver; the
+// Lamport clock ticks on every send either way, so the clock condition
+// holds for unsampled traffic too.
 func (e *rtEnv) Send(to core.ProcID, payload core.Value) error {
 	e.step()
 	if e.h.traceRec != nil {
 		e.traceOp(trace.Send, core.Ref{}, to, fmt.Sprintf("%v", payload))
 	}
-	return e.h.tr.Send(e.ps.id, to, payload)
+	h := e.h
+	if h.spans == nil {
+		return h.tr.Send(e.ps.id, to, payload)
+	}
+	sp := h.spans.Start(e.ps.id, trace.Send, fmt.Sprintf("→%v %v", to, payload))
+	sc := h.spans.Outbound(sp)
+	var err error
+	if h.spanTr != nil {
+		err = h.spanTr.SendSpan(e.ps.id, to, payload, sc)
+	} else {
+		err = h.tr.Send(e.ps.id, to, payload)
+	}
+	sp.Finish(err)
+	return err
 }
 
-// Broadcast implements core.Env.
+// Broadcast implements core.Env. One span covers the whole fan-out; every
+// copy carries the same context.
 func (e *rtEnv) Broadcast(payload core.Value) error {
 	e.step()
 	if e.h.traceRec != nil {
 		e.traceOp(trace.Broadcast, core.Ref{}, core.NoProc, fmt.Sprintf("%v", payload))
 	}
-	return e.h.tr.Broadcast(e.ps.id, payload)
+	h := e.h
+	if h.spans == nil {
+		return h.tr.Broadcast(e.ps.id, payload)
+	}
+	sp := h.spans.Start(e.ps.id, trace.Broadcast, fmt.Sprintf("%v", payload))
+	sc := h.spans.Outbound(sp)
+	var err error
+	if h.spanTr != nil {
+		err = h.spanTr.BroadcastSpan(e.ps.id, payload, sc)
+	} else {
+		err = h.tr.Broadcast(e.ps.id, payload)
+	}
+	sp.Finish(err)
+	return err
 }
 
-// TryRecv implements core.Env.
+// TryRecv implements core.Env. A delivered message's trace context is the
+// receive edge: a traced message records a Recv span parented to the
+// sender's span, an untraced one still merges its Lamport clock.
 func (e *rtEnv) TryRecv() (core.Message, bool) {
 	if e.h.stopped.Load() || e.ps.crashed.Load() {
 		panic(stopPanic{})
 	}
-	return e.h.tr.TryRecv(e.ps.id)
+	m, ok := e.h.tr.TryRecv(e.ps.id)
+	if ok && e.h.spans != nil {
+		if m.Span.Traced() {
+			sp := e.h.spans.StartRemote(e.ps.id, trace.Recv, fmt.Sprintf("←%v", m.From), m.Span)
+			sp.Finish(nil)
+		} else {
+			e.h.spans.Observe(m.Span.Clock)
+		}
+	}
+	return m, ok
 }
 
-// Read implements core.Env.
+// Read implements core.Env. The span, when sampled, travels with the
+// remote-register RPC and parents the owner node's Serve span.
 func (e *rtEnv) Read(ref core.Ref) (core.Value, error) {
 	e.step()
 	if e.h.traceRec != nil {
 		e.traceOp(trace.RegRead, ref, core.NoProc, "")
 	}
-	return e.h.readReg(e.ps.id, ref)
+	var sp *trace.Span
+	if e.h.spans != nil {
+		sp = e.h.spans.Start(e.ps.id, trace.RegRead, fmt.Sprintf("%v", ref))
+	}
+	v, err := e.h.readReg(e.ps.id, ref, sp)
+	sp.Finish(err)
+	return v, err
 }
 
 // Write implements core.Env.
@@ -612,7 +686,13 @@ func (e *rtEnv) Write(ref core.Ref, v core.Value) error {
 	if e.h.traceRec != nil {
 		e.traceOp(trace.RegWrite, ref, core.NoProc, fmt.Sprintf("%v", v))
 	}
-	return e.h.writeReg(e.ps.id, ref, v)
+	var sp *trace.Span
+	if e.h.spans != nil {
+		sp = e.h.spans.Start(e.ps.id, trace.RegWrite, fmt.Sprintf("%v", ref))
+	}
+	err := e.h.writeReg(e.ps.id, ref, v, sp)
+	sp.Finish(err)
+	return err
 }
 
 // CompareAndSwap implements core.Env.
@@ -621,7 +701,13 @@ func (e *rtEnv) CompareAndSwap(ref core.Ref, expected, desired core.Value) (bool
 	if e.h.traceRec != nil {
 		e.traceOp(trace.CAS, ref, core.NoProc, fmt.Sprintf("%v→%v", expected, desired))
 	}
-	return e.h.casReg(e.ps.id, ref, expected, desired)
+	var sp *trace.Span
+	if e.h.spans != nil {
+		sp = e.h.spans.Start(e.ps.id, trace.CAS, fmt.Sprintf("%v %v→%v", ref, expected, desired))
+	}
+	swapped, cur, err := e.h.casReg(e.ps.id, ref, expected, desired, sp)
+	sp.Finish(err)
+	return swapped, cur, err
 }
 
 // Yield implements core.Env: one step plus a scheduling hint so that

@@ -33,6 +33,10 @@ const (
 	Crash
 	Halt
 	Log
+	// Recv and Serve are span-only kinds (see span.go): the delivery of a
+	// traced message, and the owner-side service of a remote register op.
+	Recv
+	Serve
 )
 
 // String implements fmt.Stringer.
@@ -58,9 +62,24 @@ func (k Kind) String() string {
 		return "halt"
 	case Log:
 		return "log"
+	case Recv:
+		return "recv"
+	case Serve:
+		return "serve"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
+}
+
+// KindOf parses the String form back (dump readers); unknown strings
+// yield the zero Kind.
+func KindOf(s string) Kind {
+	for k := Yield; k <= Serve; k++ {
+		if k.String() == s {
+			return k
+		}
+	}
+	return 0
 }
 
 // Event is one recorded occurrence.
@@ -186,6 +205,25 @@ func (r *Recorder) Filter(pred func(Event) bool) []Event {
 	return out
 }
 
+// snapshot returns the retained events and the dropped count as one
+// atomic observation. Dump paths must use this rather than calling
+// Events and Dropped back to back: between two separate lock
+// acquisitions a concurrent writer can evict more events, so the header
+// would understate the drop count relative to the events actually
+// rendered (the multi-group eviction drift).
+func (r *Recorder) snapshot() ([]Event, uint64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, r.count)
+	for i := 0; i < r.count; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out, r.dropped
+}
+
 // EventJSON is the JSONL wire form of one Event (see WriteJSONL).
 type EventJSON struct {
 	Step uint64 `json:"step"`
@@ -205,12 +243,13 @@ type EventJSON struct {
 // writes it on exit; jq consumes it).
 func (r *Recorder) WriteJSONL(w io.Writer) error {
 	enc := json.NewEncoder(w)
-	if d := r.Dropped(); d > 0 {
-		if err := enc.Encode(map[string]uint64{"dropped": d}); err != nil {
+	events, dropped := r.snapshot()
+	if dropped > 0 {
+		if err := enc.Encode(map[string]uint64{"dropped": dropped}); err != nil {
 			return err
 		}
 	}
-	for _, e := range r.Events() {
+	for _, e := range events {
 		ej := EventJSON{Step: e.Step, Proc: int(e.Proc), Kind: e.Kind.String(), Note: e.Note}
 		switch e.Kind {
 		case RegRead, RegWrite, CAS:
@@ -230,14 +269,15 @@ func (r *Recorder) WriteJSONL(w io.Writer) error {
 // written.
 func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
 	var total int64
-	if d := r.Dropped(); d > 0 {
-		n, err := fmt.Fprintf(w, "(%d earlier events dropped)\n", d)
+	events, dropped := r.snapshot()
+	if dropped > 0 {
+		n, err := fmt.Fprintf(w, "(%d earlier events dropped)\n", dropped)
 		total += int64(n)
 		if err != nil {
 			return total, err
 		}
 	}
-	for _, e := range r.Events() {
+	for _, e := range events {
 		n, err := fmt.Fprintln(w, e.String())
 		total += int64(n)
 		if err != nil {

@@ -1,0 +1,281 @@
+// Package tracemerge reassembles per-node flight-recorder dumps into one
+// cluster timeline. It is the analysis half of span tracing: each node's
+// /trace endpoint (or dumpfile) holds only its own slice of every
+// distributed operation, and this package joins the slices back together
+// — spans with the same TraceID become one trace, parent/child edges are
+// resolved by SpanID, and the cross-node order is reconstructed from the
+// Lamport timestamps stamped on every send and receive edge, so clock
+// skew between nodes cannot reorder cause after effect.
+//
+// The merge rule is total and deterministic: sort by Lamport time, break
+// ties by (node label, node-local start time, SpanID). Two merges of the
+// same dumps render the same timeline. cmd/mnmtrace is the CLI wrapper.
+package tracemerge
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/mnm-model/mnm/internal/trace"
+)
+
+// Trace is one reassembled distributed operation: every span that carried
+// the same TraceID, across all nodes, in Lamport merge order.
+type Trace struct {
+	ID    uint64
+	Spans []trace.Span
+}
+
+// Cluster is a set of merged node dumps.
+type Cluster struct {
+	// Metas holds one entry per node dump header, in input order.
+	Metas []trace.FlightMeta
+	// Traces holds the reassembled traces, ordered by their first span
+	// (the trace's causal root) under the merge rule.
+	Traces []Trace
+	// Untraced counts spans with no TraceID (there are none today — the
+	// recorders only keep traced spans — but a foreign dump may differ).
+	Untraced int
+}
+
+// Read consumes one or more concatenated JSONL flight dumps (the /trace
+// response format) and merges them.
+func Read(r io.Reader) (*Cluster, error) {
+	spans, metas, err := trace.ReadSpans(r)
+	if err != nil {
+		return nil, err
+	}
+	return Merge(spans, metas), nil
+}
+
+// Merge reassembles traces from an already-parsed span set.
+func Merge(spans []trace.Span, metas []trace.FlightMeta) *Cluster {
+	c := &Cluster{Metas: metas}
+	byTrace := make(map[uint64][]trace.Span)
+	for _, sp := range spans {
+		if sp.TraceID == 0 {
+			c.Untraced++
+			continue
+		}
+		byTrace[sp.TraceID] = append(byTrace[sp.TraceID], sp)
+	}
+	for id, ts := range byTrace {
+		trace.SortSpans(ts)
+		c.Traces = append(c.Traces, Trace{ID: id, Spans: dedup(ts)})
+	}
+	// Order traces by their root span's position in the merge order.
+	sort.Slice(c.Traces, func(i, j int) bool {
+		a, b := c.Traces[i].Spans[0], c.Traces[j].Spans[0]
+		if a.Lamport != b.Lamport {
+			return a.Lamport < b.Lamport
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return c.Traces[i].ID < c.Traces[j].ID
+	})
+	return c
+}
+
+// dedup collapses spans dumped more than once (a span can appear in two
+// scrapes of the same node: once in flight, once finished — the finished
+// record wins; two identical records collapse to one).
+func dedup(spans []trace.Span) []trace.Span {
+	seen := make(map[uint64]int, len(spans))
+	out := spans[:0]
+	for _, sp := range spans {
+		if i, dup := seen[sp.SpanID]; dup {
+			if out[i].End == 0 && sp.End != 0 {
+				out[i] = sp
+			}
+			continue
+		}
+		seen[sp.SpanID] = len(out)
+		out = append(out, sp)
+	}
+	return out
+}
+
+// Complete reports whether every non-root span's parent is present in the
+// trace — an incomplete trace means a node dump is missing or its ring
+// evicted part of the story.
+func (t Trace) Complete() bool {
+	ids := make(map[uint64]bool, len(t.Spans))
+	for _, sp := range t.Spans {
+		ids[sp.SpanID] = true
+	}
+	for _, sp := range t.Spans {
+		if sp.Parent != 0 && !ids[sp.Parent] {
+			return false
+		}
+	}
+	return true
+}
+
+// Nodes returns the distinct node labels the trace touched, sorted.
+func (t Trace) Nodes() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, sp := range t.Spans {
+		if !seen[sp.Node] {
+			seen[sp.Node] = true
+			out = append(out, sp.Node)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteTimeline renders the cluster as text: a per-node dump summary,
+// then every trace as an indented span tree in causal (Lamport) order,
+// then a per-op-kind latency summary. The format is for humans reading a
+// postmortem; the JSONL inputs remain the machine interface.
+func (c *Cluster) WriteTimeline(w io.Writer) error {
+	for _, m := range c.Metas {
+		if _, err := fmt.Fprintf(w, "node %-22s spans=%d in_flight=%d dropped=%d clock=%d\n",
+			m.Node, m.Spans, m.InFlight, m.Dropped, m.Clock); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%d trace(s)", len(c.Traces)); err != nil {
+		return err
+	}
+	if c.Untraced > 0 {
+		if _, err := fmt.Fprintf(w, ", %d untraced span(s) skipped", c.Untraced); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, t := range c.Traces {
+		if err := t.write(w); err != nil {
+			return err
+		}
+	}
+	return c.writeLatency(w)
+}
+
+// write renders one trace as an indented tree. Children are attached to
+// their parent by SpanID and kept in merge order; orphans (parent evicted
+// or on a missing dump) surface at top level marked with "~".
+func (t Trace) write(w io.Writer) error {
+	status := ""
+	if !t.Complete() {
+		status = " INCOMPLETE (missing parents: ring eviction or absent node dump)"
+	}
+	if _, err := fmt.Fprintf(w, "\ntrace %016x  spans=%d nodes=%s%s\n",
+		t.ID, len(t.Spans), strings.Join(t.Nodes(), ","), status); err != nil {
+		return err
+	}
+	ids := make(map[uint64]bool, len(t.Spans))
+	children := make(map[uint64][]trace.Span)
+	var roots []trace.Span
+	for _, sp := range t.Spans {
+		ids[sp.SpanID] = true
+	}
+	for _, sp := range t.Spans {
+		if sp.Parent != 0 && ids[sp.Parent] {
+			children[sp.Parent] = append(children[sp.Parent], sp)
+		} else {
+			roots = append(roots, sp)
+		}
+	}
+	var render func(sp trace.Span, depth int, orphan bool) error
+	render = func(sp trace.Span, depth int, orphan bool) error {
+		mark := ""
+		if orphan && sp.Parent != 0 {
+			mark = "~"
+		}
+		dur := "in flight"
+		if sp.End != 0 {
+			dur = time.Duration(sp.End - sp.Start).Round(time.Microsecond).String()
+		}
+		errNote := ""
+		if sp.Err != "" {
+			errNote = "  err=" + sp.Err
+		}
+		if _, err := fmt.Fprintf(w, "  lam=%-6d %s%s[%s %s p%d] %s %s  (%s)%s\n",
+			sp.Lamport, strings.Repeat("  ", depth), mark,
+			sp.Node, sp.Group, sp.Proc, sp.Kind, sp.Name, dur, errNote); err != nil {
+			return err
+		}
+		for _, ch := range children[sp.SpanID] {
+			if err := render(ch, depth+1, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, sp := range roots {
+		if err := render(sp, 0, sp.Parent != 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeLatency renders a per-op-kind latency summary over every finished
+// span in the cluster (min/mean/max — the merger works from dumps, so the
+// full histograms live in /metrics, not here).
+func (c *Cluster) writeLatency(w io.Writer) error {
+	type agg struct {
+		n        int
+		sum      time.Duration
+		min, max time.Duration
+		errs     int
+	}
+	kinds := map[trace.Kind]*agg{}
+	for _, t := range c.Traces {
+		for _, sp := range t.Spans {
+			if sp.End == 0 {
+				continue
+			}
+			d := time.Duration(sp.End - sp.Start)
+			a := kinds[sp.Kind]
+			if a == nil {
+				a = &agg{min: d, max: d}
+				kinds[sp.Kind] = a
+			}
+			a.n++
+			a.sum += d
+			if d < a.min {
+				a.min = d
+			}
+			if d > a.max {
+				a.max = d
+			}
+			if sp.Err != "" {
+				a.errs++
+			}
+		}
+	}
+	if len(kinds) == 0 {
+		return nil
+	}
+	order := make([]trace.Kind, 0, len(kinds))
+	for k := range kinds {
+		order = append(order, k)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	if _, err := fmt.Fprintf(w, "\nspan latency by op kind:\n"); err != nil {
+		return err
+	}
+	for _, k := range order {
+		a := kinds[k]
+		if _, err := fmt.Fprintf(w, "  %-10s n=%-6d min=%-10v mean=%-10v max=%-10v errs=%d\n",
+			k, a.n,
+			a.min.Round(time.Microsecond),
+			(a.sum / time.Duration(a.n)).Round(time.Microsecond),
+			a.max.Round(time.Microsecond), a.errs); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package tracemerge
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/trace"
+)
+
+// span builds a test span with the fields the merger cares about.
+func span(traceID, spanID, parent uint64, node string, kind trace.Kind, lamport uint64, start, end int64) trace.Span {
+	return trace.Span{
+		TraceID: traceID, SpanID: spanID, Parent: parent,
+		Node: node, Group: "group-1", Kind: kind, Name: "x",
+		Lamport: lamport, Start: start, End: end,
+	}
+}
+
+func TestMergeOrdersAndGroups(t *testing.T) {
+	// Two traces interleaved across two nodes, presented out of order —
+	// the way two independent /trace dumps concatenate.
+	spans := []trace.Span{
+		span(2, 20, 0, "b", trace.Send, 9, 500, 600),
+		span(1, 11, 10, "b", trace.Serve, 3, 9000, 9100), // wall clock way ahead of node a
+		span(1, 10, 0, "a", trace.CAS, 1, 100, 300),
+		span(1, 12, 10, "a", trace.Recv, 5, 350, 360),
+	}
+	metas := []trace.FlightMeta{{Node: "a", Spans: 2}, {Node: "b", Spans: 2}}
+	c := Merge(spans, metas)
+
+	if len(c.Traces) != 2 {
+		t.Fatalf("merged into %d traces, want 2", len(c.Traces))
+	}
+	// Trace 1 roots at Lamport 1, trace 2 at Lamport 9: causal order.
+	if c.Traces[0].ID != 1 || c.Traces[1].ID != 2 {
+		t.Fatalf("trace order = [%d %d], want [1 2]", c.Traces[0].ID, c.Traces[1].ID)
+	}
+	got := c.Traces[0]
+	for i, want := range []uint64{10, 11, 12} {
+		if got.Spans[i].SpanID != want {
+			t.Errorf("trace 1 span[%d] = %d, want %d (Lamport order must beat wall clock)", i, got.Spans[i].SpanID, want)
+		}
+	}
+	if !got.Complete() {
+		t.Error("trace 1 has every parent present but reports incomplete")
+	}
+	if n := got.Nodes(); len(n) != 2 || n[0] != "a" || n[1] != "b" {
+		t.Errorf("trace 1 nodes = %v, want [a b]", n)
+	}
+}
+
+func TestMergeDedupPrefersFinished(t *testing.T) {
+	// The same span in two scrapes of one node: in flight first, finished
+	// later. The finished record must win, once.
+	inflight := span(1, 10, 0, "a", trace.CAS, 1, 100, 0)
+	finished := span(1, 10, 0, "a", trace.CAS, 1, 100, 900)
+	c := Merge([]trace.Span{inflight, finished}, nil)
+	if len(c.Traces) != 1 || len(c.Traces[0].Spans) != 1 {
+		t.Fatalf("dedup kept %d spans, want 1", len(c.Traces[0].Spans))
+	}
+	if c.Traces[0].Spans[0].End != 900 {
+		t.Errorf("dedup kept the in-flight record (End=%d), want the finished one", c.Traces[0].Spans[0].End)
+	}
+}
+
+func TestIncompleteAndUntraced(t *testing.T) {
+	spans := []trace.Span{
+		span(1, 11, 99, "a", trace.Serve, 2, 100, 200), // parent 99 evicted
+		{Node: "a", Kind: trace.Log, Lamport: 1},       // TraceID 0: untraced
+	}
+	c := Merge(spans, nil)
+	if c.Untraced != 1 {
+		t.Errorf("Untraced = %d, want 1", c.Untraced)
+	}
+	if len(c.Traces) != 1 || c.Traces[0].Complete() {
+		t.Error("a trace with a missing parent must report incomplete")
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	spans := []trace.Span{
+		span(1, 10, 0, "a", trace.CAS, 1, 100, 5300),
+		span(1, 11, 10, "b", trace.Serve, 2, 9000, 9100),
+	}
+	metas := []trace.FlightMeta{
+		{Node: "a", Spans: 1, Dropped: 3, Clock: 7},
+		{Node: "b", Spans: 1, Clock: 8},
+	}
+	var sb strings.Builder
+	if err := Merge(spans, metas).WriteTimeline(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"node a", "dropped=3", "clock=7",
+		"1 trace(s)",
+		"trace 0000000000000001",
+		"nodes=a,b",
+		"lam=1", "lam=2",
+		"span latency by op kind:",
+		"cas", "serve",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// The serve span renders indented under the CAS root.
+	casLine := strings.Index(out, "lam=1")
+	serveLine := strings.Index(out, "lam=2")
+	if casLine == -1 || serveLine == -1 || serveLine < casLine {
+		t.Errorf("serve span not rendered after its CAS parent:\n%s", out)
+	}
+}

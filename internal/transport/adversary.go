@@ -28,7 +28,10 @@ type Lossy struct {
 	Counters *metrics.Counters
 }
 
-var _ Transport = (*Lossy)(nil)
+var (
+	_ Transport   = (*Lossy)(nil)
+	_ SpanCarrier = (*Lossy)(nil)
+)
 
 // NewLossy wraps inner with the given drop policy.
 func NewLossy(inner Transport, policy msgnet.DropPolicy, counters *metrics.Counters) *Lossy {
@@ -44,19 +47,32 @@ func (l *Lossy) Dial() error { return l.Inner.Dial() }
 // Send implements Transport. The drop decision happens here, before the
 // message reaches the wire.
 func (l *Lossy) Send(from, to core.ProcID, payload core.Value) error {
+	return l.SendSpan(from, to, payload, core.SpanContext{})
+}
+
+// SendSpan implements SpanCarrier. Dropping a traced message drops its
+// context with it — the trace simply shows the send edge without a matching
+// receive, which is exactly what happened.
+func (l *Lossy) SendSpan(from, to core.ProcID, payload core.Value, sc core.SpanContext) error {
 	if l.Policy != nil && l.Policy.Drop(from, to, payload) {
 		l.Counters.Record(from, metrics.MsgSent, 1)
 		l.Counters.Record(from, metrics.MsgDropped, 1)
 		return nil
 	}
-	return l.Inner.Send(from, to, payload)
+	return SendSpan(l.Inner, from, to, payload, sc)
 }
 
 // Broadcast implements Transport. The drop policy is consulted per link,
 // as in msgnet: a broadcast may reach some destinations and not others.
 func (l *Lossy) Broadcast(from core.ProcID, payload core.Value) error {
+	return l.BroadcastSpan(from, payload, core.SpanContext{})
+}
+
+// BroadcastSpan implements SpanCarrier, consulting the drop policy per
+// link like Broadcast.
+func (l *Lossy) BroadcastSpan(from core.ProcID, payload core.Value, sc core.SpanContext) error {
 	for to := 0; to < l.Inner.N(); to++ {
-		if err := l.Send(from, core.ProcID(to), payload); err != nil {
+		if err := l.SendSpan(from, core.ProcID(to), payload, sc); err != nil {
 			return err
 		}
 	}
@@ -109,7 +125,10 @@ type heldMsg struct {
 	arrivedAt uint64
 }
 
-var _ Transport = (*Delayed)(nil)
+var (
+	_ Transport   = (*Delayed)(nil)
+	_ SpanCarrier = (*Delayed)(nil)
+)
 
 // NewDelayed wraps inner with the given delivery policy. A nil policy
 // delivers immediately.
@@ -134,9 +153,20 @@ func (d *Delayed) Send(from, to core.ProcID, payload core.Value) error {
 	return d.inner.Send(from, to, payload)
 }
 
+// SendSpan implements SpanCarrier. Held messages keep their context: the
+// hold buffer stores whole core.Messages, Span field included.
+func (d *Delayed) SendSpan(from, to core.ProcID, payload core.Value, sc core.SpanContext) error {
+	return SendSpan(d.inner, from, to, payload, sc)
+}
+
 // Broadcast implements Transport.
 func (d *Delayed) Broadcast(from core.ProcID, payload core.Value) error {
 	return d.inner.Broadcast(from, payload)
+}
+
+// BroadcastSpan implements SpanCarrier.
+func (d *Delayed) BroadcastSpan(from core.ProcID, payload core.Value, sc core.SpanContext) error {
+	return BroadcastSpan(d.inner, from, payload, sc)
 }
 
 // TryRecv implements Transport. Each call advances p's local tick, drains

@@ -28,8 +28,10 @@ type Chan struct {
 
 var (
 	_ Transport      = (*Chan)(nil)
+	_ SpanCarrier    = (*Chan)(nil)
 	_ Instrumentable = (*Chan)(nil)
 	_ Sharded        = (*Chan)(nil)
+	_ SpanCarrier    = (*chanGroup)(nil)
 )
 
 // NewChan returns an in-process transport among n processes with links of
@@ -61,18 +63,29 @@ func (c *Chan) Dial() error { return nil }
 
 // Send implements Transport.
 func (c *Chan) Send(from, to core.ProcID, payload core.Value) error {
+	return c.SendSpan(from, to, payload, core.SpanContext{})
+}
+
+// SendSpan implements SpanCarrier: the context rides the msgnet mailbox
+// entry and comes back out as Message.Span.
+func (c *Chan) SendSpan(from, to core.ProcID, payload core.Value, sc core.SpanContext) error {
 	if c.closed.Load() {
 		return ErrClosed
 	}
-	return c.net.Send(from, to, payload, 0)
+	return c.net.SendSpan(from, to, payload, sc, 0)
 }
 
 // Broadcast implements Transport.
 func (c *Chan) Broadcast(from core.ProcID, payload core.Value) error {
+	return c.BroadcastSpan(from, payload, core.SpanContext{})
+}
+
+// BroadcastSpan implements SpanCarrier.
+func (c *Chan) BroadcastSpan(from core.ProcID, payload core.Value, sc core.SpanContext) error {
 	if c.closed.Load() {
 		return ErrClosed
 	}
-	return c.net.Broadcast(from, payload, 0)
+	return c.net.BroadcastSpan(from, payload, sc, 0)
 }
 
 // TryRecv implements Transport.

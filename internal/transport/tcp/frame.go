@@ -85,6 +85,18 @@ type frame struct {
 	// (data/req/resp). Acks and hellos are per node pair, shared by every
 	// group on the connection, and carry group 0.
 	Group uint32
+	// TraceID and SpanID are the trace context of the operation the frame
+	// carries (data/req/resp): the trace the op belongs to and the span
+	// that emitted the frame — the receiver's parent. Zero = untraced.
+	// Acks and hellos are transport bookkeeping, not operations: they
+	// carry no context.
+	TraceID, SpanID uint64
+	// Lamport is the sender's logical clock at the emit event
+	// (data/req/resp); receivers merge it so a trace merger can order
+	// spans across nodes without synchronized wall clocks. It flows even
+	// for unsampled ops — the clock condition must hold for every message
+	// a sampled trace might causally follow.
+	Lamport uint64
 	// Payload is the message body or RPC body.
 	Payload core.Value
 	// ErrMsg carries a response or rejection error, "" meaning nil.
@@ -155,7 +167,10 @@ func putGobBuf(b *bytes.Buffer) {
 //	[22:26] To       int32 LE
 //	[26:34] CallID   uint64 LE
 //	[34:38] Group    uint32 LE
-//	[38:]   Addr     uvarint length + bytes
+//	[38:46] TraceID  uint64 LE
+//	[46:54] SpanID   uint64 LE
+//	[54:62] Lamport  uint64 LE
+//	[62:]   Addr     uvarint length + bytes
 //	        ErrMsg   uvarint length + bytes
 //	        Payload  uvarint codec-name length + name + codec body
 //	                 (see internal/wire; name "" = nil payload, name
@@ -166,7 +181,7 @@ func putGobBuf(b *bytes.Buffer) {
 // testdata/frames.txt pin this layout.
 
 // binaryHeaderSize is the fixed-width prefix of a binary frame body.
-const binaryHeaderSize = 38
+const binaryHeaderSize = 62
 
 // appendFrame appends f's complete wire encoding (length prefix + body)
 // to b. Payload encode failures are errEncode-wrapped: such a frame can
@@ -183,6 +198,9 @@ func appendFrame(b []byte, f *frame) ([]byte, error) {
 	binary.LittleEndian.PutUint32(hdr[22:26], uint32(int32(f.To)))
 	binary.LittleEndian.PutUint64(hdr[26:34], f.CallID)
 	binary.LittleEndian.PutUint32(hdr[34:38], f.Group)
+	binary.LittleEndian.PutUint64(hdr[38:46], f.TraceID)
+	binary.LittleEndian.PutUint64(hdr[46:54], f.SpanID)
+	binary.LittleEndian.PutUint64(hdr[54:62], f.Lamport)
 	b = append(b, hdr[:]...)
 	b = wire.AppendString(b, f.Addr)
 	b = wire.AppendString(b, f.ErrMsg)
@@ -214,6 +232,9 @@ func decodeFrame(body []byte, f *frame) error {
 		To:      core.ProcID(int32(binary.LittleEndian.Uint32(body[22:26]))),
 		CallID:  binary.LittleEndian.Uint64(body[26:34]),
 		Group:   binary.LittleEndian.Uint32(body[34:38]),
+		TraceID: binary.LittleEndian.Uint64(body[38:46]),
+		SpanID:  binary.LittleEndian.Uint64(body[46:54]),
+		Lamport: binary.LittleEndian.Uint64(body[54:62]),
 	}
 	d := wire.NewDecoder(body[binaryHeaderSize:])
 	f.Addr = d.String()

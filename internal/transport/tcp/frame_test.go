@@ -27,18 +27,24 @@ func goldenTable() []struct {
 		name string
 		f    frame
 	}{
-		{"hello", frame{Kind: frameHello, Version: 3, Addr: "127.0.0.1:9000"}},
+		{"hello", frame{Kind: frameHello, Version: 4, Addr: "127.0.0.1:9000"}},
 		{"ack", frame{Kind: frameAck, AckTo: 513}},
 		{"data-int", frame{Kind: frameData, Seq: 7, From: 0, To: 3, Payload: 42}},
 		{"data-string", frame{Kind: frameData, Seq: 8, From: 1, To: 2, Payload: "hi"}},
 		{"data-slice", frame{Kind: frameData, Seq: 9, From: 1, To: 0, Payload: []core.Value{1, "two", nil}}},
 		{"data-benor-msg", frame{Kind: frameData, Seq: 10, From: 2, To: 1, Payload: benor.Msg{Phase: benor.PhaseP, Round: 4, Val: benor.V1}}},
 		{"data-group", frame{Kind: frameData, Seq: 13, From: 0, To: 1, Group: 4096, Payload: "shard"}},
+		{"data-traced", frame{Kind: frameData, Seq: 16, From: 1, To: 0, Payload: "t",
+			TraceID: 0x0123456789abcdef, SpanID: 0xfedcba9876543210, Lamport: 42}},
 		{"req-ref", frame{Kind: frameReq, Seq: 11, From: 1, To: 0, CallID: 77, Payload: core.Ref{Owner: 0, Name: "reg", I: 2, J: -1}}},
 		{"req-group", frame{Kind: frameReq, Seq: 14, From: 2, To: 0, CallID: 78, Group: 9, Payload: core.Ref{Owner: 0, Name: "reg", I: 0, J: 0}}},
+		{"req-traced", frame{Kind: frameReq, Seq: 17, From: 0, To: 1, CallID: 79, Group: 9, Payload: 5,
+			TraceID: 0xa1a2a3a4a5a6a7a8, SpanID: 0xb1b2b3b4b5b6b7b8, Lamport: 7}},
 		{"resp-err", frame{Kind: frameResp, Seq: 12, From: 0, To: 1, CallID: 77, ErrMsg: "remote: boom"}},
 		{"resp-group", frame{Kind: frameResp, Seq: 15, From: 0, To: 2, CallID: 78, Group: 9, Payload: 1}},
-		{"reject", frame{Kind: frameReject, Version: 3, ErrMsg: "tcp: protocol version mismatch"}},
+		{"resp-traced", frame{Kind: frameResp, Seq: 18, From: 1, To: 0, CallID: 79, Group: 9, Payload: 6,
+			TraceID: 0xa1a2a3a4a5a6a7a8, SpanID: 0xc1c2c3c4c5c6c7c8, Lamport: 11}},
+		{"reject", frame{Kind: frameReject, Version: 4, ErrMsg: "tcp: protocol version mismatch"}},
 	}
 }
 
@@ -160,9 +166,15 @@ func TestReadFrameCorruptPrefix(t *testing.T) {
 }
 
 func TestSniffProto(t *testing.T) {
-	bin := bufio.NewReader(bytes.NewReader([]byte{'M', 'N', 'M', 3, 0x00}))
+	bin := bufio.NewReader(bytes.NewReader([]byte{'M', 'N', 'M', 4, 0x00}))
 	if p, err := sniffProto(bin); err != nil || p != ProtoBinary {
 		t.Fatalf("binary preamble: proto %d, err %v", p, err)
+	}
+	// A v3 peer's preamble sniffs as version 3 — not this node's protocol,
+	// so recvLoop rejects it terminally instead of interleaving framings.
+	old := bufio.NewReader(bytes.NewReader([]byte{'M', 'N', 'M', 3, 0x00}))
+	if p, err := sniffProto(old); err != nil || p != 3 || p == ProtoBinary {
+		t.Fatalf("v3 preamble: proto %d, err %v", p, err)
 	}
 	gob := bufio.NewReader(bytes.NewReader([]byte{0x00, 0x00, 0x00, 0x05}))
 	if p, err := sniffProto(gob); err != nil || p != ProtoGob {
@@ -285,9 +297,9 @@ func FuzzFrameDecode(f *testing.F) {
 // FuzzFrameRoundTrip drives the encoder from structured inputs and
 // requires exact field-level round trips.
 func FuzzFrameRoundTrip(f *testing.F) {
-	f.Add(uint8(2), uint8(2), uint64(1), uint64(0), int32(0), int32(1), uint32(0), "127.0.0.1:1", "", "payload", int64(7), true)
-	f.Add(uint8(3), uint8(0), uint64(1<<40), uint64(1<<30), int32(-1), int32(1<<20), uint32(1<<31), "", "remote: boom", "", int64(-1), false)
-	f.Fuzz(func(t *testing.T, kind, ver uint8, seq, ack uint64, from, to int32, group uint32, addr, errMsg, sPay string, iPay int64, useS bool) {
+	f.Add(uint8(2), uint8(2), uint64(1), uint64(0), int32(0), int32(1), uint32(0), uint64(0), uint64(0), uint64(0), "127.0.0.1:1", "", "payload", int64(7), true)
+	f.Add(uint8(3), uint8(0), uint64(1<<40), uint64(1<<30), int32(-1), int32(1<<20), uint32(1<<31), uint64(1<<63), uint64(3), uint64(1<<50), "", "remote: boom", "", int64(-1), false)
+	f.Fuzz(func(t *testing.T, kind, ver uint8, seq, ack uint64, from, to int32, group uint32, traceID, spanID, lamport uint64, addr, errMsg, sPay string, iPay int64, useS bool) {
 		src := frame{
 			Kind:    frameKind(kind),
 			Version: ver,
@@ -297,6 +309,9 @@ func FuzzFrameRoundTrip(f *testing.F) {
 			To:      core.ProcID(to),
 			Group:   group,
 			CallID:  seq ^ ack,
+			TraceID: traceID,
+			SpanID:  spanID,
+			Lamport: lamport,
 			Addr:    addr,
 			ErrMsg:  errMsg,
 		}

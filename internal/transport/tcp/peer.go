@@ -42,9 +42,9 @@ type peer struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
 	nextSeq  uint64
-	pending  []pendingFrame // unacked sequenced frames, in seq order
-	nextSend int            // index into pending of first frame unsent on conn
-	ctrl     []frame        // unsequenced control frames (acks)
+	pending  pendingQueue // unacked sequenced frames, in seq order
+	nextSend int          // index into pending of first frame unsent on conn
+	ctrl     []frame      // unsequenced control frames (acks)
 	conn     net.Conn
 	up       bool
 	closed   bool
@@ -62,9 +62,142 @@ type peer struct {
 // pendingFrame is one unacknowledged sequenced frame plus the time it
 // entered the queue — the start of its frame_rtt measurement (enqueue→ack,
 // so the round trip includes any reconnect the frame had to wait out).
+// dropped marks a frame that could never be encoded: it keeps its queue
+// slot (so logical indices stay stable) but is skipped by the send loop
+// and counted out of the drain condition; the cumulative ack of any later
+// frame pops it.
 type pendingFrame struct {
 	f          frame
 	enqueuedAt time.Time
+	dropped    bool
+}
+
+// pendingChunkFrames sizes the queue's chunks: big enough to amortize the
+// per-chunk link overhead, small enough that a chunk is an ordinary
+// small-object allocation (~12KiB) rather than a large one.
+const pendingChunkFrames = 64
+
+type pendingChunk struct {
+	buf  [pendingChunkFrames]pendingFrame
+	next *pendingChunk
+}
+
+// pendingQueue is the retransmission queue: a FIFO over a linked list of
+// fixed-size chunks. A plain slice here is hostile to a deep backlog —
+// every geometric regrowth allocates and zeroes a fresh array and copies
+// the old one, and compacting on each cumulative ack copies the whole
+// remainder; with a frame-sized element both costs dominated the send
+// path under profile. Chunks never move: appends fill the tail chunk and
+// link a new one when full, pops zero the slot (releasing the payload to
+// the GC) and release whole chunks from the head, and one drained chunk
+// is kept as a spare so a steady-state send load re-enqueues without
+// allocating at all.
+//
+// All methods are called with the owning peer's mutex held.
+type pendingQueue struct {
+	head, tail *pendingChunk
+	headIdx    int // index of the first live frame in head.buf
+	tailIdx    int // next free slot in tail.buf
+	length     int // queued frames, dropped ones included
+	live       int // queued frames that still need an ack
+	spare      *pendingChunk
+}
+
+func (q *pendingQueue) push(pf pendingFrame) {
+	if q.tail == nil || q.tailIdx == pendingChunkFrames {
+		c := q.spare
+		if c != nil {
+			q.spare = nil
+		} else {
+			c = new(pendingChunk)
+		}
+		if q.tail == nil {
+			q.head = c
+		} else {
+			q.tail.next = c
+		}
+		q.tail = c
+		q.tailIdx = 0
+	}
+	q.tail.buf[q.tailIdx] = pf
+	q.tailIdx++
+	q.length++
+	q.live++
+}
+
+// front returns the oldest queued frame; the queue must be non-empty.
+func (q *pendingQueue) front() *pendingFrame { return &q.head.buf[q.headIdx] }
+
+// popFront removes the oldest queued frame, zeroing its slot. Fully
+// drained head chunks are recycled into the one-chunk spare.
+func (q *pendingQueue) popFront() pendingFrame {
+	pf := q.head.buf[q.headIdx]
+	q.head.buf[q.headIdx] = pendingFrame{}
+	q.headIdx++
+	q.length--
+	if !pf.dropped {
+		q.live--
+	}
+	if q.headIdx == pendingChunkFrames {
+		c := q.head
+		q.head = c.next
+		c.next = nil
+		q.headIdx = 0
+		q.spare = c
+		if q.head == nil {
+			q.tail = nil
+			q.tailIdx = 0
+		}
+	} else if q.length == 0 {
+		// The lone chunk emptied mid-way: rewind so it refills from the
+		// start (every slot below headIdx was zeroed by earlier pops).
+		q.headIdx = 0
+		q.tailIdx = 0
+	}
+	return pf
+}
+
+// iterAt positions a cursor at logical index i (chunk and in-chunk
+// index), walking chunk links from the head.
+func (q *pendingQueue) iterAt(i int) (*pendingChunk, int) {
+	idx := q.headIdx + i
+	c := q.head
+	for c != nil && idx >= pendingChunkFrames {
+		c = c.next
+		idx -= pendingChunkFrames
+	}
+	return c, idx
+}
+
+// markDropped tombstones the frame with the given Seq and reports whether
+// it was found. The payload is released immediately; the slot itself
+// stays until a cumulative ack overtakes its sequence number.
+func (q *pendingQueue) markDropped(seq uint64) bool {
+	i := 0
+	for c := q.head; c != nil; c = c.next {
+		lo := 0
+		if c == q.head {
+			lo = q.headIdx
+		}
+		for j := lo; j < pendingChunkFrames && i < q.length; j, i = j+1, i+1 {
+			pf := &c.buf[j]
+			if pf.f.Seq == seq && !pf.dropped {
+				pf.dropped = true
+				pf.f.Payload = nil
+				q.live--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ackedFrame is the slice of a popped frame that the ack path's metrics
+// need after the lock is released — far cheaper to copy out than whole
+// frames.
+type ackedFrame struct {
+	from core.ProcID
+	at   time.Time
 }
 
 // outFrame is one batch entry in the send loop's scratch buffer.
@@ -72,6 +205,13 @@ type outFrame struct {
 	f      frame
 	isCtrl bool
 }
+
+// maxBatchFrames caps how much of the pending suffix one send-loop wakeup
+// copies into its batch, bounding the scratch buffer (which is reused
+// across batches) under a deep backlog. The loop immediately takes the
+// next batch, so the cap trades nothing but an extra flush per
+// maxBatchFrames frames.
+const maxBatchFrames = 1024
 
 func newPeer(t *Transport, addr string) *peer {
 	p := &peer{t: t, addr: addr}
@@ -104,7 +244,7 @@ func (p *peer) enqueue(f frame) {
 	}
 	p.nextSeq++
 	f.Seq = p.nextSeq
-	p.pending = append(p.pending, pendingFrame{f: f, enqueuedAt: time.Now()})
+	p.pending.push(pendingFrame{f: f, enqueuedAt: time.Now()})
 	p.cond.Broadcast()
 }
 
@@ -136,18 +276,20 @@ func (p *peer) enqueueCtrl(f frame) {
 // happens after the lock is released, so a slow histogram never
 // serializes the send loop behind the receive path.
 func (p *peer) ack(upTo uint64) {
+	var acked []ackedFrame
 	p.mu.Lock()
 	drop := 0
-	for drop < len(p.pending) && p.pending[drop].f.Seq <= upTo {
+	for p.pending.length > 0 && p.pending.front().f.Seq <= upTo {
+		pf := p.pending.popFront()
 		drop++
+		if !pf.dropped {
+			acked = append(acked, ackedFrame{from: pf.f.From, at: pf.enqueuedAt})
+		}
 	}
 	if drop == 0 {
 		p.mu.Unlock()
 		return
 	}
-	acked := make([]pendingFrame, drop)
-	copy(acked, p.pending[:drop])
-	p.pending = append(p.pending[:0], p.pending[drop:]...)
 	p.nextSend -= drop
 	if p.nextSend < 0 {
 		p.nextSend = 0
@@ -158,8 +300,8 @@ func (p *peer) ack(upTo uint64) {
 	now := time.Now()
 	hist := p.t.registry().Histogram(metrics.HistFrameRTT)
 	for i := range acked {
-		p.t.record(acked[i].f.From, metrics.FrameAcked, 1)
-		hist.Observe(now.Sub(acked[i].enqueuedAt))
+		p.t.record(acked[i].from, metrics.FrameAcked, 1)
+		hist.Observe(now.Sub(acked[i].at))
 	}
 }
 
@@ -201,7 +343,7 @@ func (p *peer) waitDrained(deadline time.Time) {
 	defer timer.Stop()
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for (len(p.pending) > 0 || len(p.ctrl) > 0) && !p.stopped() && time.Now().Before(deadline) {
+	for (p.pending.live > 0 || len(p.ctrl) > 0) && !p.stopped() && time.Now().Before(deadline) {
 		p.cond.Wait()
 	}
 }
@@ -279,7 +421,7 @@ func (p *peer) sendLoop() {
 			return
 		}
 		// Wait for work.
-		for len(p.ctrl) == 0 && p.nextSend >= len(p.pending) && p.conn != nil && !p.stopped() {
+		for len(p.ctrl) == 0 && p.nextSend >= p.pending.length && p.conn != nil && !p.stopped() {
 			p.cond.Wait()
 		}
 		if p.stopped() {
@@ -291,15 +433,24 @@ func (p *peer) sendLoop() {
 			p.mu.Unlock()
 			continue
 		}
-		// Take the whole backlog — control frames first (acks unblock the
-		// remote's drain), then the unsent pending suffix — as one batch.
+		// Take the backlog — control frames first (acks unblock the
+		// remote's drain), then the unsent pending suffix — as one batch,
+		// capped at maxBatchFrames so the scratch buffer stays a bounded,
+		// reused allocation under a deep backlog (the loop comes straight
+		// back for the rest).
 		batch = batch[:0]
 		for _, f := range p.ctrl {
 			batch = append(batch, outFrame{f: f, isCtrl: true})
 		}
 		p.ctrl = p.ctrl[:0]
-		for ; p.nextSend < len(p.pending); p.nextSend++ {
-			batch = append(batch, outFrame{f: p.pending[p.nextSend].f})
+		pc, pi := p.pending.iterAt(p.nextSend)
+		for ; p.nextSend < p.pending.length && len(batch) < maxBatchFrames; p.nextSend++ {
+			if pf := &pc.buf[pi]; !pf.dropped {
+				batch = append(batch, outFrame{f: pf.f})
+			}
+			if pi++; pi == pendingChunkFrames {
+				pc, pi = pc.next, 0
+			}
 		}
 		p.cond.Broadcast() // ctrl emptied: a drain may be waiting on it
 		p.mu.Unlock()
@@ -414,23 +565,15 @@ func (p *peer) watch(conn net.Conn) {
 	conn.Close()
 }
 
-// dropPending removes the sequenced frame with the given Seq from the
+// dropPending tombstones the sequenced frame with the given Seq in the
 // retransmission queue (used for frames that can never be encoded).
 // Sequence gaps are harmless: the receiver accepts any ascending sequence
-// and acks cumulatively.
+// and acks cumulatively, so the next acked frame pops the tombstone.
 func (p *peer) dropPending(seq uint64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for i, pf := range p.pending {
-		if pf.f.Seq != seq {
-			continue
-		}
-		p.pending = append(p.pending[:i], p.pending[i+1:]...)
-		if i < p.nextSend {
-			p.nextSend--
-		}
+	if p.pending.markDropped(seq) {
 		p.cond.Broadcast()
-		return
 	}
 }
 

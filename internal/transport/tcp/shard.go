@@ -32,11 +32,12 @@ type group struct {
 	counters atomic.Pointer[metrics.Counters]
 
 	// Guarded by t.mu.
-	addrs     []string
-	mailboxes map[core.ProcID]*queue.Ring[core.Message]
-	handler   func(from core.ProcID, req core.Value) (core.Value, error)
-	dialed    bool
-	closed    bool
+	addrs       []string
+	mailboxes   map[core.ProcID]*queue.Ring[core.Message]
+	handler     func(from core.ProcID, req core.Value) (core.Value, error)
+	spanHandler transport.SpanHandler // supersedes handler when set
+	dialed      bool
+	closed      bool
 }
 
 func newGroup(t *Transport, id uint32, n int, hosted map[core.ProcID]bool) *group {
@@ -159,6 +160,13 @@ func (g *group) dialLocked() error {
 }
 
 func (g *group) send(from, to core.ProcID, payload core.Value) error {
+	return g.sendSpan(from, to, payload, core.SpanContext{})
+}
+
+// sendSpan is send with a trace context riding the frame header (wire v4).
+// The transport never interprets the context; a zero context writes zero
+// header fields, which the receive side surfaces as an untraced message.
+func (g *group) sendSpan(from, to core.ProcID, payload core.Value, sc core.SpanContext) error {
 	if int(to) < 0 || int(to) >= g.n {
 		return fmt.Errorf("%w: send to %v", core.ErrUnknownProc, to)
 	}
@@ -173,7 +181,7 @@ func (g *group) send(from, to core.ProcID, payload core.Value) error {
 			t.mu.Unlock()
 			return transport.ErrClosed
 		}
-		g.deliverLocked(core.Message{From: from, Payload: payload}, to)
+		g.deliverLocked(core.Message{From: from, Payload: payload, Span: sc}, to)
 		t.mu.Unlock()
 		return nil
 	}
@@ -188,13 +196,18 @@ func (g *group) send(from, to core.ProcID, payload core.Value) error {
 	}
 	p := t.peerLocked(g.addrs[to])
 	t.mu.Unlock()
-	p.enqueue(frame{Kind: frameData, From: from, To: to, Payload: payload, Group: g.id})
+	p.enqueue(frame{Kind: frameData, From: from, To: to, Payload: payload, Group: g.id,
+		TraceID: sc.TraceID, SpanID: sc.SpanID, Lamport: sc.Clock})
 	return nil
 }
 
 func (g *group) broadcast(from core.ProcID, payload core.Value) error {
+	return g.broadcastSpan(from, payload, core.SpanContext{})
+}
+
+func (g *group) broadcastSpan(from core.ProcID, payload core.Value, sc core.SpanContext) error {
 	for to := 0; to < g.n; to++ {
-		if err := g.send(from, core.ProcID(to), payload); err != nil {
+		if err := g.sendSpan(from, core.ProcID(to), payload, sc); err != nil {
 			return err
 		}
 	}
@@ -246,27 +259,45 @@ func (g *group) setHandler(fn func(from core.ProcID, req core.Value) (core.Value
 	g.t.mu.Unlock()
 }
 
+func (g *group) setSpanHandler(fn transport.SpanHandler) {
+	g.t.mu.Lock()
+	g.spanHandler = fn
+	g.t.mu.Unlock()
+}
+
 func (g *group) call(from, to core.ProcID, req core.Value) (core.Value, error) {
+	v, _, err := g.callSpan(from, to, req, core.SpanContext{})
+	return v, err
+}
+
+// callSpan is call with the caller's trace context riding the request
+// frame and the handler's response context riding the response frame back.
+func (g *group) callSpan(from, to core.ProcID, req core.Value, sc core.SpanContext) (core.Value, core.SpanContext, error) {
 	if int(to) < 0 || int(to) >= g.n {
-		return nil, fmt.Errorf("%w: call to %v", core.ErrUnknownProc, to)
+		return nil, core.SpanContext{}, fmt.Errorf("%w: call to %v", core.ErrUnknownProc, to)
 	}
 	t := g.t
 	t.mu.Lock()
 	if t.closed || g.closed {
 		t.mu.Unlock()
-		return nil, transport.ErrClosed
+		return nil, core.SpanContext{}, transport.ErrClosed
 	}
 	handler := g.handler
+	spanHandler := g.spanHandler
 	if g.hosted[to] {
 		t.mu.Unlock()
-		if handler == nil {
-			return nil, errors.New("tcp: no RPC handler installed")
+		if spanHandler != nil {
+			return spanHandler(from, req, sc)
 		}
-		return handler(from, req)
+		if handler == nil {
+			return nil, core.SpanContext{}, errors.New("tcp: no RPC handler installed")
+		}
+		v, err := handler(from, req)
+		return v, core.SpanContext{}, err
 	}
 	if !g.dialed {
 		t.mu.Unlock()
-		return nil, errors.New("tcp: Call before Dial")
+		return nil, core.SpanContext{}, errors.New("tcp: Call before Dial")
 	}
 	t.callSeq++
 	id := t.callSeq
@@ -277,7 +308,8 @@ func (g *group) call(from, to core.ProcID, req core.Value) (core.Value, error) {
 
 	g.record(from, metrics.RPCIssued, 1)
 	start := time.Now()
-	p.enqueue(frame{Kind: frameReq, From: from, To: to, CallID: id, Payload: req, Group: g.id})
+	p.enqueue(frame{Kind: frameReq, From: from, To: to, CallID: id, Payload: req, Group: g.id,
+		TraceID: sc.TraceID, SpanID: sc.SpanID, Lamport: sc.Clock})
 	// An explicit timer, stopped on return: time.After would leak a live
 	// timer (and its channel) for the full call timeout after every fast
 	// call, which at RPC rates is tens of thousands of outstanding timers.
@@ -297,7 +329,7 @@ func (g *group) call(from, to core.ProcID, req core.Value) (core.Value, error) {
 	if res.err != nil {
 		g.record(from, metrics.RPCFailed, 1)
 	}
-	return res.val, res.err
+	return res.val, res.span, res.err
 }
 
 // closeGroup detaches the group from the node: inbound frames for it are
@@ -330,7 +362,9 @@ type Group struct {
 
 var (
 	_ transport.Transport      = (*Group)(nil)
+	_ transport.SpanCarrier    = (*Group)(nil)
 	_ transport.RPC            = (*Group)(nil)
+	_ transport.SpanRPC        = (*Group)(nil)
 	_ transport.Instrumentable = (*Group)(nil)
 )
 
@@ -358,9 +392,19 @@ func (v *Group) Send(from, to core.ProcID, payload core.Value) error {
 	return v.g.send(from, to, payload)
 }
 
+// SendSpan implements transport.SpanCarrier.
+func (v *Group) SendSpan(from, to core.ProcID, payload core.Value, sc core.SpanContext) error {
+	return v.g.sendSpan(from, to, payload, sc)
+}
+
 // Broadcast implements transport.Transport.
 func (v *Group) Broadcast(from core.ProcID, payload core.Value) error {
 	return v.g.broadcast(from, payload)
+}
+
+// BroadcastSpan implements transport.SpanCarrier.
+func (v *Group) BroadcastSpan(from core.ProcID, payload core.Value, sc core.SpanContext) error {
+	return v.g.broadcastSpan(from, payload, sc)
 }
 
 // TryRecv implements transport.Transport.
@@ -376,9 +420,19 @@ func (v *Group) Call(from, to core.ProcID, req core.Value) (core.Value, error) {
 	return v.g.call(from, to, req)
 }
 
+// CallSpan implements transport.SpanRPC.
+func (v *Group) CallSpan(from, to core.ProcID, req core.Value, sc core.SpanContext) (core.Value, core.SpanContext, error) {
+	return v.g.callSpan(from, to, req, sc)
+}
+
 // SetHandler implements transport.RPC.
 func (v *Group) SetHandler(fn func(from core.ProcID, req core.Value) (core.Value, error)) {
 	v.g.setHandler(fn)
+}
+
+// SetSpanHandler implements transport.SpanRPC.
+func (v *Group) SetSpanHandler(fn transport.SpanHandler) {
+	v.g.setSpanHandler(fn)
 }
 
 // Instrument implements transport.Instrumentable: the registry meters

@@ -197,13 +197,16 @@ type Transport struct {
 }
 
 type callResult struct {
-	val core.Value
-	err error
+	val  core.Value
+	span core.SpanContext
+	err  error
 }
 
 var (
 	_ transport.Transport      = (*Transport)(nil)
+	_ transport.SpanCarrier    = (*Transport)(nil)
 	_ transport.RPC            = (*Transport)(nil)
+	_ transport.SpanRPC        = (*Transport)(nil)
 	_ transport.Instrumentable = (*Transport)(nil)
 	_ transport.Sharded        = (*Transport)(nil)
 )
@@ -421,6 +424,15 @@ func (t *Transport) Send(from, to core.ProcID, payload core.Value) error {
 	return t.g0.send(from, to, payload)
 }
 
+// SendSpan implements transport.SpanCarrier (group 0): the context rides
+// the wire v4 frame header and surfaces as Message.Span at the receiver.
+func (t *Transport) SendSpan(from, to core.ProcID, payload core.Value, sc core.SpanContext) error {
+	if t.g0 == nil {
+		return errors.New("tcp: no group 0 (Config.N = 0)")
+	}
+	return t.g0.sendSpan(from, to, payload, sc)
+}
+
 // Broadcast implements transport.Transport ("send to all", self link
 // included, as in Ben-Or; group 0).
 func (t *Transport) Broadcast(from core.ProcID, payload core.Value) error {
@@ -428,6 +440,14 @@ func (t *Transport) Broadcast(from core.ProcID, payload core.Value) error {
 		return errors.New("tcp: no group 0 (Config.N = 0)")
 	}
 	return t.g0.broadcast(from, payload)
+}
+
+// BroadcastSpan implements transport.SpanCarrier (group 0).
+func (t *Transport) BroadcastSpan(from core.ProcID, payload core.Value, sc core.SpanContext) error {
+	if t.g0 == nil {
+		return errors.New("tcp: no group 0 (Config.N = 0)")
+	}
+	return t.g0.broadcastSpan(from, payload, sc)
 }
 
 // TryRecv implements transport.Transport (group 0).
@@ -454,6 +474,14 @@ func (t *Transport) SetHandler(fn func(from core.ProcID, req core.Value) (core.V
 	t.g0.setHandler(fn)
 }
 
+// SetSpanHandler implements transport.SpanRPC (group 0).
+func (t *Transport) SetSpanHandler(fn transport.SpanHandler) {
+	if t.g0 == nil {
+		return
+	}
+	t.g0.setSpanHandler(fn)
+}
+
 // Call implements transport.RPC: a synchronous request to the node
 // hosting group 0's process to. Requests and responses ride the same
 // sequenced, retransmitted frame stream as data messages, so they survive
@@ -463,6 +491,15 @@ func (t *Transport) Call(from, to core.ProcID, req core.Value) (core.Value, erro
 		return nil, errors.New("tcp: no group 0 (Config.N = 0)")
 	}
 	return t.g0.call(from, to, req)
+}
+
+// CallSpan implements transport.SpanRPC (group 0): the caller's context
+// rides the request frame, the handler's response context rides back.
+func (t *Transport) CallSpan(from, to core.ProcID, req core.Value, sc core.SpanContext) (core.Value, core.SpanContext, error) {
+	if t.g0 == nil {
+		return nil, core.SpanContext{}, errors.New("tcp: no group 0 (Config.N = 0)")
+	}
+	return t.g0.callSpan(from, to, req, sc)
 }
 
 func (t *Transport) dropCall(id uint64) {
@@ -611,7 +648,8 @@ func (t *Transport) dispatch(remote string, f *frame) uint64 {
 				return f.Seq
 			}
 			if !t.closed && !g.closed && g.hosted[f.To] {
-				g.deliverLocked(core.Message{From: f.From, Payload: f.Payload}, f.To)
+				g.deliverLocked(core.Message{From: f.From, Payload: f.Payload,
+					Span: core.SpanContext{TraceID: f.TraceID, SpanID: f.SpanID, Clock: f.Lamport}}, f.To)
 			}
 			t.mu.Unlock()
 		}
@@ -639,7 +677,8 @@ func (t *Transport) dispatch(remote string, f *frame) uint64 {
 				// Never blocks: cap-1 channel, and removing the id from
 				// t.calls under the lock made this goroutine the sole
 				// sender (Call's timeout path deletes before abandoning).
-				ch <- callResult{val: f.Payload, err: err} //mnmvet:allow stopselect buffered(1), sole sender
+				ch <- callResult{val: f.Payload, err: err, //mnmvet:allow stopselect buffered(1), sole sender
+					span: core.SpanContext{TraceID: f.TraceID, SpanID: f.SpanID, Clock: f.Lamport}}
 			}
 		}
 		return f.Seq
@@ -692,8 +731,10 @@ func (t *Transport) serve(remote string, f *frame) {
 	defer t.wg.Done()
 	t.mu.Lock()
 	var handler func(core.ProcID, core.Value) (core.Value, error)
+	var spanHandler transport.SpanHandler
 	if g := t.groups[f.Group]; g != nil && !g.closed {
 		handler = g.handler
+		spanHandler = g.spanHandler
 	}
 	closed := t.closed
 	t.mu.Unlock()
@@ -701,14 +742,23 @@ func (t *Transport) serve(remote string, f *frame) {
 		return
 	}
 	resp := frame{Kind: frameResp, From: f.To, To: f.From, CallID: f.CallID, Group: f.Group}
-	if handler == nil {
-		resp.ErrMsg = "tcp: no RPC handler installed"
-	} else {
+	switch {
+	case spanHandler != nil:
+		v, rsc, err := spanHandler(f.From, f.Payload,
+			core.SpanContext{TraceID: f.TraceID, SpanID: f.SpanID, Clock: f.Lamport})
+		resp.Payload = v
+		resp.TraceID, resp.SpanID, resp.Lamport = rsc.TraceID, rsc.SpanID, rsc.Clock
+		if err != nil {
+			resp.ErrMsg = encodeError(err)
+		}
+	case handler != nil:
 		v, err := handler(f.From, f.Payload)
 		resp.Payload = v
 		if err != nil {
 			resp.ErrMsg = encodeError(err)
 		}
+	default:
+		resp.ErrMsg = "tcp: no RPC handler installed"
 	}
 	t.mu.Lock()
 	if t.closed {

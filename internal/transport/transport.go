@@ -89,6 +89,57 @@ type Transport interface {
 	Close() error
 }
 
+// SpanCarrier is the trace plane of a transport: Send/Broadcast variants
+// that carry a core.SpanContext with the message, end to end. Backends
+// place the context in the wire frame header (wire v4) or the in-process
+// mailbox entry and surface it again as Message.Span on the receive side;
+// they never interpret it. Both shipped backends (tcp and Chan, group
+// views included) and both adversary wrappers implement it, so sim/TCP
+// symmetry holds; the rt host resolves the interface once at construction
+// and falls back to the context-less methods for backends that don't.
+type SpanCarrier interface {
+	// SendSpan is Send with a trace context riding the message.
+	SendSpan(from, to core.ProcID, payload core.Value, sc core.SpanContext) error
+	// BroadcastSpan is Broadcast with one trace context shared by every
+	// copy (the fan-out edges of one send span).
+	BroadcastSpan(from core.ProcID, payload core.Value, sc core.SpanContext) error
+}
+
+// SendSpan sends via t's SpanCarrier plane when it has one, and plainly
+// otherwise (the context is then dropped, never corrupted).
+func SendSpan(t Transport, from, to core.ProcID, payload core.Value, sc core.SpanContext) error {
+	if c, ok := t.(SpanCarrier); ok {
+		return c.SendSpan(from, to, payload, sc)
+	}
+	return t.Send(from, to, payload)
+}
+
+// BroadcastSpan is the broadcast analogue of SendSpan.
+func BroadcastSpan(t Transport, from core.ProcID, payload core.Value, sc core.SpanContext) error {
+	if c, ok := t.(SpanCarrier); ok {
+		return c.BroadcastSpan(from, payload, sc)
+	}
+	return t.Broadcast(from, payload)
+}
+
+// SpanHandler is the span-aware server side of the RPC plane: it receives
+// the caller's trace context alongside the request and returns the
+// response context to ship back (typically the serve span's identity plus
+// the server's Lamport clock at the response edge).
+type SpanHandler func(from core.ProcID, req core.Value, sc core.SpanContext) (core.Value, core.SpanContext, error)
+
+// SpanRPC is the trace plane of the RPC interface, mirroring SpanCarrier:
+// the request context rides the request frame, the handler's response
+// context rides the response frame back to the caller.
+type SpanRPC interface {
+	// CallSpan is Call carrying the caller's context and returning the
+	// server's response context.
+	CallSpan(from, to core.ProcID, req core.Value, sc core.SpanContext) (core.Value, core.SpanContext, error)
+	// SetSpanHandler installs the span-aware server side. It must be
+	// installed before Dial, and it supersedes SetHandler.
+	SetSpanHandler(fn SpanHandler)
+}
+
 // RPC is the optional synchronous request/response plane of a transport.
 // The real-time host uses it to reach shared registers homed on another
 // OS process (the RDMA verbs of the model); backends that host all

@@ -54,8 +54,10 @@ const MaxValue = 16 << 20
 // `mnmwiregen -check`.
 //
 // Version history: 2 = flat LE header (34 bytes), 3 = v2 plus a Group
-// shard-routing field (38 bytes).
-const FrameVersion = 3
+// shard-routing field (38 bytes), 4 = v3 plus the trace context —
+// TraceID, SpanID and a Lamport clock stamp (62 bytes), so a span
+// started on one node continues causally on the next.
+const FrameVersion = 4
 
 // GobName is the reserved codec name of the gob fallback. The empty name
 // is reserved for nil payloads.

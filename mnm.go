@@ -31,6 +31,7 @@ package mnm
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"github.com/mnm-model/mnm/internal/benor"
@@ -52,6 +53,7 @@ import (
 	"github.com/mnm-model/mnm/internal/shm"
 	"github.com/mnm-model/mnm/internal/sim"
 	"github.com/mnm-model/mnm/internal/trace"
+	"github.com/mnm-model/mnm/internal/tracemerge"
 	"github.com/mnm-model/mnm/internal/transport"
 	"github.com/mnm-model/mnm/internal/transport/tcp"
 )
@@ -170,6 +172,22 @@ type (
 	TraceRecorder = trace.Recorder
 	// TraceEvent is one recorded run event.
 	TraceEvent = trace.Event
+	// Flight is a node's bounded span flight recorder for real-time runs
+	// (install via RTNodeConfig.Flight / RTConfig.Flight and dump it with
+	// WriteJSONL or the obs plane's /trace endpoint).
+	Flight = trace.Flight
+	// FlightMeta is the per-node header line of a flight dump.
+	FlightMeta = trace.FlightMeta
+	// Span is one recorded operation: ids, Lamport timestamp, timing.
+	Span = trace.Span
+	// SpanKind tags what operation a span records.
+	SpanKind = trace.Kind
+	// TraceCluster is the merged view of one or more node flight dumps:
+	// per-trace span trees in Lamport order (see MergeTraceDumps and
+	// cmd/mnmtrace).
+	TraceCluster = tracemerge.Cluster
+	// MergedTrace is one reassembled cross-node trace.
+	MergedTrace = tracemerge.Trace
 	// LinkKind selects reliable or fair-lossy links.
 	LinkKind = msgnet.LinkKind
 	// DropPolicy is the fair-loss adversary.
@@ -309,6 +327,19 @@ func ServeMetrics(addr string, cfg ObsConfig) (*ObsServer, error) { return obs.S
 // NewTraceRecorder returns a bounded event recorder keeping the most
 // recent capacity events.
 func NewTraceRecorder(capacity int) *TraceRecorder { return trace.NewRecorder(capacity) }
+
+// NewFlight returns a span flight recorder for one node: a bounded ring
+// keeping the most recent capacity spans, head-sampling one in sample
+// root spans (whole trees; sample ≤ 1 keeps everything). node labels the
+// dump — conventionally the node's listen address.
+func NewFlight(node string, capacity, sample int) *Flight {
+	return trace.NewFlight(node, capacity, sample)
+}
+
+// MergeTraceDumps reassembles any number of concatenated node flight
+// dumps (the /trace JSONL format) into one causally ordered cluster
+// timeline — the library form of cmd/mnmtrace.
+func MergeTraceDumps(r io.Reader) (*TraceCluster, error) { return tracemerge.Read(r) }
 
 // Replicated-log expose keys.
 const (
