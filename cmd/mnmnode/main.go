@@ -15,8 +15,19 @@
 //
 // Each node prints one result line to stdout:
 //
-//	decided 1        (consensus)
-//	leader p0        (leader election, once stable for -stable)
+//	decided 1                 (consensus)
+//	leader p0                 (leader election, once stable for -stable)
+//	committed 6 9a3c…         (replicated log: applied count + chain hash)
+//
+// With -durable -data-dir DIR the node runs in crash-recovery mode: every
+// write to a register it owns and every unacknowledged transport frame is
+// journaled (fsync'd) under DIR/node-<id>/ before it takes effect, and a
+// restarted node — kill -9 included — recovers the registers, the
+// retransmission queue, and its duplicate-filter marks before serving
+// peers. Pair it with -alg rsm (a leader-sequenced replicated log striped
+// over the shared registers, -cmds commands per process) to watch a log
+// prefix survive a crash: restart the killed node with the same flags and
+// both incarnations print identical "committed" lines.
 //
 // With -metrics-addr each node additionally serves its observability
 // plane over HTTP (/metrics, /healthz, /status, /trace, /debug/pprof;
@@ -55,6 +66,7 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -62,11 +74,13 @@ import (
 	"github.com/mnm-model/mnm/internal/benor"
 	"github.com/mnm-model/mnm/internal/core"
 	"github.com/mnm-model/mnm/internal/directory"
+	"github.com/mnm-model/mnm/internal/durable"
 	"github.com/mnm-model/mnm/internal/graph"
 	"github.com/mnm-model/mnm/internal/hbo"
 	"github.com/mnm-model/mnm/internal/leader"
 	"github.com/mnm-model/mnm/internal/metrics"
 	"github.com/mnm-model/mnm/internal/obs"
+	"github.com/mnm-model/mnm/internal/rsm"
 	"github.com/mnm-model/mnm/internal/rt"
 	"github.com/mnm-model/mnm/internal/trace"
 	"github.com/mnm-model/mnm/internal/transport"
@@ -82,7 +96,8 @@ func run() int {
 		id      = flag.Int("id", 0, "this node's process id (0..n-1)")
 		n       = flag.Int("n", 3, "system size")
 		addrs   = flag.String("addrs", "", "comma-separated host:port of every process, index = id (required)")
-		alg     = flag.String("alg", "hbo", "algorithm: hbo | le-msg | le-shm")
+		alg     = flag.String("alg", "hbo", "algorithm: hbo | le-msg | le-shm | rsm")
+		cmds    = flag.Int("cmds", 2, "commands each process submits to the replicated log (-alg rsm)")
 		seed    = flag.Int64("seed", 1, "run seed")
 		inputs  = flag.String("inputs", "", "comma-separated 0/1 proposals for hbo (one per process)")
 		stable  = flag.Duration("stable", 2*time.Second, "how long a leader must hold before it is reported")
@@ -110,6 +125,9 @@ func run() int {
 		watch       = flag.Bool("watch", false, "watch mode: poll the /metrics endpoints in -addrs and print a cluster rate table")
 		watchEvery  = flag.Duration("watch-interval", time.Second, "polling interval in -watch mode")
 		watchCount  = flag.Int("watch-count", 0, "table refreshes in -watch mode (0 = until interrupted)")
+
+		durableF = flag.Bool("durable", false, "journal owned registers and unacked frames to -data-dir; a restart recovers them (crash-recovery mode)")
+		dataDir  = flag.String("data-dir", "", "directory for -durable state (a node-<id> subdirectory per node)")
 
 		tlsCert = flag.String("tls-cert", "", "PEM certificate presented to peers (enables TLS; requires -tls-key)")
 		tlsKey  = flag.String("tls-key", "", "PEM private key for -tls-cert")
@@ -154,11 +172,16 @@ func run() int {
 		return 1
 	}
 
-	tr, err := tcp.New(tcp.Config{
+	// The registry exists before the transport so the frame WAL's fsync
+	// histogram lands in the same schema /metrics serves.
+	reg := metrics.NewRegistry(*n)
+	var nodeDir string
+	tcpCfg := tcp.Config{
 		N:          *n,
 		Hosted:     []core.ProcID{self},
 		Addrs:      addrList,
 		ListenAddr: addrList[*id],
+		Registry:   reg,
 		Logf:       logf,
 		TLS:        tlsCfg,
 		Timeouts: tcp.Timeouts{
@@ -169,13 +192,33 @@ func run() int {
 			Call:        *callT,
 			Drain:       *drainT,
 		},
-	})
+	}
+	if *durableF {
+		if *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "mnmnode: -durable requires -data-dir")
+			return 2
+		}
+		nodeDir = filepath.Join(*dataDir, fmt.Sprintf("node-%d", *id))
+		tcpCfg.Durability = &tcp.Durability{Dir: filepath.Join(nodeDir, "transport")}
+	}
+	tr, err := tcp.New(tcpCfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mnmnode: %v\n", err)
 		return 1
 	}
+	var durStore *durable.Registers
+	if *durableF {
+		durStore, err = durable.OpenRegisters(filepath.Join(nodeDir, "registers"), durable.RegistersOptions{Registry: reg})
+		if err != nil {
+			tr.Close()
+			fmt.Fprintf(os.Stderr, "mnmnode: %v\n", err)
+			return 1
+		}
+		if n := len(durStore.Recovered()); n > 0 {
+			logger.Info("recovered durable state", "registers", n, "dir", nodeDir)
+		}
+	}
 
-	reg := metrics.NewRegistry(*n)
 	var flight *trace.Flight
 	if *flightN > 0 {
 		flight = trace.NewFlight(addrList[*id], *flightN, *flightS)
@@ -186,6 +229,7 @@ func run() int {
 		Hosted:    []core.ProcID{self},
 		Registry:  reg,
 		Flight:    flight,
+		Durable:   durStore,
 	}
 	var rec *trace.Recorder
 	if *traceN > 0 {
@@ -224,6 +268,19 @@ func run() int {
 			}
 			return fmt.Sprintf("leader %v", l), nil
 		}
+	case "rsm":
+		// Crash-recovery replication: shared-memory leader notification
+		// (no extra message load) and fault-tolerant ticks, so a peer that
+		// is down for a restart reads as unavailable, not fatal.
+		algo = rsm.New(rsm.Config{
+			CommandsPerProcess: *cmds,
+			TolerateMemFaults:  true,
+			Leader:             leader.Config{Notifier: leader.SharedMemoryNotifier},
+		})
+		total := *n * *cmds
+		finish = func(h *rt.Host, deadline time.Time) (string, error) {
+			return awaitRSM(h, self, total, deadline)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "mnmnode: unknown -alg %q\n", *alg)
 		return 2
@@ -232,6 +289,9 @@ func run() int {
 	h, err := rt.New(cfg, algo)
 	if err != nil {
 		tr.Close()
+		if durStore != nil {
+			durStore.Close()
+		}
 		fmt.Fprintf(os.Stderr, "mnmnode: %v\n", err)
 		return 1
 	}
@@ -277,6 +337,17 @@ func run() int {
 				if isLE {
 					if v, ok := h.Exposed(self, leader.LeaderKey).(core.ProcID); ok && v != core.NoProc {
 						st["leader"] = fmt.Sprintf("%v", v)
+					}
+				}
+				if *alg == "rsm" {
+					if v, ok := h.Exposed(self, rsm.AppliedKey).(int); ok {
+						st["applied"] = v
+					}
+					if v, ok := h.Exposed(self, rsm.HashKey).(uint64); ok {
+						st["hash"] = fmt.Sprintf("%016x", v)
+					}
+					if v, ok := h.Exposed(self, rsm.DoneKey).(bool); ok {
+						st["done"] = v
 					}
 				}
 				if node != nil {
@@ -479,6 +550,29 @@ func awaitExposed(h *rt.Host, p core.ProcID, key string, deadline time.Time) (co
 		time.Sleep(5 * time.Millisecond)
 	}
 	return nil, fmt.Errorf("timed out waiting for %q", key)
+}
+
+// awaitRSM polls the replica's exposed outputs until its own commands all
+// committed, the applied log covers every process's commands, and the
+// (applied, hash) pair has been still for half a second — the hash chain
+// over a settled log is the cross-node agreement check, so the line is
+// printed only once it can no longer move.
+func awaitRSM(h *rt.Host, p core.ProcID, total int, deadline time.Time) (string, error) {
+	lastApplied, lastHash := -1, uint64(0)
+	var since time.Time
+	for time.Now().Before(deadline) {
+		applied, _ := h.Exposed(p, rsm.AppliedKey).(int)
+		hash, _ := h.Exposed(p, rsm.HashKey).(uint64)
+		done, _ := h.Exposed(p, rsm.DoneKey).(bool)
+		if applied != lastApplied || hash != lastHash {
+			lastApplied, lastHash, since = applied, hash, time.Now()
+		}
+		if done && applied >= total && time.Since(since) >= 500*time.Millisecond {
+			return fmt.Sprintf("committed %d %016x", applied, hash), nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return "", fmt.Errorf("timed out waiting for the replicated log (applied %d of %d)", lastApplied, total)
 }
 
 // awaitStableLeader polls process p's leader output until it has held one

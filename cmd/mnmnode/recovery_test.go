@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// rsmStatus is the /status slice the recovery test reads.
+type rsmStatus struct {
+	Applied int    `json:"applied"`
+	Hash    string `json:"hash"`
+	Done    bool   `json:"done"`
+}
+
+func fetchRSMStatus(client *http.Client, addr string) (rsmStatus, bool) {
+	var st rsmStatus
+	resp, err := client.Get("http://" + addr + "/status")
+	if err != nil {
+		return st, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, false
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, false
+	}
+	return st, true
+}
+
+// TestKillMinusNineRecovery is the issue's acceptance scenario end to end:
+// a two-node replicated log in crash-recovery mode, one node SIGKILLed
+// mid-run, restarted from its data dir, and both incarnations must settle
+// on the same committed prefix — the same applied count and the same
+// chain hash — with the survivor never having gone down.
+func TestKillMinusNineRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	bin := buildBinary(t)
+	addrs := reserveAddrs(t, 2)
+	maddrs := reserveAddrs(t, 2)
+	dataDir := t.TempDir()
+
+	nodeArgs := func(id int) []string {
+		return []string{
+			"-id", strconv.Itoa(id), "-n", "2",
+			"-addrs", strings.Join(addrs, ","),
+			"-alg", "rsm", "-cmds", "8",
+			"-durable", "-data-dir", dataDir,
+			"-metrics-addr", maddrs[id],
+			"-timeout", "90s", "-linger", "30s",
+		}
+	}
+	start := func(id int) (*exec.Cmd, *bytes.Buffer, *bytes.Buffer) {
+		cmd := exec.Command(bin, nodeArgs(id)...)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("node %d: %v", id, err)
+		}
+		return cmd, &stdout, &stderr
+	}
+
+	n0, out0, err0 := start(0)
+	n1, _, _ := start(1)
+	defer n0.Process.Kill()
+	defer n1.Process.Kill()
+
+	// Let the log make progress, then kill node 1 without ceremony.
+	client := &http.Client{Timeout: 2 * time.Second}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if st, ok := fetchRSMStatus(client, maddrs[1]); ok && st.Applied >= 2 {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatal("node 1 never applied 2 log entries")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := n1.Process.Kill(); err != nil { // SIGKILL: no defers, no drain, no WAL close
+		t.Fatal(err)
+	}
+	n1.Wait()
+
+	// The restarted incarnation must announce its recovered state and
+	// finish the run from the journal, not from scratch.
+	n1b, out1, err1 := start(1)
+	defer n1b.Process.Kill()
+	if err := n1b.Wait(); err != nil {
+		t.Fatalf("restarted node 1: %v\nstderr: %s", err, err1.String())
+	}
+	if err := n0.Wait(); err != nil {
+		t.Fatalf("node 0: %v\nstderr: %s", err, err0.String())
+	}
+	if !strings.Contains(err1.String(), "recovered durable state") {
+		t.Errorf("restarted node 1 never logged its recovery:\n%s", err1.String())
+	}
+
+	line0 := strings.TrimSpace(out0.String())
+	line1 := strings.TrimSpace(out1.String())
+	want := fmt.Sprintf("committed %d ", 2*8)
+	if !strings.HasPrefix(line0, want) || !strings.HasPrefix(line1, want) {
+		t.Fatalf("committed lines: node0 %q, node1 %q, want prefix %q", line0, line1, want)
+	}
+	if line0 != line1 {
+		t.Fatalf("log diverged across the crash: node0 %q, node1 %q", line0, line1)
+	}
+}

@@ -1,0 +1,154 @@
+package durable
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openCollect(t *testing.T, path string) (*WAL, [][]byte) {
+	t.Helper()
+	var recs [][]byte
+	w, err := Open(path, func(rec []byte) error {
+		recs = append(recs, append([]byte(nil), rec...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return w, recs
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w", "test.wal")
+	w, recs := openCollect(t, path)
+	if len(recs) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(recs))
+	}
+	want := [][]byte{[]byte("alpha"), []byte("b"), bytes.Repeat([]byte{0xAB}, 3000), {}}
+	for _, rec := range want {
+		if err := w.Append(rec); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	w2, got := openCollect(t, path)
+	defer w2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// A crash mid-append leaves a torn tail; Open must replay the intact
+// prefix, truncate the garbage, and append cleanly afterwards.
+func TestWALTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	w, _ := openCollect(t, path)
+	for _, rec := range [][]byte{[]byte("one"), []byte("two")} {
+		if err := w.Append(rec); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Simulate the crash: half a record at the end of the file.
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(append([]byte(nil), full...), 0x20, 0xDE, 0xAD) // length=32, no body
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, got := openCollect(t, path)
+	if len(got) != 2 || string(got[0]) != "one" || string(got[1]) != "two" {
+		t.Fatalf("replay over torn tail = %q", got)
+	}
+	if err := w2.Append([]byte("three")); err != nil {
+		t.Fatalf("Append after truncate: %v", err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	w3, got3 := openCollect(t, path)
+	defer w3.Close()
+	if len(got3) != 3 || string(got3[2]) != "three" {
+		t.Fatalf("post-recovery replay = %q", got3)
+	}
+}
+
+// A flipped bit inside a record body must also end the replay at the
+// record before it (the CRC catches it), not surface garbage.
+func TestWALCorruptBodyStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	w, _ := openCollect(t, path)
+	for _, rec := range [][]byte{[]byte("good"), []byte("mangled")} {
+		if err := w.Append(rec); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full[len(full)-1] ^= 0xFF
+	if err := os.WriteFile(path, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, got := openCollect(t, path)
+	defer w2.Close()
+	if len(got) != 1 || string(got[0]) != "good" {
+		t.Fatalf("replay over corrupt record = %q", got)
+	}
+}
+
+func TestWALRewrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	w, _ := openCollect(t, path)
+	for i := 0; i < 100; i++ {
+		if err := w.Append(bytes.Repeat([]byte{byte(i)}, 64)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	before := w.Size()
+	if err := w.Rewrite([][]byte{[]byte("snapshot")}); err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	if w.Size() >= before {
+		t.Fatalf("Size after compaction %d, want < %d", w.Size(), before)
+	}
+	// The log stays appendable through the swapped file handle.
+	if err := w.Append([]byte("post")); err != nil {
+		t.Fatalf("Append after Rewrite: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	w2, got := openCollect(t, path)
+	defer w2.Close()
+	if len(got) != 2 || string(got[0]) != "snapshot" || string(got[1]) != "post" {
+		t.Fatalf("replay after compaction = %q", got)
+	}
+}

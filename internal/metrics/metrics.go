@@ -56,6 +56,13 @@ const (
 	// LeaderChanges counts observed changes of a process's leader output,
 	// recorded by observers (cmd/mnmnode) rather than the algorithm.
 	LeaderChanges
+	// Durability kinds (internal/durable and the transport's frame log):
+	// WALAppends counts fsync'd journal records; the Recovered* kinds count
+	// state replayed from disk at startup — registers seeded into shared
+	// memory, and unacked frames restored into peer retransmission queues.
+	WALAppends
+	RecoveredRegisters
+	RecoveredFrames
 	numKinds
 )
 
@@ -98,6 +105,12 @@ func (k Kind) String() string {
 		return "rpc_failed"
 	case LeaderChanges:
 		return "leader_changes"
+	case WALAppends:
+		return "wal_appends"
+	case RecoveredRegisters:
+		return "recovered_registers"
+	case RecoveredFrames:
+		return "recovered_frames"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

@@ -34,6 +34,10 @@ const (
 	HistRemoteRead  = "remote_read"
 	HistRemoteWrite = "remote_write"
 	HistRemoteCAS   = "remote_cas"
+	// HistFsync is the WAL fsync latency — the price of durability, paid
+	// once per journaled register apply and once per received-frame batch
+	// when the durable transport is on (internal/durable).
+	HistFsync = "wal_fsync"
 	// HistSpanPrefix prefixes the per-op-kind span-latency histograms the
 	// trace flight recorder feeds on span end: "span_send", "span_cas",
 	// "span_serve", ... — one per trace.Kind that actually occurred, in

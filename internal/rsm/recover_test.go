@@ -1,0 +1,85 @@
+package rsm
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/graph"
+	"github.com/mnm-model/mnm/internal/sched"
+	"github.com/mnm-model/mnm/internal/sim"
+)
+
+func TestRecoveredLog(t *testing.T) {
+	const n = 4
+	cmd := func(p core.ProcID, seq int) Command {
+		return Command{Proposer: p, Seq: seq, Op: "x"}
+	}
+	regs := map[core.Ref]core.Value{
+		SlotRef(0, n): cmd(1, 0),
+		SlotRef(1, n): cmd(2, 0),
+		SlotRef(5, n): cmd(2, 1),
+		// Noise a recovered register dump will also contain:
+		core.Reg(0, "STATE"):        uint64(9),       // different family
+		core.RegI(2, logReg, 3):     "not-a-command", // wrong payload type
+		core.RegI(3, logReg, 6):     cmd(0, 1),       // wrong stripe owner (6%4 = 2)
+		core.RegIJ(1, logReg, 1, 1): cmd(0, 2),       // sub-indexed, not a slot
+		core.RegI(0, logReg+"X", 0): cmd(0, 3),       // prefixed family
+	}
+	got := RecoveredLog(regs, n)
+	want := map[int]Command{0: cmd(1, 0), 1: cmd(2, 0), 5: cmd(2, 1)}
+	if len(got) != len(want) {
+		t.Fatalf("RecoveredLog = %v, want %v", got, want)
+	}
+	for s, c := range want {
+		if got[s] != c {
+			t.Errorf("slot %d = %v, want %v", s, got[s], c)
+		}
+	}
+}
+
+// With memory that dies with its process (the crash-stop ablation), a
+// replica reading the dead process's slots gets ErrMemoryFailed forever.
+// TolerateMemFaults must keep the survivors alive through that — the
+// crash-recovery stance that a faulted read is a retry, not a death
+// sentence — while the default mode unwinds them.
+func TestTolerateMemFaults(t *testing.T) {
+	run := func(tolerate bool) *sim.Result {
+		r, err := sim.New(sim.Config{
+			RunConfig:            sim.RunConfig{GSM: graph.Complete(4), Seed: 5},
+			Scheduler:            sched.NewRandom(13),
+			MaxSteps:             400_000,
+			Crashes:              []sim.Crash{{Proc: 0, AtStep: 10_000}},
+			MemoryFailsWithCrash: true,
+		}, New(Config{CommandsPerProcess: 2, TolerateMemFaults: tolerate}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	strict := run(false)
+	died := 0
+	for p, e := range strict.Errors {
+		if p == 0 {
+			continue
+		}
+		if errors.Is(e, core.ErrMemoryFailed) {
+			died++
+		}
+	}
+	if died == 0 {
+		t.Fatalf("strict mode: no survivor died of ErrMemoryFailed; errors = %v", strict.Errors)
+	}
+
+	tolerant := run(true)
+	for p, e := range tolerant.Errors {
+		if p != 0 {
+			t.Errorf("tolerant mode: replica %v died: %v", p, e)
+		}
+	}
+}

@@ -73,6 +73,15 @@ type Config struct {
 	ResendInterval uint64
 	// Leader configures the embedded Ω detector.
 	Leader leader.Config
+	// TolerateMemFaults keeps the replica loop alive across errors from
+	// shared-memory and link operations instead of unwinding on the first
+	// one. With a distributed transport, a crashed-but-recovering peer
+	// makes remote reads of its registers fail for the whole outage; a
+	// crash-stop replica would die with it, a crash-recovery replica (this
+	// mode) retries next tick and resumes when the peer returns.
+	// Termination stays guaranteed: the hosts stop processes by
+	// panic-unwind at the next env operation, not by error returns.
+	TolerateMemFaults bool
 }
 
 func (c *Config) setDefaults() {
@@ -141,20 +150,7 @@ func run(env core.Env, cfg Config) error {
 
 	for {
 		stepsAtTop := env.LocalSteps()
-		if err := det.Tick(env); err != nil {
-			return err
-		}
-		env.Expose(LeaderKey, det.Leader())
-		r.consumeForeign(env)
-		if err := r.applyCommitted(env); err != nil {
-			return err
-		}
-		if det.Leader() == env.ID() {
-			if err := r.sequenceOne(env); err != nil {
-				return err
-			}
-		}
-		if err := r.resendOwn(env); err != nil {
+		if err := r.tick(env); err != nil && !cfg.TolerateMemFaults {
 			return err
 		}
 		env.Expose(AppliedKey, r.applied)
@@ -164,6 +160,26 @@ func run(env core.Env, cfg Config) error {
 			env.Yield()
 		}
 	}
+}
+
+// tick is one iteration of the replica loop. Each phase's error aborts the
+// iteration; whether it also aborts the replica is the caller's call
+// (Config.TolerateMemFaults).
+func (r *replica) tick(env core.Env) error {
+	if err := r.det.Tick(env); err != nil {
+		return err
+	}
+	env.Expose(LeaderKey, r.det.Leader())
+	r.consumeForeign(env)
+	if err := r.applyCommitted(env); err != nil {
+		return err
+	}
+	if r.det.Leader() == env.ID() {
+		if err := r.sequenceOne(env); err != nil {
+			return err
+		}
+	}
+	return r.resendOwn(env)
 }
 
 // consumeForeign moves forwarded commands from the detector's foreign

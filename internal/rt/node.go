@@ -16,6 +16,7 @@ import (
 
 	"github.com/mnm-model/mnm/internal/core"
 	"github.com/mnm-model/mnm/internal/directory"
+	"github.com/mnm-model/mnm/internal/durable"
 	"github.com/mnm-model/mnm/internal/metrics"
 	"github.com/mnm-model/mnm/internal/runcfg"
 	"github.com/mnm-model/mnm/internal/trace"
@@ -62,6 +63,12 @@ type GroupConfig struct {
 	// default is a "group-<id>" sub-registry of the node's root registry,
 	// which is what the exporters and /status render per group.
 	Registry *metrics.Registry
+
+	// Durable, if non-nil, journals this group's register mutations and
+	// seeds its memory with the store's recovered state — see
+	// rt.Config.Durable. Each group needs its own store (its own WAL
+	// directory); the group closes it on Stop.
+	Durable *durable.Registers
 }
 
 // Node is the per-OS-process runtime object: one shared transport, one
@@ -199,6 +206,7 @@ func (nd *Node) OpenGroup(id transport.GroupID, cfg GroupConfig, alg core.Algori
 		Transport: gtr,
 		Hosted:    hosted,
 		Registry:  greg,
+		Durable:   cfg.Durable,
 		Flight:    nd.flight,
 		SpanGroup: fmt.Sprintf("group-%d", id),
 	}

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/durable"
 	"github.com/mnm-model/mnm/internal/metrics"
 	"github.com/mnm-model/mnm/internal/msgnet"
 	"github.com/mnm-model/mnm/internal/runcfg"
@@ -76,6 +77,15 @@ type Config struct {
 	// set, around fresh counters otherwise. When Registry is set it is the
 	// single metering object and RunConfig.Counters is ignored.
 	Registry *metrics.Registry
+
+	// Durable, if non-nil, journals every register mutation of this
+	// group's shm.Memory (append + fsync before the write becomes
+	// visible) and seeds the memory with the store's recovered state
+	// before any process runs — the crash-recovery fault model of the
+	// paper ("the shared memory does not fail"), see internal/durable.
+	// The group owns the store from then on: Stop closes it after the
+	// transport drains.
+	Durable *durable.Registers
 
 	// Flight, if non-nil, is the node's span flight recorder: the group's
 	// op sites start spans in it, send/RPC edges carry their context over
@@ -158,6 +168,7 @@ type Group struct {
 	srpc      transport.SpanRPC     // rpc's span plane; nil when unsupported
 	counters  *metrics.Counters
 	registry  *metrics.Registry
+	durable   *durable.Registers // nil unless Config.Durable was set
 	traceRec  *trace.Recorder
 	spans     *trace.Scope // nil when span tracing is off
 	logf      func(format string, args ...any)
@@ -259,21 +270,34 @@ func New(cfg Config, alg core.Algorithm) (*Group, error) {
 		rpc = nil // every owner is local; never leave the process
 	}
 
+	memOpts := []shm.Option{shm.WithCounters(counters)}
+	if cfg.Durable != nil {
+		memOpts = append(memOpts, shm.WithJournal(cfg.Durable))
+	}
 	h := &Group{
 		n:         n,
 		hosted:    hosted,
 		hostedSet: hostedSet,
-		mem:       shm.NewMemory(shm.NewUniformDomain(cfg.GSM), shm.WithCounters(counters)),
+		mem:       shm.NewMemory(shm.NewUniformDomain(cfg.GSM), memOpts...),
 		tr:        tr,
 		rpc:       rpc,
 		counters:  counters,
 		registry:  registry,
+		durable:   cfg.Durable,
 		traceRec:  cfg.Trace,
 		spans:     cfg.Flight.Scope(cfg.SpanGroup, registry),
 		logf:      cfg.Logf,
 		procs:     make([]*rtProc, n),
 		errs:      make(map[core.ProcID]error),
 		stopCh:    make(chan struct{}),
+	}
+	// Seed recovered registers before any handler or process can observe
+	// the memory: recovery must look like the state simply survived.
+	if cfg.Durable != nil {
+		for ref, v := range cfg.Durable.Recovered() {
+			h.mem.Restore(ref, v)
+			counters.Record(ref.Owner, metrics.RecoveredRegisters, 1)
+		}
 	}
 	// Resolve the transport's span planes once, not per op. The adversary
 	// wrappers forward them, so wrapping does not lose the trace context.
@@ -426,6 +450,13 @@ func (h *Group) Stop() *Result {
 	h.closeOnce.Do(func() {
 		if err := h.tr.Close(); err != nil && h.logf != nil {
 			h.logf("rt: transport close: %v", err)
+		}
+		// The durable store outlives the transport teardown: remote
+		// register RPCs served during the drain may still journal.
+		if h.durable != nil {
+			if err := h.durable.Close(); err != nil && h.logf != nil {
+				h.logf("rt: durable close: %v", err)
+			}
 		}
 		if h.onStop != nil {
 			h.onStop()

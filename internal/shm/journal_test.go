@@ -1,0 +1,81 @@
+package shm
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/core"
+)
+
+// recJournal records applies and optionally fails them.
+type recJournal struct {
+	applied []core.Ref
+	err     error
+}
+
+func (j *recJournal) Apply(ref core.Ref, v core.Value) error {
+	if j.err != nil {
+		return j.err
+	}
+	j.applied = append(j.applied, ref)
+	return nil
+}
+
+func TestJournalSeesEveryMutation(t *testing.T) {
+	j := &recJournal{}
+	m := NewMemory(OpenDomain{}, WithJournal(j))
+	ref := core.Reg(0, "STATE")
+	if err := m.Write(0, ref, "a"); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if swapped, _, err := m.CompareAndSwap(1, ref, "a", "b"); err != nil || !swapped {
+		t.Fatalf("CAS = %v, %v; want swap", swapped, err)
+	}
+	// A failed CAS mutates nothing and must journal nothing.
+	if swapped, _, err := m.CompareAndSwap(1, ref, "a", "c"); err != nil || swapped {
+		t.Fatalf("stale CAS = %v, %v; want no swap", swapped, err)
+	}
+	// Reads journal nothing.
+	if _, err := m.Read(0, ref); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(j.applied) != 2 || j.applied[0] != ref || j.applied[1] != ref {
+		t.Fatalf("journal saw %v, want [%v %v]", j.applied, ref, ref)
+	}
+}
+
+// If the journal cannot make a write durable, the write must not become
+// visible: callers get the error and the register keeps its old value.
+func TestJournalErrorBlocksMutation(t *testing.T) {
+	sentinel := errors.New("disk full")
+	j := &recJournal{}
+	m := NewMemory(OpenDomain{}, WithJournal(j))
+	ref := core.Reg(0, "STATE")
+	if err := m.Write(0, ref, "durable"); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	j.err = sentinel
+	if err := m.Write(0, ref, "lost"); !errors.Is(err, sentinel) {
+		t.Fatalf("Write under failing journal = %v, want %v", err, sentinel)
+	}
+	if _, _, err := m.CompareAndSwap(0, ref, "durable", "lost"); !errors.Is(err, sentinel) {
+		t.Fatalf("CAS under failing journal = %v, want %v", err, sentinel)
+	}
+	if v, _ := m.Peek(ref); v != "durable" {
+		t.Fatalf("register = %v after failed journal, want old value", v)
+	}
+}
+
+// Restore seeds recovered state without journaling or metering.
+func TestRestoreBypassesJournal(t *testing.T) {
+	j := &recJournal{}
+	m := NewMemory(OpenDomain{}, WithJournal(j))
+	ref := core.RegI(1, "LOG", 5)
+	m.Restore(ref, "recovered")
+	if len(j.applied) != 0 {
+		t.Fatalf("Restore journaled %v", j.applied)
+	}
+	if v, ok := m.Peek(ref); !ok || v != "recovered" {
+		t.Fatalf("Peek after Restore = %v, %v", v, ok)
+	}
+}

@@ -98,10 +98,21 @@ func (OpenDomain) MayAccess(core.ProcID, core.Ref) bool { return true }
 type Memory struct {
 	domain   Domain
 	counters *metrics.Counters
+	journal  Journal
 
 	mu     sync.RWMutex
 	regs   map[core.Ref]core.Value
 	failed map[core.ProcID]bool
+}
+
+// Journal receives every mutation before it becomes visible: Memory calls
+// Apply under its own lock, and only installs the new value if Apply
+// returns nil. durable.Registers satisfies this interface — wiring it in
+// is what upgrades the store from crash-stop to the paper's crash-recovery
+// model ("the shared memory does not fail"): a journaled-and-fsync'd write
+// survives kill -9 and is restored via Restore on the next start.
+type Journal interface {
+	Apply(ref core.Ref, v core.Value) error
 }
 
 // Option configures a Memory.
@@ -110,6 +121,11 @@ type Option func(*Memory)
 // WithCounters meters every access into c.
 func WithCounters(c *metrics.Counters) Option {
 	return func(m *Memory) { m.counters = c }
+}
+
+// WithJournal journals every mutation through j before applying it.
+func WithJournal(j Journal) Option {
+	return func(m *Memory) { m.journal = j }
 }
 
 // NewMemory returns an empty register store governed by domain.
@@ -153,6 +169,12 @@ func (m *Memory) Write(p core.ProcID, ref core.Ref, v core.Value) error {
 		m.mu.Unlock()
 		return fmt.Errorf("%w: %v writing %v", core.ErrMemoryFailed, p, ref)
 	}
+	if m.journal != nil {
+		if err := m.journal.Apply(ref, v); err != nil {
+			m.mu.Unlock()
+			return fmt.Errorf("journal %v: %w", ref, err)
+		}
+	}
 	m.regs[ref] = v
 	m.mu.Unlock()
 	m.meter(p, ref, metrics.RegWriteLocal, metrics.RegWriteRemote)
@@ -187,6 +209,12 @@ func (m *Memory) CompareAndSwap(p core.ProcID, ref core.Ref, expected, desired c
 	cur := m.regs[ref]
 	swapped := reflect.DeepEqual(cur, expected)
 	if swapped {
+		if m.journal != nil {
+			if err := m.journal.Apply(ref, desired); err != nil {
+				m.mu.Unlock()
+				return false, nil, fmt.Errorf("journal %v: %w", ref, err)
+			}
+		}
 		m.regs[ref] = desired
 	}
 	m.mu.Unlock()
@@ -212,6 +240,17 @@ func (m *Memory) OwnerFailed(owner core.ProcID) bool {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return m.failed[owner]
+}
+
+// Restore installs a recovered register value without domain checks,
+// metering, or journaling. It is the recovery half of WithJournal: the
+// host seeds the store from durable.Registers.Recovered() before any
+// process runs, so re-seeding must not re-journal (the value is already
+// on disk) and must not count as an access (no process performed one).
+func (m *Memory) Restore(ref core.Ref, v core.Value) {
+	m.mu.Lock()
+	m.regs[ref] = v
+	m.mu.Unlock()
 }
 
 // Peek reads a register without domain checks or metering. It is an

@@ -1,0 +1,364 @@
+package tcp
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/mnm-model/mnm/internal/durable"
+	"github.com/mnm-model/mnm/internal/metrics"
+	"github.com/mnm-model/mnm/internal/wire"
+)
+
+// Durability configures fsync'd store-until-ack for the transport: the
+// node journals every sequenced frame it enqueues (durable before the
+// send loop may write it), every cumulative ack it receives, and its own
+// receive-side high-water marks. After kill -9, a reopened transport
+// restores each peer's unacked retransmission queue and sequence counter
+// — so the No-loss axiom holds across sender crashes — and its duplicate
+// filter — so Integrity holds across receiver crashes. Off (nil) by
+// default: the in-memory hot path is untouched.
+type Durability struct {
+	// Dir is the directory holding the frame WAL.
+	Dir string
+	// CompactAt is the WAL size in bytes that triggers compaction to a
+	// snapshot of live state (unacked frames, seq and ack high-water
+	// marks). Zero takes the default (4 MiB).
+	CompactAt int64
+}
+
+// defaultCompactAt is the frame WAL compaction threshold.
+const defaultCompactAt = 4 << 20
+
+// frameLogFile is the WAL filename inside Durability.Dir.
+const frameLogFile = "frames.wal"
+
+// Frame-log record tags. Every record starts with a tag uvarint and the
+// peer's node address; what follows depends on the tag.
+const (
+	recEnqueue = 1 // + frame body: a sequenced frame entered the pending queue
+	recAck     = 2 // + uvarint: the remote cumulatively acked through this seq
+	recDrop    = 3 // + uvarint: this seq was tombstoned (unencodable frame)
+	recRecvHW  = 4 // + uvarint: this node's duplicate-filter high-water mark
+	recSeqMark = 5 // + uvarint: the peer's nextSeq (compaction snapshots only)
+)
+
+// savedFrame is one journaled unacked frame in the mirror: its sequence
+// number (also inside body, kept denormalized for pruning without a
+// decode) and its complete binary frame body.
+type savedFrame struct {
+	seq  uint64
+	body []byte
+}
+
+// peerMirror is the durable image of one peer's sender state.
+type peerMirror struct {
+	nextSeq uint64
+	pending []savedFrame
+}
+
+// frameLog journals the transport's reliability state through a WAL and
+// keeps an in-memory mirror of what the log nets out to, which serves
+// both compaction (rewrite the log as the mirror) and recovery seeding
+// (the mirror right after Open is the recovered state).
+type frameLog struct {
+	t *Transport // for metrics/logging; nil in white-box tests
+
+	mu        sync.Mutex
+	wal       *durable.WAL
+	peers     map[string]*peerMirror
+	recvHW    map[string]uint64
+	compactAt int64
+}
+
+// openFrameLog opens (creating if missing) the frame WAL and replays it
+// into a fresh mirror.
+func openFrameLog(cfg Durability, t *Transport) (*frameLog, error) {
+	l := &frameLog{
+		t:         t,
+		peers:     make(map[string]*peerMirror),
+		recvHW:    make(map[string]uint64),
+		compactAt: cfg.CompactAt,
+	}
+	if l.compactAt <= 0 {
+		l.compactAt = defaultCompactAt
+	}
+	w, err := durable.Open(filepath.Join(cfg.Dir, frameLogFile), l.replayRecord)
+	if err != nil {
+		return nil, err
+	}
+	l.wal = w
+	if t != nil {
+		hist := t.registry().Histogram(metrics.HistFsync)
+		if hist != nil {
+			w.OnFsync = hist.Observe
+		}
+	}
+	return l, nil
+}
+
+// replayRecord folds one WAL record into the mirror.
+func (l *frameLog) replayRecord(rec []byte) error {
+	d := wire.NewDecoder(rec)
+	tag := d.Uvarint()
+	addr := d.String()
+	switch tag {
+	case recEnqueue:
+		body := d.Bytes()
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("%w: enqueue record: %v", durable.ErrCorrupt, err)
+		}
+		var f frame
+		if err := decodeFrame(body, &f); err != nil {
+			return fmt.Errorf("%w: journaled frame: %v", durable.ErrCorrupt, err)
+		}
+		m := l.mirror(addr)
+		m.pending = append(m.pending, savedFrame{seq: f.Seq, body: append([]byte(nil), body...)})
+		if f.Seq > m.nextSeq {
+			m.nextSeq = f.Seq
+		}
+	case recAck:
+		upTo := d.Uvarint()
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("%w: ack record: %v", durable.ErrCorrupt, err)
+		}
+		l.mirror(addr).prune(upTo)
+	case recDrop:
+		seq := d.Uvarint()
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("%w: drop record: %v", durable.ErrCorrupt, err)
+		}
+		l.mirror(addr).drop(seq)
+	case recRecvHW:
+		seq := d.Uvarint()
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("%w: recv-hw record: %v", durable.ErrCorrupt, err)
+		}
+		if seq > l.recvHW[addr] {
+			l.recvHW[addr] = seq
+		}
+	case recSeqMark:
+		seq := d.Uvarint()
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("%w: seq-mark record: %v", durable.ErrCorrupt, err)
+		}
+		m := l.mirror(addr)
+		if seq > m.nextSeq {
+			m.nextSeq = seq
+		}
+	default:
+		return fmt.Errorf("%w: unknown frame-log tag %d", durable.ErrCorrupt, tag)
+	}
+	return nil
+}
+
+func (l *frameLog) mirror(addr string) *peerMirror {
+	m := l.peers[addr]
+	if m == nil {
+		m = &peerMirror{}
+		l.peers[addr] = m
+	}
+	return m
+}
+
+// prune discards mirrored frames covered by a cumulative ack.
+func (m *peerMirror) prune(upTo uint64) {
+	keep := m.pending[:0]
+	for _, sf := range m.pending {
+		if sf.seq > upTo {
+			keep = append(keep, sf)
+		}
+	}
+	for i := len(keep); i < len(m.pending); i++ {
+		m.pending[i] = savedFrame{}
+	}
+	m.pending = keep
+}
+
+// drop removes the tombstoned seq from the mirror: an unencodable frame
+// must not be resurrected into the retransmission queue on recovery.
+func (m *peerMirror) drop(seq uint64) {
+	for i, sf := range m.pending {
+		if sf.seq == seq {
+			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// logEnqueue journals a freshly sequenced frame, fsync'd before return:
+// once the caller proceeds, the frame survives kill -9 and will be
+// retransmitted by the next incarnation. Called with the owning peer's
+// mutex held — the journal order is the sequence order.
+func (l *frameLog) logEnqueue(addr string, f *frame) error {
+	body, err := appendFrame(nil, f)
+	if err != nil {
+		return err // unencodable: sendLoop will tombstone it; nothing to journal
+	}
+	body = body[4:] // strip the wire length prefix; the WAL frames records itself
+	rec := wire.AppendUvarint(nil, recEnqueue)
+	rec = wire.AppendString(rec, addr)
+	rec = wire.AppendBytes(rec, body)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.wal.Append(rec); err != nil {
+		return err
+	}
+	if err := l.wal.Sync(); err != nil {
+		return err
+	}
+	m := l.mirror(addr)
+	m.pending = append(m.pending, savedFrame{seq: f.Seq, body: body})
+	if f.Seq > m.nextSeq {
+		m.nextSeq = f.Seq
+	}
+	if l.t != nil {
+		l.t.record(f.From, metrics.WALAppends, 1)
+	}
+	return nil
+}
+
+// logAck journals a received cumulative ack. No fsync: losing the record
+// to a crash only means the next incarnation retransmits already-acked
+// frames, which the remote's duplicate filter discards and re-acks.
+func (l *frameLog) logAck(addr string, upTo uint64) error {
+	rec := wire.AppendUvarint(nil, recAck)
+	rec = wire.AppendString(rec, addr)
+	rec = wire.AppendUvarint(rec, upTo)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.wal.Append(rec); err != nil {
+		return err
+	}
+	l.mirror(addr).prune(upTo)
+	return l.compactIfNeededLocked()
+}
+
+// logDrop journals a tombstoned (unencodable) frame. No fsync: replaying
+// a lost drop record just re-drops the frame on its next encode attempt.
+func (l *frameLog) logDrop(addr string, seq uint64) error {
+	rec := wire.AppendUvarint(nil, recDrop)
+	rec = wire.AppendString(rec, addr)
+	rec = wire.AppendUvarint(rec, seq)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.wal.Append(rec); err != nil {
+		return err
+	}
+	l.mirror(addr).drop(seq)
+	return nil
+}
+
+// logRecvHW journals this node's duplicate-filter high-water mark for one
+// remote, fsync'd before return. The receive path calls it BEFORE sending
+// the cumulative ack: once the sender prunes, only this record prevents a
+// restarted receiver from accepting the sender's retransmissions twice.
+// On error the caller withholds the ack — self-healing, because the
+// sender retransmits and the next receive batch retries the fsync.
+func (l *frameLog) logRecvHW(addr string, seq uint64) error {
+	rec := wire.AppendUvarint(nil, recRecvHW)
+	rec = wire.AppendString(rec, addr)
+	rec = wire.AppendUvarint(rec, seq)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.wal.Append(rec); err != nil {
+		return err
+	}
+	if err := l.wal.Sync(); err != nil {
+		return err
+	}
+	if seq > l.recvHW[addr] {
+		l.recvHW[addr] = seq
+	}
+	return l.compactIfNeededLocked()
+}
+
+// compactIfNeededLocked rewrites the WAL as a snapshot of the mirror once
+// it outgrows the threshold. Caller holds l.mu.
+func (l *frameLog) compactIfNeededLocked() error {
+	if l.wal.Size() < l.compactAt {
+		return nil
+	}
+	var recs [][]byte
+	for addr, m := range l.peers {
+		rec := wire.AppendUvarint(nil, recSeqMark)
+		rec = wire.AppendString(rec, addr)
+		rec = wire.AppendUvarint(rec, m.nextSeq)
+		recs = append(recs, rec)
+		for _, sf := range m.pending {
+			rec := wire.AppendUvarint(nil, recEnqueue)
+			rec = wire.AppendString(rec, addr)
+			rec = wire.AppendBytes(rec, sf.body)
+			recs = append(recs, rec)
+		}
+	}
+	for addr, seq := range l.recvHW {
+		rec := wire.AppendUvarint(nil, recRecvHW)
+		rec = wire.AppendString(rec, addr)
+		rec = wire.AppendUvarint(rec, seq)
+		recs = append(recs, rec)
+	}
+	return l.wal.Rewrite(recs)
+}
+
+// recoveredRecvHW returns the replayed duplicate-filter marks, for
+// seeding Transport.lastSeq before the listener accepts anything.
+func (l *frameLog) recoveredRecvHW() map[string]uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]uint64, len(l.recvHW))
+	for addr, seq := range l.recvHW {
+		out[addr] = seq
+	}
+	return out
+}
+
+// peerAddrs returns every address the mirror knows, pending frames or
+// not: a peer whose frames were all acked still needs its nextSeq seeded,
+// or fresh sends would reuse sequence numbers below the remote's
+// duplicate-filter mark and be silently discarded.
+func (l *frameLog) peerAddrs() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	addrs := make([]string, 0, len(l.peers))
+	for addr := range l.peers {
+		addrs = append(addrs, addr)
+	}
+	return addrs
+}
+
+// seedPeer installs the mirror's recovered sender state into a
+// just-created peer: the sequence counter and the unacked frames, oldest
+// first, ready for the send loop to (re)transmit. Called from peerLocked
+// before the peer is published or its send loop starts, so the peer needs
+// no locking; returns the number of frames restored.
+func (l *frameLog) seedPeer(p *peer, addr string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	m := l.peers[addr]
+	if m == nil {
+		return 0
+	}
+	if m.nextSeq > p.nextSeq {
+		p.nextSeq = m.nextSeq
+	}
+	restored := 0
+	for _, sf := range m.pending {
+		var f frame
+		if err := decodeFrame(sf.body, &f); err != nil {
+			continue // journaled by this codec; cannot happen, but never panic recovery
+		}
+		p.pending.push(pendingFrame{f: f, enqueuedAt: time.Now()})
+		restored++
+	}
+	return restored
+}
+
+// close fsyncs and closes the WAL. Called after every send loop and recv
+// loop has exited, so no journaling races the close.
+func (l *frameLog) close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.wal.Close()
+}

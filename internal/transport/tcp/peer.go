@@ -5,7 +5,7 @@ import (
 	"crypto/tls"
 	"errors"
 	"net"
-	"strings"
+
 	"sync"
 	"time"
 
@@ -235,17 +235,29 @@ func (p *peer) setFatal(msg string) {
 }
 
 // enqueue assigns the next sequence number to f and queues it for
-// (re)transmission until acked.
+// (re)transmission until acked. With durability on, the frame is
+// journaled (fsync'd) under the same critical section that sequences it,
+// so the WAL order is the sequence order and a frame the send loop can
+// observe is already crash-safe. A journal failure degrades to in-memory
+// reliability for that frame rather than losing it outright.
 func (p *peer) enqueue(f frame) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.stopped() {
+		p.mu.Unlock()
 		return
 	}
 	p.nextSeq++
 	f.Seq = p.nextSeq
+	var jerr error
+	if p.t.dlog != nil {
+		jerr = p.t.dlog.logEnqueue(p.addr, &f)
+	}
 	p.pending.push(pendingFrame{f: f, enqueuedAt: time.Now()})
 	p.cond.Broadcast()
+	p.mu.Unlock()
+	if jerr != nil {
+		p.t.log("frame log: journal seq %d to %s: %v", f.Seq, p.addr, jerr)
+	}
 }
 
 // enqueueCtrl queues an unsequenced control frame. Cumulative acks subsume
@@ -257,6 +269,17 @@ func (p *peer) enqueueCtrl(f frame) {
 	if p.stopped() {
 		return
 	}
+	p.requeueCtrlLocked(f)
+	p.cond.Broadcast()
+}
+
+// requeueCtrlLocked adds f to the control queue, folding an ack into an
+// already-queued ack by max AckTo. It is the single append point for
+// p.ctrl — enqueueCtrl and the send loop's write-error requeue path both
+// go through it, so the one-cumulative-ack invariant holds even when a
+// failed batch puts its acks back while a fresh ack is already queued.
+// Caller holds p.mu.
+func (p *peer) requeueCtrlLocked(f frame) {
 	if f.Kind == frameAck {
 		for i := range p.ctrl {
 			if p.ctrl[i].Kind == frameAck {
@@ -268,7 +291,6 @@ func (p *peer) enqueueCtrl(f frame) {
 		}
 	}
 	p.ctrl = append(p.ctrl, f)
-	p.cond.Broadcast()
 }
 
 // ack drops every pending frame with Seq ≤ upTo. The metrics work — one
@@ -297,6 +319,14 @@ func (p *peer) ack(upTo uint64) {
 	p.cond.Broadcast()
 	p.mu.Unlock()
 
+	// Journal the ack after the lock: WAL order vs. concurrent enqueues
+	// doesn't matter (replay prunes by sequence number), and no fsync is
+	// needed (a lost ack record only costs re-dropped retransmissions).
+	if p.t.dlog != nil {
+		if err := p.t.dlog.logAck(p.addr, upTo); err != nil {
+			p.t.log("frame log: ack %d from %s: %v", upTo, p.addr, err)
+		}
+	}
 	now := time.Now()
 	hist := p.t.registry().Histogram(metrics.HistFrameRTT)
 	for i := range acked {
@@ -515,10 +545,13 @@ func (p *peer) sendLoop() {
 		}
 		// Requeue the batch's control frames: some may not have reached
 		// the wire, and re-sending an ack is harmless (acks are
-		// idempotent and cumulative, and enqueueCtrl folds them anyway).
+		// idempotent and cumulative). Requeue through the folding path:
+		// an ack enqueued while the batch was failing must merge with the
+		// batch's own ack, or the queue would carry two ack frames and
+		// violate the one-cumulative-ack invariant.
 		for i := range batch {
 			if batch[i].isCtrl {
-				p.ctrl = append(p.ctrl, batch[i].f)
+				p.requeueCtrlLocked(batch[i].f)
 			}
 		}
 		p.mu.Unlock()
@@ -571,9 +604,17 @@ func (p *peer) watch(conn net.Conn) {
 // and acks cumulatively, so the next acked frame pops the tombstone.
 func (p *peer) dropPending(seq uint64) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.pending.markDropped(seq) {
+	marked := p.pending.markDropped(seq)
+	if marked {
 		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+	// Erase the tombstoned frame from the journal's mirror too, or
+	// recovery would resurrect a frame that can never be encoded.
+	if marked && p.t.dlog != nil {
+		if err := p.t.dlog.logDrop(p.addr, seq); err != nil {
+			p.t.log("frame log: drop seq %d to %s: %v", seq, p.addr, err)
+		}
 	}
 }
 
@@ -616,21 +657,51 @@ func (p *peer) sleep(d time.Duration) bool {
 	}
 }
 
-// encodeError flattens an error for the wire; decodeError restores the
-// model's sentinel errors so errors.Is keeps working across nodes.
-func encodeError(err error) string { return err.Error() }
+// sentinelErrs are the model errors that must survive the wire so
+// errors.Is keeps working across nodes. The slice index is the wire code;
+// append only — reordering changes what deployed peers decode.
+var sentinelErrs = []error{
+	core.ErrAccessDenied,
+	core.ErrUnknownProc,
+	core.ErrCrashed,
+	core.ErrMemoryFailed,
+	core.ErrStopped,
+}
 
-func decodeError(msg string) error {
-	for _, sentinel := range []error{
-		core.ErrAccessDenied,
-		core.ErrUnknownProc,
-		core.ErrCrashed,
-		core.ErrMemoryFailed,
-		core.ErrStopped,
-	} {
-		if strings.Contains(msg, sentinel.Error()) {
-			return sentinel
+// errCodeTag prefixes an ErrMsg that carries an explicit sentinel code:
+// tag byte, one digit indexing sentinelErrs, then the error text. A
+// control byte can't collide with real error text, and carrying the code
+// explicitly replaces the old substring matching, which misclassified any
+// error whose message merely contained a sentinel's text (e.g. "writer
+// stopped unexpectedly" decoding as core.ErrStopped).
+const errCodeTag = '\x01'
+
+// encodeError flattens an error for the wire, tagging it with its
+// sentinel code when errors.Is finds one.
+func encodeError(err error) string {
+	for i, sentinel := range sentinelErrs {
+		if errors.Is(err, sentinel) {
+			return string([]byte{errCodeTag, byte('0' + i)}) + err.Error()
 		}
+	}
+	return err.Error()
+}
+
+// decodeError restores an encodeError string: a tagged message decodes to
+// the exact sentinel (or an error wrapping it, when the remote added
+// context), anything else — including a tag with an unknown code, from a
+// newer peer — stays an opaque remoteError. No substring matching.
+func decodeError(msg string) error {
+	if len(msg) >= 2 && msg[0] == errCodeTag {
+		if i := int(msg[1] - '0'); i >= 0 && i < len(sentinelErrs) {
+			sentinel := sentinelErrs[i]
+			text := msg[2:]
+			if text == sentinel.Error() {
+				return sentinel
+			}
+			return &remoteSentinel{msg: text, sentinel: sentinel}
+		}
+		return &remoteError{msg: msg[2:]}
 	}
 	return &remoteError{msg: msg}
 }
@@ -639,3 +710,14 @@ func decodeError(msg string) error {
 type remoteError struct{ msg string }
 
 func (e *remoteError) Error() string { return e.msg }
+
+// remoteSentinel is a remote error that wraps a model sentinel with extra
+// context: the text crosses the wire verbatim and errors.Is sees the
+// sentinel through Unwrap.
+type remoteSentinel struct {
+	msg      string
+	sentinel error
+}
+
+func (e *remoteSentinel) Error() string { return e.msg }
+func (e *remoteSentinel) Unwrap() error { return e.sentinel }

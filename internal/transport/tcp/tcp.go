@@ -155,6 +155,12 @@ type Config struct {
 	// vice versa). The config must be usable for both roles: server
 	// certificate on the listening side, trust roots on the dialing side.
 	TLS *tls.Config
+	// Durability, if non-nil, journals the reliability state — unacked
+	// frames, sequence counters, duplicate-filter high-water marks — to a
+	// WAL in Durability.Dir, fsync'd at the points that make the link
+	// axioms hold across kill -9 (see Durability). Nil (the default)
+	// keeps the all-in-memory hot path byte-for-byte unchanged.
+	Durability *Durability
 }
 
 func (c *Config) fill() {
@@ -174,6 +180,7 @@ type Transport struct {
 	lis  net.Listener
 	logf func(string, ...any)
 	self core.ProcID // lowest group-0 hosted process: attribution for node-level events
+	dlog *frameLog   // nil unless Config.Durability is set
 
 	// reg and counters are atomic so Instrument can attach observability
 	// while connections are already live (the host instruments after the
@@ -279,6 +286,29 @@ func New(cfg Config) (*Transport, error) {
 			lis.Close()
 			return nil, err
 		}
+	}
+	// Recovery happens before the listener accepts or any send loop
+	// starts: seed the duplicate filter from the journaled high-water
+	// marks (Integrity across a receiver crash), then rebuild every
+	// journaled peer — sequence counter plus unacked retransmission
+	// queue — so the previous incarnation's frames go back on the wire
+	// without waiting for an application send (No-loss across a sender
+	// crash).
+	if cfg.Durability != nil {
+		dlog, err := openFrameLog(*cfg.Durability, t)
+		if err != nil {
+			lis.Close()
+			return nil, fmt.Errorf("tcp: frame log: %w", err)
+		}
+		t.dlog = dlog
+		t.mu.Lock()
+		for addr, seq := range dlog.recoveredRecvHW() {
+			t.lastSeq[addr] = seq
+		}
+		for _, addr := range dlog.peerAddrs() {
+			t.peerLocked(addr)
+		}
+		t.mu.Unlock()
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -404,6 +434,13 @@ func (t *Transport) peerLocked(addr string) *peer {
 		return p
 	}
 	p := newPeer(t, addr)
+	// Seed recovered sender state before the peer is published or its
+	// send loop starts: the restored frames must be the queue's prefix.
+	if t.dlog != nil {
+		if n := t.dlog.seedPeer(p, addr); n > 0 {
+			t.record(t.self, metrics.RecoveredFrames, int64(n))
+		}
+	}
 	t.peers[addr] = p
 	t.wg.Add(1)
 	go p.sendLoop()
@@ -596,6 +633,18 @@ func (t *Transport) recvLoop(conn net.Conn) {
 			}
 		}
 		if ackTo > 0 {
+			// The high-water mark must be durable before the ack leaves:
+			// once the sender prunes, only the journal stops a restarted
+			// receiver from re-accepting retransmissions. On a journal
+			// error the ack is withheld — the sender retransmits, the
+			// in-memory filter still drops the duplicates, and the next
+			// batch retries the fsync.
+			if t.dlog != nil {
+				if err := t.dlog.logRecvHW(remote, ackTo); err != nil {
+					t.log("frame log: recv high-water for %s: %v (withholding ack)", remote, err)
+					continue
+				}
+			}
 			t.sendAck(remote, ackTo)
 		}
 	}
@@ -838,5 +887,11 @@ func (t *Transport) Close() error {
 		ch <- callResult{err: transport.ErrClosed} //mnmvet:allow stopselect buffered(1), sole sender
 	}
 	t.wg.Wait()
+	// Every send and receive loop has exited: nothing journals anymore.
+	if t.dlog != nil {
+		if err := t.dlog.close(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
