@@ -4,17 +4,27 @@
 //	go run ./cmd/mnmvet ./...          # whole repo (what CI's lint job runs)
 //	go run ./cmd/mnmvet -list          # describe the rules
 //	go run ./cmd/mnmvet -run wiregob,timerleak ./internal/...
+//	go run ./cmd/mnmvet -sarif ./...   # SARIF 2.1.0 (CI uploads this)
+//	go run ./cmd/mnmvet -json ./...    # flat JSON findings
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load failure.
 //
-// The six rules (see DESIGN.md "Machine-checked invariants"):
+// The ten rules (see DESIGN.md "Machine-checked invariants"):
 //
 //	simdeterminism  no wall clock / global rand in deterministic packages
 //	wiregob         every wire-crossing type is gob-registered
 //	wirecodec       generated wire_codec.go matches the gob.Register set
-//	lockedblocking  no blocking work while a mutex is held
+//	lockedblocking  no blocking work while a mutex is held (sees through calls)
 //	timerleak       no time.After in loops, no time.Tick
 //	stopselect      channel waits in rt/transport are stop-interruptible
+//	fsyncorder      WAL append/fsync dominates the mutation or ack it guards
+//	lockorder       the cross-package lock-acquisition graph stays acyclic
+//	spanprop        transport sends thread the trace context or fall back explicitly
+//	ctrlgroup       ack/hello/reject frames pin group 0 and a zero trace triple
+//
+// The last four run on interprocedural effect summaries: a package-level
+// call graph with per-function effects propagated bottom-up over SCCs,
+// so a reorder or lock nesting hidden behind a helper is still seen.
 package main
 
 import (
@@ -37,11 +47,17 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	sarifOut := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0 on stdout")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: mnmvet [-list] [-run rules] [packages]\n")
+		fmt.Fprintf(stderr, "usage: mnmvet [-list] [-run rules] [-json|-sarif] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintf(stderr, "mnmvet: -json and -sarif are mutually exclusive\n")
 		return 2
 	}
 	analyzers := suite.All()
@@ -91,8 +107,26 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 	diags := analysis.CheckAll(pkgs, analyzers...)
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+	root, err := loader.ModuleRoot(cwd)
+	if err != nil {
+		root = cwd
+	}
+	switch {
+	case *jsonOut:
+		if err := emitJSON(stdout, root, diags); err != nil {
+			fmt.Fprintf(stderr, "mnmvet: %v\n", err)
+			return 2
+		}
+	case *sarifOut:
+		// Emitted even when clean: CI uploads the file unconditionally.
+		if err := emitSARIF(stdout, root, analyzers, diags); err != nil {
+			fmt.Fprintf(stderr, "mnmvet: %v\n", err)
+			return 2
+		}
+	default:
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "mnmvet: %d finding(s)\n", len(diags))

@@ -39,6 +39,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"sync"
 
 	"github.com/mnm-model/mnm/internal/analysis/loader"
 )
@@ -71,10 +72,48 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Rule, d.Message)
 }
 
+// Program is the whole-load context shared by every pass of one Check or
+// CheckAll invocation: the full package set plus a fact cache, so
+// interprocedural analyzers can build expensive whole-program structures
+// (the call graph, the effect summaries) exactly once per run instead of
+// once per package. Facts are keyed by string; builders run at most once
+// per key (the classic once-per-fact driver pattern from go/analysis,
+// flattened because this framework runs single-load).
+type Program struct {
+	// Pkgs is every package of the load, in import-path order.
+	Pkgs []*loader.Package
+
+	mu    sync.Mutex
+	facts map[string]any
+}
+
+// NewProgram wraps a package set for analysis.
+func NewProgram(pkgs []*loader.Package) *Program {
+	return &Program{Pkgs: pkgs, facts: map[string]any{}}
+}
+
+// Fact returns the cached fact under key, building it on first use. Safe
+// for concurrent passes; build runs while the lock is held, so builders
+// must not recursively request facts (compose inside one builder instead).
+func (p *Program) Fact(key string, build func() any) any {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if v, ok := p.facts[key]; ok {
+		return v
+	}
+	v := build()
+	p.facts[key] = v
+	return v
+}
+
 // Pass carries one analyzer's run over one package.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *loader.Package
+	// Prog is the whole-program context of this run; per-package syntactic
+	// analyzers can ignore it, interprocedural ones pull the call graph and
+	// summaries from its fact cache.
+	Prog *Program
 
 	directives *directives
 	diags      []Diagnostic
@@ -116,28 +155,28 @@ func active(a *Analyzer, pkg *loader.Package, dirs *directives) bool {
 }
 
 // Check runs the analyzers over one package and returns the surviving
-// diagnostics in position order.
+// diagnostics in position order. The package is its own whole program:
+// interprocedural analyzers see only its internal calls.
 func Check(pkg *loader.Package, analyzers ...*Analyzer) []Diagnostic {
-	dirs := parseDirectives(pkg)
-	var out []Diagnostic
-	for _, a := range analyzers {
-		if !active(a, pkg, dirs) {
-			continue
-		}
-		pass := &Pass{Analyzer: a, Pkg: pkg, directives: dirs}
-		a.Run(pass)
-		out = append(out, pass.diags...)
-	}
-	sortDiagnostics(out)
-	return out
+	return CheckAll([]*loader.Package{pkg}, analyzers...)
 }
 
-// CheckAll runs the analyzers over every package and returns all
+// CheckAll runs the analyzers over every package — all sharing one
+// Program, so interprocedural facts span the whole load — and returns all
 // diagnostics, ordered by position.
 func CheckAll(pkgs []*loader.Package, analyzers ...*Analyzer) []Diagnostic {
+	prog := NewProgram(pkgs)
 	var out []Diagnostic
 	for _, pkg := range pkgs {
-		out = append(out, Check(pkg, analyzers...)...)
+		dirs := parseDirectives(pkg)
+		for _, a := range analyzers {
+			if !active(a, pkg, dirs) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Prog: prog, directives: dirs}
+			a.Run(pass)
+			out = append(out, pass.diags...)
+		}
 	}
 	sortDiagnostics(out)
 	return out

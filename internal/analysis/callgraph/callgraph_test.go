@@ -1,0 +1,84 @@
+package callgraph_test
+
+import (
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/analysis/callgraph"
+	"github.com/mnm-model/mnm/internal/analysis/loader"
+)
+
+func build(t *testing.T) *callgraph.Graph {
+	t.Helper()
+	pkg, err := loader.LoadDir("../testdata/engine")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	return callgraph.Build([]*loader.Package{pkg})
+}
+
+func nodeByName(t *testing.T, g *callgraph.Graph, name string) *callgraph.Node {
+	t.Helper()
+	for fn, n := range g.Nodes {
+		if fn.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node for %q", name)
+	return nil
+}
+
+func hasEdge(n *callgraph.Node, kind callgraph.EdgeKind, callee string) bool {
+	for _, e := range n.Out {
+		if e.Kind == kind && e.Callee != nil && e.Callee.Name() == callee {
+			return true
+		}
+	}
+	return false
+}
+
+func TestEdgeKinds(t *testing.T) {
+	g := build(t)
+	cases := []struct {
+		caller string
+		kind   callgraph.EdgeKind
+		callee string
+	}{
+		{"ping", callgraph.Call, "pong"},
+		{"pong", callgraph.Call, "wait"},
+		{"pong", callgraph.Call, "ping"},
+		{"methodValue", callgraph.Ref, "block"},
+		{"deferred", callgraph.Defer, "block"},
+		{"spawns", callgraph.Go, "block"},
+	}
+	for _, c := range cases {
+		n := nodeByName(t, g, c.caller)
+		if !hasEdge(n, c.kind, c.callee) {
+			t.Errorf("%s: missing %v edge to %s (have %v)", c.caller, c.kind, c.callee, n.Out)
+		}
+	}
+	// spawns must NOT have a synchronous edge to block.
+	if n := nodeByName(t, g, "spawns"); hasEdge(n, callgraph.Call, "block") {
+		t.Errorf("spawns: go'd call wrongly recorded as synchronous")
+	}
+}
+
+func TestSCCsCalleesFirst(t *testing.T) {
+	g := build(t)
+	comp := map[string]int{}
+	for i, c := range g.SCCs() {
+		for _, n := range c {
+			comp[n.Fn.Name()] = i
+		}
+	}
+	if comp["ping"] != comp["pong"] {
+		t.Errorf("mutual recursion split across components: ping=%d pong=%d", comp["ping"], comp["pong"])
+	}
+	if comp["wait"] == comp["ping"] {
+		t.Errorf("wait merged into the ping/pong component")
+	}
+	// Reverse topological: the callee wait's component precedes its
+	// caller's.
+	if comp["wait"] >= comp["pong"] {
+		t.Errorf("callee component not first: wait=%d pong=%d", comp["wait"], comp["pong"])
+	}
+}

@@ -1,0 +1,12 @@
+package ctrlgroup_test
+
+import (
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/analysis/ctrlgroup"
+	"github.com/mnm-model/mnm/internal/analysis/vettest"
+)
+
+func TestFixtures(t *testing.T) {
+	vettest.Run(t, "../testdata/ctrlgroup", ctrlgroup.Analyzer)
+}

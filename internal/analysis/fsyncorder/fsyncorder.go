@@ -1,0 +1,94 @@
+// Package fsyncorder defines an Analyzer enforcing the PR 7 durability
+// ordering: a WAL append+fsync must dominate the mutation or ack it
+// guards. Concretely, per function (seeing through calls via effect
+// summaries):
+//
+//   - a frame must be journaled (logEnqueue) before it becomes visible
+//     to the send loop (pendingQueue.push) — else a crash between the
+//     two acks a frame the mirror never heard of;
+//   - the receive high-watermark must be fsynced (logRecvHW) before the
+//     cumulative ack is queued (sendAck/enqueueCtrl) — else the sender
+//     drops a frame the receiver forgets across a crash, violating the
+//     link No-loss axiom;
+//   - the shm journal hook (Journal.Apply) must run before the register
+//     mutation (regs[ref] = v) — else the §3 "memory does not fail"
+//     relaxation of PR 9 loses a write it acknowledged.
+//
+// A function exhibiting only the second effect of a pair is skipped:
+// journal-free paths are legal (recovery replay pushes frames that are
+// already in the WAL — seedPeer; Restore repopulates registers from the
+// journal itself). The rule catches reorderings, the refactor hazard
+// that example-driven tests miss.
+package fsyncorder
+
+import (
+	"github.com/mnm-model/mnm/internal/analysis"
+	"github.com/mnm-model/mnm/internal/analysis/summary"
+)
+
+// Analyzer is the fsyncorder rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "fsyncorder",
+	Doc: "WAL append/fsync must dominate the mutation or ack it guards: " +
+		"journal before send-loop visibility, recv-HW fsync before cumulative ack, " +
+		"shm journal hook before register mutation",
+	Run: run,
+}
+
+type pair struct {
+	first, second summary.Effect
+	msg           string
+}
+
+// pairs attaches a finding message to each summary.OrderPairs contract
+// (same order: the summary package owns the pairing so its export
+// masking and this check can never drift apart).
+var pairs = []pair{
+	{summary.OrderPairs[0][0], summary.OrderPairs[0][1],
+		"frame becomes visible to the send loop before its WAL journal append+fsync (logEnqueue); a crash here acks a frame the mirror never recorded"},
+	{summary.OrderPairs[1][0], summary.OrderPairs[1][1],
+		"cumulative ack queued before the receive high-watermark fsync (logRecvHW); a crash here makes the sender drop a frame the receiver forgets"},
+	{summary.OrderPairs[2][0], summary.OrderPairs[2][1],
+		"register mutated before the journal hook (Journal.Apply); a crash here loses an acknowledged write"},
+}
+
+func run(pass *analysis.Pass) {
+	set := summary.Of(pass.Prog)
+	for _, node := range set.Nodes(pass.Pkg) {
+		events := set.Events(node.Fn)
+		for _, p := range pairs {
+			check(pass, events, p)
+		}
+	}
+}
+
+func check(pass *analysis.Pass, events []summary.Event, p pair) {
+	journaled := false
+	for _, e := range events {
+		if e.Effect.Has(p.first) {
+			journaled = true
+			break
+		}
+	}
+	if !journaled {
+		// No journal effect anywhere: a legal journal-free path (recovery
+		// replay, journal-backed restore), not a reordering.
+		return
+	}
+	seen := false
+	for _, e := range events {
+		// An event carrying both effects is a call to a function whose
+		// internal ordering was already checked: count its journal side
+		// first.
+		if e.Effect.Has(p.first) {
+			seen = true
+		}
+		if e.Effect.Has(p.second) && !seen {
+			if e.Via != nil {
+				pass.Reportf(e.Pos, "call to %s: %s", e.Via.Name(), p.msg)
+			} else {
+				pass.Reportf(e.Pos, "%s", p.msg)
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package fsyncorder_test
+
+import (
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/analysis/fsyncorder"
+	"github.com/mnm-model/mnm/internal/analysis/vettest"
+)
+
+func TestFixtures(t *testing.T) {
+	vettest.Run(t, "../testdata/fsyncorder", fsyncorder.Analyzer)
+}

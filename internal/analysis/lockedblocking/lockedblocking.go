@@ -24,6 +24,13 @@
 // the cost of missing exotic flows. Functions whose name ends in
 // "Locked" — the repo's convention for "caller holds the lock", e.g.
 // deliverLocked — are checked with a synthetic held lock.
+//
+// Since mnmvet v2 the rule also sees through calls: a call made under a
+// lock to any function whose effect summary (internal/analysis/summary)
+// says it may block, observe metrics, log or do network I/O — however
+// deep in the call chain — is reported at the call site. File I/O is
+// deliberately not such an effect: PR 7's durability contract fsyncs the
+// WAL under the peer lock by design.
 package lockedblocking
 
 import (
@@ -33,6 +40,7 @@ import (
 	"strings"
 
 	"github.com/mnm-model/mnm/internal/analysis"
+	"github.com/mnm-model/mnm/internal/analysis/summary"
 )
 
 // Analyzer is the lockedblocking rule.
@@ -264,9 +272,20 @@ func funcLitsIn(stmt ast.Stmt) []*ast.FuncLit {
 // every blocking construct, skipping nested function literals.
 func reportBlocking(pass *analysis.Pass, stmt ast.Stmt, held map[string]bool) {
 	lock := heldName(held)
-	ast.Inspect(stmt, func(n ast.Node) bool {
+	reportBlockingIn(pass, stmt, lock)
+}
+
+func reportBlockingIn(pass *analysis.Pass, root ast.Node, lock string) {
+	ast.Inspect(root, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			// The spawned call runs on its own goroutine without the lock;
+			// only its arguments are evaluated here.
+			for _, arg := range n.Call.Args {
+				reportBlockingIn(pass, arg, lock)
+			}
 			return false
 		case *ast.SendStmt:
 			pass.Reportf(n.Pos(), "channel send while holding %s; a full channel turns the lock into a convoy — move the send after Unlock", lock)
@@ -361,7 +380,29 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr, lock string) {
 		// net.Conn method calls: Read/Write/Close on a connection are
 		// syscalls that can block for the full write timeout.
 		checkConnCall(pass, call, fn, lock)
+		// Everything else: see through the call via its effect summary.
+		checkSummaryCall(pass, call, fn, lock)
 	}
+}
+
+// checkSummaryCall is the interprocedural arm: a call to a function
+// whose transitive synchronous effects include blocking, metrics
+// observation, logging or network I/O performs that work while the
+// caller's lock is held, no matter how many frames down it happens.
+// Only functions with analyzed bodies have summaries, so this never
+// second-guesses the stdlib. Note the deliberate asymmetry with PR 7's
+// durability contract: file I/O (WAL append+fsync under the peer lock)
+// is not an effect — fsync-under-mutex is the invariant there, not a bug.
+func checkSummaryCall(pass *analysis.Pass, call *ast.CallExpr, fn *types.Func, lock string) {
+	set := summary.Of(pass.Prog)
+	if set.Graph.Nodes[fn] == nil {
+		return
+	}
+	eff := set.Effects(fn) & (summary.Blocks | summary.Observes | summary.Logs | summary.NetIO)
+	if eff == 0 {
+		return
+	}
+	pass.Reportf(call.Pos(), "call to %s (%s) while holding %s; hoist the call out of the locked region", fn.Name(), eff, lock)
 }
 
 func isMethodCall(pass *analysis.Pass, call *ast.CallExpr) bool {

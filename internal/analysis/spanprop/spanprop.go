@@ -1,0 +1,64 @@
+// Package spanprop defines an Analyzer policing the PR 8 causal-tracing
+// contract: a transport send or RPC call reachable from traced runtime
+// operations must thread the trace context — via
+// transport.SpanCarrier.SendSpan/BroadcastSpan or transport.SpanRPC.CallSpan
+// — or fall back to the plain method *explicitly*, in the same function
+// that attempts the span-aware path first (the rtEnv.Send pattern:
+// type-assert to SpanCarrier, SendSpan if it sticks, Send otherwise).
+//
+// The rule: a direct call to Send/Broadcast on a transport.Transport (or
+// Call on a transport.RPC) is flagged unless the same function also
+// reaches — directly or through a synchronous callee — a span-aware
+// SendSpan/BroadcastSpan (resp. CallSpan). A helper whose summary
+// carries both span and plain effects is the explicit-fallback idiom and
+// satisfies the rule for its callers; a helper that only ever sends
+// plain is flagged once, at the root cause, not at every caller.
+package spanprop
+
+import (
+	"github.com/mnm-model/mnm/internal/analysis"
+	"github.com/mnm-model/mnm/internal/analysis/summary"
+)
+
+// Analyzer is the spanprop rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanprop",
+	Doc: "transport Send/Broadcast/Call sites must thread the trace context " +
+		"(SpanCarrier/SpanRPC) or fall back explicitly next to a span-aware attempt; " +
+		"silently dropped trace context breaks cross-node causality",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) {
+	set := summary.Of(pass.Prog)
+	for _, node := range set.Nodes(pass.Pkg) {
+		events := set.Events(node.Fn)
+		var reach summary.Effect
+		for _, e := range events {
+			reach |= e.Effect
+		}
+		check(pass, set, node.Fn, events, reach,
+			summary.PlainSend, summary.SpanSend, "Send/Broadcast", "SendSpan/BroadcastSpan")
+		check(pass, set, node.Fn, events, reach,
+			summary.PlainCall, summary.SpanCall, "Call", "CallSpan")
+	}
+}
+
+func check(pass *analysis.Pass, set *summary.Set, fn interface{ Name() string },
+	events []summary.Event, reach, plain, span summary.Effect, plainName, spanName string) {
+	if !reach.Has(plain) || reach.Has(span) {
+		// Either no plain site, or the function (or a helper it calls)
+		// attempts the span-aware path — the explicit-fallback idiom.
+		return
+	}
+	for _, e := range events {
+		if !e.Effect.Has(plain) || e.Via != nil {
+			// Via != nil: the plain send lives inside a callee; that callee
+			// is the root cause and gets the report in its own package.
+			continue
+		}
+		pass.Reportf(e.Pos,
+			"plain transport %s drops the trace context: thread it via %s, or pair this call with a span-aware attempt in the same function",
+			plainName, spanName)
+	}
+}

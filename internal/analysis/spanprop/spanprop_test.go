@@ -1,0 +1,12 @@
+package spanprop_test
+
+import (
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/analysis/spanprop"
+	"github.com/mnm-model/mnm/internal/analysis/vettest"
+)
+
+func TestFixtures(t *testing.T) {
+	vettest.Run(t, "../testdata/spanprop", spanprop.Analyzer)
+}

@@ -4,15 +4,22 @@ package suite
 
 import (
 	"github.com/mnm-model/mnm/internal/analysis"
+	"github.com/mnm-model/mnm/internal/analysis/ctrlgroup"
+	"github.com/mnm-model/mnm/internal/analysis/fsyncorder"
 	"github.com/mnm-model/mnm/internal/analysis/lockedblocking"
+	"github.com/mnm-model/mnm/internal/analysis/lockorder"
 	"github.com/mnm-model/mnm/internal/analysis/simdeterminism"
+	"github.com/mnm-model/mnm/internal/analysis/spanprop"
 	"github.com/mnm-model/mnm/internal/analysis/stopselect"
 	"github.com/mnm-model/mnm/internal/analysis/timerleak"
 	"github.com/mnm-model/mnm/internal/analysis/wirecodec"
 	"github.com/mnm-model/mnm/internal/analysis/wiregob"
 )
 
-// All returns every mnmvet analyzer, in reporting order.
+// All returns every mnmvet analyzer, in reporting order: the v1
+// syntactic rules first, then the v2 interprocedural family
+// (fsyncorder/lockorder/spanprop ride the shared callgraph + effect
+// summaries; ctrlgroup is syntactic but scoped to the wire layer).
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		simdeterminism.Analyzer,
@@ -21,5 +28,9 @@ func All() []*analysis.Analyzer {
 		lockedblocking.Analyzer,
 		timerleak.Analyzer,
 		stopselect.Analyzer,
+		fsyncorder.Analyzer,
+		lockorder.Analyzer,
+		spanprop.Analyzer,
+		ctrlgroup.Analyzer,
 	}
 }

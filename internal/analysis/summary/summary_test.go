@@ -1,0 +1,93 @@
+package summary_test
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+
+	"github.com/mnm-model/mnm/internal/analysis/loader"
+	"github.com/mnm-model/mnm/internal/analysis/summary"
+)
+
+func build(t *testing.T) *summary.Set {
+	t.Helper()
+	pkg, err := loader.LoadDir("../testdata/engine")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	return summary.Build([]*loader.Package{pkg})
+}
+
+func fnByName(t *testing.T, s *summary.Set, name string) *types.Func {
+	t.Helper()
+	for fn := range s.Graph.Nodes {
+		if fn.Name() == name {
+			return fn
+		}
+	}
+	t.Fatalf("no function %q in graph", name)
+	return nil
+}
+
+func TestRecursionFixpoint(t *testing.T) {
+	s := build(t)
+	for _, name := range []string{"wait", "pong", "ping"} {
+		if eff := s.Effects(fnByName(t, s, name)); !eff.Has(summary.Blocks) {
+			t.Errorf("%s: blocking effect lost through recursion (effects %v)", name, eff)
+		}
+	}
+	if eff := s.DirectEffects(fnByName(t, s, "ping")); eff.Has(summary.Blocks) {
+		t.Errorf("ping: blocking effect is transitive, not direct (direct %v)", eff)
+	}
+}
+
+func TestMethodValuePropagates(t *testing.T) {
+	s := build(t)
+	if eff := s.Effects(fnByName(t, s, "methodValue")); !eff.Has(summary.Blocks) {
+		t.Errorf("methodValue: effect of the captured method lost (effects %v)", eff)
+	}
+}
+
+func TestDeferredCallPropagates(t *testing.T) {
+	s := build(t)
+	fn := fnByName(t, s, "deferred")
+	if eff := s.Effects(fn); !eff.Has(summary.Blocks) {
+		t.Errorf("deferred: deferred call's effect lost (effects %v)", eff)
+	}
+	// The deferred event runs at function exit, so it must be ordered
+	// after everything in the body.
+	events := s.Events(fn)
+	if len(events) == 0 {
+		t.Fatalf("deferred: no events")
+	}
+	last := events[len(events)-1]
+	if !last.Effect.Has(summary.Blocks) {
+		t.Errorf("deferred: last event is not the deferred block (events %v)", events)
+	}
+	if decl := s.Graph.Nodes[fn].Decl; last.Pos < decl.Body.Rbrace {
+		t.Errorf("deferred: event placed inside the body, not at exit")
+	}
+}
+
+func TestGoDoesNotPropagate(t *testing.T) {
+	s := build(t)
+	if eff := s.Effects(fnByName(t, s, "spawns")); eff.Has(summary.Blocks) {
+		t.Errorf("spawns: go'd call wrongly counted as synchronous blocking (effects %v)", eff)
+	}
+}
+
+func TestLockEdgeSurvivesEarlyExitGuard(t *testing.T) {
+	s := build(t)
+	found := false
+	for _, e := range s.LockEdges() {
+		if strings.HasSuffix(e.Held, "outer.mu") && strings.HasSuffix(e.Acquired, "inner.mu") {
+			found = true
+		}
+		if strings.HasSuffix(e.Held, "inner.mu") {
+			t.Errorf("spurious edge with inner.mu held: %v -> %v", e.Held, e.Acquired)
+		}
+	}
+	if !found {
+		t.Errorf("outer.mu -> inner.mu edge missing: the early-exit unlock guard blinded the replay (edges %v)", s.LockEdges())
+	}
+}

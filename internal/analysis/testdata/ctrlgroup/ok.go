@@ -1,0 +1,34 @@
+// Negative fixture for ctrlgroup: clean control frames, explicit
+// constant-zero pins, and data-plane frames that are allowed (required,
+// even) to carry a group and trace triple.
+package ctrlfix
+
+// mkAckClean leaves the pinned fields at their zero values.
+func mkAckClean(seq uint64) frame {
+	return frame{Kind: frameAck, AckTo: seq}
+}
+
+// mkHelloPinned pins the fields explicitly to constant zero — verbose
+// but correct.
+func mkHelloPinned() frame {
+	return frame{Kind: frameHello, Group: 0, TraceID: 0, SpanID: 0, Lamport: 0}
+}
+
+// mkData is a data-plane frame: group routing and the trace triple are
+// exactly what it must carry.
+func mkData(seq uint64, g uint32, tid, sid, lt uint64) frame {
+	return frame{
+		Kind:    frameData,
+		Seq:     seq,
+		Group:   g,
+		TraceID: tid,
+		SpanID:  sid,
+		Lamport: lt,
+	}
+}
+
+// mkDynamic has no constant Kind key the analyzer can see; runtime
+// checks own this case.
+func mkDynamic(k frameKind, g uint32) frame {
+	return frame{Kind: k, Group: g}
+}

@@ -1,0 +1,69 @@
+// Fixture for the callgraph and summary engine unit tests: mutual
+// recursion, method values, deferred and go'd calls, and a nested lock
+// region behind an early-exit unlock guard.
+package engine
+
+import (
+	"sync"
+	"time"
+)
+
+// wait has a direct blocking effect.
+func wait() { time.Sleep(time.Millisecond) }
+
+// ping and pong form a recursive component; the blocking effect enters
+// through pong and must reach both members at the fixpoint.
+func ping(n int) {
+	if n > 0 {
+		pong(n - 1)
+	}
+}
+
+func pong(n int) {
+	wait()
+	ping(n)
+}
+
+type worker struct{ mu sync.Mutex }
+
+func (w *worker) block() { time.Sleep(time.Second) }
+
+// methodValue captures block without a visible call site; the value
+// escapes, so its effects must still propagate (a Ref edge).
+func methodValue(w *worker) func() {
+	f := w.block
+	return f
+}
+
+// deferred runs block at function exit — synchronous, so the effect
+// propagates and the event lands at the function's end.
+func deferred(w *worker) {
+	defer w.block()
+}
+
+// spawns hands block to a new goroutine: the caller itself never blocks.
+func spawns(w *worker) {
+	go w.block()
+}
+
+type inner struct{ mu sync.Mutex }
+
+type outer struct {
+	mu     sync.Mutex
+	closed bool
+	in     *inner
+}
+
+// nest acquires inner.mu under outer.mu past an early-exit unlock guard:
+// the guard's Unlock must not blind the walker to the fall-through
+// region still holding outer.mu.
+func (o *outer) nest() {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return
+	}
+	o.in.mu.Lock()
+	o.in.mu.Unlock()
+	o.mu.Unlock()
+}

@@ -1,0 +1,62 @@
+// Positive fixture for fsyncorder: every ordering the durability
+// contract forbids, modeled with the repo's naming conventions the
+// summary package keys on (logEnqueue/logRecvHW, pendingQueue.push,
+// journal-ish Apply, regs[...] assignment, sendAck).
+package fsyncfix
+
+type frame struct{ Seq uint64 }
+
+type walLog struct{}
+
+func (l *walLog) logEnqueue(addr string, f *frame) error { return nil }
+func (l *walLog) logRecvHW(addr string, hw uint64) error { return nil }
+
+type pendingQueue struct{ buf []frame }
+
+func (q *pendingQueue) push(f frame) { q.buf = append(q.buf, f) }
+
+type peer struct {
+	log     *walLog
+	pending pendingQueue
+}
+
+// pushBeforeJournal reorders the PR 7 enqueue contract: the send loop
+// could flush (and the remote ack) a frame the WAL never recorded.
+func (p *peer) pushBeforeJournal(f frame) {
+	p.pending.push(f) // want "frame becomes visible to the send loop before its WAL journal"
+	_ = p.log.logEnqueue("a", &f)
+}
+
+// pushThenJournalVia hides the journal behind a helper; the reorder must
+// still be seen through the call.
+func (p *peer) pushThenJournalVia(f frame) {
+	p.pending.push(f) // want "frame becomes visible to the send loop before its WAL journal"
+	p.journalOnly(f)
+}
+
+func (p *peer) journalOnly(f frame) { _ = p.log.logEnqueue("a", &f) }
+
+func sendAck(addr string, hw uint64) {}
+
+// ackBeforeFsync reorders the receive path: the sender prunes on the ack
+// and a restarted receiver re-accepts the retransmission it forgot.
+func ackBeforeFsync(l *walLog, hw uint64) {
+	sendAck("a", hw) // want "cumulative ack queued before the receive high-watermark fsync"
+	_ = l.logRecvHW("a", hw)
+}
+
+type journalHook struct{}
+
+func (j *journalHook) Apply(ref, v int) error { return nil }
+
+type mem struct {
+	j    *journalHook
+	regs map[int]int
+}
+
+// mutateBeforeApply reorders the shm write path: a crash between the two
+// loses a write the journal was supposed to make durable.
+func (m *mem) mutateBeforeApply(ref, v int) {
+	m.regs[ref] = v // want "register mutated before the journal hook"
+	_ = m.j.Apply(ref, v)
+}

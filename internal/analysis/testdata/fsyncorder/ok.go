@@ -1,0 +1,53 @@
+// Negative fixture for fsyncorder: the disciplined orderings, the legal
+// journal-free paths, and the judged-legal-path masking (a recovery
+// replayer's push must not poison callers that also journal).
+package fsyncfix
+
+// enqueue is the correct PR 7 shape: journal, then publish.
+func (p *peer) enqueue(f frame) {
+	_ = p.log.logEnqueue("a", &f)
+	p.pending.push(f)
+}
+
+// sendOne sees enqueue's paired effects at one call site: internal order
+// was checked in enqueue, so the caller is clean.
+func (p *peer) sendOne(f frame) {
+	p.enqueue(f)
+}
+
+// seedReplay is a legal journal-free path: recovered frames are already
+// in the WAL, so pushing them without journaling is the point.
+func (p *peer) seedReplay(fs []frame) {
+	for _, f := range fs {
+		p.pending.push(f)
+	}
+}
+
+// openAndSend calls the journal-free replayer next to a journaling
+// enqueue; the replayer's judged-legal visibility effect must not be
+// exported into this function's ordering check.
+func (p *peer) openAndSend(f frame) {
+	p.seedReplay(nil)
+	p.enqueue(f)
+}
+
+// recvBatch is the correct receive shape: fsync the high-water mark,
+// then ack.
+func recvBatch(l *walLog, hw uint64) {
+	_ = l.logRecvHW("a", hw)
+	sendAck("a", hw)
+}
+
+// write is the correct shm shape: journal hook, then mutate.
+func (m *mem) write(ref, v int) {
+	_ = m.j.Apply(ref, v)
+	m.regs[ref] = v
+}
+
+// restore is the legal journal-free register path: it repopulates from
+// the journal itself.
+func (m *mem) restore(snapshot map[int]int) {
+	for ref, v := range snapshot {
+		m.regs[ref] = v
+	}
+}

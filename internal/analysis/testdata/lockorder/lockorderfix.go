@@ -1,0 +1,30 @@
+// Positive fixture for lockorder: two shared mutexes acquired in both
+// orders — one direction directly, the other through a call — close a
+// cycle, and both closing sites are reported.
+package lockorderfix
+
+import "sync"
+
+type acct struct{ mu sync.Mutex }
+type ledger struct{ mu sync.Mutex }
+
+var a acct
+var l ledger
+
+func debit() {
+	a.mu.Lock()
+	l.mu.Lock() // want "acquiring lockorder.ledger.mu while lockorder.acct.mu is held closes a lock-order cycle"
+	l.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func audit() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	grabAcct() // want "call to grabAcct acquires lockorder.acct.mu while lockorder.ledger.mu is held"
+}
+
+func grabAcct() {
+	a.mu.Lock()
+	a.mu.Unlock()
+}

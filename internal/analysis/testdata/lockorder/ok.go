@@ -1,0 +1,54 @@
+// Negative fixture for lockorder: a consistent acquisition hierarchy is
+// fine however deep it nests, early-exit unlocks don't confuse the
+// region tracking, and hand-over-hand locking produces no cycle.
+package lockorderfix
+
+import "sync"
+
+type cache struct {
+	mu      sync.Mutex
+	entries map[string]int
+}
+
+type store struct {
+	mu     sync.Mutex
+	closed bool
+	c      *cache
+}
+
+// get nests cache.mu under store.mu — one direction only, no cycle,
+// including through the early-exit guard.
+func (s *store) get(key string) (int, bool) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, false
+	}
+	s.c.mu.Lock()
+	v, ok := s.c.entries[key]
+	s.c.mu.Unlock()
+	s.mu.Unlock()
+	return v, ok
+}
+
+// handOff releases before acquiring: no held-while-acquiring edge at all.
+func (s *store) handOff(key string) int {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	return s.c.entries[key]
+}
+
+// viaHelper nests in the same direction through a call.
+func (s *store) viaHelper(key string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.read(key)
+}
+
+func (c *cache) read(key string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries[key]
+}

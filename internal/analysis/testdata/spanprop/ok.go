@@ -1,0 +1,45 @@
+// Negative fixture for spanprop: the explicit-fallback idiom (span-aware
+// attempt next to the plain call), span-only paths, and the
+// root-cause-only rule (callers of a plain-only helper are not
+// re-flagged; the helper already was).
+package spanfix
+
+import (
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/transport"
+)
+
+// deliver is the rtEnv.Send pattern the rule blesses: try the span-aware
+// carrier, fall back to plain in the same function.
+func deliver(tr transport.Transport, p core.Value, sc core.SpanContext) error {
+	if c, ok := tr.(transport.SpanCarrier); ok {
+		return c.SendSpan(0, 1, p, sc)
+	}
+	return tr.Send(0, 1, p)
+}
+
+// query is the same idiom on the RPC plane.
+func query(r transport.RPC, req core.Value, sc core.SpanContext) (core.Value, error) {
+	if s, ok := r.(transport.SpanRPC); ok {
+		v, _, err := s.CallSpan(0, 1, req, sc)
+		return v, err
+	}
+	return r.Call(0, 1, req)
+}
+
+// spanOnly has no plain site at all.
+func spanOnly(c transport.SpanCarrier, p core.Value, sc core.SpanContext) error {
+	return c.SendSpan(0, 1, p, sc)
+}
+
+// viaFallback reaches the plain send only through deliver, whose summary
+// carries both span and plain effects: the fallback was explicit there.
+func viaFallback(tr transport.Transport, p core.Value, sc core.SpanContext) error {
+	return deliver(tr, p, sc)
+}
+
+// relay reaches a plain-only send through notify; the root cause is
+// notify's own Send line, already flagged there, not every caller.
+func relay(tr transport.Transport, p core.Value) error {
+	return notify(tr, p)
+}

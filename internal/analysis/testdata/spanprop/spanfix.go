@@ -1,0 +1,24 @@
+// Positive fixture for spanprop: plain transport sends and RPC calls
+// with no span-aware attempt anywhere in reach silently drop the trace
+// context.
+package spanfix
+
+import (
+	"github.com/mnm-model/mnm/internal/core"
+	"github.com/mnm-model/mnm/internal/transport"
+)
+
+// notify never attempts the span-aware path: the trace context dies here.
+func notify(tr transport.Transport, p core.Value) error {
+	return tr.Send(0, 1, p) // want "plain transport Send/Broadcast drops the trace context"
+}
+
+// fanout drops the context on the broadcast plane.
+func fanout(tr transport.Transport, p core.Value) error {
+	return tr.Broadcast(0, p) // want "plain transport Send/Broadcast drops the trace context"
+}
+
+// ask drops the context on the RPC plane.
+func ask(r transport.RPC, req core.Value) (core.Value, error) {
+	return r.Call(0, 1, req) // want "plain transport Call drops the trace context"
+}

@@ -235,6 +235,7 @@ func RunTransportBench(p Params) (TransportBenchResult, error) {
 	})
 	rpcStart := reg0.Histogram(metrics.HistRPCCall).Snapshot()
 	for i := 0; i < r.RPCCalls; i++ {
+		//mnmvet:allow spanprop the benchmark measures the raw RPC surface; there is no traced operation whose context could be threaded
 		if _, err := pair[0].Call(0, 1, i); err != nil {
 			closeAll(pair)
 			return r, fmt.Errorf("transportbench: rpc %d: %w", i, err)
